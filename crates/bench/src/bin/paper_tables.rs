@@ -1,0 +1,304 @@
+//! Regenerates every table/figure-equivalent of the paper's evaluation
+//! (see DESIGN.md per-experiment index). Run `cargo run --release -p
+//! vgl-bench --bin paper_tables` and paste the output into EXPERIMENTS.md.
+//!
+//! Usage: `paper_tables [t1|e1|e2|e3|e4|e5|e6|e7|all]`
+
+use vgl_bench::workloads;
+use vgl_bench::{compile, measure_both, us, Table};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "t1" {
+        t1();
+    }
+    if all || which == "e1" {
+        e1();
+    }
+    if all || which == "e2" {
+        e2();
+    }
+    if all || which == "e3" {
+        e3();
+    }
+    if all || which == "e4" {
+        e4();
+    }
+    if all || which == "e5" {
+        e5();
+    }
+    if all || which == "e6" {
+        e6();
+    }
+    if all || which == "e7" {
+        e7();
+    }
+}
+
+/// E7 — compile throughput (§5: "the Virgil compiler ... compiles very
+/// fast"). Measures the whole pipeline: parse → typecheck → monomorphize →
+/// normalize → optimize → lower to bytecode.
+fn e7() {
+    println!("== E7: compile throughput (§5 'compiles very fast') ==");
+    let mut t = Table::new(&[
+        "classes k",
+        "source lines",
+        "compile time (ms, best of 3)",
+        "lines/sec",
+        "bytecode instrs",
+    ]);
+    for k in [10usize, 50, 200] {
+        let src = workloads::big_program(k);
+        let lines = src.lines().count();
+        let mut best = None;
+        let mut instrs = 0;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            let c = compile(&src);
+            let dt = start.elapsed();
+            instrs = c.code_size();
+            best = Some(match best {
+                None => dt,
+                Some(b) if dt < b => dt,
+                Some(b) => b,
+            });
+        }
+        let best = best.expect("ran");
+        t.row(&[
+            k.to_string(),
+            lines.to_string(),
+            format!("{:.1}", best.as_secs_f64() * 1e3),
+            format!("{:.0}", lines as f64 / best.as_secs_f64()),
+            instrs.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: compile time scales roughly linearly with program size.\n");
+}
+
+/// T1 — the §2.5 type-constructor summary table, printed from the live
+/// type-system data (variance verified by the vgl-types test suite).
+fn t1() {
+    println!("== T1: type constructor summary (paper §2.5 table) ==");
+    let mut t = Table::new(&["Typecon", "Type Parameters", "Syntax"]);
+    for row in vgl::constructor_summary() {
+        let params = if row.params.is_empty() {
+            "—".to_string()
+        } else {
+            row.params
+                .iter()
+                .map(|v| match v {
+                    vgl::Variance::Invariant => "T (invariant)",
+                    vgl::Variance::Covariant => "▷T (covariant)",
+                    vgl::Variance::Contravariant => "◁T (contravariant)",
+                })
+                .collect::<Vec<_>>()
+                .join(" · ")
+        };
+        t.row(&[row.constructor.to_string(), params, row.syntax.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+/// E1 — normalization removes all tuple boxing (§4.2).
+fn e1() {
+    println!("== E1: tuple boxing — interpreter vs compiled VM (§4.2) ==");
+    let mut t = Table::new(&[
+        "n (iterations)",
+        "interp tuple boxes",
+        "interp time (us)",
+        "vm tuple boxes",
+        "vm explicit allocs",
+        "vm time (us)",
+    ]);
+    for n in [1_000usize, 10_000, 100_000] {
+        let c = compile(&workloads::tuple_heavy(n));
+        let (i, v) = measure_both(&c);
+        let is = i.interp.expect("interp stats");
+        let vs = v.vm.expect("vm stats");
+        t.row(&[
+            n.to_string(),
+            is.allocs.tuples.to_string(),
+            us(i.time),
+            vs.heap.tuple_boxes.to_string(),
+            (vs.heap.objects + vs.heap.arrays).to_string(),
+            us(v.time),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: interpreter boxes grow linearly with n; VM boxes are always 0.\n");
+}
+
+/// E2 — monomorphized execution vs type-argument-passing interpretation
+/// (§4.3: the interpreter strategy "exacts a considerable runtime cost").
+fn e2() {
+    println!("== E2: monomorphization vs type-argument passing (§4.3) ==");
+    let mut t = Table::new(&[
+        "rounds",
+        "interp time (us)",
+        "interp type substs",
+        "vm time (us)",
+        "speedup",
+    ]);
+    for n in [10usize, 50, 200] {
+        let c = compile(&workloads::polymorphic(n));
+        let (i, v) = measure_both(&c);
+        let is = i.interp.expect("interp stats");
+        let speed = i.time.as_secs_f64() / v.time.as_secs_f64();
+        t.row(&[
+            n.to_string(),
+            us(i.time),
+            is.type_substitutions.to_string(),
+            us(v.time),
+            format!("{speed:.1}x"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: compiled wins on polymorphic code; no type info is passed at runtime.\n");
+}
+
+/// E3 — §3.3: the type-query dispatch chain folds away after specialization.
+fn e3() {
+    println!("== E3: dispatch-chain folding (§3.3 print1 claim) ==");
+    let n = 20_000;
+    let src = workloads::dispatch_chain(n);
+    let with_opt = compile(&src);
+    let without = vgl::Compiler::new()
+        .without_optimizer()
+        .compile(&src)
+        .expect("compiles");
+    let best = |c: &vgl::Compilation| {
+        let mut best_time = None;
+        let mut instrs = 0;
+        for _ in 0..5 {
+            let m = vgl_bench::measure_vm(c);
+            instrs = m.vm.expect("vm stats").instrs;
+            best_time = Some(match best_time {
+                None => m.time,
+                Some(b) if m.time < b => m.time,
+                Some(b) => b,
+            });
+        }
+        (best_time.expect("ran"), instrs)
+    };
+    let (t_opt, i_opt) = best(&with_opt);
+    let (t_raw, i_raw) = best(&without);
+    let mut t = Table::new(&[
+        "configuration",
+        "queries folded",
+        "branches folded",
+        "bytecode size",
+        "vm instrs",
+        "vm time (us, best of 5)",
+    ]);
+    t.row(&[
+        "specialize + fold (paper)".into(),
+        with_opt.stats.opt.queries_folded.to_string(),
+        with_opt.stats.opt.branches_folded.to_string(),
+        with_opt.code_size().to_string(),
+        i_opt.to_string(),
+        us(t_opt),
+    ]);
+    t.row(&[
+        "specialize only (ablation)".into(),
+        without.stats.opt.queries_folded.to_string(),
+        without.stats.opt.branches_folded.to_string(),
+        without.code_size().to_string(),
+        i_raw.to_string(),
+        us(t_raw),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "shape check: with folding, dispatch is \"just as efficient as if the caller had \
+         called the appropriate print* method directly\".\n"
+    );
+}
+
+/// E4 — code expansion from monomorphization (§4.3 tradeoffs, §6.1).
+fn e4() {
+    println!("== E4: code expansion vs distinct instantiations (§4.3/§6.1) ==");
+    let mut t = Table::new(&[
+        "instantiations k",
+        "IR nodes before",
+        "IR nodes after mono",
+        "expansion",
+        "method instances",
+        "bytecode size",
+    ]);
+    for k in [1usize, 2, 4, 8, 16] {
+        let c = compile(&workloads::instantiations(k));
+        t.row(&[
+            k.to_string(),
+            c.stats.size_before.expr_nodes.to_string(),
+            c.stats.size_after_mono.expr_nodes.to_string(),
+            format!("{:.2}x", c.expansion_ratio()),
+            c.stats.mono.method_instances.to_string(),
+            c.code_size().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: expansion grows linearly in distinct instantiations (no sharing).\n");
+}
+
+/// E5 — tuple width sweep (§4.2 tradeoffs: "large tuples might actually
+/// perform better if allocated on the heap").
+fn e5() {
+    println!("== E5: tuple width — flattened scalars vs boxed records (§4.2 tradeoffs) ==");
+    let n = 20_000;
+    let mut t = Table::new(&[
+        "width w",
+        "interp (boxed) time (us)",
+        "vm (flattened) time (us)",
+        "flattened/boxed",
+    ]);
+    for w in [1usize, 2, 4, 8, 16, 32] {
+        let c = compile(&workloads::tuple_width(w, n));
+        let (i, v) = measure_both(&c);
+        let ratio = v.time.as_secs_f64() / i.time.as_secs_f64();
+        t.row(&[
+            w.to_string(),
+            us(i.time),
+            us(v.time),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "shape check: flattening wins strongly at small widths; the per-element cost \
+         grows with w (the paper's predicted crossover pressure for large tuples).\n"
+    );
+}
+
+/// E6 — §4.1: dynamic calling-convention checks at first-class call sites.
+fn e6() {
+    println!("== E6: first-class call-site checks (§4.1) ==");
+    let mut t = Table::new(&[
+        "calls n",
+        "interp checks",
+        "interp adaptations",
+        "interp tuple boxes",
+        "vm checks",
+        "vm closure calls",
+    ]);
+    for n in [1_000usize, 10_000] {
+        let c = compile(&workloads::callsite_checks(n));
+        let (i, v) = measure_both(&c);
+        let is = i.interp.expect("interp stats");
+        let vs = v.vm.expect("vm stats");
+        t.row(&[
+            n.to_string(),
+            is.callsite_checks.to_string(),
+            is.callsite_adaptations.to_string(),
+            is.allocs.tuples.to_string(),
+            "0 (structurally absent)".into(),
+            vs.closure_calls.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "shape check: the interpreter checks every first-class call and adapts \
+         (boxes/unboxes) when conventions mismatch; after normalization \"all method \
+         calls pass scalar arguments\" and the check does not exist.\n"
+    );
+}

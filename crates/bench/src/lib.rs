@@ -1,0 +1,151 @@
+//! # vgl-bench
+//!
+//! The benchmark harness that regenerates every evaluation claim of the
+//! paper (see DESIGN.md's per-experiment index, E1–E6 and T1). The
+//! `paper_tables` binary prints the tables recorded in EXPERIMENTS.md;
+//! the `benches/` directory holds the criterion timing benches.
+
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+use vgl::{Compilation, Compiler};
+
+/// Compiles a workload or panics with rendered diagnostics (workloads are
+/// trusted sources).
+pub fn compile(source: &str) -> Compilation {
+    match Compiler::new().compile(source) {
+        Ok(c) => c,
+        Err(e) => panic!("workload failed to compile:\n{e}"),
+    }
+}
+
+/// Measured observations of one engine run.
+#[derive(Clone, Debug)]
+pub struct Measured {
+    /// Wall-clock time.
+    pub time: Duration,
+    /// Result display form.
+    pub result: Result<String, String>,
+    /// Interpreter stats when applicable.
+    pub interp: Option<vgl::InterpStats>,
+    /// VM stats when applicable.
+    pub vm: Option<vgl::VmStats>,
+}
+
+/// Runs the reference interpreter (type-argument passing) and measures it.
+pub fn measure_interp(c: &Compilation) -> Measured {
+    let start = Instant::now();
+    let out = c.interpret();
+    Measured {
+        time: start.elapsed(),
+        result: out.result,
+        interp: out.interp_stats,
+        vm: None,
+    }
+}
+
+/// Runs the compiled VM and measures it.
+pub fn measure_vm(c: &Compilation) -> Measured {
+    let start = Instant::now();
+    let out = c.execute();
+    Measured {
+        time: start.elapsed(),
+        result: out.result,
+        interp: None,
+        vm: out.vm_stats,
+    }
+}
+
+/// Asserts both engines agree, then returns (interp, vm) measurements.
+pub fn measure_both(c: &Compilation) -> (Measured, Measured) {
+    let i = measure_interp(c);
+    let v = measure_vm(c);
+    assert_eq!(i.result, v.result, "engines disagree");
+    (i, v)
+}
+
+/// Formats a duration in microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(r, &widths, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_compile_and_agree() {
+        for src in [
+            workloads::tuple_heavy(50),
+            workloads::polymorphic(2),
+            workloads::dispatch_chain(20),
+            workloads::instantiations(3),
+            workloads::tuple_width(4, 20),
+            workloads::callsite_checks(20),
+            workloads::mixed_app(5),
+        ] {
+            let c = compile(&src);
+            let (i, v) = measure_both(&c);
+            assert!(i.result.is_ok(), "{:?}", i.result);
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains('1') && r.contains('b'));
+    }
+}

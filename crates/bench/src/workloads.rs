@@ -1,0 +1,246 @@
+//! Virgil source generators for the experiment suite (DESIGN.md E1–E6).
+
+use std::fmt::Write as _;
+
+/// E1: a tuple-heavy workload — tuples as arguments, returns, fields, and
+/// array elements, iterated `n` times.
+pub fn tuple_heavy(n: usize) -> String {
+    format!(
+        r#"
+def swap(p: (int, int)) -> (int, int) {{ return (p.1, p.0); }}
+def addp(a: (int, int), b: (int, int)) -> (int, int) {{
+    return (a.0 + b.0, a.1 + b.1);
+}}
+class Pt {{ var pos: (int, int); new(pos) {{ }} }}
+def main() -> int {{
+    var t = (1, 2);
+    var p = Pt.new((0, 0));
+    var arr = Array<(int, int)>.new(8);
+    for (i = 0; i < {n}; i = i + 1) {{
+        t = swap(t);
+        t = addp(t, (1, 1));
+        p.pos = addp(p.pos, t);
+        arr[i & 7] = t;
+        t = arr[(i + 3) & 7];
+    }}
+    return t.0 + t.1 + p.pos.0;
+}}
+"#
+    )
+}
+
+/// E2: a polymorphic workload — generic list construction, mapping, and
+/// folding over several instantiations.
+pub fn polymorphic(n: usize) -> String {
+    format!(
+        r#"
+class List<T> {{ def head: T; def tail: List<T>; new(head, tail) {{ }} }}
+def build<T>(n: int, v: T) -> List<T> {{
+    var l: List<T>;
+    for (i = 0; i < n; i = i + 1) l = List.new(v, l);
+    return l;
+}}
+def count<T>(l: List<T>, p: T -> bool) -> int {{
+    var c = 0;
+    for (x = l; x != null; x = x.tail) if (p(x.head)) c = c + 1;
+    return c;
+}}
+def posi(x: int) -> bool {{ return x > 0; }}
+def idb(x: bool) -> bool {{ return x; }}
+def bigp(x: (int, int)) -> bool {{ return x.0 + x.1 > 0; }}
+def main() -> int {{
+    var total = 0;
+    for (round = 0; round < {n}; round = round + 1) {{
+        total = total + count(build(50, 1), posi);
+        total = total + count(build(50, true), idb);
+        total = total + count(build(50, (1, 2)), bigp);
+    }}
+    return total;
+}}
+"#
+    )
+}
+
+/// E3: the §3.3 ad-hoc-polymorphism dispatch chain with `k` cases, invoked
+/// `n` times per instantiated type.
+pub fn dispatch_chain(n: usize) -> String {
+    format!(
+        r#"
+var sink = 0;
+def h_int(a: int) {{ sink = sink + a; }}
+def h_bool(a: bool) {{ if (a) sink = sink + 1; }}
+def h_byte(a: byte) {{ sink = sink + int.!(a); }}
+def h_pair(a: (int, int)) {{ sink = sink + a.0 + a.1; }}
+def isa<F, T>(x: T) -> bool {{ return F.?<T>(x); }}
+def asa<F, T>(x: T) -> F {{ return F.!<T>(x); }}
+def dispatch<T>(a: T) {{
+    if (int.?(a)) h_int(int.!(a));
+    if (bool.?(a)) h_bool(bool.!(a));
+    if (byte.?(a)) h_byte(byte.!(a));
+    if (isa<(int, int), T>(a)) h_pair(asa<(int, int), T>(a));
+}}
+def main() -> int {{
+    for (i = 0; i < {n}; i = i + 1) {{
+        dispatch(i);
+        dispatch(i % 2 == 0);
+        dispatch('x');
+        dispatch((i, 1));
+    }}
+    return sink;
+}}
+"#
+    )
+}
+
+/// E4: a generic library instantiated at `k` distinct type arguments (tuple
+/// widths give distinct types); measures code expansion, not runtime.
+pub fn instantiations(k: usize) -> String {
+    let mut src = String::from(
+        r#"
+class Box<T> {
+    def val: T;
+    new(val) { }
+    def get() -> T { return val; }
+    def put(x: T) -> Box<T> { return Box.new(x); }
+}
+def roundtrip<T>(x: T) -> T { return Box.new(x).put(x).get(); }
+def main() {
+"#,
+    );
+    for i in 0..k {
+        let args = (0..=i)
+            .map(|j| (i + j).to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(src, "    roundtrip(({args}));");
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// E5: tuple-width sweep — a width-`w` tuple passed through a call chain `n`
+/// times (flattened scalars vs one boxed record).
+pub fn tuple_width(w: usize, n: usize) -> String {
+    assert!(w >= 1);
+    let tuple_ty = if w == 1 {
+        "int".to_string()
+    } else {
+        let elems = vec!["int"; w].join(", ");
+        format!("({elems})")
+    };
+    let ctor = if w == 1 {
+        "1".to_string()
+    } else {
+        let elems = (0..w).map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        format!("({elems})")
+    };
+    let bump = if w == 1 {
+        "return t + 1;".to_string()
+    } else {
+        let elems = (0..w)
+            .map(|i| format!("t.{i} + 1"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("return ({elems});")
+    };
+    let took = if w == 1 { "t".to_string() } else { "t.0".to_string() };
+    format!(
+        r#"
+def bump(t: {tuple_ty}) -> {tuple_ty} {{ {bump} }}
+def main() -> int {{
+    var t: {tuple_ty} = {ctor};
+    for (i = 0; i < {n}; i = i + 1) t = bump(t);
+    return {took};
+}}
+"#
+    )
+}
+
+/// E6: first-class function call sites with mixed calling conventions, the
+/// §4.1 ambiguity (scalar implementation vs tuple implementation behind the
+/// same function type).
+pub fn callsite_checks(n: usize) -> String {
+    format!(
+        r#"
+def fs(a: int, b: int) -> int {{ return a + b; }}
+def ft(a: (int, int)) -> int {{ return a.0 + a.1; }}
+def pick(z: bool) -> ((int, int) -> int) {{ return z ? fs : ft; }}
+def main() -> int {{
+    var s = 0;
+    var t = (1, 2);
+    for (i = 0; i < {n}; i = i + 1) {{
+        var f = pick(i % 2 == 0);
+        s = s + f(i, 1);
+        s = s + f(t);
+    }}
+    return s;
+}}
+"#
+    )
+}
+
+/// A mixed "application" workload: virtual dispatch + generics + tuples +
+/// first-class functions, for overall engine comparison.
+pub fn mixed_app(n: usize) -> String {
+    format!(
+        r#"
+class Shape {{ def area() -> int; }}
+class Rect extends Shape {{
+    var wh: (int, int);
+    new(wh) {{ }}
+    def area() -> int {{ return wh.0 * wh.1; }}
+}}
+class Circle extends Shape {{
+    def r: int;
+    new(r) {{ }}
+    def area() -> int {{ return 3 * r * r; }}
+}}
+def sum<T>(xs: Array<T>, f: T -> int) -> int {{
+    var s = 0;
+    for (i = 0; i < xs.length; i = i + 1) s = s + f(xs[i]);
+    return s;
+}}
+def getArea(s: Shape) -> int {{ return s.area(); }}
+def main() -> int {{
+    var shapes: Array<Shape> = [Rect.new((3, 4)), Circle.new(2), Rect.new((5, 6))];
+    var total = 0;
+    for (i = 0; i < {n}; i = i + 1) {{
+        total = total + sum(shapes, getArea);
+    }}
+    return total;
+}}
+"#
+    )
+}
+
+/// E7: a larger synthetic program (k classes with methods + a generic
+/// library) for measuring compile throughput (§5: "compiles very fast").
+pub fn big_program(k: usize) -> String {
+    let mut src = String::from(
+        "class List<T> { def head: T; def tail: List<T>; new(head, tail) { } }\n\
+         def fold<A, B>(l: List<A>, f: (B, A) -> B, init: B) -> B {\n\
+             var acc = init;\n\
+             for (x = l; x != null; x = x.tail) acc = f(acc, x.head);\n\
+             return acc;\n\
+         }\n\
+         def plus(a: int, b: int) -> int { return a + b; }\n",
+    );
+    for i in 0..k {
+        let _ = writeln!(src, "class C{i} {{");
+        let _ = writeln!(src, "    var f0: int;");
+        let _ = writeln!(src, "    var f1: (int, bool);");
+        let _ = writeln!(src, "    def g: string;");
+        let _ = writeln!(src, "    new(f0, g) {{ f1 = (f0, f0 > 0); }}");
+        let _ = writeln!(src, "    def m0(x: int) -> int {{ return f0 + x * {i}; }}");
+        let _ = writeln!(src, "    def m1(p: (int, int)) -> (int, int) {{ return (p.1 + f0, p.0); }}");
+        let _ = writeln!(src, "    def m2(f: int -> int) -> int {{ return f(f0); }}");
+        let _ = writeln!(src, "}}");
+    }
+    src.push_str("def main() -> int {\n    var l: List<int>;\n");
+    for i in 0..k {
+        let _ = writeln!(src, "    var c{i} = C{i}.new({i}, \"x\");");
+        let _ = writeln!(src, "    l = List.new(c{i}.m0({i}), l);");
+    }
+    src.push_str("    return fold(l, plus, 0);\n}\n");
+    src
+}

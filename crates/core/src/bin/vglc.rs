@@ -1,0 +1,123 @@
+//! `vglc` — the virgil-rs command-line driver.
+//!
+//! ```text
+//! vglc run <file.v>       compile and run on the VM (default)
+//! vglc interp <file.v>    run on the reference interpreter
+//! vglc both <file.v>      run on both engines and compare
+//! vglc stats <file.v>     print pipeline statistics
+//! vglc disasm <file.v>    print the compiled bytecode
+//! ```
+
+use std::process::ExitCode;
+use vgl::Compiler;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: vglc [run|interp|both|stats|disasm] <file.v>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match args.as_slice() {
+        [path] => ("run".to_string(), path.clone()),
+        [cmd, path] => (cmd.clone(), path.clone()),
+        _ => return usage(),
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vglc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compilation = match Compiler::new().compile(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            // Re-render with the real file name.
+            let lines = vgl::LineMap::new(&source);
+            for d in &e.diagnostics {
+                eprintln!("{}", d.render(&path, &lines));
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "run" => {
+            let out = compilation.execute();
+            print!("{}", out.output);
+            finish(out.result)
+        }
+        "interp" => {
+            let out = compilation.interpret();
+            print!("{}", out.output);
+            finish(out.result)
+        }
+        "both" => {
+            let i = compilation.interpret();
+            let v = compilation.execute();
+            if i.result != v.result || i.output != v.output {
+                eprintln!("vglc: ENGINES DISAGREE");
+                eprintln!("interp: {:?}\n{}", i.result, i.output);
+                eprintln!("vm:     {:?}\n{}", v.result, v.output);
+                return ExitCode::FAILURE;
+            }
+            print!("{}", v.output);
+            finish(v.result)
+        }
+        "stats" => {
+            let s = &compilation.stats;
+            println!("size before:       {}", s.size_before);
+            println!("size after mono:   {}", s.size_after_mono);
+            println!("size after all:    {}", s.size_after);
+            println!("bytecode:          {} instructions", compilation.code_size());
+            println!(
+                "mono:  {} method instances, {} class instances (from {} / {} live)",
+                s.mono.method_instances,
+                s.mono.class_instances,
+                s.mono.live_source_methods,
+                s.mono.live_source_classes
+            );
+            println!(
+                "norm:  {} tuple exprs removed, {} params expanded, {} fields expanded, \
+                 {} multi-return methods, {} wrappers",
+                s.norm.tuple_exprs_removed,
+                s.norm.params_expanded,
+                s.norm.fields_expanded,
+                s.norm.multi_return_methods,
+                s.norm.wrappers_synthesized
+            );
+            println!(
+                "opt:   {} consts, {} queries, {} casts, {} branches folded; \
+                 {} dead stmts; {} devirtualized",
+                s.opt.consts_folded,
+                s.opt.queries_folded,
+                s.opt.casts_folded,
+                s.opt.branches_folded,
+                s.opt.dead_stmts_removed,
+                s.opt.devirtualized
+            );
+            println!("expansion:         x{:.2}", compilation.expansion_ratio());
+            ExitCode::SUCCESS
+        }
+        "disasm" => {
+            print!("{}", vgl_vm::disasm(&compilation.program));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn finish(result: Result<String, String>) -> ExitCode {
+    match result {
+        Ok(v) => {
+            if v != "()" {
+                eprintln!("=> {v}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

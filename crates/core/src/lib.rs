@@ -1,0 +1,331 @@
+//! # vgl — virgil-rs
+//!
+//! A Rust reproduction of the language and compiler described in
+//! *Harmonizing Classes, Functions, Tuples, and Type Parameters in Virgil
+//! III* (Ben L. Titzer, PLDI 2013).
+//!
+//! This crate is the public facade over the whole system:
+//!
+//! * front end: `vgl-syntax` (lexer/parser) and `vgl-sema` (typechecking,
+//!   inference) produce a typed [`Module`];
+//! * the **reference interpreter** (`vgl-interp`) executes it directly with
+//!   runtime type arguments and boxed tuples — the paper's §4.3 interpreter
+//!   strategy;
+//! * the **static pipeline** (`vgl-passes`) monomorphizes (§4.3), normalizes
+//!   tuples away (§4.2), and optimizes (§3.3's query folding);
+//! * the **VM** (`vgl-vm`) runs the compiled form with a scalar calling
+//!   convention, vtables, constant-time type tests, and a semispace GC.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vgl::Compiler;
+//!
+//! let source = "
+//!     def square(x: int) -> int { return x * x; }
+//!     def main() -> int { return square(6) + 6; }
+//! ";
+//! let c = Compiler::new().compile(source).expect("compiles");
+//! let run = c.execute();                  // compiled, on the VM
+//! assert_eq!(run.result.unwrap(), "42");
+//! let run = c.interpret();                // reference interpreter
+//! assert_eq!(run.result.unwrap(), "42");
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use vgl_interp::{Interp, InterpError, InterpStats};
+pub use vgl_ir::{Exception, Module, ModuleSize};
+pub use vgl_passes::{MonoStats, NormStats, OptStats, PipelineStats};
+pub use vgl_runtime::{AllocStats, HeapStats};
+pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap};
+pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
+pub use vgl_vm::{Vm, VmError, VmProgram, VmStats};
+
+/// A compilation failure: rendered diagnostics.
+#[derive(Clone, Debug)]
+pub struct CompileError {
+    /// The diagnostics, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics rendered with line/column positions.
+    pub rendered: Vec<String>,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rendered.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            f.write_str(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiler options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Run the optimizer after normalization (default true). Turning it off
+    /// isolates the effect of §3.3 query folding in ablation benchmarks.
+    pub optimize: bool,
+    /// Semispace size (slots) for VMs created by [`Compilation::execute`].
+    pub heap_slots: usize,
+    /// Fuel (steps/instructions) for the convenience runners; `None` means
+    /// unbounded.
+    pub fuel: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { optimize: true, heap_slots: 1 << 20, fuel: Some(1 << 32) }
+    }
+}
+
+/// The compiler driver.
+#[derive(Clone, Debug, Default)]
+pub struct Compiler {
+    options: Options,
+}
+
+impl Compiler {
+    /// A compiler with default options.
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// Overrides the options.
+    pub fn with_options(options: Options) -> Compiler {
+        Compiler { options }
+    }
+
+    /// Disables the optimizer (ablation).
+    pub fn without_optimizer(mut self) -> Compiler {
+        self.options.optimize = false;
+        self
+    }
+
+    /// Parses, typechecks, and runs the full static pipeline.
+    ///
+    /// # Errors
+    /// Returns every parse and type error with rendered positions.
+    pub fn compile(&self, source: &str) -> Result<Compilation, CompileError> {
+        let mut diags = Diagnostics::new();
+        let ast = vgl_syntax::parse_program(source, &mut diags);
+        if diags.has_errors() {
+            return Err(render(source, diags));
+        }
+        let Some(module) = vgl_sema::analyze(&ast, &mut diags) else {
+            return Err(render(source, diags));
+        };
+        // Pipeline: mono → norm → (opt).
+        let (mut compiled, mono) = vgl_passes::monomorphize(&module);
+        let size_before = vgl_ir::measure(&module);
+        let size_after_mono = vgl_ir::measure(&compiled);
+        let norm = vgl_passes::normalize(&mut compiled);
+        let opt = if self.options.optimize {
+            vgl_passes::optimize(&mut compiled)
+        } else {
+            OptStats::default()
+        };
+        debug_assert!(vgl_ir::check_normalized(&compiled).is_empty());
+        let size_after = vgl_ir::measure(&compiled);
+        let program = vgl_vm::lower(&compiled);
+        Ok(Compilation {
+            options: self.options,
+            module,
+            compiled,
+            program,
+            stats: PipelineStats { mono, norm, opt, size_before, size_after_mono, size_after },
+        })
+    }
+}
+
+fn render(source: &str, diags: Diagnostics) -> CompileError {
+    let lines = LineMap::new(source);
+    let diagnostics = diags.into_vec();
+    let rendered = diagnostics
+        .iter()
+        .map(|d| d.render("<input>", &lines))
+        .collect();
+    CompileError { diagnostics, rendered }
+}
+
+/// The outcome of running a program on either engine.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// `Ok(value)` (display form) or `Err(exception)` (display form).
+    pub result: Result<String, String>,
+    /// Everything printed via `System.*`.
+    pub output: String,
+    /// Interpreter cost counters, when run on the interpreter.
+    pub interp_stats: Option<InterpStats>,
+    /// VM counters, when run on the VM.
+    pub vm_stats: Option<VmStats>,
+}
+
+/// A compiled program: the typed source module, the post-pipeline module,
+/// the bytecode, and the pipeline statistics (code-expansion data for E4).
+#[derive(Debug)]
+pub struct Compilation {
+    options: Options,
+    /// The typed source-level module (polymorphic; what the interpreter runs).
+    pub module: Module,
+    /// The monomorphized + normalized (+ optimized) module.
+    pub compiled: Module,
+    /// The bytecode program.
+    pub program: VmProgram,
+    /// Pipeline statistics.
+    pub stats: PipelineStats,
+}
+
+impl Compilation {
+    /// Runs the *reference interpreter* on the source module — the paper's
+    /// type-argument-passing strategy with boxed tuples and §4.1 dynamic
+    /// call-site checks.
+    pub fn interpret(&self) -> RunOutcome {
+        self.interpret_module(&self.module)
+    }
+
+    /// Runs the interpreter on the *compiled* module (used by differential
+    /// tests; boundary tuples are still boxed here, unlike on the VM).
+    pub fn interpret_compiled(&self) -> RunOutcome {
+        self.interpret_module(&self.compiled)
+    }
+
+    fn interpret_module(&self, m: &Module) -> RunOutcome {
+        let mut i = Interp::new(m);
+        if let Some(f) = self.options.fuel {
+            i.set_fuel(f);
+        }
+        let result = match i.run() {
+            Ok(v) => Ok(v.to_string()),
+            Err(e) => Err(e.to_string()),
+        };
+        RunOutcome {
+            result,
+            output: i.output(),
+            interp_stats: Some(i.stats),
+            vm_stats: None,
+        }
+    }
+
+    /// Runs the compiled program on the VM — the "native target" with the
+    /// scalar calling convention and the semispace collector.
+    pub fn execute(&self) -> RunOutcome {
+        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if let Some(f) = self.options.fuel {
+            vm.set_fuel(f);
+        }
+        let result = match vm.run() {
+            Ok(words) => Ok(display_words(&words)),
+            Err(e) => Err(e.to_string()),
+        };
+        RunOutcome {
+            result,
+            output: vm.output(),
+            interp_stats: None,
+            vm_stats: Some(vm.stats),
+        }
+    }
+
+    /// Code expansion ratio due to monomorphization (E4): IR nodes after
+    /// specialization over IR nodes before.
+    pub fn expansion_ratio(&self) -> f64 {
+        self.stats.size_after_mono.expansion_over(&self.stats.size_before)
+    }
+
+    /// Static bytecode size (instructions).
+    pub fn code_size(&self) -> usize {
+        self.program.code_size()
+    }
+}
+
+fn display_words(words: &[vgl_runtime::Word]) -> String {
+    match words.len() {
+        0 => "()".to_string(),
+        1 => {
+            if vgl_vm::ret_is_ref(words) {
+                "<ref>".to_string()
+            } else {
+                vgl_vm::ret_as_int(words).unwrap_or(0).to_string()
+            }
+        }
+        _ => {
+            let parts: Vec<String> = words
+                .iter()
+                .map(|&w| {
+                    if vgl_runtime::heap::is_ref(w) {
+                        "<ref>".to_string()
+                    } else {
+                        vgl_runtime::heap::as_i32(w).to_string()
+                    }
+                })
+                .collect();
+            format!("({})", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_and_run_both_engines() {
+        let c = Compiler::new()
+            .compile("def main() -> int { return 40 + 2; }")
+            .expect("compiles");
+        assert_eq!(c.interpret().result.unwrap(), "42");
+        assert_eq!(c.execute().result.unwrap(), "42");
+    }
+
+    #[test]
+    fn compile_error_is_rendered() {
+        let err = Compiler::new()
+            .compile("def main() -> int { return x; }")
+            .expect_err("unknown identifier");
+        assert!(err.to_string().contains("unknown identifier"));
+        assert!(err.to_string().contains("<input>:1:"));
+    }
+
+    #[test]
+    fn stats_expose_expansion() {
+        let c = Compiler::new()
+            .compile(
+                "def id<T>(x: T) -> T { return x; }\n\
+                 def main() -> int { id(true); id('x'); return id(3); }",
+            )
+            .expect("compiles");
+        assert!(c.stats.mono.method_instances >= 4);
+        assert!(c.expansion_ratio() > 1.0);
+        assert!(c.code_size() > 0);
+    }
+
+    #[test]
+    fn without_optimizer_keeps_queries() {
+        let src = "def q<T>(x: T) -> bool { return int.?(x); }\n\
+                   def main() -> bool { return q(1); }";
+        let with_opt = Compiler::new().compile(src).expect("compiles");
+        let without = Compiler::new().without_optimizer().compile(src).expect("compiles");
+        assert!(with_opt.stats.opt.queries_folded >= 1);
+        assert_eq!(without.stats.opt.queries_folded, 0);
+        // Both still run correctly.
+        assert_eq!(with_opt.execute().result.unwrap(), "1");
+        assert_eq!(without.execute().result.unwrap(), "1");
+    }
+
+    #[test]
+    fn outputs_agree_across_engines() {
+        let c = Compiler::new()
+            .compile(
+                "def main() { System.puts(\"hi \"); System.puti(3); System.ln(); }",
+            )
+            .expect("compiles");
+        assert_eq!(c.interpret().output, c.execute().output);
+    }
+}

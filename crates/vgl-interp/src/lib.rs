@@ -1,0 +1,30 @@
+//! # vgl-interp
+//!
+//! The reference interpreter: executes the typed IR **directly**, using the
+//! paper's interpreter strategy (§4.3): "type arguments are passed as
+//! invisible arguments to polymorphic function calls and stored as type
+//! information within objects, arrays and closures", tuples are **boxed**
+//! heap values, and every first-class function call performs the §4.1
+//! dynamic calling-convention check. All three costs are counted in
+//! [`InterpStats`] so the benchmark harness can show exactly what the
+//! compiler pipeline removes.
+//!
+//! ```
+//! use vgl_syntax::{parse_program, Diagnostics};
+//! use vgl_sema::analyze;
+//! use vgl_interp::Interp;
+//!
+//! let mut d = Diagnostics::new();
+//! let ast = parse_program("def main() -> int { return 6 * 7; }", &mut d);
+//! let module = analyze(&ast, &mut d).expect("typechecks");
+//! let mut interp = Interp::new(&module);
+//! let v = interp.run().expect("runs");
+//! assert_eq!(v.as_int(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use engine::{Interp, InterpError, InterpStats};
+pub use vgl_runtime::value::Value;

@@ -1,0 +1,637 @@
+//! End-to-end interpreter tests: parse → analyze → execute.
+
+use vgl_interp::{Interp, InterpError, Value};
+use vgl_ir::ops::Exception;
+use vgl_sema::analyze;
+use vgl_syntax::{parse_program, Diagnostics};
+
+fn compile(src: &str) -> vgl_ir::Module {
+    let mut d = Diagnostics::new();
+    let ast = parse_program(src, &mut d);
+    assert!(!d.has_errors(), "parse: {:?}", d.into_vec());
+    let mut d = Diagnostics::new();
+    match analyze(&ast, &mut d) {
+        Some(m) => m,
+        None => panic!("sema: {:#?}", d.into_vec()),
+    }
+}
+
+fn run_int(src: &str) -> i32 {
+    let m = compile(src);
+    let mut i = Interp::new(&m);
+    i.set_fuel(50_000_000);
+    match i.run() {
+        Ok(v) => v.as_int(),
+        Err(e) => panic!("runtime error: {e} (output so far: {})", i.output()),
+    }
+}
+
+fn run_output(src: &str) -> String {
+    let m = compile(src);
+    let mut i = Interp::new(&m);
+    i.set_fuel(50_000_000);
+    match i.run() {
+        Ok(_) => i.output(),
+        Err(e) => panic!("runtime error: {e} (output so far: {})", i.output()),
+    }
+}
+
+fn run_err(src: &str) -> Exception {
+    let m = compile(src);
+    let mut i = Interp::new(&m);
+    i.set_fuel(50_000_000);
+    match i.run() {
+        Ok(v) => panic!("expected exception, got {v}"),
+        Err(InterpError::Exception(e)) => e,
+        Err(other) => panic!("unexpected: {other}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    assert_eq!(run_int("def main() -> int { return 6 * 7; }"), 42);
+    assert_eq!(
+        run_int(
+            "def main() -> int {\n\
+               var s = 0;\n\
+               for (i = 0; i < 10; i = i + 1) s = s + i;\n\
+               return s;\n\
+             }"
+        ),
+        45
+    );
+    assert_eq!(
+        run_int(
+            "def fib(n: int) -> int { return n < 2 ? n : fib(n - 1) + fib(n - 2); }\n\
+             def main() -> int { return fib(15); }"
+        ),
+        610
+    );
+}
+
+#[test]
+fn listing_b_first_class_functions_run() {
+    // (b1-b7) with observable results.
+    assert_eq!(
+        run_int(
+            "class A {\n\
+               var f: int;\n\
+               def g: int;\n\
+               new(f, g) { }\n\
+               def m(a: byte) -> int { return f + int.!(a); }\n\
+             }\n\
+             def main() -> int {\n\
+               var a = A.new(100, 1);\n\
+               var m1 = a.m;\n\
+               var m2 = A.m;\n\
+               var x = a.m('\\0');      // 100\n\
+               var y = m1('\\0');        // 100\n\
+               var z = m2(a, '\\0');     // 100\n\
+               var w = A.new;\n\
+               var b = w(7, 2);\n\
+               return x + y + z + b.f;  // 307\n\
+             }"
+        ),
+        307
+    );
+}
+
+#[test]
+fn operators_as_first_class_functions() {
+    // (b8-b11).
+    assert_eq!(
+        run_int(
+            "def fold(f: (int, int) -> int, a: Array<int>, init: int) -> int {\n\
+               var acc = init;\n\
+               for (i = 0; i < a.length; i = i + 1) acc = f(acc, a[i]);\n\
+               return acc;\n\
+             }\n\
+             def main() -> int {\n\
+               var xs = [1, 2, 3, 4];\n\
+               return fold(int.+, xs, 0) * fold(int.*, xs, 1);\n\
+             }"
+        ),
+        240
+    );
+}
+
+#[test]
+fn casts_and_queries_b12_b15() {
+    assert_eq!(
+        run_int(
+            "class A { }\n\
+             class B extends A { }\n\
+             def main() -> int {\n\
+               var b = B.new();\n\
+               var a: A = b;\n\
+               var n = 0;\n\
+               if (B.?(a)) n = n + 1;          // true\n\
+               var b2 = B.!(a);                 // succeeds\n\
+               if (b2 == b) n = n + 10;\n\
+               var q = A.?<B>;                  // B -> bool, upcast query\n\
+               if (q(b)) n = n + 100;\n\
+               return n;\n\
+             }"
+        ),
+        111
+    );
+}
+
+#[test]
+fn int_byte_conversions() {
+    assert_eq!(
+        run_int(
+            "def main() -> int {\n\
+               var b = byte.!(200);\n\
+               var i = int.!(b);\n\
+               var n = i;\n\
+               if (byte.?(300)) n = n + 1000;   // false: queries are type-based\n\
+               if (byte.?(b)) n = n + 100;      // true: b is a byte\n\
+               return n;\n\
+             }"
+        ),
+        300
+    );
+    assert_eq!(run_err("def main() { var b = byte.!(300); }"), Exception::TypeCheck);
+}
+
+#[test]
+fn listing_c_tuples_run() {
+    assert_eq!(
+        run_int(
+            "def main() -> int {\n\
+               var x: (int, int) = (40, 2);\n\
+               var y: (byte, bool) = ('a', true);\n\
+               var z = (x, y);\n\
+               var u = z.1.0;\n\
+               return x.0 + x.1 + int.!(u) - 97;\n\
+             }"
+        ),
+        42
+    );
+}
+
+#[test]
+fn tuple_equality_recursive() {
+    assert_eq!(
+        run_int(
+            "def main() -> int {\n\
+               var a = ((1, 2), true);\n\
+               var b = ((1, 2), true);\n\
+               var c = ((1, 3), true);\n\
+               var n = 0;\n\
+               if (a == b) n = n + 1;\n\
+               if (a != c) n = n + 10;\n\
+               return n;\n\
+             }"
+        ),
+        11
+    );
+}
+
+#[test]
+fn tuple_casts_recursive() {
+    // §2.3: casts are defined recursively on elements (written through a
+    // parameterized helper, since tuple types are not expression heads).
+    assert_eq!(
+        run_int(
+            "def conv<F, T>(x: F) -> T { return T.!<F>(x); }\n\
+             def main() -> int {\n\
+               var t = (200, 1);\n\
+               var u: (byte, int) = conv<(int, int), (byte, int)>(t);\n\
+               return int.!(u.0) + u.1;\n\
+             }"
+        ),
+        201
+    );
+}
+
+#[test]
+fn generic_list_and_apply_run() {
+    // (d1-d12).
+    assert_eq!(
+        run_output(
+            "class List<T> {\n\
+               var head: T;\n\
+               var tail: List<T>;\n\
+               new(head, tail) { }\n\
+             }\n\
+             def apply<A>(list: List<A>, f: A -> void) {\n\
+               for (l = list; l != null; l = l.tail) f(l.head);\n\
+             }\n\
+             def print(i: int) { System.puti(i); System.putc(' '); }\n\
+             def main() {\n\
+               var a = List.new(1, List.new(2, List.new(3, null)));\n\
+               apply(a, print);\n\
+             }"
+        ),
+        "1 2 3 "
+    );
+}
+
+#[test]
+fn runtime_type_queries_distinguish_instantiations() {
+    // (d13-d14): no erasure.
+    assert_eq!(
+        run_int(
+            "class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+             def main() -> int {\n\
+               var a = List<int>.new(0, null);\n\
+               var n = 0;\n\
+               if (List<int>.?(a)) n = n + 1;    // true\n\
+               if (List<bool>.?(a)) n = n + 10;  // false\n\
+               if (List<void>.?(a)) n = n + 100; // false\n\
+               return n;\n\
+             }"
+        ),
+        1
+    );
+}
+
+#[test]
+fn listing_e_time_runs() {
+    let out = run_output(
+        "def time<A, B>(func: A -> B, a: A) -> (B, int) {\n\
+           var start = System.ticks();\n\
+           return (func(a), System.ticks() - start);\n\
+         }\n\
+         def sqrt(x: int) -> int { return x / 2; }\n\
+         def main() { System.puti(time(sqrt, 36).0); }",
+    );
+    assert_eq!(out, "18");
+}
+
+#[test]
+fn pattern_interface_adapter_runs() {
+    let out = run_output(
+        "class Record { def tag: int; new(tag) { } }\n\
+         class DatastoreInterface(\n\
+           create: () -> Record,\n\
+           load: int -> Record) {\n\
+         }\n\
+         class DatastoreImpl {\n\
+           def create() -> Record { return Record.new(7); }\n\
+           def load(k: int) -> Record { return Record.new(k); }\n\
+           def adapt() -> DatastoreInterface {\n\
+             return DatastoreInterface.new(create, load);\n\
+           }\n\
+         }\n\
+         def main() {\n\
+           var ds = DatastoreImpl.new().adapt();\n\
+           System.puti(ds.create().tag);\n\
+           System.puti(ds.load(42).tag);\n\
+         }",
+    );
+    assert_eq!(out, "742");
+}
+
+#[test]
+fn pattern_adt_number_interface_runs() {
+    let out = run_output(
+        "class NumberInterface<T>(\n\
+           add: (T, T) -> T,\n\
+           sub: (T, T) -> T,\n\
+           compare: (T, T) -> bool,\n\
+           one: T,\n\
+           zero: T) {\n\
+         }\n\
+         var IntInterface = NumberInterface.new(int.+, int.-, int.==, 1, 0);\n\
+         def main() {\n\
+           var s = IntInterface.add(20, 22);\n\
+           System.puti(s);\n\
+           System.putb(IntInterface.compare(s, 42));\n\
+         }",
+    );
+    assert_eq!(out, "42true");
+}
+
+#[test]
+fn pattern_print1_runs() {
+    let out = run_output(
+        "def print1<T>(a: T) {\n\
+           if (int.?(a)) System.puti(int.!(a));\n\
+           if (bool.?(a)) System.putb(bool.!(a));\n\
+           if (byte.?(a)) System.putc(byte.!(a));\n\
+         }\n\
+         def main() {\n\
+           print1(7);\n\
+           print1(false);\n\
+           print1('x');\n\
+         }",
+    );
+    assert_eq!(out, "7falsex");
+}
+
+#[test]
+fn pattern_polymorphic_matcher_runs() {
+    // (k1-m8).
+    let out = run_output(
+        "class Any { }\n\
+         class Box<T> extends Any {\n\
+           def val: T;\n\
+           new(val) { }\n\
+           def unbox() -> T { return val; }\n\
+         }\n\
+         class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         class Matcher {\n\
+           var matches: List<Any>;\n\
+           def add<T>(f: T -> void) {\n\
+             matches = List<Any>.new(Box<T -> void>.new(f), matches);\n\
+           }\n\
+           def dispatch<T>(v: T) {\n\
+             for (l = matches; l != null; l = l.tail) {\n\
+               var f = l.head;\n\
+               if (Box<T -> void>.?(f)) {\n\
+                 Box<T -> void>.!(f).unbox()(v);\n\
+                 return;\n\
+               }\n\
+             }\n\
+             System.puts(\"?\");\n\
+           }\n\
+         }\n\
+         def printInt(a: int) { System.puti(a); }\n\
+         def printBool(a: bool) { System.putb(a); }\n\
+         def main() {\n\
+           var m = Matcher.new();\n\
+           m.add(printInt);\n\
+           m.add(printBool);\n\
+           m.dispatch(1);\n\
+           m.dispatch(true);\n\
+           m.dispatch(\"s\");\n\
+         }",
+    );
+    assert_eq!(out, "1true?");
+}
+
+#[test]
+fn pattern_variants_run() {
+    // (n1-n20): super-closure instruction variants.
+    let out = run_output(
+        "class Buffer { }\n\
+         class Instr { def emit(buf: Buffer); }\n\
+         class InstrOf<T> extends Instr {\n\
+           var emitFunc: (Buffer, T) -> void;\n\
+           var val: T;\n\
+           new(emitFunc, val) { }\n\
+           def emit(buf: Buffer) { emitFunc(buf, val); }\n\
+         }\n\
+         class Reg { def n: int; new(n) { } }\n\
+         def add(b: Buffer, ops: (Reg, Reg)) { System.puts(\"add \"); System.puti(ops.0.n); System.puti(ops.1.n); }\n\
+         def addi(b: Buffer, ops: (Reg, int)) { System.puts(\"addi \"); System.puti(ops.0.n); System.puti(ops.1); }\n\
+         def neg(b: Buffer, ops: Reg) { System.puts(\"neg \"); System.puti(ops.n); }\n\
+         def main() {\n\
+           var rax = Reg.new(0), rbx = Reg.new(1);\n\
+           var buf = Buffer.new();\n\
+           var i: Instr = InstrOf.new(add, (rax, rbx));\n\
+           var j: Instr = InstrOf.new(addi, (rax, 11));\n\
+           var k: Instr = InstrOf.new(neg, rax);\n\
+           i.emit(buf); System.ln();\n\
+           j.emit(buf); System.ln();\n\
+           k.emit(buf); System.ln();\n\
+           if (InstrOf<Reg>.?(k)) System.puts(\"k is reg\");\n\
+           if (InstrOf<(Reg, Reg)>.?(i)) System.puts(\" i is regreg\");\n\
+           if (InstrOf<(Reg, int)>.?(i)) System.puts(\" BAD\");\n\
+         }",
+    );
+    assert_eq!(out, "add 01\naddi 011\nneg 0\nk is reg i is regreg");
+}
+
+#[test]
+fn variance_apply_pattern_runs() {
+    // (o7): contravariant function argument.
+    let out = run_output(
+        "class Animal { def name() -> int { return 0; } }\n\
+         class Bat extends Animal { def name() -> int { return 1; } }\n\
+         class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         def apply<A>(list: List<A>, f: A -> void) {\n\
+           for (l = list; l != null; l = l.tail) f(l.head);\n\
+         }\n\
+         def g(a: Animal) { System.puti(a.name()); }\n\
+         def main() {\n\
+           var b: List<Bat> = List.new(Bat.new(), List.new(Bat.new(), null));\n\
+           apply(b, g);\n\
+         }",
+    );
+    assert_eq!(out, "11");
+}
+
+#[test]
+fn listing_p_ambiguous_calls_run() {
+    // (p1-p8): both calling conventions on the same call site.
+    let out = run_output(
+        "def f(a: int, b: int) { System.puts(\"f\"); System.puti(a + b); }\n\
+         def g(a: (int, int)) { System.puts(\"g\"); System.puti(a.0 * a.1); }\n\
+         def pick(z: bool) -> ((int, int) -> void) { return z ? f : g; }\n\
+         def main() {\n\
+           var t = (3, 4);\n\
+           var x = pick(true);\n\
+           x(3, 4);   // f7\n\
+           x(t);      // f7\n\
+           x = pick(false);\n\
+           x(3, 4);   // g12\n\
+           x(t);      // g12\n\
+         }",
+    );
+    assert_eq!(out, "f7f7g12g12");
+}
+
+#[test]
+fn listing_p_virtual_override_tuple_scalar() {
+    // (p10-p17): ambiguity via overriding.
+    let out = run_output(
+        "class A {\n\
+           def m(a: int, b: int) { System.puts(\"A\"); System.puti(a + b); }\n\
+         }\n\
+         class B extends A {\n\
+           def m(a: (int, int)) { System.puts(\"B\"); System.puti(a.0 * a.1); }\n\
+         }\n\
+         def main() {\n\
+           var a: A = A.new();\n\
+           a.m(1, 2);\n\
+           a = B.new();\n\
+           a.m(3, 4);\n\
+         }",
+    );
+    assert_eq!(out, "A3B12");
+}
+
+#[test]
+fn exceptions() {
+    assert_eq!(run_err("def main() { var x = 1 / 0; }"), Exception::DivideByZero);
+    assert_eq!(
+        run_err("class A { var f: int; }\ndef main() { var a: A; System.puti(a.f); }"),
+        Exception::NullCheck
+    );
+    assert_eq!(
+        run_err("def main() { var a = Array<int>.new(3); a[3] = 1; }"),
+        Exception::BoundsCheck
+    );
+    assert_eq!(
+        run_err(
+            "class A { }\nclass B extends A { }\n\
+             def main() { var a = A.new(); var b = B.!(a); }"
+        ),
+        Exception::TypeCheck
+    );
+    assert_eq!(run_err("def main() { System.error(\"boom\"); }"), Exception::UserError);
+}
+
+#[test]
+fn strings_are_byte_arrays() {
+    assert_eq!(
+        run_output(
+            "def main() {\n\
+               var s = \"hello\";\n\
+               System.puti(s.length);\n\
+               System.putc(s[0]);\n\
+               s[0] = 'H';\n\
+               System.puts(s);\n\
+             }"
+        ),
+        "5hHello"
+    );
+}
+
+#[test]
+fn globals_initialize_in_order() {
+    assert_eq!(
+        run_int(
+            "var a = 10;\n\
+             var b = a + 32;\n\
+             def main() -> int { return b; }"
+        ),
+        42
+    );
+}
+
+#[test]
+fn virtual_dispatch_through_hierarchy() {
+    assert_eq!(
+        run_int(
+            "class A { def v() -> int { return 1; } }\n\
+             class B extends A { def v() -> int { return 2; } }\n\
+             class C extends B { def v() -> int { return 3; } }\n\
+             def sum(xs: Array<A>) -> int {\n\
+               var s = 0;\n\
+               for (i = 0; i < xs.length; i = i + 1) s = s + xs[i].v();\n\
+               return s;\n\
+             }\n\
+             def main() -> int { return sum([A.new(), B.new(), C.new()]); }"
+        ),
+        6
+    );
+}
+
+#[test]
+fn generic_class_field_types_specialize() {
+    assert_eq!(
+        run_int(
+            "class Box<T> { def val: T; new(val) { } }\n\
+             def main() -> int {\n\
+               var bi = Box<int>.new(40);\n\
+               var bp = Box<(int, int)>.new((1, 1));\n\
+               return bi.val + bp.val.0 + bp.val.1;\n\
+             }"
+        ),
+        42
+    );
+}
+
+#[test]
+fn interp_counts_tuple_boxing() {
+    let m = compile(
+        "def swap(p: (int, int)) -> (int, int) { return (p.1, p.0); }\n\
+         def main() -> int {\n\
+           var t = (1, 2);\n\
+           for (i = 0; i < 10; i = i + 1) t = swap(t);\n\
+           return t.0;\n\
+         }",
+    );
+    let mut i = Interp::new(&m);
+    i.run().expect("runs");
+    // At least one tuple allocation per loop iteration.
+    assert!(i.stats.allocs.tuples >= 10, "tuples: {}", i.stats.allocs.tuples);
+}
+
+#[test]
+fn interp_counts_callsite_checks() {
+    let m = compile(
+        "def f(a: int, b: int) -> int { return a + b; }\n\
+         def main() -> int {\n\
+           var g = f;\n\
+           var s = 0;\n\
+           for (i = 0; i < 100; i = i + 1) s = g(s, 1);\n\
+           return s;\n\
+         }",
+    );
+    let mut i = Interp::new(&m);
+    let v = i.run().expect("runs");
+    assert_eq!(v.as_int(), 100);
+    assert!(i.stats.callsite_checks >= 100);
+}
+
+#[test]
+fn fuel_limits_runaway_programs() {
+    let m = compile("def main() { while (true) { } }");
+    let mut i = Interp::new(&m);
+    i.set_fuel(10_000);
+    assert!(matches!(i.run(), Err(InterpError::OutOfFuel) | Err(InterpError::Exception(_))));
+}
+
+#[test]
+fn run_function_entry_point() {
+    let m = compile("def addone(x: int) -> int { return x + 1; }\ndef main() { }");
+    let mut i = Interp::new(&m);
+    let v = i.run_function("addone", vec![Value::Int(41)]).expect("runs");
+    assert_eq!(v.as_int(), 42);
+}
+
+#[test]
+fn hashmap_pattern_end_to_end() {
+    // A complete HashMap built on the §3.2 ADT pattern.
+    let out = run_output(
+        "class HashMap<K, V> {\n\
+           def hash: K -> int;\n\
+           def equals: (K, K) -> bool;\n\
+           var keys: Array<K>;\n\
+           var vals: Array<V>;\n\
+           var used: Array<bool>;\n\
+           var count: int;\n\
+           new(hash, equals) {\n\
+             keys = Array<K>.new(16);\n\
+             vals = Array<V>.new(16);\n\
+             used = Array<bool>.new(16);\n\
+           }\n\
+           def set(key: K, val: V) {\n\
+             var i = (hash(key) & 15);\n\
+             while (used[i]) {\n\
+               if (equals(keys[i], key)) { vals[i] = val; return; }\n\
+               i = (i + 1) & 15;\n\
+             }\n\
+             keys[i] = key; vals[i] = val; used[i] = true; count = count + 1;\n\
+           }\n\
+           def get(key: K) -> V {\n\
+             var i = (hash(key) & 15);\n\
+             while (used[i]) {\n\
+               if (equals(keys[i], key)) return vals[i];\n\
+               i = (i + 1) & 15;\n\
+             }\n\
+             var d: V; return d;\n\
+           }\n\
+         }\n\
+         def idhash(x: int) -> int { return x; }\n\
+         def pairhash(p: (int, int)) -> int { return p.0 * 31 + p.1; }\n\
+         def paireq(a: (int, int), b: (int, int)) -> bool { return a == b; }\n\
+         def main() {\n\
+           var m = HashMap<int, int>.new(idhash, int.==);\n\
+           m.set(1, 10);\n\
+           m.set(17, 20);\n\
+           System.puti(m.get(1));\n\
+           System.puti(m.get(17));\n\
+           var pm = HashMap<(int, int), int>.new(pairhash, paireq);\n\
+           pm.set((1, 2), 99);\n\
+           System.puti(pm.get((1, 2)));\n\
+         }",
+    );
+    assert_eq!(out, "102099");
+}

@@ -1,0 +1,72 @@
+//! Code-size metrics over modules, used by the monomorphization expansion
+//! experiment (E4) and by `CompileStats` in the facade crate.
+
+use crate::module::Module;
+use crate::visit::count_exprs;
+
+/// Size metrics for one module snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModuleSize {
+    /// Number of method definitions with bodies.
+    pub methods: usize,
+    /// Number of class definitions.
+    pub classes: usize,
+    /// Total IR expression nodes across all bodies and initializers.
+    pub expr_nodes: usize,
+    /// Total local slots across all methods.
+    pub locals: usize,
+}
+
+impl ModuleSize {
+    /// Expansion ratio of `self` relative to `base` in expression nodes.
+    pub fn expansion_over(&self, base: &ModuleSize) -> f64 {
+        if base.expr_nodes == 0 {
+            return 1.0;
+        }
+        self.expr_nodes as f64 / base.expr_nodes as f64
+    }
+}
+
+impl std::fmt::Display for ModuleSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} classes, {} methods, {} IR nodes, {} locals",
+            self.classes, self.methods, self.expr_nodes, self.locals
+        )
+    }
+}
+
+/// Measures a module.
+pub fn measure(module: &Module) -> ModuleSize {
+    let mut size = ModuleSize {
+        classes: module.classes.len(),
+        ..ModuleSize::default()
+    };
+    for m in &module.methods {
+        if let Some(body) = &m.body {
+            size.methods += 1;
+            size.expr_nodes += count_exprs(body);
+            size.locals += m.locals.len();
+        }
+    }
+    for g in &module.globals {
+        if let Some(init) = &g.init {
+            let body = crate::body::Body {
+                stmts: vec![crate::body::Stmt::Expr(init.clone())],
+            };
+            size.expr_nodes += count_exprs(&body);
+        }
+    }
+    for c in &module.classes {
+        for fd in &c.fields {
+            if let Some(init) = &fd.init {
+                let body = crate::body::Body {
+                    stmts: vec![crate::body::Stmt::Expr(init.clone())],
+                };
+                size.expr_nodes += count_exprs(&body);
+            }
+        }
+    }
+    size
+}

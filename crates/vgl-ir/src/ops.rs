@@ -1,0 +1,156 @@
+//! Scalar operator semantics, shared verbatim by the interpreter, the VM,
+//! and the optimizer's constant folder — so all three always agree.
+
+/// A runtime exception, as defined by the language.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Exception {
+    /// Dereference of `null`.
+    NullCheck,
+    /// Array index out of bounds.
+    BoundsCheck,
+    /// Failed type cast.
+    TypeCheck,
+    /// Integer division or modulus by zero.
+    DivideByZero,
+    /// Call of an abstract (unimplemented) method.
+    Unimplemented,
+    /// `System.error(...)` was called.
+    UserError,
+}
+
+impl std::fmt::Display for Exception {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Exception::NullCheck => "!NullCheckException",
+            Exception::BoundsCheck => "!BoundsCheckException",
+            Exception::TypeCheck => "!TypeCheckException",
+            Exception::DivideByZero => "!DivideByZeroException",
+            Exception::Unimplemented => "!UnimplementedException",
+            Exception::UserError => "!Error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// `int.+` — wrapping 32-bit addition.
+pub fn int_add(a: i32, b: i32) -> i32 {
+    a.wrapping_add(b)
+}
+
+/// `int.-` — wrapping 32-bit subtraction.
+pub fn int_sub(a: i32, b: i32) -> i32 {
+    a.wrapping_sub(b)
+}
+
+/// `int.*` — wrapping 32-bit multiplication.
+pub fn int_mul(a: i32, b: i32) -> i32 {
+    a.wrapping_mul(b)
+}
+
+/// `int./` — traps on zero divisor; `MIN / -1` wraps.
+pub fn int_div(a: i32, b: i32) -> Result<i32, Exception> {
+    if b == 0 {
+        Err(Exception::DivideByZero)
+    } else {
+        Ok(a.wrapping_div(b))
+    }
+}
+
+/// `int.%` — traps on zero divisor; `MIN % -1` is 0.
+pub fn int_mod(a: i32, b: i32) -> Result<i32, Exception> {
+    if b == 0 {
+        Err(Exception::DivideByZero)
+    } else {
+        Ok(a.wrapping_rem(b))
+    }
+}
+
+/// `int.<<` — shift amounts outside `0..=31` produce 0.
+pub fn int_shl(a: i32, b: i32) -> i32 {
+    if (0..32).contains(&b) {
+        ((a as u32) << b) as i32
+    } else {
+        0
+    }
+}
+
+/// `int.>>` — arithmetic shift; amounts outside `0..=31` produce the sign
+/// extension (0 or -1).
+pub fn int_shr(a: i32, b: i32) -> i32 {
+    if (0..32).contains(&b) {
+        a >> b
+    } else if a < 0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// `byte.!(i: int)` — checked narrowing; traps when out of range.
+pub fn int_to_byte(i: i32) -> Result<u8, Exception> {
+    u8::try_from(i).map_err(|_| Exception::TypeCheck)
+}
+
+/// `byte.?(i: int)` — representability query.
+pub fn int_is_byte(i: i32) -> bool {
+    u8::try_from(i).is_ok()
+}
+
+/// `int.!(b: byte)` — widening; always succeeds.
+pub fn byte_to_int(b: u8) -> i32 {
+    b as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arith_wraps() {
+        assert_eq!(int_add(i32::MAX, 1), i32::MIN);
+        assert_eq!(int_sub(i32::MIN, 1), i32::MAX);
+        assert_eq!(int_mul(1 << 30, 4), 0);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        assert_eq!(int_div(1, 0), Err(Exception::DivideByZero));
+        assert_eq!(int_mod(1, 0), Err(Exception::DivideByZero));
+        assert_eq!(int_div(7, 2), Ok(3));
+        assert_eq!(int_mod(7, 2), Ok(1));
+        assert_eq!(int_div(-7, 2), Ok(-3));
+        assert_eq!(int_mod(-7, 2), Ok(-1));
+    }
+
+    #[test]
+    fn div_min_by_minus_one_wraps() {
+        assert_eq!(int_div(i32::MIN, -1), Ok(i32::MIN));
+        assert_eq!(int_mod(i32::MIN, -1), Ok(0));
+    }
+
+    #[test]
+    fn shifts_out_of_range() {
+        assert_eq!(int_shl(1, 32), 0);
+        assert_eq!(int_shl(1, -1), 0);
+        assert_eq!(int_shr(-8, 64), -1);
+        assert_eq!(int_shr(8, 64), 0);
+        assert_eq!(int_shl(1, 4), 16);
+        assert_eq!(int_shr(-8, 1), -4);
+    }
+
+    #[test]
+    fn byte_conversions() {
+        assert_eq!(int_to_byte(255), Ok(255));
+        assert_eq!(int_to_byte(256), Err(Exception::TypeCheck));
+        assert_eq!(int_to_byte(-1), Err(Exception::TypeCheck));
+        assert!(int_is_byte(0));
+        assert!(!int_is_byte(-1));
+        assert_eq!(byte_to_int(200), 200);
+    }
+
+    #[test]
+    fn exception_display() {
+        assert_eq!(Exception::NullCheck.to_string(), "!NullCheckException");
+        assert_eq!(Exception::TypeCheck.to_string(), "!TypeCheckException");
+    }
+}

@@ -1,0 +1,80 @@
+//! # vgl-passes
+//!
+//! The compiler passes of virgil-rs, reproducing Section 4 of the paper:
+//!
+//! * [`monomorphize`] — §4.3: specialize every polymorphic class and method
+//!   per distinct type-argument assignment; afterwards **no type parameters
+//!   appear in the program** ([`vgl_ir::check_monomorphic`] verifies).
+//! * [`normalize`] — §4.2: flatten every tuple to scalars across parameters,
+//!   returns, locals, fields, arrays; afterwards the program needs **no
+//!   implicit heap allocation** and no dynamic calling-convention checks
+//!   ([`vgl_ir::check_normalized`] verifies).
+//! * [`optimize`] — the §3.3 claim: statically decide type queries/casts,
+//!   fold the resulting branches, remove dead code, devirtualize.
+//!
+//! The composition `monomorphize → normalize → optimize` is the paper's
+//! static compilation pipeline; [`compile_pipeline`] packages it.
+
+#![warn(missing_docs)]
+
+mod mono;
+mod normalize;
+mod optimize;
+
+pub use mono::{monomorphize, MonoStats};
+pub use normalize::{normalize, NormStats};
+pub use optimize::{optimize, OptStats};
+
+use vgl_ir::Module;
+
+/// Combined statistics from a full pipeline run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Monomorphization statistics.
+    pub mono: MonoStats,
+    /// Normalization statistics.
+    pub norm: NormStats,
+    /// Optimizer statistics.
+    pub opt: OptStats,
+    /// IR size before any pass.
+    pub size_before: vgl_ir::ModuleSize,
+    /// IR size after monomorphization.
+    pub size_after_mono: vgl_ir::ModuleSize,
+    /// IR size after the full pipeline.
+    pub size_after: vgl_ir::ModuleSize,
+}
+
+/// Runs the full static pipeline (mono → norm → opt), verifying the §4
+/// invariants along the way.
+///
+/// # Panics
+/// Panics if a pass breaks its invariant — that is a compiler bug, not a
+/// user error.
+pub fn compile_pipeline(module: &Module) -> (Module, PipelineStats) {
+    let mut stats = PipelineStats {
+        size_before: vgl_ir::measure(module),
+        ..PipelineStats::default()
+    };
+    let (mut m, mono_stats) = monomorphize(module);
+    stats.mono = mono_stats;
+    stats.size_after_mono = vgl_ir::measure(&m);
+    let violations = vgl_ir::check_monomorphic(&m);
+    assert!(
+        violations.is_empty(),
+        "monomorphization left type parameters: {violations:#?}"
+    );
+    stats.norm = normalize(&mut m);
+    let violations = vgl_ir::check_normalized(&m);
+    assert!(
+        violations.is_empty(),
+        "normalization left tuples: {violations:#?}"
+    );
+    stats.opt = optimize(&mut m);
+    let violations = vgl_ir::check_normalized(&m);
+    assert!(
+        violations.is_empty(),
+        "optimizer broke normalization invariants: {violations:#?}"
+    );
+    stats.size_after = vgl_ir::measure(&m);
+    (m, stats)
+}

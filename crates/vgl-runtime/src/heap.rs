@@ -1,0 +1,423 @@
+//! A precise semispace (Cheney) garbage-collected heap for the bytecode VM.
+//!
+//! The paper (§5) describes Virgil's native runtime: "a precise semi-space
+//! garbage collector (also written in Virgil)". This module is that substrate
+//! in Rust: tagged 64-bit values, bump allocation, and a copying collector
+//! driven by explicit root slices.
+//!
+//! ## Value tagging
+//!
+//! Every VM value is a `u64`:
+//!
+//! * `....0` — a scalar; the payload is the value shifted left by one.
+//! * `....1` — a heap reference; the payload is a slot index shifted left.
+//!
+//! `null` is the reference with index 0, which is never a valid allocation.
+//!
+//! ## Heap cells
+//!
+//! A cell is `[header][payload...]`. The header packs kind (2 bits), meta
+//! (30 bits: class id for objects, unused for others) and payload length in
+//! slots (32 bits). During collection the header is replaced by a forwarding
+//! reference.
+
+/// Tagged VM value.
+pub type Word = u64;
+
+/// The tagged `null` reference.
+pub const NULL: Word = 1;
+
+/// Encodes a signed scalar.
+pub fn scalar(v: i64) -> Word {
+    ((v as u64) << 1) & !1
+}
+
+/// Decodes a signed scalar.
+pub fn as_scalar(w: Word) -> i64 {
+    (w as i64) >> 1
+}
+
+/// Encodes an `i32` (the common case).
+pub fn from_i32(v: i32) -> Word {
+    scalar(v as i64)
+}
+
+/// Decodes an `i32`.
+pub fn as_i32(w: Word) -> i32 {
+    as_scalar(w) as i32
+}
+
+/// True if `w` is a heap reference (including `null`).
+pub fn is_ref(w: Word) -> bool {
+    w & 1 == 1
+}
+
+/// Encodes a heap reference from a slot index.
+pub fn make_ref(index: usize) -> Word {
+    ((index as u64) << 1) | 1
+}
+
+/// Decodes a heap reference to a slot index.
+pub fn ref_index(w: Word) -> usize {
+    debug_assert!(is_ref(w));
+    (w >> 1) as usize
+}
+
+/// What a heap cell holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellKind {
+    /// An object; meta = class id.
+    Object,
+    /// An array; meta unused; payload = elements (possibly several slots per
+    /// source-level element after normalization).
+    Array,
+    /// A closure cell: `[func id][bound receiver]`.
+    Closure,
+}
+
+impl CellKind {
+    fn code(self) -> u64 {
+        match self {
+            CellKind::Object => 0,
+            CellKind::Array => 1,
+            CellKind::Closure => 2,
+        }
+    }
+
+    fn from_code(c: u64) -> CellKind {
+        match c {
+            0 => CellKind::Object,
+            1 => CellKind::Array,
+            _ => CellKind::Closure,
+        }
+    }
+}
+
+const FORWARD_BIT: u64 = 1 << 63;
+
+fn header(kind: CellKind, meta: u32, len: usize) -> u64 {
+    debug_assert!(meta < (1 << 30));
+    debug_assert!(len < (1 << 32));
+    (kind.code() << 61) | ((meta as u64) << 32) | len as u64
+}
+
+/// Allocation and collection statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects allocated (explicit `new`).
+    pub objects: usize,
+    /// Arrays allocated.
+    pub arrays: usize,
+    /// Closure cells allocated.
+    pub closures: usize,
+    /// Tuple boxes allocated — **always zero after normalization**; the VM
+    /// has no instruction that could allocate one (experiment E1).
+    pub tuple_boxes: usize,
+    /// Collections performed.
+    pub collections: usize,
+    /// Total slots copied by collections.
+    pub copied_slots: usize,
+    /// Total slots allocated over time.
+    pub allocated_slots: usize,
+}
+
+/// A semispace heap.
+#[derive(Debug)]
+pub struct Heap {
+    space: Vec<u64>,
+    alt: Vec<u64>,
+    top: usize,
+    /// Statistics.
+    pub stats: HeapStats,
+}
+
+/// Returned when an allocation cannot proceed before a collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeedsGc;
+
+impl Heap {
+    /// Creates a heap with the given semispace capacity in slots.
+    pub fn new(capacity_slots: usize) -> Heap {
+        let cap = capacity_slots.max(16);
+        Heap {
+            space: vec![0; cap],
+            alt: vec![0; cap],
+            // Slot 0 is reserved so that index 0 can mean null.
+            top: 1,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Slots currently in use.
+    pub fn used(&self) -> usize {
+        self.top
+    }
+
+    /// Semispace capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Allocates a cell, returning its tagged reference, or [`NeedsGc`] when
+    /// the space is full (caller collects with roots, then retries; if it
+    /// still fails the caller should grow or abort).
+    pub fn try_alloc(&mut self, kind: CellKind, meta: u32, len: usize) -> Result<Word, NeedsGc> {
+        let need = len + 1;
+        if self.top + need > self.space.len() {
+            return Err(NeedsGc);
+        }
+        let at = self.top;
+        self.space[at] = header(kind, meta, len);
+        for i in 0..len {
+            self.space[at + 1 + i] = NULL & 0; // zero scalar
+        }
+        self.top += need;
+        self.stats.allocated_slots += need;
+        match kind {
+            CellKind::Object => self.stats.objects += 1,
+            CellKind::Array => self.stats.arrays += 1,
+            CellKind::Closure => self.stats.closures += 1,
+        }
+        Ok(make_ref(at))
+    }
+
+    /// Grows both semispaces (used when a collection cannot free enough).
+    pub fn grow(&mut self, min_free: usize) {
+        let want = (self.space.len() * 2).max(self.top + min_free + 1);
+        self.space.resize(want, 0);
+        self.alt.resize(want, 0);
+    }
+
+    /// The kind of the cell behind `r`.
+    pub fn kind(&self, r: Word) -> CellKind {
+        let h = self.space[ref_index(r)];
+        CellKind::from_code((h >> 61) & 3)
+    }
+
+    /// The meta field (class id for objects).
+    pub fn meta(&self, r: Word) -> u32 {
+        let h = self.space[ref_index(r)];
+        ((h >> 32) & 0x3FFF_FFFF) as u32
+    }
+
+    /// Payload length in slots.
+    pub fn len(&self, r: Word) -> usize {
+        let h = self.space[ref_index(r)];
+        (h & 0xFFFF_FFFF) as usize
+    }
+
+    /// True if the heap has no live allocations (trivially false after any
+    /// allocation until a full collection with no roots).
+    pub fn is_empty(&self) -> bool {
+        self.top <= 1
+    }
+
+    /// Reads payload slot `i` of `r`.
+    pub fn get(&self, r: Word, i: usize) -> Word {
+        debug_assert!(i < self.len(r), "heap read out of cell bounds");
+        self.space[ref_index(r) + 1 + i]
+    }
+
+    /// Writes payload slot `i` of `r`.
+    pub fn set(&mut self, r: Word, i: usize, v: Word) {
+        debug_assert!(i < self.len(r), "heap write out of cell bounds");
+        self.space[ref_index(r) + 1 + i] = v;
+    }
+
+    /// Cheney collection: copies everything reachable from `roots` into the
+    /// other semispace and rewrites the roots in place.
+    pub fn collect(&mut self, roots: &mut [&mut [Word]]) {
+        self.stats.collections += 1;
+        std::mem::swap(&mut self.space, &mut self.alt);
+        // `alt` is now the from-space; `space` is the to-space.
+        self.top = 1;
+        for root_slice in roots.iter_mut() {
+            for slot in root_slice.iter_mut() {
+                *slot = self.forward(*slot);
+            }
+        }
+        // Scan.
+        let mut scan = 1;
+        while scan < self.top {
+            let h = self.space[scan];
+            let kind = CellKind::from_code((h >> 61) & 3);
+            let len = (h & 0xFFFF_FFFF) as usize;
+            match kind {
+                CellKind::Object | CellKind::Array => {
+                    for i in 0..len {
+                        let v = self.space[scan + 1 + i];
+                        self.space[scan + 1 + i] = self.forward(v);
+                    }
+                }
+                CellKind::Closure => {
+                    // Slot 0 is the function id (scalar); slot 1 the receiver.
+                    let v = self.space[scan + 2];
+                    self.space[scan + 2] = self.forward(v);
+                }
+            }
+            scan += len + 1;
+        }
+        self.stats.copied_slots += self.top - 1;
+    }
+
+    fn forward(&mut self, v: Word) -> Word {
+        if !is_ref(v) || v == NULL {
+            return v;
+        }
+        let old = ref_index(v);
+        let h = self.alt[old];
+        if h & FORWARD_BIT != 0 {
+            return make_ref((h & !FORWARD_BIT) as usize);
+        }
+        let len = (h & 0xFFFF_FFFF) as usize;
+        let at = self.top;
+        debug_assert!(at + len + 1 <= self.space.len(), "to-space overflow");
+        self.space[at] = h;
+        for i in 0..len {
+            self.space[at + 1 + i] = self.alt[old + 1 + i];
+        }
+        self.top += len + 1;
+        self.alt[old] = FORWARD_BIT | at as u64;
+        make_ref(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        for v in [0i64, 1, -1, i32::MAX as i64, i32::MIN as i64, 123456789] {
+            assert_eq!(as_scalar(scalar(v)), v);
+            assert!(!is_ref(scalar(v)));
+        }
+    }
+
+    #[test]
+    fn ref_roundtrip() {
+        for i in [1usize, 2, 1000, 1 << 30] {
+            assert_eq!(ref_index(make_ref(i)), i);
+            assert!(is_ref(make_ref(i)));
+        }
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut h = Heap::new(64);
+        let r = h.try_alloc(CellKind::Object, 7, 3).expect("fits");
+        assert_eq!(h.kind(r), CellKind::Object);
+        assert_eq!(h.meta(r), 7);
+        assert_eq!(h.len(r), 3);
+        h.set(r, 0, from_i32(42));
+        h.set(r, 2, from_i32(-1));
+        assert_eq!(as_i32(h.get(r, 0)), 42);
+        assert_eq!(as_i32(h.get(r, 2)), -1);
+        assert_eq!(h.stats.objects, 1);
+    }
+
+    #[test]
+    fn alloc_until_full_then_collect_frees_garbage() {
+        let mut h = Heap::new(64);
+        // One live object referencing another.
+        let a = h.try_alloc(CellKind::Object, 0, 2).expect("fits");
+        let b = h.try_alloc(CellKind::Object, 1, 1).expect("fits");
+        h.set(a, 0, b);
+        h.set(a, 1, from_i32(5));
+        h.set(b, 0, from_i32(9));
+        // Garbage.
+        while h.try_alloc(CellKind::Array, 0, 4).is_ok() {}
+        let mut roots = [a];
+        h.collect(&mut [&mut roots]);
+        let a2 = roots[0];
+        assert_eq!(h.len(a2), 2);
+        assert_eq!(as_i32(h.get(a2, 1)), 5);
+        let b2 = h.get(a2, 0);
+        assert!(is_ref(b2));
+        assert_eq!(as_i32(h.get(b2, 0)), 9);
+        assert_eq!(h.meta(b2), 1);
+        // Everything else was garbage: only a (3 slots) + b (2 slots) live.
+        assert_eq!(h.used(), 1 + 3 + 2);
+        assert_eq!(h.stats.collections, 1);
+    }
+
+    #[test]
+    fn shared_references_preserved_by_copying() {
+        let mut h = Heap::new(64);
+        let shared = h.try_alloc(CellKind::Object, 0, 1).expect("fits");
+        h.set(shared, 0, from_i32(77));
+        let x = h.try_alloc(CellKind::Object, 0, 1).expect("fits");
+        let y = h.try_alloc(CellKind::Object, 0, 1).expect("fits");
+        h.set(x, 0, shared);
+        h.set(y, 0, shared);
+        let mut roots = [x, y];
+        h.collect(&mut [&mut roots]);
+        let (x2, y2) = (roots[0], roots[1]);
+        // The shared object was copied exactly once.
+        assert_eq!(h.get(x2, 0), h.get(y2, 0));
+        assert_eq!(as_i32(h.get(h.get(x2, 0), 0)), 77);
+    }
+
+    #[test]
+    fn cycles_survive_collection() {
+        let mut h = Heap::new(64);
+        let a = h.try_alloc(CellKind::Object, 0, 1).expect("fits");
+        let b = h.try_alloc(CellKind::Object, 0, 1).expect("fits");
+        h.set(a, 0, b);
+        h.set(b, 0, a);
+        let mut roots = [a];
+        h.collect(&mut [&mut roots]);
+        let a2 = roots[0];
+        let b2 = h.get(a2, 0);
+        assert_eq!(h.get(b2, 0), a2);
+    }
+
+    #[test]
+    fn closure_cells_trace_receiver_only() {
+        let mut h = Heap::new(64);
+        let recv = h.try_alloc(CellKind::Object, 0, 1).expect("fits");
+        h.set(recv, 0, from_i32(5));
+        let c = h.try_alloc(CellKind::Closure, 0, 2).expect("fits");
+        h.set(c, 0, from_i32(12)); // func id — a scalar, must not be traced
+        h.set(c, 1, recv);
+        let mut roots = [c];
+        h.collect(&mut [&mut roots]);
+        let c2 = roots[0];
+        assert_eq!(as_i32(h.get(c2, 0)), 12);
+        let recv2 = h.get(c2, 1);
+        assert_eq!(as_i32(h.get(recv2, 0)), 5);
+        assert_eq!(h.stats.closures, 1);
+    }
+
+    #[test]
+    fn null_is_not_forwarded() {
+        let mut h = Heap::new(32);
+        let a = h.try_alloc(CellKind::Object, 0, 1).expect("fits");
+        h.set(a, 0, NULL);
+        let mut roots = [a];
+        h.collect(&mut [&mut roots]);
+        assert_eq!(h.get(roots[0], 0), NULL);
+    }
+
+    #[test]
+    fn needs_gc_when_full() {
+        let mut h = Heap::new(16);
+        let mut last = Ok(NULL);
+        for _ in 0..10 {
+            last = h.try_alloc(CellKind::Array, 0, 4);
+        }
+        assert_eq!(last, Err(NeedsGc));
+        h.grow(64);
+        assert!(h.try_alloc(CellKind::Array, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut h = Heap::new(16);
+        let a = h.try_alloc(CellKind::Object, 3, 2).expect("fits");
+        h.set(a, 0, from_i32(11));
+        h.grow(1024);
+        assert_eq!(as_i32(h.get(a, 0)), 11);
+        assert_eq!(h.meta(a), 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! # vgl-runtime
+//!
+//! Runtime substrates for virgil-rs:
+//!
+//! * [`value`] — the interpreter's boxed, type-carrying value representation
+//!   (the §4.3 type-argument-passing strategy), with allocation counters.
+//! * [`heap`] — the VM's tagged-word semispace Cheney collector, modelled on
+//!   the "precise semi-space garbage collector" of the paper's native runtime
+//!   (§5), with allocation and collection statistics.
+
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod value;
+
+pub use heap::{CellKind, Heap, HeapStats, NeedsGc, Word, NULL};
+pub use value::{AllocStats, ArrData, Closure, ObjData, Value};

@@ -1,0 +1,29 @@
+//! # vgl-sema
+//!
+//! Semantic analysis for virgil-rs: name resolution, the class hierarchy
+//! (single inheritance, no universal supertype, no overloading), bidirectional
+//! best-effort type-argument inference (paper §2.4), first-class operator
+//! members, and typechecking of bodies into the typed IR of [`vgl_ir`].
+//!
+//! The entry point is [`analyze`]:
+//!
+//! ```
+//! use vgl_syntax::{parse_program, Diagnostics};
+//! use vgl_sema::analyze;
+//!
+//! let mut diags = Diagnostics::new();
+//! let ast = parse_program("def main() -> int { return 6 * 7; }", &mut diags);
+//! let module = analyze(&ast, &mut diags).expect("typechecks");
+//! assert!(module.main.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyzer;
+mod check;
+mod decls;
+mod expr;
+mod resolve;
+mod stmt;
+
+pub use analyzer::{analyze, Analyzer};

@@ -1,0 +1,101 @@
+//! Resolution of syntactic type expressions to interned types.
+
+use crate::analyzer::Analyzer;
+use std::collections::HashMap;
+use vgl_syntax::ast::{TypeExpr, TypeExprKind};
+use vgl_types::{Type, TypeVarId};
+
+/// The set of type parameters in scope while resolving a type expression.
+#[derive(Clone, Debug, Default)]
+pub struct TypeScope {
+    /// Name → variable id, innermost scope last (method params shadow class
+    /// params, which is itself an error Virgil reports — we report too).
+    pub vars: HashMap<String, TypeVarId>,
+}
+
+impl TypeScope {
+    /// An empty scope.
+    pub fn new() -> TypeScope {
+        TypeScope::default()
+    }
+
+}
+
+impl Analyzer<'_> {
+    /// Resolves a syntactic type to an interned [`Type`]. Reports and returns
+    /// `None` on unknown names or arity errors.
+    pub(crate) fn resolve_type(&mut self, te: &TypeExpr, scope: &TypeScope) -> Option<Type> {
+        match &te.kind {
+            TypeExprKind::Tuple(elems) => {
+                let mut tys = Vec::with_capacity(elems.len());
+                for e in elems {
+                    tys.push(self.resolve_type(e, scope)?);
+                }
+                Some(self.module.store.tuple(tys))
+            }
+            TypeExprKind::Function(p, r) => {
+                let pt = self.resolve_type(p, scope)?;
+                let rt = self.resolve_type(r, scope)?;
+                Some(self.module.store.function(pt, rt))
+            }
+            TypeExprKind::Named { name, args } => {
+                // Type parameters shadow nothing and accept no arguments.
+                if let Some(&v) = scope.vars.get(&name.name) {
+                    if !args.is_empty() {
+                        self.error(name.span, format!("type parameter '{}' takes no type arguments", name.name));
+                        return None;
+                    }
+                    return Some(self.module.store.var(v));
+                }
+                match name.name.as_str() {
+                    "void" | "bool" | "byte" | "int" | "string" => {
+                        if !args.is_empty() {
+                            self.error(
+                                name.span,
+                                format!("primitive type '{}' takes no type arguments", name.name),
+                            );
+                            return None;
+                        }
+                        Some(match name.name.as_str() {
+                            "void" => self.module.store.void,
+                            "bool" => self.module.store.bool_,
+                            "byte" => self.module.store.byte,
+                            "int" => self.module.store.int,
+                            _ => self.module.store.string,
+                        })
+                    }
+                    "Array" => {
+                        if args.len() != 1 {
+                            self.error(name.span, "Array takes exactly one type argument");
+                            return None;
+                        }
+                        let elem = self.resolve_type(&args[0], scope)?;
+                        Some(self.module.store.array(elem))
+                    }
+                    other => {
+                        let Some(&cid) = self.class_names.get(other) else {
+                            self.error(name.span, format!("unknown type '{other}'"));
+                            return None;
+                        };
+                        let want = self.module.class(cid).type_params.len();
+                        if args.len() != want {
+                            self.error(
+                                name.span,
+                                format!(
+                                    "class '{other}' expects {want} type argument(s), found {}",
+                                    args.len()
+                                ),
+                            );
+                            return None;
+                        }
+                        let mut tys = Vec::with_capacity(args.len());
+                        for a in args {
+                            tys.push(self.resolve_type(a, scope)?);
+                        }
+                        Some(self.module.store.class(cid, tys))
+                    }
+                }
+            }
+        }
+    }
+}

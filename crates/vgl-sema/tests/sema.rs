@@ -1,0 +1,644 @@
+//! Semantic-analysis tests built from the paper's numbered listings.
+
+use vgl_sema::analyze;
+use vgl_syntax::{parse_program, Diagnostics};
+
+fn check_ok(src: &str) -> vgl_ir::Module {
+    let mut diags = Diagnostics::new();
+    let ast = parse_program(src, &mut diags);
+    assert!(!diags.has_errors(), "parse errors: {:?}", diags.into_vec());
+    let mut diags = Diagnostics::new();
+    match analyze(&ast, &mut diags) {
+        Some(m) => m,
+        None => panic!("sema errors: {:#?}", diags.into_vec()),
+    }
+}
+
+fn check_err(src: &str, needle: &str) {
+    let mut diags = Diagnostics::new();
+    let ast = parse_program(src, &mut diags);
+    assert!(!diags.has_errors(), "parse errors: {:?}", diags.into_vec());
+    let mut diags = Diagnostics::new();
+    let res = analyze(&ast, &mut diags);
+    assert!(res.is_none(), "expected a sema error containing {needle:?}");
+    let msgs: Vec<String> = diags.iter().map(|d| d.message.clone()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains(needle)),
+        "no diagnostic contains {needle:?}; got {msgs:#?}"
+    );
+}
+
+// ---- Section 2.1: classes (listings a1-a10) --------------------------------
+
+#[test]
+fn listing_a_classes() {
+    let m = check_ok(
+        "class A {\n\
+           var f: int;\n\
+           def g: int;\n\
+           new(f, g) { }\n\
+           def m(a: byte) -> int { return 0; }\n\
+         }\n\
+         class B extends A {\n\
+           new(f: int, g: int) super(f, g) { }\n\
+           def m(a: byte) -> int { return 1; }\n\
+         }",
+    );
+    let a = m.class_by_name("A").expect("A exists");
+    let b = m.class_by_name("B").expect("B exists");
+    assert_eq!(m.class(a).fields.len(), 2);
+    assert_eq!(m.class(b).parent, Some(a));
+    // B.m overrides A.m: same vtable slot.
+    let am = m.class_method_by_name(a, "m").expect("A.m");
+    let bm = m.class(b).methods.iter().copied().find(|&x| m.method(x).name == "m").expect("B.m");
+    assert_eq!(m.method(am).vtable_index, m.method(bm).vtable_index);
+    assert_eq!(m.resolve_virtual(b, am), bm);
+}
+
+#[test]
+fn no_universal_supertype_means_unrelated_classes_dont_unify() {
+    check_err(
+        "class A { }\nclass C { }\n\
+         def f() { var x: A = C.new(); }",
+        "type mismatch",
+    );
+}
+
+#[test]
+fn overloading_is_disallowed() {
+    check_err(
+        "class A { def m(a: int) { } def m(a: bool) { } }",
+        "overloading",
+    );
+}
+
+#[test]
+fn override_must_keep_signature() {
+    check_err(
+        "class A { def m(a: byte) -> int { return 0; } }\n\
+         class B extends A { def m(a: int) -> int { return 1; } }",
+        "changes its type",
+    );
+}
+
+#[test]
+fn tuple_param_override_is_legal() {
+    // §4.1 listings (p10-p15): overriding (a: int, b: int) with
+    // (a: (int, int)) is legal — the method types are equal.
+    check_ok(
+        "class A { def m(a: int, b: int) -> int { return a + b; } }\n\
+         class B extends A { def m(a: (int, int)) -> int { return a.0 - a.1; } }",
+    );
+}
+
+#[test]
+fn abstract_classes_cannot_be_instantiated() {
+    check_err(
+        "class Instr { def emit(buf: int); }\n\
+         def f() { var i = Instr.new(); }",
+        "abstract",
+    );
+}
+
+#[test]
+fn private_methods_are_invisible_outside() {
+    check_err(
+        "class A { private def p() { } }\n\
+         def f(a: A) { a.p(); }",
+        "private",
+    );
+}
+
+// ---- Section 2.2: first-class functions (listings b1-b15) ------------------
+
+#[test]
+fn listing_b_first_class_functions() {
+    let m = check_ok(
+        "class A {\n\
+           var f: int;\n\
+           def g: int;\n\
+           new(f, g) { }\n\
+           def m(a: byte) -> int { return int.!(a); }\n\
+         }\n\
+         def main() {\n\
+           var a = A.new(0, 1);            // A\n\
+           var m1 = a.m;                   // byte -> int\n\
+           var m2 = A.m;                   // (A, byte) -> int\n\
+           var x = a.m('5');               // int\n\
+           var y = m1('4');                // int\n\
+           var z = m2(a, '6');             // int\n\
+           var w = A.new;                  // (int, int) -> A\n\
+           var p = byte.==;                // (byte, byte) -> bool\n\
+           var q = A.!=;                   // (A, A) -> bool\n\
+           var r = int.+;                  // (int, int) -> int\n\
+           var s = int.-;\n\
+           var c = A.!<B>;                 // B -> A\n\
+           var d = A.?<B>;                 // B -> bool\n\
+         }\n\
+         class B extends A {\n\
+           new(f: int, g: int) super(f, g) { }\n\
+         }",
+    );
+    assert!(m.main.is_some());
+}
+
+#[test]
+fn cast_between_unrelated_types_rejected() {
+    // §2.2: "the compiler rejects casts and queries between unrelated types".
+    check_err(
+        "def f(x: int -> int) -> int { return int.!(x); }",
+        "unrelated",
+    );
+}
+
+#[test]
+fn operators_as_values_have_function_types() {
+    check_ok(
+        "def apply2(f: (int, int) -> int, a: int, b: int) -> int { return f(a, b); }\n\
+         def main() -> int { return apply2(int.+, 3, 4); }",
+    );
+}
+
+// ---- Section 2.3: tuples (listings c1-c6) ----------------------------------
+
+#[test]
+fn listing_c_tuples() {
+    check_ok(
+        "def main() {\n\
+           var x: (int, int) = (0, 1);\n\
+           var y: (byte, bool) = ('a', true);\n\
+           var z: ((int, int), (byte, bool)) = (x, y);\n\
+           var w: (int) = x.0;\n\
+           var u: byte = (z.1.0);\n\
+           var v: () = ();\n\
+         }",
+    );
+}
+
+#[test]
+fn tuple_equality_is_well_typed() {
+    check_ok(
+        "def main() -> bool {\n\
+           var a = (1, true);\n\
+           var b = (2, false);\n\
+           return a == b;\n\
+         }",
+    );
+}
+
+#[test]
+fn void_is_empty_tuple() {
+    check_ok("def f() { }\ndef main() { var v: () = f(); }");
+}
+
+// ---- Section 2.4: type parameters (listings d1-d14, e1-e5) -----------------
+
+#[test]
+fn listing_d_generics_with_explicit_args() {
+    check_ok(
+        "class List<T> {\n\
+           var head: T;\n\
+           var tail: List<T>;\n\
+           new(head, tail) { }\n\
+         }\n\
+         def apply<A>(list: List<A>, f: A -> void) {\n\
+           for (l = list; l != null; l = l.tail) f(l.head);\n\
+         }\n\
+         def print(i: int) { System.puti(i); }\n\
+         def main() {\n\
+           var a = List<int>.new(0, null);\n\
+           var b = List<(int, int)>.new((3, 4), null);\n\
+           apply<int>(a, print);\n\
+         }",
+    );
+}
+
+#[test]
+fn listing_d_prime_inference() {
+    // (d10'-d12'): inference of class and method type arguments.
+    check_ok(
+        "class List<T> {\n\
+           var head: T;\n\
+           var tail: List<T>;\n\
+           new(head, tail) { }\n\
+         }\n\
+         def apply<A>(list: List<A>, f: A -> void) {\n\
+           for (l = list; l != null; l = l.tail) f(l.head);\n\
+         }\n\
+         def print(i: int) { System.puti(i); }\n\
+         def main() {\n\
+           var c = List.new(0, null);\n\
+           var d = List.new((3, 4), null);\n\
+           apply(c, print);\n\
+         }",
+    );
+}
+
+#[test]
+fn listing_d_runtime_type_queries_on_generics() {
+    // (d13-d14): no erasure — polymorphic types distinguishable at runtime.
+    check_ok(
+        "class List<T> {\n\
+           var head: T;\n\
+           var tail: List<T>;\n\
+           new(head, tail) { }\n\
+         }\n\
+         def main() {\n\
+           var a = List<int>.new(0, null);\n\
+           var e = List<bool>.?(a);\n\
+           var f = List<void>.?(a);\n\
+         }",
+    );
+}
+
+#[test]
+fn listing_e_time_utility() {
+    // (e1-e5): type params + tuples + first-class functions together.
+    check_ok(
+        "def time<A, B>(func: A -> B, a: A) -> (B, int) {\n\
+           var start = System.ticks();\n\
+           return (func(a), System.ticks() - start);\n\
+         }\n\
+         def sqrt(x: int) -> int { return x / 2; }\n\
+         def main() { System.puti(time(sqrt, 37).1); }",
+    );
+}
+
+#[test]
+fn unrestricted_type_arguments_include_void() {
+    check_ok(
+        "class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         def main() {\n\
+           var v = List<void>.new((), null);\n\
+           var f = List<int -> int>.new(id, null);\n\
+         }\n\
+         def id(x: int) -> int { return x; }",
+    );
+}
+
+#[test]
+fn incomplete_inference_is_an_error() {
+    check_err(
+        "def f<T>() -> int { return 0; }\n\
+         def main() { f(); }",
+        "cannot infer",
+    );
+}
+
+// ---- Section 3 patterns -----------------------------------------------------
+
+#[test]
+fn pattern_interface_adapter_typechecks() {
+    // (f1-g9).
+    check_ok(
+        "class Record { }\n\
+         class Key { }\n\
+         class DatastoreInterface(\n\
+           create: () -> Record,\n\
+           load: Key -> Record,\n\
+           store: Record -> ()) {\n\
+         }\n\
+         class DatastoreImpl {\n\
+           def create() -> Record { return Record.new(); }\n\
+           def load(k: Key) -> Record { return Record.new(); }\n\
+           def store(r: Record) { }\n\
+           def adapt() -> DatastoreInterface {\n\
+             return DatastoreInterface.new(create, load, store);\n\
+           }\n\
+         }",
+    );
+}
+
+#[test]
+fn pattern_adt_number_interface() {
+    // (h1-h9).
+    check_ok(
+        "class NumberInterface<T>(\n\
+           add: (T, T) -> T,\n\
+           sub: (T, T) -> T,\n\
+           compare: (T, T) -> bool,\n\
+           one: T,\n\
+           zero: T) {\n\
+         }\n\
+         var IntInterface = NumberInterface.new(int.+, int.-, int.==, 1, 0);",
+    );
+}
+
+#[test]
+fn pattern_hashmap_with_function_valued_members() {
+    // (i1-i18).
+    check_ok(
+        "class HashMap<K, V> {\n\
+           def hash: K -> int;\n\
+           def equals: (K, K) -> bool;\n\
+           new(hash, equals) { }\n\
+           def get(key: K) -> V { var v: V; return v; }\n\
+         }\n\
+         class X {\n\
+           def deepEquals(x: X) -> bool { return this == x; }\n\
+           def hash() -> int { return 13; }\n\
+         }\n\
+         def hash2(p: (int, int)) -> int { return p.0 ^ p.1; }\n\
+         def eq2(a: (int, int), b: (int, int)) -> bool { return a == b; }\n\
+         def main() {\n\
+           HashMap<X, int>.new(X.hash, X.deepEquals);\n\
+           HashMap<X, int>.new(X.hash, X.==);\n\
+           HashMap<(int, int), X>.new(hash2, eq2);\n\
+         }",
+    );
+}
+
+#[test]
+fn pattern_adhoc_polymorphism_print1() {
+    // (j1-j9).
+    check_ok(
+        "def printInt(fmt: string, a: int) { System.puts(fmt); System.puti(a); }\n\
+         def printBool(fmt: string, a: bool) { System.puts(fmt); System.putb(a); }\n\
+         def printString(fmt: string, a: string) { System.puts(fmt); System.puts(a); }\n\
+         def printByte(fmt: string, a: byte) { System.puts(fmt); System.putc(a); }\n\
+         def print1<T>(fmt: string, a: T) {\n\
+           if (int.?(a)) printInt(fmt, int.!(a));\n\
+           if (bool.?(a)) printBool(fmt, bool.!(a));\n\
+           if (string.?(a)) printString(fmt, string.!(a));\n\
+           if (byte.?(a)) printByte(fmt, byte.!(a));\n\
+         }\n\
+         def main() {\n\
+           print1(\"Result: \", 0);\n\
+           print1(\"Boolean: \", false);\n\
+           print1(\"Hello \", \"world\");\n\
+         }",
+    );
+}
+
+#[test]
+fn pattern_polymorphic_matcher() {
+    // (k1-m8): Box<T> extends Any; runtime-distinguishable Box<T -> void>.
+    check_ok(
+        "class Any { }\n\
+         class Box<T> extends Any {\n\
+           def val: T;\n\
+           new(val) { }\n\
+           def unbox() -> T { return val; }\n\
+         }\n\
+         class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         class Matcher {\n\
+           var matches: List<Any>;\n\
+           def add<T>(f: T -> void) {\n\
+             matches = List<Any>.new(Box<T -> void>.new(f), matches);\n\
+           }\n\
+           def dispatch<T>(v: T) {\n\
+             for (l = matches; l != null; l = l.tail) {\n\
+               var f = l.head;\n\
+               if (Box<T -> void>.?(f)) {\n\
+                 Box<T -> void>.!(f).unbox()(v);\n\
+                 return;\n\
+               }\n\
+             }\n\
+           }\n\
+         }\n\
+         def printInt(a: int) { System.puti(a); }\n\
+         def printBool(a: bool) { System.putb(a); }\n\
+         def main() {\n\
+           var m = Matcher.new();\n\
+           m.add(printInt);\n\
+           m.add(printBool);\n\
+           m.dispatch(1);\n\
+           m.dispatch(true);\n\
+         }",
+    );
+}
+
+#[test]
+fn pattern_variant_types_instr() {
+    // (n1-n14).
+    check_ok(
+        "class Buffer { }\n\
+         class Instr {\n\
+           def emit(buf: Buffer);\n\
+         }\n\
+         class InstrOf<T> extends Instr {\n\
+           var emitFunc: (Buffer, T) -> void;\n\
+           var val: T;\n\
+           new(emitFunc, val) { }\n\
+           def emit(buf: Buffer) {\n\
+             emitFunc(buf, val);\n\
+           }\n\
+         }\n\
+         class Reg { }\n\
+         def add(b: Buffer, ops: (Reg, Reg)) { }\n\
+         def addi(b: Buffer, ops: (Reg, int)) { }\n\
+         def neg(b: Buffer, ops: Reg) { }\n\
+         def main() {\n\
+           var rax = Reg.new(), rbx = Reg.new();\n\
+           var i: Instr = InstrOf.new(add, (rax, rbx));\n\
+           var j: Instr = InstrOf.new(addi, (rax, -11));\n\
+           var k: Instr = InstrOf.new(neg, rax);\n\
+           if (InstrOf<Reg>.?(k)) System.puts(\"reg\");\n\
+           if (InstrOf<(Reg, Reg)>.?(i)) System.puts(\"regreg\");\n\
+         }",
+    );
+}
+
+#[test]
+fn pattern_variance_listing_o() {
+    // (o1-o7): f(b) is an ERROR; apply(b, g) is OK.
+    check_err(
+        "class Animal { }\n\
+         class Bat extends Animal { }\n\
+         class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         def g(a: Animal) { }\n\
+         def f(list: List<Animal>) { }\n\
+         def main() {\n\
+           var b: List<Bat> = List<Bat>.new(null, null);\n\
+           f(b);\n\
+         }",
+        "type mismatch",
+    );
+    check_ok(
+        "class Animal { }\n\
+         class Bat extends Animal { }\n\
+         class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         def g(a: Animal) { }\n\
+         def apply<A>(list: List<A>, f: A -> void) {\n\
+           for (l = list; l != null; l = l.tail) f(l.head);\n\
+         }\n\
+         def main() {\n\
+           var b: List<Bat> = List<Bat>.new(null, null);\n\
+           apply(b, g);\n\
+         }",
+    );
+}
+
+#[test]
+fn listing_p_ambiguous_first_class_functions_typecheck() {
+    // (p1-p8): both scalar and tuple forms are the same type and both call
+    // shapes are legal.
+    check_ok(
+        "def f(a: int, b: int) { }\n\
+         def g(a: (int, int)) { }\n\
+         def r<A>(a: A) { }\n\
+         var z = true;\n\
+         def main() {\n\
+           var x = z ? f : g, t = (0, 1);\n\
+           x(0, 1);\n\
+           x(t);\n\
+           var y = z ? r<(int, int)> : f;\n\
+           y(0, 2);\n\
+         }",
+    );
+}
+
+#[test]
+fn listing_q_normalization_sources_typecheck() {
+    check_ok(
+        "def m(a: (string, int)) { }\n\
+         def f(v: void) { }\n\
+         def main() {\n\
+           var b = (\"hello\", 15);\n\
+           m(b);\n\
+           m(\"goodbye\", b.1);\n\
+           m(\"cheers\", (11, 22).0);\n\
+           var t: void;\n\
+           f(t);\n\
+         }",
+    );
+}
+
+// ---- misc semantic rules -----------------------------------------------------
+
+#[test]
+fn def_fields_and_locals_are_immutable() {
+    check_err(
+        "class A { def g: int; new(g) { } }\n\
+         def main() { var a = A.new(1); a.g = 2; }",
+        "immutable",
+    );
+    check_err("def main() { def x = 1; x = 2; }", "immutable");
+}
+
+#[test]
+fn break_outside_loop_is_error() {
+    check_err("def main() { break; }", "outside a loop");
+}
+
+#[test]
+fn missing_return_is_error() {
+    check_err(
+        "def f(x: bool) -> int { if (x) return 1; }",
+        "fall off the end",
+    );
+}
+
+#[test]
+fn while_true_terminates_analysis() {
+    check_ok("def f() -> int { while (true) { return 1; } }");
+}
+
+#[test]
+fn polymorphic_recursion_rejected() {
+    check_err(
+        "class List<T> { var head: T; new(head) { } }\n\
+         def f<T>(x: T) { f(List.new(x)); }\n\
+         def main() { f(1); }",
+        "polymorphic recursion",
+    );
+}
+
+#[test]
+fn plain_polymorphic_recursion_allowed() {
+    check_ok(
+        "def f<T>(x: T, n: int) { if (n > 0) f(x, n - 1); }\n\
+         def main() { f(true, 3); }",
+    );
+}
+
+#[test]
+fn null_comparison_against_object() {
+    check_ok(
+        "class A { }\n\
+         def main() -> bool { var a = A.new(); return a != null; }",
+    );
+}
+
+#[test]
+fn arrays_and_strings() {
+    check_ok(
+        "def main() {\n\
+           var a = Array<int>.new(10);\n\
+           a[0] = 5;\n\
+           var n = a.length;\n\
+           var s = \"hello\";\n\
+           var c: byte = s[0];\n\
+           var grid = [[1, 2], [3, 4]];\n\
+           var x = grid[1][0];\n\
+         }",
+    );
+}
+
+#[test]
+fn array_of_tuples() {
+    check_ok(
+        "def main() {\n\
+           var a = Array<(int, bool)>.new(4);\n\
+           a[0] = (3, true);\n\
+           var x: int = a[0].0;\n\
+         }",
+    );
+}
+
+#[test]
+fn globals_initialize_with_inference() {
+    let m = check_ok(
+        "class A { def x: int; new(x) { } }\n\
+         var g = A.new(3);\n\
+         def main() -> int { return g.x; }",
+    );
+    assert_eq!(m.globals.len(), 1);
+}
+
+#[test]
+fn duplicate_class_is_error() {
+    check_err("class A { }\nclass A { }", "duplicate class");
+}
+
+#[test]
+fn inheritance_cycle_is_error() {
+    check_err("class A extends B { }\nclass B extends A { }", "cycle");
+}
+
+#[test]
+fn main_with_params_is_rejected() {
+    check_err("def main(x: int) { }", "main must take no parameters");
+}
+
+#[test]
+fn generic_class_methods_on_generic_receiver() {
+    check_ok(
+        "class Pair<A, B> {\n\
+           def fst: A;\n\
+           def snd: B;\n\
+           new(fst, snd) { }\n\
+           def swap() -> Pair<B, A> { return Pair<B, A>.new(snd, fst); }\n\
+         }\n\
+         def main() {\n\
+           var p = Pair<int, bool>.new(1, true);\n\
+           var q: Pair<bool, int> = p.swap();\n\
+         }",
+    );
+}
+
+#[test]
+fn generic_method_in_generic_class() {
+    check_ok(
+        "class Box<T> {\n\
+           def val: T;\n\
+           new(val) { }\n\
+           def map<U>(f: T -> U) -> Box<U> { return Box<U>.new(f(val)); }\n\
+         }\n\
+         def inc(x: int) -> int { return x + 1; }\n\
+         def main() {\n\
+           var b = Box<int>.new(41);\n\
+           var c = b.map(inc);\n\
+         }",
+    );
+}

@@ -1,0 +1,147 @@
+//! Diagnostics: errors and warnings with source locations.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note attached to another diagnostic.
+    Note,
+    /// Suspicious but not fatal.
+    Warning,
+    /// Compilation cannot produce a program.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One diagnostic message anchored to a span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity of the message.
+    pub severity: Severity,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Error, span, message: message.into() }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+    }
+
+    /// Renders the diagnostic as `line:col: severity: message` given the file's
+    /// line map and (optional) name.
+    pub fn render(&self, file_name: &str, lines: &LineMap) -> String {
+        let lc = lines.lookup(self.span.start);
+        format!("{file_name}:{lc}: {}: {}", self.severity, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (at {:?})", self.severity, self.message, self.span)
+    }
+}
+
+/// Accumulates diagnostics during a compiler phase.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty sink.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Records an error.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.items.push(Diagnostic::error(span, message));
+    }
+
+    /// Records a warning.
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.items.push(Diagnostic::warning(span, message));
+    }
+
+    /// Records a prebuilt diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// True if any error-severity diagnostic has been recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// All recorded diagnostics in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Consumes the sink, returning the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total number of diagnostics of any severity.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Merges another sink's diagnostics into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_errors_only_for_errors() {
+        let mut d = Diagnostics::new();
+        d.warning(Span::point(0), "meh");
+        assert!(!d.has_errors());
+        d.error(Span::point(1), "bad");
+        assert!(d.has_errors());
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let lines = LineMap::new("ab\ncd");
+        let d = Diagnostic::error(Span::new(3, 4), "unexpected token");
+        assert_eq!(d.render("f.v", &lines), "f.v:2:1: error: unexpected token");
+    }
+}

@@ -1,0 +1,412 @@
+//! The lexer: source text → token stream.
+//!
+//! Comments are `//` to end of line. Whitespace separates tokens. Integer
+//! literals are decimal or `0x` hexadecimal. Byte literals are single-quoted
+//! with the escapes `\n \r \t \\ \' \" \0`; string literals are double-quoted
+//! with the same escapes.
+
+use crate::diag::Diagnostics;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes an entire source string into tokens (ending with one `Eof` token),
+/// reporting malformed input into `diags`.
+pub fn lex(source: &str, diags: &mut Diagnostics) -> Vec<Token> {
+    Lexer { src: source.as_bytes(), pos: 0, diags }.run()
+}
+
+struct Lexer<'a, 'd> {
+    src: &'a [u8],
+    pos: usize,
+    diags: &'d mut Diagnostics,
+}
+
+impl Lexer<'_, '_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token();
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        self.src.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.src.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Token {
+        self.skip_trivia();
+        let start = self.pos as u32;
+        if self.pos >= self.src.len() {
+            return Token { kind: TokenKind::Eof, span: Span::point(start) };
+        }
+        let kind = self.scan();
+        Token { kind, span: Span::new(start, self.pos as u32) }
+    }
+
+    fn scan(&mut self) -> TokenKind {
+        use TokenKind::*;
+        let start = self.pos;
+        let c = self.bump();
+        match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b',' => Comma,
+            b';' => Semi,
+            b':' => Colon,
+            b'.' => Dot,
+            b'?' => Question,
+            b'+' => Plus,
+            b'*' => Star,
+            b'/' => Slash,
+            b'%' => Percent,
+            b'^' => Caret,
+            b'-' => {
+                if self.peek() == b'>' {
+                    self.pos += 1;
+                    Arrow
+                } else {
+                    Minus
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    Eq
+                } else {
+                    Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    Ne
+                } else {
+                    Bang
+                }
+            }
+            b'<' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Le
+                }
+                b'<' => {
+                    self.pos += 1;
+                    Shl
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Ge
+                }
+                b'>' => {
+                    self.pos += 1;
+                    Shr
+                }
+                _ => Gt,
+            },
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.pos += 1;
+                    AndAnd
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.pos += 1;
+                    OrOr
+                } else {
+                    Pipe
+                }
+            }
+            b'\'' => self.scan_byte_lit(start),
+            b'"' => self.scan_string_lit(start),
+            b'0'..=b'9' => self.scan_number(),
+            c if is_ident_start(c) => {
+                while is_ident_continue(self.peek()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+                TokenKind::keyword(text).unwrap_or(Ident)
+            }
+            _ => {
+                self.diags.error(
+                    Span::new(start as u32, self.pos as u32),
+                    format!("unexpected character '{}'", c as char),
+                );
+                Error
+            }
+        }
+    }
+
+    fn scan_number(&mut self) -> TokenKind {
+        // The first digit was already consumed.
+        if self.src[self.pos - 1] == b'0' && (self.peek() == b'x' || self.peek() == b'X') {
+            self.pos += 1;
+            while self.peek().is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        TokenKind::IntLit
+    }
+
+    fn scan_escape(&mut self) -> bool {
+        // Called after a backslash has been consumed; consumes the escape char.
+        match self.bump() {
+            b'n' | b'r' | b't' | b'\\' | b'\'' | b'"' | b'0' => true,
+            _ => false,
+        }
+    }
+
+    fn scan_byte_lit(&mut self, start: usize) -> TokenKind {
+        let ok = match self.bump() {
+            b'\\' => self.scan_escape(),
+            0 => false,
+            b'\'' => false, // empty literal ''
+            _ => true,
+        };
+        if !ok || self.bump() != b'\'' {
+            self.diags.error(
+                Span::new(start as u32, self.pos as u32),
+                "malformed byte literal",
+            );
+            return TokenKind::Error;
+        }
+        TokenKind::ByteLit
+    }
+
+    fn scan_string_lit(&mut self, start: usize) -> TokenKind {
+        loop {
+            match self.bump() {
+                b'"' => return TokenKind::StringLit,
+                b'\\' => {
+                    if !self.scan_escape() {
+                        self.diags.error(
+                            Span::new(start as u32, self.pos as u32),
+                            "invalid escape in string literal",
+                        );
+                        return TokenKind::Error;
+                    }
+                }
+                0 if self.pos > self.src.len() => {
+                    self.diags.error(
+                        Span::new(start as u32, self.src.len() as u32),
+                        "unterminated string literal",
+                    );
+                    return TokenKind::Error;
+                }
+                b'\n' => {
+                    self.diags.error(
+                        Span::new(start as u32, self.pos as u32),
+                        "unterminated string literal",
+                    );
+                    return TokenKind::Error;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Decodes the text of a byte literal token (including quotes) to its value.
+pub fn decode_byte_lit(text: &str) -> Option<u8> {
+    let inner = text.strip_prefix('\'')?.strip_suffix('\'')?;
+    decode_one_escape(inner)
+}
+
+/// Decodes the text of a string literal token (including quotes) to its bytes.
+pub fn decode_string_lit(text: &str) -> Option<Vec<u8>> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::with_capacity(inner.len());
+    let mut bytes = inner.bytes();
+    while let Some(b) = bytes.next() {
+        if b == b'\\' {
+            let e = bytes.next()?;
+            out.push(unescape(e)?);
+        } else {
+            out.push(b);
+        }
+    }
+    Some(out)
+}
+
+fn decode_one_escape(inner: &str) -> Option<u8> {
+    let mut bytes = inner.bytes();
+    let b = bytes.next()?;
+    let v = if b == b'\\' { unescape(bytes.next()?)? } else { b };
+    if bytes.next().is_some() {
+        return None;
+    }
+    Some(v)
+}
+
+fn unescape(e: u8) -> Option<u8> {
+    Some(match e {
+        b'n' => b'\n',
+        b'r' => b'\r',
+        b't' => b'\t',
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        b'0' => 0,
+        _ => return None,
+    })
+}
+
+/// Decodes an integer literal (decimal or `0x...`) to an `i64`; the caller
+/// range-checks against the target type.
+pub fn decode_int_lit(text: &str) -> Option<i64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok().or_else(|| u64::from_str_radix(hex, 16).ok().map(|v| v as i64))
+    } else {
+        text.parse::<i64>().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut d = Diagnostics::new();
+        let toks = lex(src, &mut d);
+        assert!(!d.has_errors(), "unexpected lex errors: {d:?}");
+        toks.iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_punctuation() {
+        assert_eq!(
+            kinds("( ) { } [ ] , ; : . -> ? !"),
+            vec![LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi, Colon, Dot, Arrow, Question, Bang, Eof]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("= == != < <= > >= << >> + - * / % & | ^ && ||"),
+            vec![Assign, Eq, Ne, Lt, Le, Gt, Ge, Shl, Shr, Plus, Minus, Star, Slash, Percent, Amp, Pipe, Caret, AndAnd, OrOr, Eof]
+        );
+    }
+
+    #[test]
+    fn lex_keywords_and_idents() {
+        assert_eq!(
+            kinds("class Foo extends def var new if x"),
+            vec![KwClass, Ident, KwExtends, KwDef, KwVar, KwNew, KwIf, Ident, Eof]
+        );
+    }
+
+    #[test]
+    fn lex_literals() {
+        assert_eq!(kinds("42 0xFF 'a' \"hi\" true false null"),
+            vec![IntLit, IntLit, ByteLit, StringLit, KwTrue, KwFalse, KwNull, Eof]);
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        assert_eq!(kinds("a // comment\n b"), vec![Ident, Ident, Eof]);
+    }
+
+    #[test]
+    fn lex_arrow_vs_minus() {
+        assert_eq!(kinds("a -> b - c"), vec![Ident, Arrow, Ident, Minus, Ident, Eof]);
+    }
+
+    #[test]
+    fn lex_error_reports_diag() {
+        let mut d = Diagnostics::new();
+        let toks = lex("a @ b", &mut d);
+        assert!(d.has_errors());
+        assert!(toks.iter().any(|t| t.kind == Error));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let mut d = Diagnostics::new();
+        lex("\"abc", &mut d);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn decode_byte_literals() {
+        assert_eq!(decode_byte_lit("'a'"), Some(b'a'));
+        assert_eq!(decode_byte_lit("'\\n'"), Some(b'\n'));
+        assert_eq!(decode_byte_lit("'\\0'"), Some(0));
+        assert_eq!(decode_byte_lit("''"), None);
+    }
+
+    #[test]
+    fn decode_string_literals() {
+        assert_eq!(decode_string_lit("\"hi\\n\""), Some(b"hi\n".to_vec()));
+        assert_eq!(decode_string_lit("\"\""), Some(vec![]));
+    }
+
+    #[test]
+    fn decode_int_literals() {
+        assert_eq!(decode_int_lit("42"), Some(42));
+        assert_eq!(decode_int_lit("0x10"), Some(16));
+        assert_eq!(decode_int_lit("0xFFFFFFFF"), Some(0xFFFF_FFFF));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let mut d = Diagnostics::new();
+        let src = "var xy = 12;";
+        let toks = lex(src, &mut d);
+        assert_eq!(toks[1].text(src), "xy");
+        assert_eq!(toks[3].text(src), "12");
+    }
+}

@@ -1,0 +1,173 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] — a half-open byte range into a
+//! source file. Spans are deliberately tiny (`Copy`, two `u32`s) so they can be
+//! sprinkled everywhere without cost. A [`LineMap`] converts byte offsets back
+//! into 1-based line/column pairs for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `start > end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at a given offset.
+    pub fn point(at: u32) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Extracts the spanned text from `source`.
+    pub fn text(self, source: &str) -> &str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, produced by [`LineMap::lookup`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes, not grapheme clusters).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column pairs for one source file.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offset of the start of each line; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map by scanning `source` for newlines.
+    pub fn new(source: &str) -> LineMap {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Converts a byte offset to a 1-based line/column.
+    pub fn lookup(&self, offset: u32) -> LineCol {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line as u32 + 1,
+            col: offset - self.line_starts[line] + 1,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Byte offset at which 0-based `line` starts, if it exists.
+    pub fn line_start(&self, line: usize) -> Option<u32> {
+        self.line_starts.get(line).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_to_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn span_text_slices_source() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).text(src), "world");
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+    }
+
+    #[test]
+    fn linemap_lookup_first_line() {
+        let m = LineMap::new("abc\ndef\nghi");
+        assert_eq!(m.lookup(0), LineCol { line: 1, col: 1 });
+        assert_eq!(m.lookup(2), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn linemap_lookup_later_lines() {
+        let m = LineMap::new("abc\ndef\nghi");
+        assert_eq!(m.lookup(4), LineCol { line: 2, col: 1 });
+        assert_eq!(m.lookup(8), LineCol { line: 3, col: 1 });
+        assert_eq!(m.lookup(10), LineCol { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn linemap_newline_belongs_to_line_it_ends() {
+        let m = LineMap::new("a\nb");
+        assert_eq!(m.lookup(1), LineCol { line: 1, col: 2 });
+        assert_eq!(m.lookup(2), LineCol { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn linemap_empty_source() {
+        let m = LineMap::new("");
+        assert_eq!(m.line_count(), 1);
+        assert_eq!(m.lookup(0), LineCol { line: 1, col: 1 });
+    }
+}

@@ -1,0 +1,198 @@
+//! Token definitions for the Virgil III core lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keyword and punctuation variants are self-describing; see
+/// [`TokenKind::fixed_text`] for their source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An identifier such as `foo` or a type name such as `List`.
+    Ident,
+    /// A decimal or hexadecimal integer literal.
+    IntLit,
+    /// A character literal such as `'a'`, denoting a `byte`.
+    ByteLit,
+    /// A string literal such as `"hi"`, denoting `Array<byte>`.
+    StringLit,
+
+    // Keywords.
+    KwClass,
+    KwExtends,
+    KwDef,
+    KwVar,
+    KwNew,
+    KwPrivate,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+    KwNull,
+    KwSuper,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Arrow,     // ->
+    Question,  // ?
+    Bang,      // !
+    Assign,    // =
+    Eq,        // ==
+    Ne,        // !=
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    Shl,       // <<
+    Shr,       // >>
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,       // &
+    Pipe,      // |
+    Caret,     // ^
+    AndAnd,    // &&
+    OrOr,      // ||
+
+    /// End of input.
+    Eof,
+    /// A lexing error; the diagnostic was reported separately.
+    Error,
+}
+
+impl TokenKind {
+    /// The canonical source text of a keyword or punctuation token, for
+    /// diagnostics. `None` for variable-text tokens.
+    pub fn fixed_text(self) -> Option<&'static str> {
+        use TokenKind::*;
+        Some(match self {
+            KwClass => "class",
+            KwExtends => "extends",
+            KwDef => "def",
+            KwVar => "var",
+            KwNew => "new",
+            KwPrivate => "private",
+            KwIf => "if",
+            KwElse => "else",
+            KwWhile => "while",
+            KwFor => "for",
+            KwReturn => "return",
+            KwBreak => "break",
+            KwContinue => "continue",
+            KwTrue => "true",
+            KwFalse => "false",
+            KwNull => "null",
+            KwSuper => "super",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Comma => ",",
+            Semi => ";",
+            Colon => ":",
+            Dot => ".",
+            Arrow => "->",
+            Question => "?",
+            Bang => "!",
+            Assign => "=",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Shl => "<<",
+            Shr => ">>",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            AndAnd => "&&",
+            OrOr => "||",
+            Eof => "<eof>",
+            _ => return None,
+        })
+    }
+
+    /// Looks up the keyword kind for an identifier, if it is a keyword.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match text {
+            "class" => KwClass,
+            "extends" => KwExtends,
+            "def" => KwDef,
+            "var" => KwVar,
+            "new" => KwNew,
+            "private" => KwPrivate,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "for" => KwFor,
+            "return" => KwReturn,
+            "break" => KwBreak,
+            "continue" => KwContinue,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "null" => KwNull,
+            "super" => KwSuper,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fixed_text() {
+            Some(t) => write!(f, "'{t}'"),
+            None => match self {
+                TokenKind::Ident => write!(f, "identifier"),
+                TokenKind::IntLit => write!(f, "integer literal"),
+                TokenKind::ByteLit => write!(f, "byte literal"),
+                TokenKind::StringLit => write!(f, "string literal"),
+                TokenKind::Error => write!(f, "invalid token"),
+                _ => write!(f, "{self:?}"),
+            },
+        }
+    }
+}
+
+/// One lexed token: a kind plus the span of its text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where its text lives in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Extracts the token's text from the source it was lexed from.
+    pub fn text(self, source: &str) -> &str {
+        self.span.text(source)
+    }
+}

@@ -1,0 +1,35 @@
+//! # vgl-types
+//!
+//! The Virgil III type system (paper §2): an interning [`TypeStore`] for the
+//! five kinds of type constructors, the single-inheritance class
+//! [`Hierarchy`] (with no universal supertype), subtyping with the paper's
+//! variance rules (covariant tuples, contra/covariant functions, invariant
+//! arrays and classes), static cast/query legality, substitution, tuple
+//! flattening support, and best-effort type-argument inference.
+//!
+//! ```
+//! use vgl_types::{TypeStore, Hierarchy, is_subtype};
+//!
+//! let mut store = TypeStore::new();
+//! let hier = Hierarchy::new();
+//! // Tuples are covariant; () == void and (T) == T by construction.
+//! let unit = store.tuple(vec![]);
+//! assert_eq!(unit, store.void);
+//! let pair = store.tuple(vec![store.int, store.bool_]);
+//! assert!(is_subtype(&mut store, &hier, pair, pair));
+//! ```
+
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod infer;
+mod relations;
+mod store;
+
+pub use hierarchy::{ClassInfo, Hierarchy};
+pub use infer::{match_types, InferCtx};
+pub use relations::{
+    cast_relation, constructor_summary, display_type, is_subtype, CastRelation,
+    ConstructorRow, Variance,
+};
+pub use store::{ClassId, Type, TypeKind, TypeStore, TypeVarId};

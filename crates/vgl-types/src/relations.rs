@@ -1,0 +1,494 @@
+//! Subtyping, variance, and the static legality of casts and queries.
+//!
+//! The variance rules are exactly the paper's §2.5 table:
+//!
+//! | constructor | type parameters | variance |
+//! |---|---|---|
+//! | primitive | — | — |
+//! | `Array<T>` | `T` | invariant |
+//! | tuple | `T0..Tn` | covariant |
+//! | function | `Tp -> Tr` | contravariant in `Tp`, covariant in `Tr` |
+//! | class `X<T0..Tn>` | `T0..Tn` | invariant |
+
+use crate::hierarchy::Hierarchy;
+use crate::store::{Type, TypeKind, TypeStore};
+
+/// Variance of a type-constructor parameter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Variance {
+    /// Position admits no subtyping.
+    Invariant,
+    /// Subtyping flows in the same direction (paper symbol ▽).
+    Covariant,
+    /// Subtyping flows in the opposite direction (paper symbol △).
+    Contravariant,
+}
+
+/// One row of the paper's §2.5 type-constructor summary table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstructorRow {
+    /// Constructor family name.
+    pub constructor: &'static str,
+    /// Variance of each type parameter (empty for primitives).
+    pub params: Vec<Variance>,
+    /// Concrete syntax sketch.
+    pub syntax: &'static str,
+}
+
+/// The §2.5 table, as data. The `class` row shows the general n-ary invariant
+/// case with two parameters.
+pub fn constructor_summary() -> Vec<ConstructorRow> {
+    use Variance::*;
+    vec![
+        ConstructorRow {
+            constructor: "Primitive",
+            params: vec![],
+            syntax: "void|int|byte|bool",
+        },
+        ConstructorRow {
+            constructor: "Array",
+            params: vec![Invariant],
+            syntax: "Array<T>",
+        },
+        ConstructorRow {
+            constructor: "Tuple",
+            params: vec![Covariant, Covariant],
+            syntax: "([T (, T)*])",
+        },
+        ConstructorRow {
+            constructor: "Function",
+            params: vec![Contravariant, Covariant],
+            syntax: "T -> T",
+        },
+        ConstructorRow {
+            constructor: "class X",
+            params: vec![Invariant, Invariant],
+            syntax: "X[<T (, T)*>]",
+        },
+    ]
+}
+
+/// True if `a <: b`.
+///
+/// Subtyping is reflexive; the null type is a subtype of every class, array,
+/// and function type; tuples are covariant element-wise with equal lengths
+/// ("too much static checking would be lost" otherwise — §2.3 footnote);
+/// functions are contravariant/covariant; class subtyping follows the
+/// `extends` chain with invariant type arguments.
+pub fn is_subtype(store: &mut TypeStore, hier: &Hierarchy, a: Type, b: Type) -> bool {
+    if a == b {
+        return true;
+    }
+    match (store.kind(a).clone(), store.kind(b).clone()) {
+        (TypeKind::Null, _) => store.is_nullable(b),
+        (TypeKind::Tuple(xs), TypeKind::Tuple(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys.iter())
+                    .all(|(&x, &y)| is_subtype(store, hier, x, y))
+        }
+        (TypeKind::Function(p1, r1), TypeKind::Function(p2, r2)) => {
+            // Contravariant parameter, covariant return.
+            is_subtype(store, hier, p2, p1) && is_subtype(store, hier, r1, r2)
+        }
+        (TypeKind::Class(..), TypeKind::Class(..)) => {
+            hier.supertypes(store, a).contains(&b)
+        }
+        _ => false,
+    }
+}
+
+/// The static relationship of a cast `T.!(e: F)` or query `T.?(e: F)` from
+/// source type `F` to target type `T`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CastRelation {
+    /// Always succeeds with the same value (`F <: T`).
+    Subsumption,
+    /// Requires a runtime check that may fail (related types).
+    Checked,
+    /// Statically known to be impossible; the compiler rejects it
+    /// ("the compiler rejects casts and queries between unrelated types
+    /// wherever possible" — §2.2).
+    Unrelated,
+}
+
+/// Classifies a cast/query from `from` to `to`.
+///
+/// When either side mentions a type variable the decision is deferred to
+/// runtime (`Checked`) — parameterized casts are the paper's "intentional
+/// violation of parametricity" that powers the §3.3/§3.4 patterns.
+pub fn cast_relation(
+    store: &mut TypeStore,
+    hier: &Hierarchy,
+    from: Type,
+    to: Type,
+) -> CastRelation {
+    if is_subtype(store, hier, from, to) {
+        return CastRelation::Subsumption;
+    }
+    if store.is_polymorphic(from) || store.is_polymorphic(to) {
+        return CastRelation::Checked;
+    }
+    match (store.kind(from).clone(), store.kind(to).clone()) {
+        // int <-> byte value conversions are checked (b12: "conversions
+        // between primitive values").
+        (TypeKind::Int, TypeKind::Byte) | (TypeKind::Byte, TypeKind::Int) => {
+            CastRelation::Checked
+        }
+        (TypeKind::Class(c1, _), TypeKind::Class(c2, _)) => {
+            // Legal between *related class constructors* regardless of type
+            // arguments: `List<bool>.?(a: List<int>)` is a legal (false)
+            // query in listing (d13), and downcasts need runtime checks.
+            if hier.is_subclass(c1, c2) || hier.is_subclass(c2, c1) {
+                CastRelation::Checked
+            } else {
+                CastRelation::Unrelated
+            }
+        }
+        (TypeKind::Tuple(xs), TypeKind::Tuple(ys)) => {
+            if xs.len() != ys.len() {
+                return CastRelation::Unrelated;
+            }
+            let mut worst = CastRelation::Subsumption;
+            for (&x, &y) in xs.iter().zip(ys.iter()) {
+                match cast_relation(store, hier, x, y) {
+                    CastRelation::Unrelated => return CastRelation::Unrelated,
+                    CastRelation::Checked => worst = CastRelation::Checked,
+                    CastRelation::Subsumption => {}
+                }
+            }
+            worst
+        }
+        (TypeKind::Function(..), TypeKind::Function(..)) => CastRelation::Checked,
+        (TypeKind::Array(x), TypeKind::Array(y)) => {
+            // Arrays are invariant: a cast can only succeed when the element
+            // types are identical, which subsumption already covered, or when
+            // polymorphism hides the answer (handled above).
+            let _ = (x, y);
+            CastRelation::Unrelated
+        }
+        (TypeKind::Null, _) if store.is_nullable(to) => CastRelation::Subsumption,
+        _ => CastRelation::Unrelated,
+    }
+}
+
+/// Renders a type for diagnostics, e.g. `List<(int, bool)> -> void`.
+pub fn display_type(store: &TypeStore, hier: &Hierarchy, t: Type) -> String {
+    match store.kind(t) {
+        TypeKind::Void => "void".into(),
+        TypeKind::Bool => "bool".into(),
+        TypeKind::Byte => "byte".into(),
+        TypeKind::Int => "int".into(),
+        TypeKind::Null => "null".into(),
+        TypeKind::Array(e) => format!("Array<{}>", display_type(store, hier, *e)),
+        TypeKind::Tuple(es) => {
+            let inner: Vec<String> = es
+                .iter()
+                .map(|&e| display_type(store, hier, e))
+                .collect();
+            format!("({})", inner.join(", "))
+        }
+        TypeKind::Function(p, r) => {
+            let ps = display_type(store, hier, *p);
+            let rs = display_type(store, hier, *r);
+            if matches!(store.kind(*p), TypeKind::Function(..)) {
+                format!("({ps}) -> {rs}")
+            } else {
+                format!("{ps} -> {rs}")
+            }
+        }
+        TypeKind::Class(c, args) => {
+            let name = &hier.info(*c).name;
+            if args.is_empty() {
+                name.clone()
+            } else {
+                let inner: Vec<String> = args
+                    .iter()
+                    .map(|&a| display_type(store, hier, a))
+                    .collect();
+                format!("{name}<{}>", inner.join(", "))
+            }
+        }
+        TypeKind::Var(v) => format!("#{}", v.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ClassInfo;
+    use crate::store::TypeVarId;
+
+    struct Fix {
+        store: TypeStore,
+        hier: Hierarchy,
+        animal: Type,
+        bat: Type,
+    }
+
+    fn fix() -> Fix {
+        let mut store = TypeStore::new();
+        let mut hier = Hierarchy::new();
+        let animal_id = hier.add_class(ClassInfo {
+            name: "Animal".into(),
+            type_params: vec![],
+            parent: None,
+        });
+        let bat_id = hier.add_class(ClassInfo {
+            name: "Bat".into(),
+            type_params: vec![],
+            parent: Some((animal_id, vec![])),
+        });
+        let animal = store.class(animal_id, vec![]);
+        let bat = store.class(bat_id, vec![]);
+        Fix { store, hier, animal, bat }
+    }
+
+    #[test]
+    fn reflexive() {
+        let mut f = fix();
+        let types = [f.store.int, f.store.void, f.animal, f.bat];
+        for t in types {
+            assert!(is_subtype(&mut f.store, &f.hier, t, t));
+        }
+    }
+
+    #[test]
+    fn class_subtyping_follows_extends() {
+        let mut f = fix();
+        assert!(is_subtype(&mut f.store, &f.hier, f.bat, f.animal));
+        assert!(!is_subtype(&mut f.store, &f.hier, f.animal, f.bat));
+    }
+
+    #[test]
+    fn no_universal_supertype() {
+        // Two parentless classes are unrelated (paper §2.1).
+        let mut f = fix();
+        let other_id = f.hier.add_class(ClassInfo {
+            name: "Other".into(),
+            type_params: vec![],
+            parent: None,
+        });
+        let other = f.store.class(other_id, vec![]);
+        assert!(!is_subtype(&mut f.store, &f.hier, other, f.animal));
+        assert!(!is_subtype(&mut f.store, &f.hier, f.animal, other));
+    }
+
+    #[test]
+    fn primitives_unrelated() {
+        let mut f = fix();
+        { let __byte = f.store.byte; let __int = f.store.int; assert!(!is_subtype(&mut f.store, &f.hier, __int, __byte)); }
+        { let __byte = f.store.byte; let __int = f.store.int; assert!(!is_subtype(&mut f.store, &f.hier, __byte, __int)); }
+        { let __bool_ = f.store.bool_; let __int = f.store.int; assert!(!is_subtype(&mut f.store, &f.hier, __bool_, __int)); }
+    }
+
+    #[test]
+    fn tuples_covariant_same_length() {
+        // Paper §2.3: (T0..Tm) <: (S0..Sn) iff m == n and Ti <: Si.
+        let mut f = fix();
+        let tb = f.store.tuple(vec![f.bat, f.store.int]);
+        let ta = f.store.tuple(vec![f.animal, f.store.int]);
+        assert!(is_subtype(&mut f.store, &f.hier, tb, ta));
+        assert!(!is_subtype(&mut f.store, &f.hier, ta, tb));
+        // Longer tuples are NOT subtypes of shorter ones.
+        let t3 = f.store.tuple(vec![f.bat, f.store.int, f.store.int]);
+        assert!(!is_subtype(&mut f.store, &f.hier, t3, ta));
+    }
+
+    #[test]
+    fn functions_contra_co() {
+        // Paper §3.6: Animal -> void <: Bat -> void.
+        let mut f = fix();
+        let a2v = f.store.function(f.animal, f.store.void);
+        let b2v = f.store.function(f.bat, f.store.void);
+        assert!(is_subtype(&mut f.store, &f.hier, a2v, b2v));
+        assert!(!is_subtype(&mut f.store, &f.hier, b2v, a2v));
+        // Covariant return.
+        let v2b = f.store.function(f.store.void, f.bat);
+        let v2a = f.store.function(f.store.void, f.animal);
+        assert!(is_subtype(&mut f.store, &f.hier, v2b, v2a));
+        assert!(!is_subtype(&mut f.store, &f.hier, v2a, v2b));
+    }
+
+    #[test]
+    fn function_variance_composes_with_tuples() {
+        // (Animal, Animal) -> Bat <: (Bat, Bat) -> Animal.
+        let mut f = fix();
+        let pa = f.store.tuple(vec![f.animal, f.animal]);
+        let pb = f.store.tuple(vec![f.bat, f.bat]);
+        let f1 = f.store.function(pa, f.bat);
+        let f2 = f.store.function(pb, f.animal);
+        assert!(is_subtype(&mut f.store, &f.hier, f1, f2));
+        assert!(!is_subtype(&mut f.store, &f.hier, f2, f1));
+    }
+
+    #[test]
+    fn classes_invariant_in_type_params() {
+        // Paper §3.6 (o6): List<Bat> is NOT a subtype of List<Animal>.
+        let mut f = fix();
+        let tv = TypeVarId(0);
+        let list_id = f.hier.add_class(ClassInfo {
+            name: "List".into(),
+            type_params: vec![tv],
+            parent: None,
+        });
+        let lb = f.store.class(list_id, vec![f.bat]);
+        let la = f.store.class(list_id, vec![f.animal]);
+        assert!(!is_subtype(&mut f.store, &f.hier, lb, la));
+        assert!(!is_subtype(&mut f.store, &f.hier, la, lb));
+    }
+
+    #[test]
+    fn arrays_invariant() {
+        let mut f = fix();
+        let ab = f.store.array(f.bat);
+        let aa = f.store.array(f.animal);
+        assert!(!is_subtype(&mut f.store, &f.hier, ab, aa));
+    }
+
+    #[test]
+    fn null_subtype_of_reference_types() {
+        let mut f = fix();
+        let n = f.store.null;
+        let arr = f.store.array(f.store.int);
+        let fun = f.store.function(f.store.int, f.store.int);
+        assert!(is_subtype(&mut f.store, &f.hier, n, f.animal));
+        assert!(is_subtype(&mut f.store, &f.hier, n, arr));
+        assert!(is_subtype(&mut f.store, &f.hier, n, fun));
+        { let __int = f.store.int; assert!(!is_subtype(&mut f.store, &f.hier, n, __int)); }
+        { let __void = f.store.void; assert!(!is_subtype(&mut f.store, &f.hier, n, __void)); }
+    }
+
+    #[test]
+    fn subtyping_is_transitive_over_hierarchy() {
+        let mut f = fix();
+        let vampire_id = f.hier.add_class(ClassInfo {
+            name: "Vampire".into(),
+            type_params: vec![],
+            parent: Some((
+                match f.store.kind(f.bat) {
+                    TypeKind::Class(c, _) => *c,
+                    _ => unreachable!(),
+                },
+                vec![],
+            )),
+        });
+        let vampire = f.store.class(vampire_id, vec![]);
+        assert!(is_subtype(&mut f.store, &f.hier, vampire, f.animal));
+    }
+
+    #[test]
+    fn cast_upcast_is_subsumption() {
+        let mut f = fix();
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, f.bat, f.animal),
+            CastRelation::Subsumption
+        );
+    }
+
+    #[test]
+    fn cast_downcast_is_checked() {
+        let mut f = fix();
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, f.animal, f.bat),
+            CastRelation::Checked
+        );
+    }
+
+    #[test]
+    fn cast_unrelated_classes_rejected() {
+        let mut f = fix();
+        let other_id = f.hier.add_class(ClassInfo {
+            name: "Other".into(),
+            type_params: vec![],
+            parent: None,
+        });
+        let other = f.store.class(other_id, vec![]);
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, other, f.animal),
+            CastRelation::Unrelated
+        );
+    }
+
+    #[test]
+    fn cast_function_to_primitive_rejected() {
+        // §2.2: "the compiler rejects casts and queries between unrelated
+        // types ... such as between a function type and a primitive type".
+        let mut f = fix();
+        let fun = f.store.function(f.store.int, f.store.int);
+        assert_eq!(
+            { let __int = f.store.int; cast_relation(&mut f.store, &f.hier, fun, __int) },
+            CastRelation::Unrelated
+        );
+    }
+
+    #[test]
+    fn cast_int_byte_checked_both_ways() {
+        let mut f = fix();
+        assert_eq!(
+            { let __byte = f.store.byte; let __int = f.store.int; cast_relation(&mut f.store, &f.hier, __int, __byte) },
+            CastRelation::Checked
+        );
+        assert_eq!(
+            { let __byte = f.store.byte; let __int = f.store.int; cast_relation(&mut f.store, &f.hier, __byte, __int) },
+            CastRelation::Checked
+        );
+    }
+
+    #[test]
+    fn cast_with_type_var_deferred() {
+        let mut f = fix();
+        let v = f.store.var(TypeVarId(9));
+        assert_eq!(
+            { let __int = f.store.int; cast_relation(&mut f.store, &f.hier, v, __int) },
+            CastRelation::Checked
+        );
+        assert_eq!(
+            { let __int = f.store.int; cast_relation(&mut f.store, &f.hier, __int, v) },
+            CastRelation::Checked
+        );
+    }
+
+    #[test]
+    fn cast_tuples_elementwise() {
+        let mut f = fix();
+        let t_ab = f.store.tuple(vec![f.animal, f.store.int]);
+        let t_bb = f.store.tuple(vec![f.bat, f.store.int]);
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, t_ab, t_bb),
+            CastRelation::Checked
+        );
+        let t2 = f.store.tuple(vec![f.store.int, f.store.int]);
+        let t3 = f.store.tuple(vec![f.store.int, f.store.int, f.store.int]);
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, t2, t3),
+            CastRelation::Unrelated
+        );
+        let t_bool = f.store.tuple(vec![f.store.bool_, f.store.bool_]);
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, t2, t_bool),
+            CastRelation::Unrelated
+        );
+    }
+
+    #[test]
+    fn constructor_summary_matches_paper_table() {
+        let rows = constructor_summary();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[3].params, vec![Variance::Contravariant, Variance::Covariant]);
+        assert!(rows[2].params.iter().all(|&v| v == Variance::Covariant));
+        assert!(rows[4].params.iter().all(|&v| v == Variance::Invariant));
+    }
+
+    #[test]
+    fn display_renders_nested_types() {
+        let mut f = fix();
+        let t = f.store.tuple(vec![f.store.int, f.store.bool_]);
+        let fun = f.store.function(t, f.store.void);
+        assert_eq!(display_type(&f.store, &f.hier, fun), "(int, bool) -> void");
+        let hof_param = f.store.function(f.store.int, f.store.int);
+        let hof = f.store.function(hof_param, f.store.int);
+        assert_eq!(display_type(&f.store, &f.hier, hof), "(int -> int) -> int");
+    }
+}

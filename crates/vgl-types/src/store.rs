@@ -1,0 +1,448 @@
+//! The type store: a hash-consing interner for Virgil types.
+//!
+//! Virgil III's type system has exactly five kinds of type constructors
+//! (paper §2.5): primitives, arrays, tuples, functions, and one class type
+//! constructor per user-defined class. Types are interned so that structural
+//! equality is pointer (id) equality; a [`Type`] is a `Copy` index.
+//!
+//! The *degenerate tuple rules* of §2.3 are enforced at construction time:
+//! `()` **is** `void` and `(T)` **is** `T`, so neither ever exists as a
+//! distinct interned type.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned type; cheap to copy and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Type(u32);
+
+impl Type {
+    /// The raw index (for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty#{}", self.0)
+    }
+}
+
+/// Identifies a user-defined class (assigned by semantic analysis).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a type parameter declaration. Each `<T>` in the program gets a
+/// globally unique id, so a class's `T` never collides with a method's `T`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TypeVarId(pub u32);
+
+impl TypeVarId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The structure of a type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TypeKind {
+    /// `void`: exactly one value, `()`.
+    Void,
+    /// `bool`.
+    Bool,
+    /// `byte`: an unsigned 8-bit integer.
+    Byte,
+    /// `int`: a signed 32-bit integer.
+    Int,
+    /// The type of the `null` literal; a subtype of every class, array, and
+    /// function type.
+    Null,
+    /// `Array<T>`; invariant in `T`.
+    Array(Type),
+    /// A tuple `(T0, ..., Tn)` with `n >= 2` elements (degenerate forms are
+    /// normalized away); covariant in every element.
+    Tuple(Vec<Type>),
+    /// A function `P -> R`; contravariant in `P`, covariant in `R`.
+    Function(Type, Type),
+    /// A class type `C<T0, ..., Tn>`; invariant in its type parameters.
+    Class(ClassId, Vec<Type>),
+    /// A reference to a type parameter.
+    Var(TypeVarId),
+}
+
+/// Interner for [`Type`]s plus pre-made primitives.
+#[derive(Debug, Clone)]
+pub struct TypeStore {
+    kinds: Vec<TypeKind>,
+    map: HashMap<TypeKind, Type>,
+    /// `void`.
+    pub void: Type,
+    /// `bool`.
+    pub bool_: Type,
+    /// `byte`.
+    pub byte: Type,
+    /// `int`.
+    pub int: Type,
+    /// The null type.
+    pub null: Type,
+    /// `string`, an alias for `Array<byte>`.
+    pub string: Type,
+}
+
+impl Default for TypeStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeStore {
+    /// Creates a store with the primitives interned.
+    pub fn new() -> TypeStore {
+        let mut s = TypeStore {
+            kinds: Vec::new(),
+            map: HashMap::new(),
+            void: Type(0),
+            bool_: Type(0),
+            byte: Type(0),
+            int: Type(0),
+            null: Type(0),
+            string: Type(0),
+        };
+        s.void = s.intern(TypeKind::Void);
+        s.bool_ = s.intern(TypeKind::Bool);
+        s.byte = s.intern(TypeKind::Byte);
+        s.int = s.intern(TypeKind::Int);
+        s.null = s.intern(TypeKind::Null);
+        s.string = s.array(s.byte);
+        s
+    }
+
+    fn intern(&mut self, kind: TypeKind) -> Type {
+        if let Some(&t) = self.map.get(&kind) {
+            return t;
+        }
+        let t = Type(self.kinds.len() as u32);
+        self.kinds.push(kind.clone());
+        self.map.insert(kind, t);
+        t
+    }
+
+    /// The structure of `t`.
+    pub fn kind(&self, t: Type) -> &TypeKind {
+        &self.kinds[t.index()]
+    }
+
+    /// Number of distinct types interned so far.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if only primitives exist (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Interns `Array<elem>`.
+    pub fn array(&mut self, elem: Type) -> Type {
+        self.intern(TypeKind::Array(elem))
+    }
+
+    /// Interns a tuple type, applying the degenerate rules: zero elements is
+    /// `void`, one element is the element itself.
+    pub fn tuple(&mut self, elems: Vec<Type>) -> Type {
+        match elems.len() {
+            0 => self.void,
+            1 => elems[0],
+            _ => self.intern(TypeKind::Tuple(elems)),
+        }
+    }
+
+    /// Interns `param -> ret`.
+    pub fn function(&mut self, param: Type, ret: Type) -> Type {
+        self.intern(TypeKind::Function(param, ret))
+    }
+
+    /// Interns a class type `C<args>`.
+    pub fn class(&mut self, class: ClassId, args: Vec<Type>) -> Type {
+        self.intern(TypeKind::Class(class, args))
+    }
+
+    /// Interns a type-variable reference.
+    pub fn var(&mut self, v: TypeVarId) -> Type {
+        self.intern(TypeKind::Var(v))
+    }
+
+    /// True if `t` is `void`.
+    pub fn is_void(&self, t: Type) -> bool {
+        t == self.void
+    }
+
+    /// True if `t` is a class, array, function, or null type — i.e. a type
+    /// whose values may be `null`.
+    pub fn is_nullable(&self, t: Type) -> bool {
+        matches!(
+            self.kind(t),
+            TypeKind::Class(..) | TypeKind::Array(_) | TypeKind::Function(..) | TypeKind::Null
+        )
+    }
+
+    /// True if `t` contains any type variable.
+    pub fn is_polymorphic(&self, t: Type) -> bool {
+        match self.kind(t) {
+            TypeKind::Var(_) => true,
+            TypeKind::Array(e) => self.is_polymorphic(*e),
+            TypeKind::Tuple(es) => {
+                let es = es.clone();
+                es.iter().any(|&e| self.is_polymorphic(e))
+            }
+            TypeKind::Function(p, r) => {
+                let (p, r) = (*p, *r);
+                self.is_polymorphic(p) || self.is_polymorphic(r)
+            }
+            TypeKind::Class(_, args) => {
+                let args = args.clone();
+                args.iter().any(|&a| self.is_polymorphic(a))
+            }
+            _ => false,
+        }
+    }
+
+    /// True if `t` contains a tuple type anywhere (used to verify the
+    /// post-normalization invariant that tuples are gone).
+    pub fn contains_tuple(&self, t: Type) -> bool {
+        match self.kind(t) {
+            TypeKind::Tuple(_) => true,
+            TypeKind::Array(e) => self.contains_tuple(*e),
+            TypeKind::Function(p, r) => {
+                let (p, r) = (*p, *r);
+                self.contains_tuple(p) || self.contains_tuple(r)
+            }
+            TypeKind::Class(_, args) => {
+                let args = args.clone();
+                args.iter().any(|&a| self.contains_tuple(a))
+            }
+            _ => false,
+        }
+    }
+
+    /// Flattens a type into the scalar types that represent it after
+    /// normalization (paper §4.2): tuples flatten recursively, `void`
+    /// disappears, every other type is one scalar.
+    pub fn flatten(&self, t: Type) -> Vec<Type> {
+        let mut out = Vec::new();
+        self.flatten_into(t, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, t: Type, out: &mut Vec<Type>) {
+        match self.kind(t) {
+            TypeKind::Void => {}
+            TypeKind::Tuple(es) => {
+                for e in es.clone() {
+                    self.flatten_into(e, out);
+                }
+            }
+            _ => out.push(t),
+        }
+    }
+
+    /// Number of scalar slots `t` occupies after normalization.
+    pub fn scalar_width(&self, t: Type) -> usize {
+        match self.kind(t) {
+            TypeKind::Void => 0,
+            TypeKind::Tuple(es) => {
+                es.clone().iter().map(|&e| self.scalar_width(e)).sum()
+            }
+            _ => 1,
+        }
+    }
+
+    /// Substitutes type variables in `t` according to `subst` (var → type).
+    /// Variables not in the map are left in place.
+    pub fn substitute(&mut self, t: Type, subst: &HashMap<TypeVarId, Type>) -> Type {
+        if subst.is_empty() || !self.is_polymorphic(t) {
+            return t;
+        }
+        match self.kind(t).clone() {
+            TypeKind::Var(v) => subst.get(&v).copied().unwrap_or(t),
+            TypeKind::Array(e) => {
+                let e = self.substitute(e, subst);
+                self.array(e)
+            }
+            TypeKind::Tuple(es) => {
+                let es = es.iter().map(|&e| self.substitute(e, subst)).collect();
+                self.tuple(es)
+            }
+            TypeKind::Function(p, r) => {
+                let p = self.substitute(p, subst);
+                let r = self.substitute(r, subst);
+                self.function(p, r)
+            }
+            TypeKind::Class(c, args) => {
+                let args = args.iter().map(|&a| self.substitute(a, subst)).collect();
+                self.class(c, args)
+            }
+            _ => t,
+        }
+    }
+
+    /// Collects every type variable occurring in `t` into `out`.
+    pub fn collect_vars(&self, t: Type, out: &mut Vec<TypeVarId>) {
+        match self.kind(t) {
+            TypeKind::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            TypeKind::Array(e) => self.collect_vars(*e, out),
+            TypeKind::Tuple(es) => {
+                for e in es.clone() {
+                    self.collect_vars(e, out);
+                }
+            }
+            TypeKind::Function(p, r) => {
+                let (p, r) = (*p, *r);
+                self.collect_vars(p, out);
+                self.collect_vars(r, out);
+            }
+            TypeKind::Class(_, args) => {
+                for a in args.clone() {
+                    self.collect_vars(a, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_are_distinct() {
+        let s = TypeStore::new();
+        let all = [s.void, s.bool_, s.byte, s.int, s.null];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn interning_gives_equal_ids() {
+        let mut s = TypeStore::new();
+        let t1 = s.tuple(vec![s.int, s.bool_]);
+        let t2 = s.tuple(vec![s.int, s.bool_]);
+        assert_eq!(t1, t2);
+        let f1 = s.function(t1, s.void);
+        let f2 = s.function(t2, s.void);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn degenerate_tuple_rules() {
+        // Paper §2.3: () is void; (T) is T.
+        let mut s = TypeStore::new();
+        assert_eq!(s.tuple(vec![]), s.void);
+        let i = s.int;
+        assert_eq!(s.tuple(vec![i]), i);
+    }
+
+    #[test]
+    fn string_is_array_of_byte() {
+        let mut s = TypeStore::new();
+        let b = s.byte;
+        let ab = s.array(b);
+        assert_eq!(s.string, ab);
+    }
+
+    #[test]
+    fn flatten_recursively() {
+        let mut s = TypeStore::new();
+        let inner = s.tuple(vec![s.int, s.bool_]);
+        let outer = s.tuple(vec![inner, s.byte]);
+        assert_eq!(s.flatten(outer), vec![s.int, s.bool_, s.byte]);
+        assert_eq!(s.scalar_width(outer), 3);
+    }
+
+    #[test]
+    fn flatten_void_disappears() {
+        let mut s = TypeStore::new();
+        assert_eq!(s.flatten(s.void), vec![]);
+        assert_eq!(s.scalar_width(s.void), 0);
+        let t = s.tuple(vec![s.void, s.int]);
+        // (void, int) is a 2-tuple; it flattens to just [int].
+        assert_eq!(s.flatten(t), vec![s.int]);
+    }
+
+    #[test]
+    fn substitution_replaces_vars() {
+        let mut s = TypeStore::new();
+        let v = TypeVarId(0);
+        let tv = s.var(v);
+        let list_t = s.tuple(vec![tv, s.int]);
+        let mut sub = HashMap::new();
+        sub.insert(v, s.bool_);
+        let r = s.substitute(list_t, &sub);
+        let expect = s.tuple(vec![s.bool_, s.int]);
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn substitution_under_function_and_array() {
+        let mut s = TypeStore::new();
+        let v = TypeVarId(7);
+        let tv = s.var(v);
+        let arr = s.array(tv);
+        let f = s.function(arr, tv);
+        let mut sub = HashMap::new();
+        sub.insert(v, s.byte);
+        let r = s.substitute(f, &sub);
+        let ab = s.array(s.byte);
+        let expect = s.function(ab, s.byte);
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn polymorphic_detection() {
+        let mut s = TypeStore::new();
+        let v = s.var(TypeVarId(1));
+        assert!(s.is_polymorphic(v));
+        let t = s.tuple(vec![s.int, v]);
+        assert!(s.is_polymorphic(t));
+        let m = s.tuple(vec![s.int, s.bool_]);
+        assert!(!s.is_polymorphic(m));
+    }
+
+    #[test]
+    fn contains_tuple_detection() {
+        let mut s = TypeStore::new();
+        let tup = s.tuple(vec![s.int, s.int]);
+        let arr = s.array(tup);
+        assert!(s.contains_tuple(arr));
+        let f = s.function(s.int, s.int);
+        assert!(!s.contains_tuple(f));
+    }
+
+    #[test]
+    fn collect_vars_finds_all() {
+        let mut s = TypeStore::new();
+        let a = s.var(TypeVarId(0));
+        let b = s.var(TypeVarId(1));
+        let f = s.function(a, b);
+        let mut vars = Vec::new();
+        s.collect_vars(f, &mut vars);
+        assert_eq!(vars, vec![TypeVarId(0), TypeVarId(1)]);
+    }
+}

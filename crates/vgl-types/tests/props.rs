@@ -1,0 +1,190 @@
+//! Property tests over the type system: subtyping laws, degenerate tuple
+//! rules, flattening invariants, and cast-relation coherence over randomly
+//! generated types.
+
+use proptest::prelude::*;
+use vgl_types::{
+    cast_relation, is_subtype, CastRelation, ClassInfo, Hierarchy, Type, TypeStore,
+};
+
+/// A recipe for building a random type in a fresh store (strategies cannot
+/// carry the store itself).
+#[derive(Clone, Debug)]
+enum TyRecipe {
+    Void,
+    Bool,
+    Byte,
+    Int,
+    /// One of the fixture classes (0 = Animal, 1 = Bat, 2 = Vampire, 3 = Other).
+    Class(u8),
+    Array(Box<TyRecipe>),
+    Tuple(Vec<TyRecipe>),
+    Function(Box<TyRecipe>, Box<TyRecipe>),
+}
+
+fn arb_ty() -> impl Strategy<Value = TyRecipe> {
+    let leaf = prop_oneof![
+        Just(TyRecipe::Void),
+        Just(TyRecipe::Bool),
+        Just(TyRecipe::Byte),
+        Just(TyRecipe::Int),
+        (0u8..4).prop_map(TyRecipe::Class),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| TyRecipe::Array(Box::new(t))),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(TyRecipe::Tuple),
+            (inner.clone(), inner).prop_map(|(p, r)| TyRecipe::Function(Box::new(p), Box::new(r))),
+        ]
+    })
+}
+
+struct Fixture {
+    store: TypeStore,
+    hier: Hierarchy,
+    classes: Vec<Type>,
+}
+
+fn fixture() -> Fixture {
+    let mut store = TypeStore::new();
+    let mut hier = Hierarchy::new();
+    let animal = hier.add_class(ClassInfo { name: "Animal".into(), type_params: vec![], parent: None });
+    let bat = hier.add_class(ClassInfo { name: "Bat".into(), type_params: vec![], parent: Some((animal, vec![])) });
+    let vampire = hier.add_class(ClassInfo { name: "Vampire".into(), type_params: vec![], parent: Some((bat, vec![])) });
+    let other = hier.add_class(ClassInfo { name: "Other".into(), type_params: vec![], parent: None });
+    let classes = vec![
+        store.class(animal, vec![]),
+        store.class(bat, vec![]),
+        store.class(vampire, vec![]),
+        store.class(other, vec![]),
+    ];
+    Fixture { store, hier, classes }
+}
+
+fn build(f: &mut Fixture, r: &TyRecipe) -> Type {
+    match r {
+        TyRecipe::Void => f.store.void,
+        TyRecipe::Bool => f.store.bool_,
+        TyRecipe::Byte => f.store.byte,
+        TyRecipe::Int => f.store.int,
+        TyRecipe::Class(i) => f.classes[*i as usize % f.classes.len()],
+        TyRecipe::Array(e) => {
+            let t = build(f, e);
+            f.store.array(t)
+        }
+        TyRecipe::Tuple(es) => {
+            let ts: Vec<Type> = es.iter().map(|e| build(f, e)).collect();
+            f.store.tuple(ts)
+        }
+        TyRecipe::Function(p, ret) => {
+            let pt = build(f, p);
+            let rt = build(f, ret);
+            f.store.function(pt, rt)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(128),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn subtyping_is_reflexive(r in arb_ty()) {
+        let mut f = fixture();
+        let t = build(&mut f, &r);
+        prop_assert!(is_subtype(&mut f.store, &f.hier, t, t));
+    }
+
+    #[test]
+    fn subtyping_is_transitive(a in arb_ty(), b in arb_ty(), c in arb_ty()) {
+        let mut f = fixture();
+        let (ta, tb, tc) = (build(&mut f, &a), build(&mut f, &b), build(&mut f, &c));
+        if is_subtype(&mut f.store, &f.hier, ta, tb)
+            && is_subtype(&mut f.store, &f.hier, tb, tc)
+        {
+            prop_assert!(is_subtype(&mut f.store, &f.hier, ta, tc));
+        }
+    }
+
+    #[test]
+    fn subtyping_is_antisymmetric(a in arb_ty(), b in arb_ty()) {
+        let mut f = fixture();
+        let (ta, tb) = (build(&mut f, &a), build(&mut f, &b));
+        if is_subtype(&mut f.store, &f.hier, ta, tb)
+            && is_subtype(&mut f.store, &f.hier, tb, ta)
+        {
+            // Interning makes structural equality id equality.
+            prop_assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn interning_is_canonical(r in arb_ty()) {
+        // Building the same recipe twice yields the same id.
+        let mut f = fixture();
+        let t1 = build(&mut f, &r);
+        let t2 = build(&mut f, &r);
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn subsumption_implies_legal_cast(a in arb_ty(), b in arb_ty()) {
+        let mut f = fixture();
+        let (ta, tb) = (build(&mut f, &a), build(&mut f, &b));
+        if is_subtype(&mut f.store, &f.hier, ta, tb) {
+            prop_assert_eq!(
+                cast_relation(&mut f.store, &f.hier, ta, tb),
+                CastRelation::Subsumption
+            );
+        }
+    }
+
+    #[test]
+    fn flatten_has_no_tuples_or_voids(r in arb_ty()) {
+        let mut f = fixture();
+        let t = build(&mut f, &r);
+        for p in f.store.flatten(t) {
+            prop_assert!(!matches!(f.store.kind(p), vgl_types::TypeKind::Tuple(_)));
+            prop_assert!(!f.store.is_void(p));
+        }
+    }
+
+    #[test]
+    fn scalar_width_matches_flatten(r in arb_ty()) {
+        let mut f = fixture();
+        let t = build(&mut f, &r);
+        prop_assert_eq!(f.store.scalar_width(t), f.store.flatten(t).len());
+    }
+
+    #[test]
+    fn function_variance_law(p1 in arb_ty(), r1 in arb_ty(), p2 in arb_ty(), r2 in arb_ty()) {
+        // (P1 -> R1) <: (P2 -> R2)  iff  P2 <: P1 and R1 <: R2.
+        let mut f = fixture();
+        let (tp1, tr1) = (build(&mut f, &p1), build(&mut f, &r1));
+        let (tp2, tr2) = (build(&mut f, &p2), build(&mut f, &r2));
+        let f1 = f.store.function(tp1, tr1);
+        let f2 = f.store.function(tp2, tr2);
+        let lhs = is_subtype(&mut f.store, &f.hier, f1, f2);
+        let rhs = is_subtype(&mut f.store, &f.hier, tp2, tp1)
+            && is_subtype(&mut f.store, &f.hier, tr1, tr2);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn tuple_covariance_law(xs in proptest::collection::vec(arb_ty(), 2..4),
+                            ys in proptest::collection::vec(arb_ty(), 2..4)) {
+        let mut f = fixture();
+        let tx: Vec<Type> = xs.iter().map(|r| build(&mut f, r)).collect();
+        let ty: Vec<Type> = ys.iter().map(|r| build(&mut f, r)).collect();
+        let tt = f.store.tuple(tx.clone());
+        let ts = f.store.tuple(ty.clone());
+        let lhs = is_subtype(&mut f.store, &f.hier, tt, ts);
+        let rhs = tx.len() == ty.len()
+            && tx.iter().zip(ty.iter()).all(|(&x, &y)| {
+                is_subtype(&mut f.store, &f.hier, x, y)
+            });
+        prop_assert_eq!(lhs, rhs);
+    }
+}

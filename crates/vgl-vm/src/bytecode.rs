@@ -1,0 +1,343 @@
+//! Bytecode definitions for the register VM — the "native target" substitute.
+//!
+//! The design mirrors what the paper's native x86 backend guarantees:
+//!
+//! * a **scalar calling convention**: calls pass zero or more scalar
+//!   registers and return zero or more scalar registers ("utilizing multiple
+//!   return registers on native targets" — §4.2);
+//! * **vtable dispatch** for virtual calls;
+//! * **constant-time type tests** on classes via preorder range numbering
+//!   (the paper cites Cohen [4] for this);
+//! * **no implicit allocation**: the only allocating instructions are the
+//!   explicit `NewObject`/`NewArray`/`ArrayLit`/`ConstPool` (source-level
+//!   `new` and literals) and `MakeClos*` (closure cells, reported
+//!   separately).
+
+use vgl_ir::ops::Exception;
+use vgl_ir::Builtin;
+
+/// A virtual register (frame slot index).
+pub type Reg = u16;
+
+/// A function index in [`VmProgram::funcs`].
+pub type FuncId = u32;
+
+/// Comparison/arithmetic kinds for [`Instr::Bin`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinKind {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Trapping divide.
+    Div,
+    /// Trapping modulus.
+    Mod,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (Virgil semantics).
+    Shl,
+    /// Arithmetic shift right (Virgil semantics).
+    Shr,
+}
+
+/// One bytecode instruction.
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// dst ← signed scalar constant.
+    ConstI(Reg, i64),
+    /// dst ← null.
+    ConstNull(Reg),
+    /// dst ← fresh byte array from the constant pool (allocates).
+    ConstPool(Reg, u32),
+    /// dst ← src.
+    Mov(Reg, Reg),
+    /// dst ← a ⊕ b on scalars.
+    Bin(BinKind, Reg, Reg, Reg),
+    /// dst ← -a.
+    Neg(Reg, Reg),
+    /// dst ← !a (bool).
+    Not(Reg, Reg),
+    /// dst ← a == b on tagged words (scalars by value, refs by identity).
+    EqRR(Reg, Reg, Reg),
+    /// dst ← closure equality: same function and same bound receiver.
+    EqClos(Reg, Reg, Reg),
+    /// Unconditional relative jump.
+    Jump(i32),
+    /// Branch when the register holds false.
+    BrFalse(Reg, i32),
+    /// Branch when the register holds true.
+    BrTrue(Reg, i32),
+    /// Direct call.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument registers.
+        args: Vec<Reg>,
+        /// Destination registers for the returned values.
+        rets: Vec<Reg>,
+    },
+    /// Virtual call through `args[0]`'s class vtable.
+    CallVirt {
+        /// Vtable slot.
+        slot: u32,
+        /// Argument registers; `args[0]` is the receiver (null-checked).
+        args: Vec<Reg>,
+        /// Destinations.
+        rets: Vec<Reg>,
+    },
+    /// Closure invocation (null-checked).
+    CallClos {
+        /// Closure cell register.
+        clos: Reg,
+        /// Arguments (receiver prepended automatically when bound).
+        args: Vec<Reg>,
+        /// Destinations.
+        rets: Vec<Reg>,
+    },
+    /// Host intrinsic call.
+    CallBuiltin {
+        /// Which intrinsic.
+        b: Builtin,
+        /// Arguments.
+        args: Vec<Reg>,
+        /// Destinations (zero or one).
+        rets: Vec<Reg>,
+    },
+    /// dst ← closure cell over `func` (+ optional bound receiver).
+    MakeClos {
+        /// Destination.
+        dst: Reg,
+        /// Target function.
+        func: FuncId,
+        /// Receiver to bind.
+        recv: Option<Reg>,
+    },
+    /// dst ← closure bound via bind-time vtable lookup (null-checked).
+    MakeClosVirt {
+        /// Destination.
+        dst: Reg,
+        /// Vtable slot.
+        slot: u32,
+        /// Receiver.
+        recv: Reg,
+    },
+    /// dst ← new object of `class`, fields zeroed (explicit allocation).
+    NewObject {
+        /// Destination.
+        dst: Reg,
+        /// Class index.
+        class: u32,
+    },
+    /// dst ← new array of `len` default slots; traps on negative length.
+    NewArray {
+        /// Destination.
+        dst: Reg,
+        /// Length register.
+        len: Reg,
+        /// Elements default to `null` when reference-typed.
+        nullable: bool,
+    },
+    /// dst ← array literal from registers.
+    ArrayLit {
+        /// Destination.
+        dst: Reg,
+        /// Element registers.
+        elems: Vec<Reg>,
+    },
+    /// dst ← array length (null-checked).
+    ArrayLen {
+        /// Destination.
+        dst: Reg,
+        /// Array.
+        arr: Reg,
+    },
+    /// dst ← `arr[idx]` (null- and bounds-checked).
+    ArrayGet {
+        /// Destination.
+        dst: Reg,
+        /// Array.
+        arr: Reg,
+        /// Index.
+        idx: Reg,
+    },
+    /// `arr[idx]` ← val.
+    ArraySet {
+        /// Array.
+        arr: Reg,
+        /// Index.
+        idx: Reg,
+        /// Value.
+        val: Reg,
+    },
+    /// dst ← obj.slot (null-checked).
+    FieldGet {
+        /// Destination.
+        dst: Reg,
+        /// Object.
+        obj: Reg,
+        /// Field slot.
+        slot: u32,
+    },
+    /// obj.slot ← val (null-checked).
+    FieldSet {
+        /// Object.
+        obj: Reg,
+        /// Field slot.
+        slot: u32,
+        /// Value.
+        val: Reg,
+    },
+    /// dst ← global.
+    GlobalGet {
+        /// Destination.
+        dst: Reg,
+        /// Global index.
+        g: u32,
+    },
+    /// global ← src.
+    GlobalSet {
+        /// Global index.
+        g: u32,
+        /// Source.
+        src: Reg,
+    },
+    /// dst ← `obj` is an instance of the class preorder range `[lo, hi]`
+    /// (false for null) — Cohen-style constant-time type test.
+    ClassQuery {
+        /// Destination (bool).
+        dst: Reg,
+        /// Object.
+        obj: Reg,
+        /// Range start.
+        lo: u32,
+        /// Range end (inclusive).
+        hi: u32,
+    },
+    /// Traps unless `obj` is null or within the range.
+    ClassCast {
+        /// Object.
+        obj: Reg,
+        /// Range start.
+        lo: u32,
+        /// Range end.
+        hi: u32,
+    },
+    /// dst ← closure type test via precomputed per-function admissibility.
+    ClosQuery {
+        /// Destination (bool).
+        dst: Reg,
+        /// Closure.
+        clos: Reg,
+        /// Index into [`VmProgram::clos_tests`].
+        test: u32,
+    },
+    /// Traps unless the closure passes the test (null passes).
+    ClosCast {
+        /// Closure.
+        clos: Reg,
+        /// Test index.
+        test: u32,
+    },
+    /// dst ← src checked into byte range (traps when out of 0..=255).
+    IntToByte {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// Traps when the register is null; otherwise no effect.
+    CheckNull(Reg),
+    /// dst ← src is null.
+    IsNull(Reg, Reg),
+    /// Return the given registers to the caller.
+    Ret(Vec<Reg>),
+    /// Raise an exception.
+    Trap(Exception),
+}
+
+/// Per-function admissibility for closure type tests: whether each function,
+/// in bound and unbound form, satisfies the target function type.
+#[derive(Clone, Debug, Default)]
+pub struct ClosTest {
+    /// `allowed_bound[f]`: a closure cell (f, recv) passes.
+    pub allowed_bound: Vec<bool>,
+    /// `allowed_unbound[f]`: a closure cell (f, —) passes.
+    pub allowed_unbound: Vec<bool>,
+}
+
+/// A compiled function.
+#[derive(Clone, Debug)]
+pub struct VmFunc {
+    /// Name (diagnostics/disassembly).
+    pub name: String,
+    /// Number of parameter registers.
+    pub param_count: usize,
+    /// Total frame registers.
+    pub reg_count: usize,
+    /// Number of returned values.
+    pub ret_count: usize,
+    /// The code.
+    pub code: Vec<Instr>,
+}
+
+/// A compiled class.
+#[derive(Clone, Debug)]
+pub struct VmClass {
+    /// Name.
+    pub name: String,
+    /// Total (flattened) field slots.
+    pub field_count: usize,
+    /// Which field slots default to `null` (reference-typed).
+    pub field_nullable: Vec<bool>,
+    /// Virtual dispatch table.
+    pub vtable: Vec<FuncId>,
+    /// Preorder number.
+    pub pre: u32,
+    /// Largest preorder number among descendants.
+    pub max_desc: u32,
+}
+
+/// A compiled program.
+#[derive(Clone, Debug, Default)]
+pub struct VmProgram {
+    /// All functions.
+    pub funcs: Vec<VmFunc>,
+    /// All classes.
+    pub classes: Vec<VmClass>,
+    /// Number of global slots.
+    pub global_count: usize,
+    /// Whether each global defaults to `null` (reference-typed).
+    pub global_nullable: Vec<bool>,
+    /// Initialization: `(global slot, init function)` in order; each init
+    /// function takes no arguments and returns one value.
+    pub global_inits: Vec<(u32, FuncId)>,
+    /// Constant pool for string/array literals.
+    pub pool: Vec<Vec<u8>>,
+    /// Closure type tests.
+    pub clos_tests: Vec<ClosTest>,
+    /// Entry function.
+    pub main: Option<FuncId>,
+}
+
+impl VmProgram {
+    /// Total instruction count (static code size — the E4 metric at the
+    /// bytecode level).
+    pub fn code_size(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}

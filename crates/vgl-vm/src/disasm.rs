@@ -1,0 +1,186 @@
+//! Bytecode disassembler, for `vglc disasm` and debugging.
+
+use crate::bytecode::{BinKind, Instr, VmProgram};
+use std::fmt::Write as _;
+
+/// Renders one instruction.
+pub fn disasm_instr(i: &Instr) -> String {
+    use Instr::*;
+    fn regs(rs: &[u16]) -> String {
+        let v: Vec<String> = rs.iter().map(|r| format!("r{r}")).collect();
+        format!("[{}]", v.join(", "))
+    }
+    match i {
+        ConstI(d, v) => format!("r{d} <- const {v}"),
+        ConstNull(d) => format!("r{d} <- null"),
+        ConstPool(d, ix) => format!("r{d} <- pool[{ix}]"),
+        Mov(d, s) => format!("r{d} <- r{s}"),
+        Bin(k, d, a, b) => {
+            let op = match k {
+                BinKind::Add => "+",
+                BinKind::Sub => "-",
+                BinKind::Mul => "*",
+                BinKind::Div => "/",
+                BinKind::Mod => "%",
+                BinKind::Lt => "<",
+                BinKind::Le => "<=",
+                BinKind::Gt => ">",
+                BinKind::Ge => ">=",
+                BinKind::And => "&",
+                BinKind::Or => "|",
+                BinKind::Xor => "^",
+                BinKind::Shl => "<<",
+                BinKind::Shr => ">>",
+            };
+            format!("r{d} <- r{a} {op} r{b}")
+        }
+        Neg(d, a) => format!("r{d} <- -r{a}"),
+        Not(d, a) => format!("r{d} <- !r{a}"),
+        EqRR(d, a, b) => format!("r{d} <- r{a} == r{b}"),
+        EqClos(d, a, b) => format!("r{d} <- r{a} ==clos r{b}"),
+        Jump(off) => format!("jump {off:+}"),
+        BrFalse(c, off) => format!("br_false r{c} {off:+}"),
+        BrTrue(c, off) => format!("br_true r{c} {off:+}"),
+        Call { func, args, rets } => format!("call f{func} {} -> {}", regs(args), regs(rets)),
+        CallVirt { slot, args, rets } => {
+            format!("call_virt slot={slot} {} -> {}", regs(args), regs(rets))
+        }
+        CallClos { clos, args, rets } => {
+            format!("call_clos r{clos} {} -> {}", regs(args), regs(rets))
+        }
+        CallBuiltin { b, args, rets } => {
+            format!("call_builtin {b:?} {} -> {}", regs(args), regs(rets))
+        }
+        MakeClos { dst, func, recv } => match recv {
+            Some(r) => format!("r{dst} <- closure f{func} bound r{r}"),
+            None => format!("r{dst} <- closure f{func}"),
+        },
+        MakeClosVirt { dst, slot, recv } => {
+            format!("r{dst} <- closure vtable[{slot}] bound r{recv}")
+        }
+        NewObject { dst, class } => format!("r{dst} <- new class#{class}"),
+        NewArray { dst, len, nullable } => {
+            format!("r{dst} <- new array[r{len}]{}", if *nullable { " null-init" } else { "" })
+        }
+        ArrayLit { dst, elems } => format!("r{dst} <- array {}", regs(elems)),
+        ArrayLen { dst, arr } => format!("r{dst} <- len r{arr}"),
+        ArrayGet { dst, arr, idx } => format!("r{dst} <- r{arr}[r{idx}]"),
+        ArraySet { arr, idx, val } => format!("r{arr}[r{idx}] <- r{val}"),
+        FieldGet { dst, obj, slot } => format!("r{dst} <- r{obj}.{slot}"),
+        FieldSet { obj, slot, val } => format!("r{obj}.{slot} <- r{val}"),
+        GlobalGet { dst, g } => format!("r{dst} <- g{g}"),
+        GlobalSet { g, src } => format!("g{g} <- r{src}"),
+        ClassQuery { dst, obj, lo, hi } => format!("r{dst} <- r{obj} instanceof [{lo}..{hi}]"),
+        ClassCast { obj, lo, hi } => format!("checkcast r{obj} [{lo}..{hi}]"),
+        ClosQuery { dst, clos, test } => format!("r{dst} <- r{clos} isfunc test#{test}"),
+        ClosCast { clos, test } => format!("checkfunc r{clos} test#{test}"),
+        IntToByte { dst, src } => format!("r{dst} <- byte(r{src})"),
+        CheckNull(r) => format!("checknull r{r}"),
+        IsNull(d, v) => format!("r{d} <- r{v} == null"),
+        Ret(rs) => format!("ret {}", regs(rs)),
+        Trap(x) => format!("trap {x}"),
+    }
+}
+
+/// Renders a whole program: classes, globals, and every function.
+pub fn disasm(p: &VmProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; {} functions, {} classes, {} globals, {} instructions",
+        p.funcs.len(),
+        p.classes.len(),
+        p.global_count,
+        p.code_size()
+    );
+    for (i, c) in p.classes.iter().enumerate() {
+        let vt: Vec<String> = c.vtable.iter().map(|f| format!("f{f}")).collect();
+        let _ = writeln!(
+            out,
+            "class#{i} {} fields={} pre=[{}..{}] vtable=[{}]",
+            c.name,
+            c.field_count,
+            c.pre,
+            c.max_desc,
+            vt.join(", ")
+        );
+    }
+    for (i, f) in p.funcs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "\nf{i} {} (params={}, regs={}, rets={}):",
+            f.name, f.param_count, f.reg_count, f.ret_count
+        );
+        for (pc, instr) in f.code.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:4}  {}", disasm_instr(instr));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{VmFunc, VmProgram};
+
+    #[test]
+    fn disasm_renders_every_instruction_kind() {
+        use vgl_ir::ops::Exception;
+        use Instr::*;
+        let instrs = vec![
+            ConstI(0, 5),
+            ConstNull(1),
+            ConstPool(2, 0),
+            Mov(0, 1),
+            Bin(BinKind::Add, 0, 1, 2),
+            Neg(0, 1),
+            Not(0, 1),
+            EqRR(0, 1, 2),
+            EqClos(0, 1, 2),
+            Jump(3),
+            BrFalse(0, -2),
+            BrTrue(0, 2),
+            Call { func: 0, args: vec![1], rets: vec![2] },
+            CallVirt { slot: 0, args: vec![1], rets: vec![] },
+            CallClos { clos: 0, args: vec![], rets: vec![1] },
+            CallBuiltin { b: vgl_ir::Builtin::Ln, args: vec![], rets: vec![] },
+            MakeClos { dst: 0, func: 1, recv: Some(2) },
+            MakeClosVirt { dst: 0, slot: 1, recv: 2 },
+            NewObject { dst: 0, class: 1 },
+            NewArray { dst: 0, len: 1, nullable: true },
+            ArrayLit { dst: 0, elems: vec![1, 2] },
+            ArrayLen { dst: 0, arr: 1 },
+            ArrayGet { dst: 0, arr: 1, idx: 2 },
+            ArraySet { arr: 0, idx: 1, val: 2 },
+            FieldGet { dst: 0, obj: 1, slot: 2 },
+            FieldSet { obj: 0, slot: 1, val: 2 },
+            GlobalGet { dst: 0, g: 1 },
+            GlobalSet { g: 0, src: 1 },
+            ClassQuery { dst: 0, obj: 1, lo: 2, hi: 3 },
+            ClassCast { obj: 0, lo: 1, hi: 2 },
+            ClosQuery { dst: 0, clos: 1, test: 0 },
+            ClosCast { clos: 0, test: 0 },
+            IntToByte { dst: 0, src: 1 },
+            CheckNull(0),
+            IsNull(0, 1),
+            Ret(vec![0]),
+            Trap(Exception::TypeCheck),
+        ];
+        for i in &instrs {
+            assert!(!disasm_instr(i).is_empty());
+        }
+        let p = VmProgram {
+            funcs: vec![VmFunc {
+                name: "f".into(),
+                param_count: 0,
+                reg_count: 3,
+                ret_count: 1,
+                code: instrs,
+            }],
+            ..VmProgram::default()
+        };
+        let text = disasm(&p);
+        assert!(text.contains("f0 f"));
+        assert!(text.contains("trap !TypeCheckException"));
+    }
+}

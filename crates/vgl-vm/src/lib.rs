@@ -1,0 +1,29 @@
+//! # vgl-vm
+//!
+//! The bytecode target of virgil-rs — the stand-in for the paper's native
+//! x86 backend. [`lower`] compiles a *normalized, monomorphic* module into a
+//! register [`VmProgram`]; [`Vm`] executes it over tagged 64-bit words with
+//! the semispace GC heap from `vgl-runtime`.
+//!
+//! The target exists to make §4's implementation claims *measurable*:
+//!
+//! * the calling convention is all-scalar with **multiple return registers**,
+//!   so there are no tuple boxes and no §4.1 dynamic calling-convention
+//!   checks (compare [`VmStats`] with the interpreter's `InterpStats`);
+//! * type tests compile to **constant-time class-id range checks** (Cohen
+//!   numbering, cited by the paper) or precomputed closure admissibility
+//!   tables;
+//! * the only allocations are explicit `new`/literals and closure cells —
+//!   [`vgl_runtime::HeapStats::tuple_boxes`] is structurally always zero.
+
+#![warn(missing_docs)]
+
+mod bytecode;
+mod disasm;
+mod lower;
+mod vm;
+
+pub use bytecode::{BinKind, ClosTest, FuncId, Instr, Reg, VmClass, VmFunc, VmProgram};
+pub use disasm::{disasm, disasm_instr};
+pub use lower::lower;
+pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats};

@@ -1,0 +1,574 @@
+//! The register VM: executes bytecode over tagged words with the semispace
+//! GC heap. No instruction allocates implicitly — the heap statistics after a
+//! run *prove* the §4.2 claim that compiled programs only allocate at
+//! explicit `new`/literals (plus closure cells, reported separately).
+
+use crate::bytecode::*;
+use vgl_ir::ops::{self, Exception};
+use vgl_ir::Builtin;
+use vgl_runtime::heap::{
+    self, as_i32, from_i32, is_ref, CellKind, Heap, HeapStats, NeedsGc, Word, NULL,
+};
+
+/// Why execution stopped abnormally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// A language-level exception.
+    Exception(Exception),
+    /// The configured instruction budget ran out.
+    OutOfFuel,
+    /// The program has no main function.
+    NoMain,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Exception(e) => write!(f, "{e}"),
+            VmError::OutOfFuel => write!(f, "out of fuel"),
+            VmError::NoMain => write!(f, "program has no main"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmStats {
+    /// Instructions executed.
+    pub instrs: u64,
+    /// Calls performed (all kinds).
+    pub calls: u64,
+    /// Virtual dispatches.
+    pub virtual_calls: u64,
+    /// Closure invocations. Note there is **no calling-convention check**:
+    /// normalization made every function scalar, so arities always match
+    /// (E6's compiled side).
+    pub closure_calls: u64,
+    /// Heap statistics (tuple_boxes is always 0 — E1's compiled side).
+    pub heap: HeapStats,
+}
+
+struct FrameInfo {
+    func: FuncId,
+    pc: usize,
+    base: usize,
+    rets: Vec<Reg>,
+}
+
+/// The virtual machine.
+pub struct Vm<'p> {
+    program: &'p VmProgram,
+    heap: Heap,
+    globals: Vec<Word>,
+    stack: Vec<Word>,
+    frames: Vec<FrameInfo>,
+    out: Vec<u8>,
+    /// Statistics.
+    pub stats: VmStats,
+    fuel: Option<u64>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM over a compiled program with the given heap size (slots).
+    pub fn new(program: &'p VmProgram) -> Vm<'p> {
+        Vm::with_heap(program, 1 << 20)
+    }
+
+    /// Creates a VM with a specific semispace capacity in slots.
+    pub fn with_heap(program: &'p VmProgram, heap_slots: usize) -> Vm<'p> {
+        Vm {
+            program,
+            heap: Heap::new(heap_slots),
+            globals: (0..program.global_count)
+                .map(|i| {
+                    if program.global_nullable.get(i).copied().unwrap_or(false) {
+                        NULL
+                    } else {
+                        0
+                    }
+                })
+                .collect(),
+            stack: Vec::with_capacity(4096),
+            frames: Vec::new(),
+            out: Vec::new(),
+            stats: VmStats::default(),
+            fuel: None,
+        }
+    }
+
+    /// Limits execution to an instruction budget.
+    pub fn set_fuel(&mut self, instrs: u64) {
+        self.fuel = Some(instrs);
+    }
+
+    /// Captured output.
+    pub fn output(&self) -> String {
+        String::from_utf8_lossy(&self.out).into_owned()
+    }
+
+    /// Runs global initializers then `main`; returns main's return words.
+    pub fn run(&mut self) -> Result<Vec<Word>, VmError> {
+        let Some(main) = self.program.main else {
+            return Err(VmError::NoMain);
+        };
+        for (g, fid) in self.program.global_inits.clone() {
+            let vals = self.call_function(fid, &[])?;
+            self.globals[g as usize] = vals.first().copied().unwrap_or(0);
+        }
+        self.call_function(main, &[])
+    }
+
+    /// Calls a function with arguments (testing hook).
+    pub fn call_function(&mut self, func: FuncId, args: &[Word]) -> Result<Vec<Word>, VmError> {
+        let f = &self.program.funcs[func as usize];
+        debug_assert_eq!(args.len(), f.param_count, "arity calling {}", f.name);
+        let base = self.stack.len();
+        self.stack.resize(base + f.reg_count, 0);
+        self.stack[base..base + args.len()].copy_from_slice(args);
+        let ret_count = f.ret_count;
+        self.frames.push(FrameInfo { func, pc: 0, base, rets: Vec::new() });
+        let depth = self.frames.len();
+        let r = self.interp_until(depth - 1);
+        match r {
+            Ok(values) => {
+                debug_assert_eq!(values.len(), ret_count);
+                Ok(values)
+            }
+            Err(e) => {
+                self.frames.truncate(depth - 1);
+                self.stack.truncate(base);
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs frames until the frame stack drops back to `floor`, returning
+    /// the popped frame's return values.
+    fn interp_until(&mut self, floor: usize) -> Result<Vec<Word>, VmError> {
+        loop {
+            if let Some(fuel) = self.fuel {
+                if self.stats.instrs >= fuel {
+                    return Err(VmError::OutOfFuel);
+                }
+            }
+            self.stats.instrs += 1;
+            let fi = self.frames.len() - 1;
+            let (func, pc, base) = {
+                let f = &self.frames[fi];
+                (f.func, f.pc, f.base)
+            };
+            // Default: advance to the next instruction.
+            self.frames[fi].pc = pc + 1;
+            let instr = &self.program.funcs[func as usize].code[pc];
+            macro_rules! reg {
+                ($r:expr) => {
+                    self.stack[base + $r as usize]
+                };
+            }
+            macro_rules! jump {
+                ($off:expr) => {
+                    self.frames[fi].pc = (pc as i64 + $off as i64) as usize
+                };
+            }
+            match instr {
+                Instr::ConstI(d, v) => reg!(*d) = heap::scalar(*v),
+                Instr::ConstNull(d) => reg!(*d) = NULL,
+                Instr::ConstPool(d, ix) => {
+                    let bytes = self.program.pool[*ix as usize].clone();
+                    let r = self.alloc(CellKind::Array, 0, bytes.len())?;
+                    for (i, b) in bytes.iter().enumerate() {
+                        self.heap.set(r, i, heap::scalar(*b as i64));
+                    }
+                    self.stack[base + *d as usize] = r;
+                }
+                Instr::Mov(d, s) => reg!(*d) = reg!(*s),
+                Instr::Bin(k, d, a, b) => {
+                    let x = as_i32(reg!(*a));
+                    let y = as_i32(reg!(*b));
+                    let v = match k {
+                        BinKind::Add => from_i32(ops::int_add(x, y)),
+                        BinKind::Sub => from_i32(ops::int_sub(x, y)),
+                        BinKind::Mul => from_i32(ops::int_mul(x, y)),
+                        BinKind::Div => {
+                            from_i32(ops::int_div(x, y).map_err(VmError::Exception)?)
+                        }
+                        BinKind::Mod => {
+                            from_i32(ops::int_mod(x, y).map_err(VmError::Exception)?)
+                        }
+                        BinKind::Lt => heap::scalar(i64::from(x < y)),
+                        BinKind::Le => heap::scalar(i64::from(x <= y)),
+                        BinKind::Gt => heap::scalar(i64::from(x > y)),
+                        BinKind::Ge => heap::scalar(i64::from(x >= y)),
+                        BinKind::And => from_i32(x & y),
+                        BinKind::Or => from_i32(x | y),
+                        BinKind::Xor => from_i32(x ^ y),
+                        BinKind::Shl => from_i32(ops::int_shl(x, y)),
+                        BinKind::Shr => from_i32(ops::int_shr(x, y)),
+                    };
+                    reg!(*d) = v;
+                }
+                Instr::Neg(d, a) => {
+                    let x = as_i32(reg!(*a));
+                    reg!(*d) = from_i32(ops::int_sub(0, x));
+                }
+                Instr::Not(d, a) => {
+                    let x = as_i32(reg!(*a));
+                    reg!(*d) = heap::scalar(i64::from(x == 0));
+                }
+                Instr::EqRR(d, a, b) => {
+                    let eq = reg!(*a) == reg!(*b);
+                    reg!(*d) = heap::scalar(i64::from(eq));
+                }
+                Instr::EqClos(d, a, b) => {
+                    let (x, y) = (reg!(*a), reg!(*b));
+                    let eq = if x == y {
+                        true
+                    } else if x == NULL || y == NULL {
+                        false
+                    } else {
+                        self.heap.get(x, 0) == self.heap.get(y, 0)
+                            && self.heap.get(x, 1) == self.heap.get(y, 1)
+                    };
+                    self.stack[base + *d as usize] = heap::scalar(i64::from(eq));
+                }
+                Instr::Jump(off) => jump!(*off),
+                Instr::BrFalse(c, off) => {
+                    if as_i32(reg!(*c)) == 0 {
+                        jump!(*off);
+                    }
+                }
+                Instr::BrTrue(c, off) => {
+                    if as_i32(reg!(*c)) != 0 {
+                        jump!(*off);
+                    }
+                }
+                Instr::Call { func: callee, args, rets } => {
+                    self.stats.calls += 1;
+                    let argv: Vec<Word> =
+                        args.iter().map(|&r| self.stack[base + r as usize]).collect();
+                    let rets = rets.clone();
+                    self.push_frame_vals(*callee, argv, rets);
+                }
+                Instr::CallVirt { slot, args, rets } => {
+                    self.stats.calls += 1;
+                    self.stats.virtual_calls += 1;
+                    let recv = reg!(args[0]);
+                    if recv == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let class = self.heap.meta(recv) as usize;
+                    let callee = self.program.classes[class].vtable[*slot as usize];
+                    let argv: Vec<Word> =
+                        args.iter().map(|&r| self.stack[base + r as usize]).collect();
+                    let rets = rets.clone();
+                    self.push_frame_vals(callee, argv, rets);
+                }
+                Instr::CallClos { clos, args, rets } => {
+                    self.stats.calls += 1;
+                    self.stats.closure_calls += 1;
+                    let c = reg!(*clos);
+                    if c == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let fnid = as_i32(self.heap.get(c, 0)) as FuncId;
+                    let recv = self.heap.get(c, 1);
+                    // NOTE: no calling-convention check here — arity is
+                    // statically exact after normalization (§4.1/§4.2).
+                    let mut argv: Vec<Word> = Vec::with_capacity(args.len() + 1);
+                    if recv != NULL {
+                        argv.push(recv);
+                    }
+                    for a in args {
+                        argv.push(reg!(*a));
+                    }
+                    let rets = rets.clone();
+                    self.push_frame_vals(fnid, argv, rets);
+                }
+                Instr::CallBuiltin { b, args, rets } => {
+                    let mut argv = Vec::with_capacity(args.len());
+                    for a in args {
+                        argv.push(reg!(*a));
+                    }
+                    let r = self.builtin(*b, &argv)?;
+                    if let (Some(&dst), Some(v)) = (rets.first(), r) {
+                        reg!(dst) = v;
+                    }
+                }
+                Instr::MakeClos { dst, func: f2, recv } => {
+                    // Allocate FIRST: the receiver must be re-read from its
+                    // register after a potential collection (registers are
+                    // roots and get forwarded; a cached copy would dangle).
+                    let (f2, dst, recv) = (*f2, *dst, *recv);
+                    let c = self.alloc(CellKind::Closure, 0, 2)?;
+                    let rv = recv
+                        .map(|r| self.stack[base + r as usize])
+                        .unwrap_or(NULL);
+                    self.heap.set(c, 0, heap::scalar(f2 as i64));
+                    self.heap.set(c, 1, rv);
+                    self.stack[base + dst as usize] = c;
+                }
+                Instr::MakeClosVirt { dst, slot, recv } => {
+                    let rv = reg!(*recv);
+                    if rv == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let class = self.heap.meta(rv) as usize;
+                    let callee = self.program.classes[class].vtable[*slot as usize];
+                    let (dst, recv) = (*dst, *recv);
+                    let c = self.alloc(CellKind::Closure, 0, 2)?;
+                    // Re-read the receiver: it may have moved.
+                    let rv = self.stack[base + recv as usize];
+                    self.heap.set(c, 0, heap::scalar(callee as i64));
+                    self.heap.set(c, 1, rv);
+                    self.stack[base + dst as usize] = c;
+                }
+                Instr::NewObject { dst, class } => {
+                    let n = self.program.classes[*class as usize].field_count;
+                    let (dst, class) = (*dst, *class);
+                    let r = self.alloc(CellKind::Object, class, n)?;
+                    // Reference-typed fields default to null.
+                    for (i, &nullable) in self.program.classes[class as usize]
+                        .field_nullable
+                        .clone()
+                        .iter()
+                        .enumerate()
+                    {
+                        if nullable {
+                            self.heap.set(r, i, NULL);
+                        }
+                    }
+                    self.stack[base + dst as usize] = r;
+                }
+                Instr::NewArray { dst, len, nullable } => {
+                    let n = as_i32(reg!(*len));
+                    if n < 0 {
+                        return Err(VmError::Exception(Exception::BoundsCheck));
+                    }
+                    let (dst, nullable) = (*dst, *nullable);
+                    let r = self.alloc(CellKind::Array, 0, n as usize)?;
+                    if nullable {
+                        for i in 0..n as usize {
+                            self.heap.set(r, i, NULL);
+                        }
+                    }
+                    self.stack[base + dst as usize] = r;
+                }
+                Instr::ArrayLit { dst, elems } => {
+                    let elems = elems.clone();
+                    let dst = *dst;
+                    let r = self.alloc(CellKind::Array, 0, elems.len())?;
+                    for (i, e) in elems.iter().enumerate() {
+                        let v = self.stack[base + *e as usize];
+                        self.heap.set(r, i, v);
+                    }
+                    self.stack[base + dst as usize] = r;
+                }
+                Instr::ArrayLen { dst, arr } => {
+                    let a = reg!(*arr);
+                    if a == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let n = self.heap.len(a);
+                    reg!(*dst) = heap::scalar(n as i64);
+                }
+                Instr::ArrayGet { dst, arr, idx } => {
+                    let a = reg!(*arr);
+                    if a == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let i = as_i32(reg!(*idx));
+                    if i < 0 || i as usize >= self.heap.len(a) {
+                        return Err(VmError::Exception(Exception::BoundsCheck));
+                    }
+                    reg!(*dst) = self.heap.get(a, i as usize);
+                }
+                Instr::ArraySet { arr, idx, val } => {
+                    let a = reg!(*arr);
+                    if a == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let i = as_i32(reg!(*idx));
+                    if i < 0 || i as usize >= self.heap.len(a) {
+                        return Err(VmError::Exception(Exception::BoundsCheck));
+                    }
+                    let v = reg!(*val);
+                    self.heap.set(a, i as usize, v);
+                }
+                Instr::FieldGet { dst, obj, slot } => {
+                    let o = reg!(*obj);
+                    if o == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    reg!(*dst) = self.heap.get(o, *slot as usize);
+                }
+                Instr::FieldSet { obj, slot, val } => {
+                    let o = reg!(*obj);
+                    if o == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let v = reg!(*val);
+                    self.heap.set(o, *slot as usize, v);
+                }
+                Instr::GlobalGet { dst, g } => reg!(*dst) = self.globals[*g as usize],
+                Instr::GlobalSet { g, src } => self.globals[*g as usize] = reg!(*src),
+                Instr::ClassQuery { dst, obj, lo, hi } => {
+                    let o = reg!(*obj);
+                    let ok = if o == NULL || !is_ref(o) {
+                        false
+                    } else {
+                        let pre = self.program.classes[self.heap.meta(o) as usize].pre;
+                        *lo <= pre && pre <= *hi
+                    };
+                    reg!(*dst) = heap::scalar(i64::from(ok));
+                }
+                Instr::ClassCast { obj, lo, hi } => {
+                    let o = reg!(*obj);
+                    if o != NULL {
+                        let pre = self.program.classes[self.heap.meta(o) as usize].pre;
+                        if !(*lo <= pre && pre <= *hi) {
+                            return Err(VmError::Exception(Exception::TypeCheck));
+                        }
+                    }
+                }
+                Instr::ClosQuery { dst, clos, test } => {
+                    let c = reg!(*clos);
+                    let ok = if c == NULL {
+                        false
+                    } else {
+                        let fnid = as_i32(self.heap.get(c, 0)) as usize;
+                        let bound = self.heap.get(c, 1) != NULL;
+                        let t = &self.program.clos_tests[*test as usize];
+                        if bound { t.allowed_bound[fnid] } else { t.allowed_unbound[fnid] }
+                    };
+                    reg!(*dst) = heap::scalar(i64::from(ok));
+                }
+                Instr::ClosCast { clos, test } => {
+                    let c = reg!(*clos);
+                    if c != NULL {
+                        let fnid = as_i32(self.heap.get(c, 0)) as usize;
+                        let bound = self.heap.get(c, 1) != NULL;
+                        let t = &self.program.clos_tests[*test as usize];
+                        let ok =
+                            if bound { t.allowed_bound[fnid] } else { t.allowed_unbound[fnid] };
+                        if !ok {
+                            return Err(VmError::Exception(Exception::TypeCheck));
+                        }
+                    }
+                }
+                Instr::IntToByte { dst, src } => {
+                    let v = as_i32(reg!(*src));
+                    let b = ops::int_to_byte(v).map_err(VmError::Exception)?;
+                    reg!(*dst) = heap::scalar(b as i64);
+                }
+                Instr::CheckNull(r) => {
+                    if reg!(*r) == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                }
+                Instr::IsNull(d, v) => {
+                    let n = reg!(*v) == NULL;
+                    reg!(*d) = heap::scalar(i64::from(n));
+                }
+                Instr::Ret(regs) => {
+                    let values: Vec<Word> =
+                        regs.iter().map(|&r| self.stack[base + r as usize]).collect();
+                    let frame = self.frames.pop().expect("frame present");
+                    self.stack.truncate(frame.base);
+                    if self.frames.len() == floor {
+                        return Ok(values);
+                    }
+                    let caller = self.frames.last().expect("caller present");
+                    let cbase = caller.base;
+                    for (&r, v) in frame.rets.iter().zip(values) {
+                        self.stack[cbase + r as usize] = v;
+                    }
+                }
+                Instr::Trap(x) => return Err(VmError::Exception(*x)),
+            }
+        }
+    }
+
+    fn push_frame_vals(&mut self, callee: FuncId, argv: Vec<Word>, rets: Vec<Reg>) {
+        let f = &self.program.funcs[callee as usize];
+        debug_assert_eq!(argv.len(), f.param_count, "arity calling {}", f.name);
+        let base = self.stack.len();
+        self.stack.resize(base + f.reg_count, 0);
+        self.stack[base..base + argv.len()].copy_from_slice(&argv);
+        self.frames.push(FrameInfo { func: callee, pc: 0, base, rets });
+    }
+
+    fn alloc(&mut self, kind: CellKind, meta: u32, len: usize) -> Result<Word, VmError> {
+        match self.heap.try_alloc(kind, meta, len) {
+            Ok(r) => {
+                self.stats.heap = self.heap.stats;
+                Ok(r)
+            }
+            Err(NeedsGc) => {
+                let sp = self.stack.len();
+                let mut stack = std::mem::take(&mut self.stack);
+                let mut globals = std::mem::take(&mut self.globals);
+                self.heap.collect(&mut [&mut stack[..sp], &mut globals[..]]);
+                self.stack = stack;
+                self.globals = globals;
+                let r = match self.heap.try_alloc(kind, meta, len) {
+                    Ok(r) => r,
+                    Err(NeedsGc) => {
+                        self.heap.grow(len + 64);
+                        self.heap
+                            .try_alloc(kind, meta, len)
+                            .expect("allocation after grow")
+                    }
+                };
+                self.stats.heap = self.heap.stats;
+                Ok(r)
+            }
+        }
+    }
+
+    fn builtin(&mut self, b: Builtin, args: &[Word]) -> Result<Option<Word>, VmError> {
+        match b {
+            Builtin::Puts => {
+                let a = args[0];
+                if a == NULL {
+                    return Err(VmError::Exception(Exception::NullCheck));
+                }
+                for i in 0..self.heap.len(a) {
+                    self.out.push(as_i32(self.heap.get(a, i)) as u8);
+                }
+                Ok(None)
+            }
+            Builtin::Puti => {
+                let s = as_i32(args[0]).to_string();
+                self.out.extend_from_slice(s.as_bytes());
+                Ok(None)
+            }
+            Builtin::Putb => {
+                let s = if as_i32(args[0]) != 0 { "true" } else { "false" };
+                self.out.extend_from_slice(s.as_bytes());
+                Ok(None)
+            }
+            Builtin::Putc => {
+                self.out.push(as_i32(args[0]) as u8);
+                Ok(None)
+            }
+            Builtin::Ln => {
+                self.out.push(b'\n');
+                Ok(None)
+            }
+            Builtin::Ticks => Ok(Some(heap::scalar(self.stats.instrs as i64))),
+            Builtin::Error => Err(VmError::Exception(Exception::UserError)),
+        }
+    }
+}
+
+/// Convenience: decode a returned word as an `i32` (ints, bytes, bools).
+pub fn ret_as_int(words: &[Word]) -> Option<i32> {
+    words.first().map(|&w| as_i32(w))
+}
+
+/// Convenience: true if the single returned word is a reference.
+pub fn ret_is_ref(words: &[Word]) -> bool {
+    words.first().map(|&w| is_ref(w) && w != NULL).unwrap_or(false)
+}

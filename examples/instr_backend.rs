@@ -1,0 +1,144 @@
+//! The §3.5 variant-type pattern at full size: a miniature compiler backend
+//! that models machine instructions with **two class definitions** instead of
+//! one class per operand shape — "the Instr class in this case is like a
+//! super-closure" (listings (n1)-(n20)).
+//!
+//! The program builds a small instruction stream for an imaginary two-address
+//! machine, runs register allocation over it (iterating operands via a
+//! second function field), emits "machine code" bytes, and then pattern-
+//! matches instructions with runtime type queries.
+//!
+//! Run with: `cargo run --example instr_backend`
+
+use vgl::Compiler;
+
+const PROGRAM: &str = r#"
+class Buffer {
+    var bytes: Array<byte>;
+    var len: int;
+    new() { bytes = Array<byte>.new(64); }
+    def put(b: byte) { bytes[len] = b; len = len + 1; }
+    def dump() {
+        for (i = 0; i < len; i = i + 1) {
+            var v = int.!(bytes[i]);
+            System.puti(v / 16); System.puti(v % 16); System.putc(' ');
+        }
+        System.ln();
+    }
+}
+
+class Reg {
+    def num: int;
+    def name: string;
+    new(num, name) { }
+}
+
+// (n1)-(n11): the two-class variant encoding. `emitFunc` assembles the
+// instruction; `regsFunc` exposes the register operands for the register
+// allocator — "it can have more than one operation, such as iterating over
+// the register operands of the instruction for register allocation".
+class Instr {
+    def emit(buf: Buffer);
+    def regs() -> Array<Reg>;
+}
+class InstrOf<T> extends Instr {
+    var emitFunc: (Buffer, T) -> void;
+    var regsFunc: T -> Array<Reg>;
+    var val: T;
+    new(emitFunc, regsFunc, val) { }
+    def emit(buf: Buffer) { emitFunc(buf, val); }
+    def regs() -> Array<Reg> { return regsFunc(val); }
+}
+
+// ---- the "assembler": plain functions reused as emitFuncs (n12)-(n14) ----
+def emitAdd(buf: Buffer, ops: (Reg, Reg)) {
+    buf.put('\0'); buf.put(byte.!(ops.0.num * 16 + ops.1.num));
+}
+def emitAddi(buf: Buffer, ops: (Reg, int)) {
+    buf.put(byte.!(1)); buf.put(byte.!(ops.0.num)); buf.put(byte.!(ops.1 & 255));
+}
+def emitNeg(buf: Buffer, ops: Reg) {
+    buf.put(byte.!(2)); buf.put(byte.!(ops.num));
+}
+
+// Operand iterators for the register allocator.
+def regsRR(ops: (Reg, Reg)) -> Array<Reg> { return [ops.0, ops.1]; }
+def regsRI(ops: (Reg, int)) -> Array<Reg> { return [ops.0]; }
+def regsR(ops: Reg) -> Array<Reg> { return [ops]; }
+
+def countUses(instrs: Array<Instr>, nregs: int) -> Array<int> {
+    var uses = Array<int>.new(nregs);
+    for (i = 0; i < instrs.length; i = i + 1) {
+        var rs = instrs[i].regs();
+        for (j = 0; j < rs.length; j = j + 1) {
+            uses[rs[j].num] = uses[rs[j].num] + 1;
+        }
+    }
+    return uses;
+}
+
+def describe(i: Instr) {
+    // (n15)-(n20): pattern matching with dynamic type queries.
+    if (InstrOf<(Reg, Reg)>.?(i)) {
+        var v = InstrOf<(Reg, Reg)>.!(i).val;
+        System.puts("add "); System.puts(v.0.name); System.puts(", "); System.puts(v.1.name);
+    }
+    if (InstrOf<(Reg, int)>.?(i)) {
+        var v = InstrOf<(Reg, int)>.!(i).val;
+        System.puts("addi "); System.puts(v.0.name); System.puts(", #"); System.puti(v.1);
+    }
+    if (InstrOf<Reg>.?(i)) {
+        var v = InstrOf<Reg>.!(i).val;
+        System.puts("neg "); System.puts(v.name);
+    }
+    System.ln();
+}
+
+def main() -> int {
+    var rax = Reg.new(0, "rax"), rbx = Reg.new(1, "rbx"), rcx = Reg.new(2, "rcx");
+    var is: Array<Instr> = [
+        InstrOf.new(emitAdd, regsRR, (rax, rbx)),
+        InstrOf.new(emitAddi, regsRI, (rcx, 11)),
+        InstrOf.new(emitNeg, regsR, rax),
+        InstrOf.new(emitAdd, regsRR, (rcx, rax))
+    ];
+
+    System.puts("listing:"); System.ln();
+    for (i = 0; i < is.length; i = i + 1) { System.puts("  "); describe(is[i]); }
+
+    var uses = countUses(is, 3);
+    System.puts("register pressure: ");
+    for (r = 0; r < uses.length; r = r + 1) { System.puti(uses[r]); System.putc(' '); }
+    System.ln();
+
+    var buf = Buffer.new();
+    for (i = 0; i < is.length; i = i + 1) is[i].emit(buf);
+    System.puts("encoded ("); System.puti(buf.len); System.puts(" bytes): ");
+    buf.dump();
+    return buf.len;
+}
+"#;
+
+fn main() {
+    let c = match Compiler::new().compile(PROGRAM) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error:\n{e}");
+            std::process::exit(1);
+        }
+    };
+    let interp = c.interpret();
+    let vm = c.execute();
+    assert_eq!(interp.output, vm.output, "engines must agree");
+    print!("{}", vm.output);
+    println!(
+        "[{} InstrOf specializations live; VM ran {} instructions with {} GC runs]",
+        c.compiled
+            .classes
+            .iter()
+            .filter(|cl| cl.name.starts_with("InstrOf"))
+            .count(),
+        vm.vm_stats.map(|s| s.instrs).unwrap_or(0),
+        vm.vm_stats.map(|s| s.heap.collections).unwrap_or(0),
+    );
+}

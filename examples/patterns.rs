@@ -1,0 +1,330 @@
+//! The multi-paradigm design patterns of Section 3, each as a running
+//! Virgil program: interface adapters (§3.1), abstract data types (§3.2),
+//! ad hoc polymorphism (§3.3), the polymorphic matcher (§3.4), the
+//! footnote-5 formatted print, an enum emulation (§6.1 future work), and
+//! the variance discussion (§3.6). The variant-type pattern (§3.5) has its
+//! own example, `instr_backend`.
+//!
+//! Run with: `cargo run --example patterns`
+
+use vgl::Compiler;
+
+struct Pattern {
+    name: &'static str,
+    paper: &'static str,
+    source: &'static str,
+}
+
+const PATTERNS: &[Pattern] = &[
+    Pattern {
+        name: "interface adapter",
+        paper: "§3.1, listings (f1)-(g9)",
+        source: r#"
+class Record { def tag: int; new(tag) { } }
+class Key { def id: int; new(id) { } }
+
+// "a dictionary of named interface methods" — fields hold functions.
+class DatastoreInterface(
+    create: () -> Record,
+    load: Key -> Record,
+    store: Record -> ()) {
+}
+
+class DatastoreImpl {
+    var stored: int;
+    def create() -> Record { return Record.new(0); }
+    def load(k: Key) -> Record { return Record.new(k.id); }
+    def store(r: Record) { stored = stored + 1; }
+    // "simply construct an instance of the interface using its own methods"
+    def adapt() -> DatastoreInterface {
+        return DatastoreInterface.new(create, load, store);
+    }
+}
+
+def main() {
+    var impl = DatastoreImpl.new();
+    var ds = impl.adapt();
+    ds.store(ds.create());
+    ds.store(ds.load(Key.new(7)));
+    System.puts("records stored: "); System.puti(impl.stored);
+    System.puts(", loaded tag: "); System.puti(ds.load(Key.new(42)).tag);
+    System.ln();
+}
+"#,
+    },
+    Pattern {
+        name: "abstract data type",
+        paper: "§3.2, listings (h1)-(i18)",
+        source: r#"
+// A number with unknown representation but known operations (h1-h9).
+class NumberInterface<T>(
+    add: (T, T) -> T,
+    sub: (T, T) -> T,
+    compare: (T, T) -> bool,
+    one: T,
+    zero: T) {
+}
+
+// "the basic operators like int.+ as first class functions make it easy
+//  to adapt the basic primitive type int to the ADT interface"
+var IntInterface = NumberInterface.new(int.+, int.-, int.==, 1, 0);
+
+def sumN<T>(num: NumberInterface<T>, n: int) -> T {
+    var acc = num.zero;
+    for (i = 0; i < n; i = i + 1) acc = num.add(acc, num.one);
+    return acc;
+}
+
+def main() {
+    System.puts("sum of 42 ones: ");
+    System.puti(sumN(IntInterface, 42));
+    System.ln();
+}
+"#,
+    },
+    Pattern {
+        name: "ad hoc polymorphism",
+        paper: "§3.3, listings (j1)-(j9)",
+        source: r#"
+def printInt(a: int)    { System.puts("int: ");    System.puti(a); System.ln(); }
+def printBool(a: bool)  { System.puts("bool: ");   System.putb(a); System.ln(); }
+def printString(a: string) { System.puts("string: "); System.puts(a); System.ln(); }
+def printByte(a: byte)  { System.puts("byte: ");   System.putc(a); System.ln(); }
+
+// "a design pattern that admits a small number of overloads, making use
+//  of type parameters and casts" — the compiler folds the whole chain
+//  away per specialization.
+def print1<T>(a: T) {
+    if (int.?(a))    printInt(int.!(a));
+    if (bool.?(a))   printBool(bool.!(a));
+    if (string.?(a)) printString(string.!(a));
+    if (byte.?(a))   printByte(byte.!(a));
+}
+
+def main() {
+    print1(0);
+    print1(false);
+    print1("hello");
+    print1('!');
+}
+"#,
+    },
+    Pattern {
+        name: "polymorphic matcher",
+        paper: "§3.4, listings (k1)-(m8)",
+        source: r#"
+// "declaring a base class Any and a subclass Box<T> extends Any allows
+//  any value to be boxed" — subtyping hides the type parameter; the
+//  un-erased type arguments recover it at runtime.
+class Any { }
+class Box<T> extends Any {
+    def val: T;
+    new(val) { }
+    def unbox() -> T { return val; }
+}
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+
+class Matcher {
+    var matches: List<Any>;
+    def add<T>(f: T -> void) {
+        matches = List<Any>.new(Box<T -> void>.new(f), matches);
+    }
+    def dispatch<T>(v: T) {
+        for (l = matches; l != null; l = l.tail) {
+            var f = l.head;
+            if (Box<T -> void>.?(f)) {
+                Box<T -> void>.!(f).unbox()(v);
+                return;
+            }
+        }
+        System.puts("no match"); System.ln();
+    }
+}
+
+def printInt(a: int)   { System.puts("got int ");  System.puti(a); System.ln(); }
+def printBool(a: bool) { System.puts("got bool "); System.putb(a); System.ln(); }
+def printPair(a: (int, int)) {
+    System.puts("got pair ("); System.puti(a.0); System.puts(", ");
+    System.puti(a.1); System.puts(")"); System.ln();
+}
+
+def main() {
+    var m = Matcher.new();
+    m.add(printInt);
+    m.add(printBool);
+    m.add(printPair);
+    m.dispatch(1);
+    m.dispatch(true);
+    m.dispatch((2, 3));
+    m.dispatch("unhandled");
+}
+"#,
+    },
+    Pattern {
+        name: "formatted print (%1 substitution)",
+        paper: "§3.3, listings (j7)-(j9) and footnote 5",
+        source: r#"
+// The paper's print1 calls look like print1("Result: %1\n", 0): the format
+// string's %1 is replaced by the rendered argument. Footnote 5: "our
+// implementation of print accepts the standard primitive types and also
+// functions of type StringBuffer -> void".
+class StringBuffer {
+    var data: Array<byte>;
+    var len: int;
+    new() { data = Array<byte>.new(16); }
+    def putc(c: byte) {
+        if (len == data.length) {
+            var nd = Array<byte>.new(data.length * 2);
+            for (i = 0; i < len; i = i + 1) nd[i] = data[i];
+            data = nd;
+        }
+        data[len] = c;
+        len = len + 1;
+    }
+    def puts(s: string) { for (i = 0; i < s.length; i = i + 1) putc(s[i]); }
+    def puti(v: int) {
+        if (v < 0) { putc('-'); puti(0 - v); return; }
+        if (v >= 10) puti(v / 10);
+        putc(byte.!(int.!('0') + v % 10));
+    }
+    def flush() {
+        for (i = 0; i < len; i = i + 1) System.putc(data[i]);
+        len = 0;
+    }
+}
+
+def isa<F, T>(x: T) -> bool { return F.?<T>(x); }
+def asa<F, T>(x: T) -> F { return F.!<T>(x); }
+
+def render<T>(buf: StringBuffer, a: T) {
+    if (int.?(a)) { buf.puti(int.!(a)); return; }
+    if (bool.?(a)) { buf.puts(bool.!(a) ? "true" : "false"); return; }
+    if (string.?(a)) { buf.puts(string.!(a)); return; }
+    if (byte.?(a)) { buf.putc(byte.!(a)); return; }
+    // Footnote 5: objects render themselves via a passed method.
+    if (isa<StringBuffer -> void, T>(a)) {
+        asa<StringBuffer -> void, T>(a)(buf);
+        return;
+    }
+    buf.puts("?");
+}
+
+def print1<T>(fmt: string, a: T) {
+    var buf = StringBuffer.new();
+    var i = 0;
+    while (i < fmt.length) {
+        if (fmt[i] == '%' && i + 1 < fmt.length && fmt[i + 1] == '1') {
+            render(buf, a);
+            i = i + 2;
+        } else {
+            buf.putc(fmt[i]);
+            i = i + 1;
+        }
+    }
+    buf.flush();
+}
+
+class Point {
+    def x: int; def y: int;
+    new(x, y) { }
+    // "we equip those classes that need to be printed with methods that
+    //  render the object into a StringBuffer; we can then simply pass
+    //  o.render to the print method."
+    def render(buf: StringBuffer) {
+        buf.puts("Point("); buf.puti(x); buf.puts(", "); buf.puti(y); buf.puts(")");
+    }
+}
+
+def main() {
+    print1("Result: %1\n", 42);
+    print1("Boolean: %1\n", false);
+    print1("Hello %1!\n", "world");
+    var p = Point.new(3, 4);
+    print1("Where: %1\n", p.render);
+}
+"#,
+    },
+    Pattern {
+        name: "enumerated types (future work, emulated)",
+        paper: "§6.1: \"enumerated types are of high priority\"",
+        source: r#"
+// Until the language grows enums, the four features emulate them: a class
+// whose instances are fixed globals, with ordinal and name, plus exhaustive
+// dispatch through a function array.
+class Color {
+    def ordinal: int;
+    def name: string;
+    new(ordinal, name) { }
+}
+def RED = Color.new(0, "RED");
+def GREEN = Color.new(1, "GREEN");
+def BLUE = Color.new(2, "BLUE");
+var ALL = [RED, GREEN, BLUE];
+
+def wavelength(c: Color) -> int {
+    var table = [700, 546, 435];
+    return table[c.ordinal];
+}
+
+def main() {
+    for (i = 0; i < ALL.length; i = i + 1) {
+        var c = ALL[i];
+        System.puts(c.name);
+        System.puts(" = ");
+        System.puti(wavelength(c));
+        System.puts("nm ");
+        // Identity works like enum equality.
+        if (c == GREEN) System.puts("(the eye's favorite) ");
+    }
+    System.ln();
+}
+"#,
+    },
+    Pattern {
+        name: "variance via functions",
+        paper: "§3.6, listings (o1)-(o7)",
+        source: r#"
+class Animal { def sound() -> string { return "..."; } }
+class Bat extends Animal { def sound() -> string { return "squeak"; } }
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+
+def apply<A>(list: List<A>, f: A -> void) {
+    for (l = list; l != null; l = l.tail) f(l.head);
+}
+
+def g(a: Animal) { System.puts(a.sound()); System.puts(" "); }
+
+def main() {
+    // List<Bat> is NOT a List<Animal> (classes are invariant), but
+    // `Animal -> void <: Bat -> void` (contravariance), so passing g works.
+    var bats: List<Bat> = List.new(Bat.new(), List.new(Bat.new(), null));
+    apply(bats, g);
+    System.ln();
+}
+"#,
+    },
+];
+
+fn main() {
+    for p in PATTERNS {
+        println!("=== {} ({}) ===", p.name, p.paper);
+        match Compiler::new().compile(p.source) {
+            Ok(c) => {
+                let interp = c.interpret();
+                let vm = c.execute();
+                assert_eq!(interp.output, vm.output, "engines disagree on {}", p.name);
+                assert_eq!(interp.result, vm.result, "engines disagree on {}", p.name);
+                print!("{}", vm.output);
+                println!(
+                    "  [{} specializations, {} queries folded, both engines agree]",
+                    c.stats.mono.method_instances, c.stats.opt.queries_folded
+                );
+            }
+            Err(e) => {
+                eprintln!("compile error:\n{e}");
+                std::process::exit(1);
+            }
+        }
+        println!();
+    }
+}

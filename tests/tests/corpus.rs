@@ -1,0 +1,298 @@
+//! Corpus tests: medium-sized applications written in Virgil, mirroring the
+//! paper's §5 experience ("we also wrote a small number of applications...").
+//! Each runs through interpreter and VM and must agree.
+
+use vgl::Compiler;
+
+fn both(src: &str) -> (String, String) {
+    let c = Compiler::new().compile(src).unwrap_or_else(|e| panic!("compile:\n{e}"));
+    let i = c.interpret();
+    let v = c.execute();
+    assert_eq!(i.result, v.result, "results differ");
+    assert_eq!(i.output, v.output, "outputs differ");
+    (v.result.expect("ok"), v.output)
+}
+
+/// An arithmetic-expression evaluator built with the §3.5 variant pattern:
+/// expression nodes are `NodeOf<T>` specializations of a two-class scheme,
+/// evaluation walks the tree through first-class functions.
+#[test]
+fn corpus_expression_evaluator() {
+    let (r, out) = both(
+        r#"
+// The generic variant scheme (n1-n11 applied to AST nodes).
+class Node {
+    def eval() -> int;
+}
+class NodeOf<T> extends Node {
+    def evalFunc: T -> int;
+    def val: T;
+    new(evalFunc, val) { }
+    def eval() -> int { return evalFunc(val); }
+}
+
+def evalLit(v: int) -> int { return v; }
+def evalAdd(ops: (Node, Node)) -> int { return ops.0.eval() + ops.1.eval(); }
+def evalMul(ops: (Node, Node)) -> int { return ops.0.eval() * ops.1.eval(); }
+def evalNeg(op: Node) -> int { return 0 - op.eval(); }
+
+def lit(v: int) -> Node { return NodeOf.new(evalLit, v); }
+def add(a: Node, b: Node) -> Node { return NodeOf.new(evalAdd, (a, b)); }
+def mul(a: Node, b: Node) -> Node { return NodeOf.new(evalMul, (a, b)); }
+def neg(a: Node) -> Node { return NodeOf.new(evalNeg, a); }
+
+// Pattern-match node kinds via runtime type queries (n15-n20) to print.
+def show(n: Node) {
+    if (NodeOf<int>.?(n)) {
+        System.puti(NodeOf<int>.!(n).val);
+        return;
+    }
+    if (NodeOf<Node>.?(n)) {
+        System.puts("-(");
+        show(NodeOf<Node>.!(n).val);
+        System.puts(")");
+        return;
+    }
+    if (NodeOf<(Node, Node)>.?(n)) {
+        var pair = NodeOf<(Node, Node)>.!(n).val;
+        System.puts("(");
+        show(pair.0);
+        System.puts(" op ");
+        show(pair.1);
+        System.puts(")");
+        return;
+    }
+}
+
+def main() -> int {
+    // (2 + 3) * (10 + -(4)) = 5 * 6 = 30
+    var e = mul(add(lit(2), lit(3)), add(lit(10), neg(lit(4))));
+    show(e);
+    System.ln();
+    return e.eval();
+}
+"#,
+    );
+    assert_eq!(r, "30");
+    assert!(out.contains("op"));
+}
+
+/// A sorting + searching library over generic arrays with first-class
+/// comparison functions — the "map, fold, zip" functional style of §3.6.
+#[test]
+fn corpus_sorting_library() {
+    let (r, out) = both(
+        r#"
+def sort<T>(a: Array<T>, lt: (T, T) -> bool) {
+    // Insertion sort.
+    for (i = 1; i < a.length; i = i + 1) {
+        var x = a[i];
+        var j = i - 1;
+        while (j >= 0 && lt(x, a[j])) {
+            a[j + 1] = a[j];
+            j = j - 1;
+        }
+        a[j + 1] = x;
+    }
+}
+
+def binarySearch<T>(a: Array<T>, key: T, lt: (T, T) -> bool) -> int {
+    var lo = 0, hi = a.length - 1;
+    while (lo <= hi) {
+        var mid = (lo + hi) / 2;
+        if (lt(a[mid], key)) lo = mid + 1;
+        else if (lt(key, a[mid])) hi = mid - 1;
+        else return mid;
+    }
+    return 0 - 1;
+}
+
+def intLt(a: int, b: int) -> bool { return a < b; }
+def intGt(a: int, b: int) -> bool { return a > b; }
+// Sort pairs by first element, then second (tuple keys!).
+def pairLt(a: (int, int), b: (int, int)) -> bool {
+    return a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+}
+
+def dumpi(a: Array<int>) {
+    for (i = 0; i < a.length; i = i + 1) { System.puti(a[i]); System.putc(' '); }
+    System.ln();
+}
+
+def main() -> int {
+    var xs = [5, 3, 9, 1, 7, 3, 8];
+    sort(xs, intLt);
+    dumpi(xs);
+    sort(xs, intGt);
+    dumpi(xs);
+    sort(xs, intLt);
+    var found = binarySearch(xs, 7, intLt);
+
+    // "the ability to quickly define a list of tuples and then sort them by,
+    //  say, the first element, has been very convenient" (§5).
+    var ps = Array<(int, int)>.new(4);
+    ps[0] = (3, 1); ps[1] = (1, 9); ps[2] = (3, 0); ps[3] = (2, 2);
+    sort(ps, pairLt);
+    for (i = 0; i < ps.length; i = i + 1) {
+        System.puts("("); System.puti(ps[i].0); System.putc(',');
+        System.puti(ps[i].1); System.puts(") ");
+    }
+    System.ln();
+    return found;
+}
+"#,
+    );
+    assert_eq!(r, "4"); // index of 7 in sorted [1 3 3 5 7 8 9]
+    assert!(out.contains("1 3 3 5 7 8 9"));
+    assert!(out.contains("(1,9) (2,2) (3,0) (3,1)"));
+}
+
+/// A string-processing utility: word counting and a tiny StringBuffer-like
+/// builder class, exercising byte arrays, private methods, and growth.
+#[test]
+fn corpus_string_tools() {
+    let (r, out) = both(
+        r#"
+class StringBuffer {
+    var data: Array<byte>;
+    var len: int;
+    new() { data = Array<byte>.new(8); }
+    private def grow(min: int) {
+        var n = data.length;
+        while (n < min) n = n * 2;
+        var nd = Array<byte>.new(n);
+        for (i = 0; i < len; i = i + 1) nd[i] = data[i];
+        data = nd;
+    }
+    def putc(c: byte) -> StringBuffer {
+        if (len + 1 > data.length) grow(len + 1);
+        data[len] = c;
+        len = len + 1;
+        return this;
+    }
+    def puts(s: string) -> StringBuffer {
+        for (i = 0; i < s.length; i = i + 1) putc(s[i]);
+        return this;
+    }
+    def toString() -> string {
+        var out = Array<byte>.new(len);
+        for (i = 0; i < len; i = i + 1) out[i] = data[i];
+        return out;
+    }
+}
+
+def countWords(s: string) -> int {
+    var words = 0;
+    var inWord = false;
+    for (i = 0; i < s.length; i = i + 1) {
+        var isSpace = s[i] == ' ';
+        if (!isSpace && !inWord) words = words + 1;
+        inWord = !isSpace;
+    }
+    return words;
+}
+
+def main() -> int {
+    var sb = StringBuffer.new();
+    sb.puts("harmonizing").putc(' ').puts("classes functions tuples").putc(' ').puts("parameters");
+    var text = sb.toString();
+    System.puts(text);
+    System.ln();
+    return countWords(text);
+}
+"#,
+    );
+    assert_eq!(r, "5");
+    assert!(out.contains("harmonizing classes functions tuples parameters"));
+}
+
+/// A graph reachability mini-app with adjacency lists built from the generic
+/// List class — object graphs, loops, and worklists under GC.
+#[test]
+fn corpus_graph_reachability() {
+    let (r, _) = both(
+        r#"
+class List<T> { def head: T; def tail: List<T>; new(head, tail) { } }
+class Graph {
+    var adj: Array<List<int>>;
+    new(n: int) { adj = Array<List<int>>.new(n); }
+    def edge(a: int, b: int) { adj[a] = List.new(b, adj[a]); }
+    def reachable(start: int) -> int {
+        var seen = Array<bool>.new(adj.length);
+        var work: List<int> = List.new(start, null);
+        var count = 0;
+        while (work != null) {
+            var node = work.head;
+            work = work.tail;
+            if (seen[node]) continue;
+            seen[node] = true;
+            count = count + 1;
+            for (l = adj[node]; l != null; l = l.tail) {
+                if (!seen[l.head]) work = List.new(l.head, work);
+            }
+        }
+        return count;
+    }
+}
+def main() -> int {
+    var g = Graph.new(10);
+    g.edge(0, 1); g.edge(1, 2); g.edge(2, 0);   // cycle
+    g.edge(2, 3); g.edge(3, 4);
+    g.edge(5, 6);                                 // disconnected
+    g.edge(4, 4);                                 // self loop
+    return g.reachable(0) * 10 + g.reachable(5);
+}
+"#,
+    );
+    assert_eq!(r, "52"); // 5 reachable from 0, 2 from 5
+}
+
+/// Deep recursion and many short-lived allocations under a small VM heap:
+/// stresses the frame stack and the collector together.
+#[test]
+fn corpus_gc_and_recursion_stress() {
+    let src = r#"
+class Cell { def v: int; new(v) { } }
+def deep(n: int) -> int {
+    if (n == 0) return 0;
+    var c = Cell.new(n);
+    return c.v + deep(n - 1);
+}
+def churn(rounds: int) -> int {
+    var keep = Cell.new(0);
+    var acc = 0;
+    for (i = 0; i < rounds; i = i + 1) {
+        var tmp = Cell.new(i);
+        if (i % 97 == 0) keep = tmp;
+        acc = acc + tmp.v;
+    }
+    return acc + keep.v;
+}
+def main() -> int { return deep(500) + churn(20000); }
+"#;
+    // The tree-walking interpreter needs real stack for deep recursion
+    // (the VM does not — its frames are explicit); give this test a big one.
+    std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(move || {
+            let c = Compiler::new().compile(src).expect("compiles");
+            let i = c.interpret();
+            // Run the VM with a deliberately tiny heap to force collections.
+            let mut vm = vgl::Vm::with_heap(&c.program, 2048);
+            vm.set_fuel(1 << 30);
+            let words = vm.run().expect("vm runs");
+            assert_eq!(
+                i.result.expect("interp ok"),
+                vgl_vm::ret_as_int(&words).expect("int").to_string()
+            );
+            assert!(
+                vm.stats.heap.collections > 5,
+                "expected heavy GC, got {}",
+                vm.stats.heap.collections
+            );
+            assert_eq!(vm.stats.heap.tuple_boxes, 0);
+        })
+        .expect("spawn")
+        .join()
+        .expect("no panic");
+}

@@ -1,0 +1,237 @@
+//! Property-based differential testing: randomly generated Virgil programs
+//! must behave identically on the type-passing interpreter (source module),
+//! the interpreter over the compiled module, and the VM — results, output,
+//! and exceptions. This is the strongest evidence that monomorphization,
+//! normalization, optimization, and lowering are semantics-preserving.
+//!
+//! Also checks the parse∘print round-trip property on every generated
+//! program.
+
+use proptest::prelude::*;
+
+fn arb_int(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-20i32..20).prop_map(|v| if v < 0 { format!("(0 - {})", -v) } else { v.to_string() }),
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("p.0".to_string()),
+        Just("p.1".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = move || arb_int(depth - 1);
+    let subb = move || arb_bool(depth - 1);
+    let subp = move || arb_pair(depth - 1);
+    prop_oneof![
+        leaf,
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} + {y})")),
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} - {y})")),
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} * {y})")),
+        // Division guarded against zero: divisor in 1..=8.
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} / (1 + ({y} & 7)))")),
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} % (1 + ({y} & 7)))")),
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} << (({y}) & 7))")),
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} >> (({y}) & 7))")),
+        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("({c} ? {x} : {y})")),
+        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("choose({c}, {x}, {y})")),
+        (sub(), sub()).prop_map(|(x, y)| format!("f2({x}, {y})")),
+        subp().prop_map(|p| format!("fst({p})")),
+        subp().prop_map(|p| format!("({p}).0")),
+        subp().prop_map(|p| format!("({p}).1")),
+    ]
+    .boxed()
+}
+
+fn arb_bool(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![Just("true".to_string()), Just("false".to_string())];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = move || arb_bool(depth - 1);
+    let subi = move || arb_int(depth - 1);
+    let subp = move || arb_pair(depth - 1);
+    prop_oneof![
+        leaf,
+        (subi(), subi()).prop_map(|(x, y)| format!("({x} < {y})")),
+        (subi(), subi()).prop_map(|(x, y)| format!("({x} == {y})")),
+        (subi(), subi()).prop_map(|(x, y)| format!("({x} >= {y})")),
+        (subp(), subp()).prop_map(|(x, y)| format!("({x} == {y})")),
+        sub().prop_map(|x| format!("!({x})")),
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} && {y})")),
+        (sub(), sub()).prop_map(|(x, y)| format!("({x} || {y})")),
+        (sub(), sub(), sub()).prop_map(|(c, x, y)| format!("choose({c}, {x}, {y})")),
+    ]
+    .boxed()
+}
+
+fn arb_pair(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("p".to_string()),
+        Just("(1, 2)".to_string()),
+        Just("(a, b)".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = move || arb_pair(depth - 1);
+    let subi = move || arb_int(depth - 1);
+    let subb = move || arb_bool(depth - 1);
+    prop_oneof![
+        leaf,
+        (subi(), subi()).prop_map(|(x, y)| format!("({x}, {y})")),
+        sub().prop_map(|x| format!("swapp({x})")),
+        (sub(), sub()).prop_map(|(x, y)| format!("addp({x}, {y})")),
+        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("choose({c}, {x}, {y})")),
+        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("({c} ? {x} : {y})")),
+    ]
+    .boxed()
+}
+
+/// A random statement for main's body, threading the mutable vars a/b/p.
+fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+    prop_oneof![
+        arb_int(depth).prop_map(|e| format!("a = {e};")),
+        arb_int(depth).prop_map(|e| format!("b = {e};")),
+        arb_pair(depth).prop_map(|e| format!("p = {e};")),
+        (arb_bool(depth), arb_int(depth), arb_int(depth))
+            .prop_map(|(c, x, y)| format!("if ({c}) a = {x}; else b = {y};")),
+        (arb_int(depth)).prop_map(|e| format!(
+            "for (i = 0; i < 3; i = i + 1) a = a + {e};"
+        )),
+        arb_int(depth).prop_map(|e| format!("System.puti({e}); System.putc(' ');")),
+        arb_pair(depth).prop_map(|e| format!("sink({e});")),
+        // Array traffic, including arrays of tuples (SoA after the pipeline).
+        (arb_int(depth), arb_int(depth))
+            .prop_map(|(i, v)| format!("xs[({i}) & 3] = {v};")),
+        arb_int(depth).prop_map(|i| format!("a = a + xs[({i}) & 3];")),
+        (arb_int(depth), arb_pair(depth))
+            .prop_map(|(i, v)| format!("ps[({i}) & 3] = {v};")),
+        arb_int(depth).prop_map(|i| format!("p = ps[({i}) & 3];")),
+        // Byte round-trips through checked casts (masked into range).
+        arb_int(depth).prop_map(|e| format!("a = a + int.!(byte.!(({e}) & 255));")),
+        // Virtual dispatch through a mutable receiver variable.
+        (arb_bool(depth), arb_int(depth))
+            .prop_map(|(c, e)| format!("o = {c} ? o : mkd({e});")),
+        arb_int(depth).prop_map(|e| format!("a = a + o.v({e});")),
+        // Bind-time virtual resolution (a.m closures).
+        arb_int(depth).prop_map(|e| format!("{{ var f = o.v; b = b + f({e}); }}")),
+    ]
+    .boxed()
+}
+
+fn program(stmts: Vec<String>) -> String {
+    let body = stmts.join("\n    ");
+    format!(
+        r#"
+def choose<T>(c: bool, x: T, y: T) -> T {{ return c ? x : y; }}
+def f2(x: int, y: int) -> int {{ return x * 2 - y; }}
+def fst(q: (int, int)) -> int {{ return q.0; }}
+def swapp(q: (int, int)) -> (int, int) {{ return (q.1, q.0); }}
+def addp(x: (int, int), y: (int, int)) -> (int, int) {{
+    return (x.0 + y.0, x.1 + y.1);
+}}
+def sink(q: (int, int)) {{ System.puti(q.0 ^ q.1); }}
+class VBase {{
+    var bias: int;
+    new(bias) {{ }}
+    def v(x: int) -> int {{ return x + bias; }}
+}}
+class VDer extends VBase {{
+    new(bias: int) super(bias) {{ }}
+    def v(x: int) -> int {{ return x * 2 - bias; }}
+}}
+def mkd(bias: int) -> VBase {{ return VDer.new(bias & 15); }}
+def main() -> int {{
+    var a = 3, b = 5;
+    var p = (1, 2);
+    var xs = Array<int>.new(4);
+    var ps = Array<(int, int)>.new(4);
+    var o: VBase = VBase.new(1);
+    {body}
+    System.puti(a); System.puti(b); System.puti(p.0); System.puti(p.1);
+    return a ^ (b << 1) ^ p.0 ^ (p.1 << 2);
+}}
+"#
+    )
+}
+
+fn run_interp(m: &vgl::Module, fuel: u64) -> (Result<String, String>, String) {
+    let mut i = vgl::Interp::new(m);
+    i.set_fuel(fuel);
+    let r = match i.run() {
+        Ok(v) => Ok(v.to_string()),
+        Err(e) => Err(e.to_string()),
+    };
+    (r, i.output())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn differential_three_way(stmts in proptest::collection::vec(arb_stmt(3), 1..6)) {
+        let src = program(stmts);
+        // Front end must accept the generated program.
+        let mut d = vgl::Diagnostics::new();
+        let ast = vgl_syntax::parse_program(&src, &mut d);
+        prop_assert!(!d.has_errors(), "parse errors in generated program:\n{src}");
+        let module = vgl_sema::analyze(&ast, &mut d)
+            .unwrap_or_else(|| panic!("sema errors {:#?} in:\n{src}", d.into_vec()));
+
+        let (r1, o1) = run_interp(&module, 10_000_000);
+        let (compiled, _) = vgl_passes::compile_pipeline(&module);
+        let (r2, o2) = run_interp(&compiled, 10_000_000);
+        prop_assert_eq!(&r1, &r2, "interp source vs compiled:\n{}", src);
+        prop_assert_eq!(&o1, &o2, "interp output source vs compiled:\n{}", src);
+
+        let prog = vgl_vm::lower(&compiled);
+        let mut vm = vgl_vm::Vm::new(&prog);
+        vm.set_fuel(50_000_000);
+        let r3 = match vm.run() {
+            Ok(words) => Ok(vgl_vm::ret_as_int(&words).expect("int result").to_string()),
+            Err(e) => Err(e.to_string()),
+        };
+        prop_assert_eq!(&r1, &r3, "interp vs VM:\n{}", src);
+        prop_assert_eq!(&o1, &vm.output(), "interp vs VM output:\n{}", src);
+    }
+
+    #[test]
+    fn printer_round_trip(stmts in proptest::collection::vec(arb_stmt(2), 1..4)) {
+        let src = program(stmts);
+        let mut d = vgl::Diagnostics::new();
+        let p1 = vgl_syntax::parse_program(&src, &mut d);
+        prop_assert!(!d.has_errors());
+        let printed = vgl_syntax::print_program(&p1);
+        let mut d2 = vgl::Diagnostics::new();
+        let p2 = vgl_syntax::parse_program(&printed, &mut d2);
+        prop_assert!(!d2.has_errors(), "reparse failed:\n{printed}");
+        // Fixpoint: printing the reparse gives identical text.
+        prop_assert_eq!(vgl_syntax::print_program(&p2), printed);
+    }
+
+    #[test]
+    fn generated_exprs_fold_consistently(e in arb_int(4)) {
+        // A single pure expression: the optimizer may fold it entirely; the
+        // value must not change.
+        let src = format!(
+            "def choose<T>(c: bool, x: T, y: T) -> T {{ return c ? x : y; }}\n\
+             def f2(x: int, y: int) -> int {{ return x * 2 - y; }}\n\
+             def fst(q: (int, int)) -> int {{ return q.0; }}\n\
+             def swapp(q: (int, int)) -> (int, int) {{ return (q.1, q.0); }}\n\
+             def addp(x: (int, int), y: (int, int)) -> (int, int) {{\n\
+                 return (x.0 + y.0, x.1 + y.1);\n\
+             }}\n\
+             def sink(q: (int, int)) {{ System.puti(q.0 ^ q.1); }}\n\
+             def main() -> int {{ var a = 3, b = 5; var p = (1, 2); return {e}; }}"
+        );
+        let c = vgl::Compiler::new().compile(&src)
+            .unwrap_or_else(|err| panic!("compile failed:\n{err}\nfor:\n{src}"));
+        let i = c.interpret();
+        let v = c.execute();
+        prop_assert_eq!(&i.result, &v.result, "engines disagree on:\n{}", src);
+    }
+}

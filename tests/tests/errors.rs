@@ -1,0 +1,205 @@
+//! Error-path coverage: every class of diagnostic the front end can emit,
+//! checked through the public facade (so rendering also gets exercised).
+
+use vgl::Compiler;
+
+fn expect_err(src: &str, needle: &str) {
+    let err = Compiler::new()
+        .compile(src)
+        .err()
+        .unwrap_or_else(|| panic!("expected an error containing {needle:?} for:\n{src}"));
+    let text = err.to_string();
+    assert!(
+        text.contains(needle),
+        "expected {needle:?} in:\n{text}\nfor source:\n{src}"
+    );
+}
+
+// ---- parse errors -----------------------------------------------------------
+
+#[test]
+fn parse_errors() {
+    expect_err("def f( { }", "expected");
+    expect_err("class { }", "expected");
+    expect_err("def f() { return 1 }", "expected ';'");
+    expect_err("def f() { var x = ; }", "expected an expression");
+    expect_err("def f() { x = 5 @ 3; }", "unexpected character");
+}
+
+// ---- name resolution ----------------------------------------------------------
+
+#[test]
+fn unknown_names() {
+    expect_err("def main() { nope(); }", "unknown identifier");
+    expect_err("def main() { var x: Nope; }", "unknown type");
+    expect_err("def main() { var x = Nope.new(); }", "unknown identifier");
+    expect_err("class A { } def main(){ var a = A.new(); a.nope(); }", "no member");
+    expect_err("class A { } def main(){ var a = A.new(); a.f = 1; }", "no field");
+    expect_err("def main() { System.nope(); }", "System has no member");
+}
+
+#[test]
+fn duplicates() {
+    expect_err("class A { } class A { }", "duplicate class");
+    expect_err("def f() { } def f() { }", "duplicate component declaration");
+    expect_err("var x = 1; var x = 2;", "duplicate component declaration");
+    expect_err("class A { var f: int; var f: int; }", "duplicate field");
+    expect_err("def f(a: int, a: int) { }", "duplicate parameter");
+    expect_err("class A<T, T> { }", "duplicate type parameter");
+}
+
+#[test]
+fn builtin_shadowing() {
+    expect_err("class int { }", "cannot redefine built-in name");
+    expect_err("class System { }", "cannot redefine built-in name");
+    expect_err("class Array<T> { }", "cannot redefine built-in name");
+}
+
+// ---- type errors -----------------------------------------------------------------
+
+#[test]
+fn type_mismatches() {
+    expect_err("def main() { var x: int = true; }", "type mismatch");
+    expect_err("def main() { var x: bool = 1; }", "type mismatch");
+    expect_err("def f(x: int) { } def main() { f(true); }", "type mismatch");
+    expect_err("def f() -> int { return true; }", "type mismatch");
+    expect_err("def main() { if (1) { } }", "type mismatch");
+    expect_err("def main() { var t = (1, true); var x: int = t; }", "type mismatch");
+}
+
+#[test]
+fn arity_errors() {
+    expect_err("def f(a: int, b: int) { } def main() { f(1, 2, 3); }", "argument");
+    expect_err("class A<T> { } def main() { var x: A<int, int>; }", "type argument");
+    expect_err("def f<T>(x: T) { } def main() { f<int, bool>(1); }", "type argument");
+}
+
+#[test]
+fn tuple_errors() {
+    expect_err("def main() { var t = (1, 2); var x = t.5; }", "out of range");
+    expect_err("def main() { var x = 3; var y = x.1; }", "cannot index");
+}
+
+#[test]
+fn arithmetic_type_errors() {
+    expect_err("def main() { var x = true + 1; }", "type mismatch");
+    expect_err("def main() { var x = !5; }", "type mismatch");
+    expect_err("def main() { var x = -true; }", "type mismatch");
+    expect_err(
+        "class A { } class B { } def main() { var x = A.new() == B.new(); }",
+        "cannot compare unrelated types",
+    );
+}
+
+#[test]
+fn cast_errors() {
+    // §2.2: casts between unrelated types are rejected statically.
+    expect_err("def main() { var x = int.!(true); }", "unrelated");
+    expect_err(
+        "class A { } class B { } def main() { var x = A.!(B.new()); }",
+        "unrelated",
+    );
+    expect_err("def f(g: int -> int) { var x = bool.?(g); }", "unrelated");
+}
+
+#[test]
+fn mutability_errors() {
+    expect_err("def main() { def x = 1; x = 2; }", "immutable");
+    expect_err(
+        "class A { def g: int; new(g) { } } def main() { A.new(1).g = 2; }",
+        "immutable",
+    );
+    expect_err("def k = 1; def main() { k = 2; }", "immutable");
+}
+
+#[test]
+fn inheritance_errors() {
+    expect_err("class A extends A { }", "cycle");
+    expect_err("class A extends Nope { }", "unknown parent class");
+    expect_err(
+        "class A { def m() -> int { return 1; } }\n\
+         class B extends A { def m() -> bool { return true; } }",
+        "changes its type",
+    );
+    expect_err(
+        "class A { def m(x: int); } def main() { var a = A.new(); }",
+        "abstract",
+    );
+}
+
+#[test]
+fn overloading_rejected() {
+    // §3.3: "Virgil chooses to disallow overloading altogether".
+    expect_err(
+        "class A { def m(x: int) { } def m(x: bool) { } }",
+        "overloading",
+    );
+}
+
+#[test]
+fn control_flow_errors() {
+    expect_err("def main() { break; }", "outside a loop");
+    expect_err("def main() { continue; }", "outside a loop");
+    expect_err("def f() -> int { var x = 1; }", "fall off the end");
+    expect_err("def f() -> int { return; }", "must return a value");
+}
+
+#[test]
+fn inference_failures() {
+    expect_err("def f<T>() { } def main() { f(); }", "cannot infer");
+    expect_err("def main() { var x = null; }", "cannot infer");
+    expect_err("def main() { var e = []; }", "cannot infer");
+    expect_err(
+        "class B<T> { } def main() { var b = B.new(); }",
+        "cannot infer",
+    );
+}
+
+#[test]
+fn ctor_errors() {
+    expect_err("class A { new(x: int) { } new() { } }", "at most one constructor");
+    expect_err(
+        "class A(x: int) { new(y: int) { } }",
+        "header parameters cannot also declare a constructor",
+    );
+    expect_err("class A { new(zz) { } }", "matching field to initialize");
+    expect_err(
+        "class A { def x: int; new(x) { } }\n\
+         class B extends A { }",
+        "must call the super constructor",
+    );
+}
+
+#[test]
+fn main_signature_errors() {
+    expect_err("def main(x: int) { }", "main must take no parameters");
+    expect_err("def main<T>() { }", "main must not have type parameters");
+}
+
+#[test]
+fn polymorphic_recursion_rejected() {
+    expect_err(
+        "class L<T> { var h: T; new(h) { } }\n\
+         def f<T>(x: T) { f(L.new(x)); }\n\
+         def main() { f(1); }",
+        "polymorphic recursion",
+    );
+}
+
+#[test]
+fn private_and_visibility() {
+    expect_err(
+        "class A { private def p() { } }\n\
+         def main() { A.new().p(); }",
+        "private",
+    );
+}
+
+#[test]
+fn diagnostics_carry_positions() {
+    let err = Compiler::new()
+        .compile("def main() {\n  var x: int = true;\n}")
+        .expect_err("type error");
+    // Rendered with file:line:col.
+    assert!(err.to_string().contains("<input>:2:"), "{err}");
+}

@@ -1,0 +1,350 @@
+//! L1–L9: every numbered listing in Section 2 of the paper, compiled and
+//! executed through the public facade on both engines.
+
+use vgl::Compiler;
+
+/// Compiles + runs on both engines, asserting agreement; returns (result,
+/// output).
+fn both(src: &str) -> (String, String) {
+    let c = Compiler::new().compile(src).unwrap_or_else(|e| panic!("compile:\n{e}"));
+    let i = c.interpret();
+    let v = c.execute();
+    assert_eq!(i.result, v.result, "results differ for:\n{src}");
+    assert_eq!(i.output, v.output, "outputs differ for:\n{src}");
+    (v.result.expect("runs"), v.output)
+}
+
+#[test]
+fn listing_a_classes_and_inheritance() {
+    // (a1)-(a10)
+    let (r, _) = both(
+        "class A {\n\
+           var f: int;\n\
+           def g: int;\n\
+           new(f, g) { }\n\
+           def m(a: byte) -> int { return f * 10 + g; }\n\
+         }\n\
+         class B extends A {\n\
+           new() super(3, 4) { }\n\
+           def m(a: byte) -> int { return int.!(a); }\n\
+         }\n\
+         def main() -> int {\n\
+           var a: A = A.new(1, 2);\n\
+           var b: A = B.new();\n\
+           return a.m('\\0') * 1000 + b.m('!');\n\
+         }",
+    );
+    assert_eq!(r, "12033");
+}
+
+#[test]
+fn listing_b_first_class_functions() {
+    // (b1)-(b15)
+    let (r, _) = both(
+        "class A {\n\
+           var f: int;\n\
+           def g: int;\n\
+           new(f, g) { }\n\
+           def m(a: byte) -> int { return f + int.!(a); }\n\
+         }\n\
+         class B extends A { new() super(9, 9) { } }\n\
+         def main() -> int {\n\
+           var a = A.new(0, 1);        // (b1)\n\
+           var m1 = a.m;               // (b2) byte -> int\n\
+           var m2 = A.m;               // (b3) (A, byte) -> int\n\
+           var x = a.m('\\0');         // (b4)\n\
+           var y = m1('\\0');          // (b5)\n\
+           var z = m2(a, '\\0');       // (b6)\n\
+           var w = A.new;              // (b7) (int, int) -> A\n\
+           var zz = byte.==;           // (b8)\n\
+           var ww = A.!=;              // (b9)\n\
+           var p = int.+;              // (b10)\n\
+           var mm = int.-;             // (b11)\n\
+           var casted = A.!(B.new());  // (b12) upcast\n\
+           var isa = A.?(a);           // (b13)\n\
+           var cf = A.!<B>;            // (b14) B -> A\n\
+           var qf = A.?<B>;            // (b15) B -> bool\n\
+           var n = x + y + z;                        // 0\n\
+           if (zz('q', 'q')) n = n + 1;\n\
+           if (ww(a, casted)) n = n + 10;\n\
+           n = n + p(100, mm(200, 100));             // +200\n\
+           if (isa) n = n + 1000;\n\
+           if (qf(B.new())) n = n + 10000;\n\
+           var made = w(5, 6);\n\
+           return n + made.f;                        // + 5\n\
+         }",
+    );
+    assert_eq!(r, "11216");
+}
+
+#[test]
+fn listing_c_tuples() {
+    // (c1)-(c6)
+    let (r, _) = both(
+        "def main() -> int {\n\
+           var x: (int, int) = (0, 1);\n\
+           var y: (byte, bool) = ('a', true);\n\
+           var z: ((int, int), (byte, bool)) = (x, y);\n\
+           var w: (int) = x.0;\n\
+           var u: byte = (z.1.0);\n\
+           var v: () = ();\n\
+           var n = 0;\n\
+           if (x == (0, 1)) n = n + 1;          // tuple equality\n\
+           if (z == ((0, 1), ('a', true))) n = n + 10;\n\
+           if (v == ()) n = n + 100;            // void equality\n\
+           return n + w + int.!(u);\n\
+         }",
+    );
+    assert_eq!(r, "208"); // 111 + 0 + 97
+}
+
+#[test]
+fn listing_d_generics() {
+    // (d1)-(d14)
+    let (_, out) = both(
+        "class List<T> {\n\
+           var head: T;\n\
+           var tail: List<T>;\n\
+           new(head, tail) { }\n\
+         }\n\
+         def apply<A>(list: List<A>, f: A -> void) {\n\
+           for (l = list; l != null; l = l.tail) f(l.head);\n\
+         }\n\
+         def print(i: int) { System.puti(i); }\n\
+         def main() {\n\
+           var a = List<int>.new(0, null);                  // (d10)\n\
+           var b = List<(int, int)>.new((3, 4), null);      // (d11)\n\
+           apply<int>(a, print);                            // (d12)\n\
+           var c = List.new(5, null);                       // (d10')\n\
+           var d = List.new((3, 4), null);                  // (d11')\n\
+           apply(c, print);                                 // (d12')\n\
+           var e = List<bool>.?(a);                         // (d13)\n\
+           var f = List<void>.?(a);                         // (d14)\n\
+           System.putb(e); System.putb(f);\n\
+         }",
+    );
+    assert_eq!(out, "05falsefalse");
+}
+
+#[test]
+fn listing_e_time() {
+    // (e1)-(e5)
+    let (_, out) = both(
+        "def time<A, B>(func: A -> B, a: A) -> (B, int) {\n\
+           var start = System.ticks();\n\
+           return (func(a), System.ticks() - start);\n\
+         }\n\
+         def sqrt(x: int) -> int { return x / 2; }\n\
+         def main() { System.puti(time(sqrt, 36).0); }",
+    );
+    assert_eq!(out, "18");
+}
+
+#[test]
+fn listing_f_g_interface_adapter() {
+    let (_, out) = both(
+        "class Record { def tag: int; new(tag) { } }\n\
+         class Key { def k: int; new(k) { } }\n\
+         class DatastoreInterface(\n\
+           create: () -> Record,\n\
+           load: Key -> Record,\n\
+           store: Record -> ()) {\n\
+         }\n\
+         class DatastoreImpl {\n\
+           def create() -> Record { return Record.new(1); }\n\
+           def load(k: Key) -> Record { return Record.new(k.k); }\n\
+           def store(r: Record) { System.puts(\"stored \"); System.puti(r.tag); }\n\
+           def adapt() -> DatastoreInterface {\n\
+             return DatastoreInterface.new(create, load, store);\n\
+           }\n\
+         }\n\
+         def main() {\n\
+           var ds = DatastoreImpl.new().adapt();\n\
+           ds.store(ds.load(Key.new(7)));\n\
+         }",
+    );
+    assert_eq!(out, "stored 7");
+}
+
+#[test]
+fn listing_h_i_adt() {
+    let (r, _) = both(
+        "class NumberInterface<T>(\n\
+           add: (T, T) -> T,\n\
+           sub: (T, T) -> T,\n\
+           compare: (T, T) -> bool,\n\
+           one: T,\n\
+           zero: T) {\n\
+         }\n\
+         var IntInterface = NumberInterface.new(int.+, int.-, int.==, 1, 0);\n\
+         def main() -> int {\n\
+           var two = IntInterface.add(IntInterface.one, IntInterface.one);\n\
+           var one = IntInterface.sub(two, IntInterface.one);\n\
+           return IntInterface.compare(one, 1) ? two : -1;\n\
+         }",
+    );
+    assert_eq!(r, "2");
+}
+
+#[test]
+fn listing_j_print1() {
+    let (_, out) = both(
+        "def print1<T>(a: T) {\n\
+           if (int.?(a)) { System.puts(\"i\"); System.puti(int.!(a)); }\n\
+           if (bool.?(a)) { System.puts(\"b\"); System.putb(bool.!(a)); }\n\
+           if (string.?(a)) { System.puts(\"s\"); System.puts(string.!(a)); }\n\
+           if (byte.?(a)) { System.puts(\"c\"); System.putc(byte.!(a)); }\n\
+         }\n\
+         def main() {\n\
+           print1(0);\n\
+           print1(false);\n\
+           print1(\"hi\");\n\
+           print1('!');\n\
+         }",
+    );
+    assert_eq!(out, "i0bfalseshic!");
+}
+
+#[test]
+fn listing_k_m_matcher() {
+    let (_, out) = both(
+        "class Any { }\n\
+         class Box<T> extends Any {\n\
+           def val: T;\n\
+           new(val) { }\n\
+           def unbox() -> T { return val; }\n\
+         }\n\
+         class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         class Matcher {\n\
+           var matches: List<Any>;\n\
+           def add<T>(f: T -> void) {\n\
+             matches = List<Any>.new(Box<T -> void>.new(f), matches);\n\
+           }\n\
+           def dispatch<T>(v: T) {\n\
+             for (l = matches; l != null; l = l.tail) {\n\
+               var f = l.head;\n\
+               if (Box<T -> void>.?(f)) {\n\
+                 Box<T -> void>.!(f).unbox()(v);\n\
+                 return;\n\
+               }\n\
+             }\n\
+           }\n\
+         }\n\
+         def printInt(a: int) { System.puti(a); }\n\
+         def printBool(a: bool) { System.putb(a); }\n\
+         def printString(a: string) { System.puts(a); }\n\
+         def main() {\n\
+           var m = Matcher.new();\n\
+           m.add(printInt);\n\
+           m.add(printBool);\n\
+           m.add(printString);\n\
+           m.dispatch(1);       // printInt\n\
+           m.dispatch(true);    // printBool\n\
+           m.dispatch(\"x\");   // printString\n\
+         }",
+    );
+    assert_eq!(out, "1truex");
+}
+
+#[test]
+fn listing_n_variants() {
+    let (_, out) = both(
+        "class Buffer { }\n\
+         class Instr { def emit(buf: Buffer); }\n\
+         class InstrOf<T> extends Instr {\n\
+           var emitFunc: (Buffer, T) -> void;\n\
+           var val: T;\n\
+           new(emitFunc, val) { }\n\
+           def emit(buf: Buffer) { emitFunc(buf, val); }\n\
+         }\n\
+         class Reg { def n: int; new(n) { } }\n\
+         def add(b: Buffer, ops: (Reg, Reg)) { System.puts(\"add\"); }\n\
+         def addi(b: Buffer, ops: (Reg, int)) { System.puts(\"addi\"); }\n\
+         def neg(b: Buffer, ops: Reg) { System.puts(\"neg\"); }\n\
+         def main() {\n\
+           var rax = Reg.new(0), rbx = Reg.new(1);\n\
+           var i = InstrOf.new(add, (rax, rbx));    // (n12)\n\
+           var j = InstrOf.new(addi, (rax, -11));   // (n13)\n\
+           var k = InstrOf.new(neg, rax);           // (n14)\n\
+           var buf = Buffer.new();\n\
+           i.emit(buf); j.emit(buf); k.emit(buf);\n\
+           if (InstrOf<Reg>.?(k)) System.puts(\" k:reg\");          // (n15)\n\
+           if (InstrOf<(Reg, Reg)>.?(i)) System.puts(\" i:rr\");    // (n17)\n\
+           if (InstrOf<(Reg, int)>.?(j)) System.puts(\" j:ri\");    // (n19)\n\
+           if (InstrOf<(Reg, int)>.?(i)) System.puts(\" BAD\");\n\
+         }",
+    );
+    assert_eq!(out, "addaddineg k:reg i:rr j:ri");
+}
+
+#[test]
+fn listing_o_variance() {
+    let (_, out) = both(
+        "class Animal { def who() -> int { return 0; } }\n\
+         class Bat extends Animal { def who() -> int { return 1; } }\n\
+         class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+         def apply<A>(list: List<A>, f: A -> void) {\n\
+           for (l = list; l != null; l = l.tail) f(l.head);\n\
+         }\n\
+         def g(a: Animal) { System.puti(a.who()); }\n\
+         def main() {\n\
+           var b: List<Bat> = List.new(Bat.new(), null);\n\
+           apply(b, g);   // (o7): OK via contravariant function types\n\
+         }",
+    );
+    assert_eq!(out, "1");
+}
+
+#[test]
+fn listing_p_calling_conventions() {
+    let (_, out) = both(
+        "def f(a: int, b: int) { System.puti(a + b); }\n\
+         def g(a: (int, int)) { System.puti(a.0 * a.1); }\n\
+         def r<A>(a: A) { System.puts(\"r\"); }\n\
+         var z = true;\n\
+         def main() {\n\
+           var x = z ? f : g, t = (4, 5);\n\
+           x(0, 1);   // (p4)\n\
+           x(t);      // (p5)\n\
+           var y = z ? r<(int, int)> : f;   // (p7)\n\
+           y(0, 2);   // (p8)\n\
+         }",
+    );
+    assert_eq!(out, "19r");
+}
+
+#[test]
+fn listing_p_override() {
+    // (p10)-(p17)
+    let (_, out) = both(
+        "class A {\n\
+           def m(a: int, b: int) { System.puti(a + b); }\n\
+         }\n\
+         class B extends A {\n\
+           def m(a: (int, int)) { System.puti(a.0 * a.1); }\n\
+         }\n\
+         def main() {\n\
+           var a: A = z() ? A.new() : B.new();\n\
+           a.m(3, 4);      // B.m via tuple convention: 12\n\
+         }\n\
+         def z() -> bool { return false; }",
+    );
+    assert_eq!(out, "12");
+}
+
+#[test]
+fn listing_q_normalization() {
+    let (_, out) = both(
+        "def m(a: (string, int)) { System.puts(a.0); System.puti(a.1); }\n\
+         def f(v: void) { System.puts(\".\"); }\n\
+         def main() {\n\
+           var b = (\"hello\", 15);      // (q1)\n\
+           m(b);                          // (q3)\n\
+           m(\"goodbye\", b.1);           // (q4)\n\
+           m(\"cheers\", (11, 22).0);     // (q5)\n\
+           var t: void;                   // (q7)\n\
+           f(t);                          // (q8)\n\
+         }",
+    );
+    assert_eq!(out, "hello15goodbye15cheers11.");
+}
