@@ -1,25 +1,18 @@
 //! E1: tuple-heavy workload — interpreter (boxed tuples) vs VM (flattened).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use vgl_bench::harness::Runner;
 use vgl_bench::{compile, workloads};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_boxing");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(10);
+fn main() {
+    let mut r = Runner::new("e1_boxing");
     for n in [1_000usize, 10_000] {
         let comp = compile(&workloads::tuple_heavy(n));
-        g.bench_with_input(BenchmarkId::new("interp_boxed", n), &n, |b, _| {
-            b.iter(|| comp.interpret().result.clone().unwrap())
+        r.bench(&format!("interp_boxed/{n}"), || {
+            comp.interpret().result.clone().unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("vm_flattened", n), &n, |b, _| {
-            b.iter(|| comp.execute().result.clone().unwrap())
+        r.bench(&format!("vm_flattened/{n}"), || {
+            comp.execute().result.clone().unwrap()
         });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

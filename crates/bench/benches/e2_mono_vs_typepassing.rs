@@ -1,26 +1,19 @@
 //! E2: polymorphic workload — type-argument-passing interpretation vs
 //! monomorphized VM execution (§4.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use vgl_bench::harness::Runner;
 use vgl_bench::{compile, workloads};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_mono_vs_typepassing");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(10);
+fn main() {
+    let mut r = Runner::new("e2_mono_vs_typepassing");
     for n in [10usize, 50] {
         let comp = compile(&workloads::polymorphic(n));
-        g.bench_with_input(BenchmarkId::new("interp_typepassing", n), &n, |b, _| {
-            b.iter(|| comp.interpret().result.clone().unwrap())
+        r.bench(&format!("interp_typepassing/{n}"), || {
+            comp.interpret().result.clone().unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("vm_monomorphized", n), &n, |b, _| {
-            b.iter(|| comp.execute().result.clone().unwrap())
+        r.bench(&format!("vm_monomorphized/{n}"), || {
+            comp.execute().result.clone().unwrap()
         });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

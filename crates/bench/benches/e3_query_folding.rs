@@ -1,28 +1,19 @@
 //! E3: §3.3 dispatch-chain folding ablation — optimizer on vs off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use vgl_bench::harness::Runner;
 use vgl_bench::workloads;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let src = workloads::dispatch_chain(5_000);
     let folded = vgl::Compiler::new().compile(&src).expect("compiles");
     let unfolded = vgl::Compiler::new()
         .without_optimizer()
         .compile(&src)
         .expect("compiles");
-    let mut g = c.benchmark_group("e3_query_folding");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(10);
-    g.bench_function("vm_folded", |b| {
-        b.iter(|| folded.execute().result.clone().unwrap())
+    let mut r = Runner::new("e3_query_folding");
+    r.bench("vm_folded", || folded.execute().result.clone().unwrap());
+    r.bench("vm_unfolded_ablation", || {
+        unfolded.execute().result.clone().unwrap()
     });
-    g.bench_function("vm_unfolded_ablation", |b| {
-        b.iter(|| unfolded.execute().result.clone().unwrap())
-    });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,16 @@
 //! E4: compile-time cost and code expansion vs number of instantiations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use vgl_bench::harness::Runner;
 use vgl_bench::workloads;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_code_expansion");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(10);
+fn main() {
+    let mut r = Runner::new("e4_code_expansion");
     for k in [2usize, 8, 16] {
         let src = workloads::instantiations(k);
-        g.bench_with_input(BenchmarkId::new("pipeline", k), &k, |b, _| {
-            b.iter(|| {
-                let comp = vgl::Compiler::new().compile(&src).expect("compiles");
-                comp.stats.mono.method_instances
-            })
+        r.bench(&format!("pipeline/{k}"), || {
+            let comp = vgl::Compiler::new().compile(&src).expect("compiles");
+            comp.stats.mono.method_instances
         });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

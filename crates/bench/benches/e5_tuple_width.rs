@@ -1,25 +1,18 @@
 //! E5: tuple width sweep — flattened (VM) vs boxed (interpreter).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use vgl_bench::harness::Runner;
 use vgl_bench::{compile, workloads};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_tuple_width");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(10);
+fn main() {
+    let mut r = Runner::new("e5_tuple_width");
     for w in [2usize, 8, 32] {
         let comp = compile(&workloads::tuple_width(w, 5_000));
-        g.bench_with_input(BenchmarkId::new("interp_boxed", w), &w, |b, _| {
-            b.iter(|| comp.interpret().result.clone().unwrap())
+        r.bench(&format!("interp_boxed/{w}"), || {
+            comp.interpret().result.clone().unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("vm_flattened", w), &w, |b, _| {
-            b.iter(|| comp.execute().result.clone().unwrap())
+        r.bench(&format!("vm_flattened/{w}"), || {
+            comp.execute().result.clone().unwrap()
         });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,19 @@
 //! E6: first-class call sites with mixed calling conventions — dynamic
 //! checks in the interpreter vs none in the VM.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use vgl_bench::harness::Runner;
 use vgl_bench::{compile, workloads};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_callsite_checks");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(10);
+fn main() {
+    let mut r = Runner::new("e6_callsite_checks");
     for n in [1_000usize, 5_000] {
         let comp = compile(&workloads::callsite_checks(n));
-        g.bench_with_input(BenchmarkId::new("interp_checked", n), &n, |b, _| {
-            b.iter(|| comp.interpret().result.clone().unwrap())
+        r.bench(&format!("interp_checked/{n}"), || {
+            comp.interpret().result.clone().unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("vm_checkfree", n), &n, |b, _| {
-            b.iter(|| comp.execute().result.clone().unwrap())
+        r.bench(&format!("vm_checkfree/{n}"), || {
+            comp.execute().result.clone().unwrap()
         });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

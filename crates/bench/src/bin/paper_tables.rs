@@ -2,45 +2,76 @@
 //! (see DESIGN.md per-experiment index). Run `cargo run --release -p
 //! vgl-bench --bin paper_tables` and paste the output into EXPERIMENTS.md.
 //!
-//! Usage: `paper_tables [t1|e1|e2|e3|e4|e5|e6|e7|all]`
+//! Usage: `paper_tables [--json] [t1|e1|e2|e3|e4|e5|e6|e7|all]`
+//!
+//! With `--json`, the selected tables are emitted as one JSON object
+//! (`{"e1": [...], ...}`, one array of row objects per experiment) instead
+//! of rendered text — the machine-readable counterpart of EXPERIMENTS.md.
 
 use vgl_bench::workloads;
 use vgl_bench::{compile, measure_both, us, Table};
+use vgl_obs::json::Json;
+
+/// Print mode or JSON-accumulation mode for the experiment tables.
+struct Emit {
+    json: Option<Json>,
+}
+
+impl Emit {
+    fn section(&mut self, key: &str, title: &str, table: &Table, note: &str) {
+        match &mut self.json {
+            Some(root) => root.set(key, table.to_json()),
+            None => {
+                println!("{title}");
+                println!("{}", table.render());
+                if !note.is_empty() {
+                    println!("{note}\n");
+                }
+            }
+        }
+    }
+}
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let which = args.into_iter().next().unwrap_or_else(|| "all".to_string());
+    let mut em = Emit { json: json.then(Json::object) };
     let all = which == "all";
     if all || which == "t1" {
-        t1();
+        t1(&mut em);
     }
     if all || which == "e1" {
-        e1();
+        e1(&mut em);
     }
     if all || which == "e2" {
-        e2();
+        e2(&mut em);
     }
     if all || which == "e3" {
-        e3();
+        e3(&mut em);
     }
     if all || which == "e4" {
-        e4();
+        e4(&mut em);
     }
     if all || which == "e5" {
-        e5();
+        e5(&mut em);
     }
     if all || which == "e6" {
-        e6();
+        e6(&mut em);
     }
     if all || which == "e7" {
-        e7();
+        e7(&mut em);
+    }
+    if let Some(root) = em.json {
+        println!("{root}");
     }
 }
 
 /// E7 — compile throughput (§5: "the Virgil compiler ... compiles very
 /// fast"). Measures the whole pipeline: parse → typecheck → monomorphize →
 /// normalize → optimize → lower to bytecode.
-fn e7() {
-    println!("== E7: compile throughput (§5 'compiles very fast') ==");
+fn e7(em: &mut Emit) {
     let mut t = Table::new(&[
         "classes k",
         "source lines",
@@ -73,14 +104,17 @@ fn e7() {
             instrs.to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape check: compile time scales roughly linearly with program size.\n");
+    em.section(
+        "e7",
+        "== E7: compile throughput (§5 'compiles very fast') ==",
+        &t,
+        "shape check: compile time scales roughly linearly with program size.",
+    );
 }
 
 /// T1 — the §2.5 type-constructor summary table, printed from the live
 /// type-system data (variance verified by the vgl-types test suite).
-fn t1() {
-    println!("== T1: type constructor summary (paper §2.5 table) ==");
+fn t1(em: &mut Emit) {
     let mut t = Table::new(&["Typecon", "Type Parameters", "Syntax"]);
     for row in vgl::constructor_summary() {
         let params = if row.params.is_empty() {
@@ -98,12 +132,11 @@ fn t1() {
         };
         t.row(&[row.constructor.to_string(), params, row.syntax.to_string()]);
     }
-    println!("{}", t.render());
+    em.section("t1", "== T1: type constructor summary (paper §2.5 table) ==", &t, "");
 }
 
 /// E1 — normalization removes all tuple boxing (§4.2).
-fn e1() {
-    println!("== E1: tuple boxing — interpreter vs compiled VM (§4.2) ==");
+fn e1(em: &mut Emit) {
     let mut t = Table::new(&[
         "n (iterations)",
         "interp tuple boxes",
@@ -126,14 +159,17 @@ fn e1() {
             us(v.time),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape check: interpreter boxes grow linearly with n; VM boxes are always 0.\n");
+    em.section(
+        "e1",
+        "== E1: tuple boxing — interpreter vs compiled VM (§4.2) ==",
+        &t,
+        "shape check: interpreter boxes grow linearly with n; VM boxes are always 0.",
+    );
 }
 
 /// E2 — monomorphized execution vs type-argument-passing interpretation
 /// (§4.3: the interpreter strategy "exacts a considerable runtime cost").
-fn e2() {
-    println!("== E2: monomorphization vs type-argument passing (§4.3) ==");
+fn e2(em: &mut Emit) {
     let mut t = Table::new(&[
         "rounds",
         "interp time (us)",
@@ -154,13 +190,16 @@ fn e2() {
             format!("{speed:.1}x"),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape check: compiled wins on polymorphic code; no type info is passed at runtime.\n");
+    em.section(
+        "e2",
+        "== E2: monomorphization vs type-argument passing (§4.3) ==",
+        &t,
+        "shape check: compiled wins on polymorphic code; no type info is passed at runtime.",
+    );
 }
 
 /// E3 — §3.3: the type-query dispatch chain folds away after specialization.
-fn e3() {
-    println!("== E3: dispatch-chain folding (§3.3 print1 claim) ==");
+fn e3(em: &mut Emit) {
     let n = 20_000;
     let src = workloads::dispatch_chain(n);
     let with_opt = compile(&src);
@@ -208,16 +247,17 @@ fn e3() {
         i_raw.to_string(),
         us(t_raw),
     ]);
-    println!("{}", t.render());
-    println!(
+    em.section(
+        "e3",
+        "== E3: dispatch-chain folding (§3.3 print1 claim) ==",
+        &t,
         "shape check: with folding, dispatch is \"just as efficient as if the caller had \
-         called the appropriate print* method directly\".\n"
+         called the appropriate print* method directly\".",
     );
 }
 
 /// E4 — code expansion from monomorphization (§4.3 tradeoffs, §6.1).
-fn e4() {
-    println!("== E4: code expansion vs distinct instantiations (§4.3/§6.1) ==");
+fn e4(em: &mut Emit) {
     let mut t = Table::new(&[
         "instantiations k",
         "IR nodes before",
@@ -237,14 +277,17 @@ fn e4() {
             c.code_size().to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape check: expansion grows linearly in distinct instantiations (no sharing).\n");
+    em.section(
+        "e4",
+        "== E4: code expansion vs distinct instantiations (§4.3/§6.1) ==",
+        &t,
+        "shape check: expansion grows linearly in distinct instantiations (no sharing).",
+    );
 }
 
 /// E5 — tuple width sweep (§4.2 tradeoffs: "large tuples might actually
 /// perform better if allocated on the heap").
-fn e5() {
-    println!("== E5: tuple width — flattened scalars vs boxed records (§4.2 tradeoffs) ==");
+fn e5(em: &mut Emit) {
     let n = 20_000;
     let mut t = Table::new(&[
         "width w",
@@ -263,16 +306,17 @@ fn e5() {
             format!("{ratio:.2}"),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    em.section(
+        "e5",
+        "== E5: tuple width — flattened scalars vs boxed records (§4.2 tradeoffs) ==",
+        &t,
         "shape check: flattening wins strongly at small widths; the per-element cost \
-         grows with w (the paper's predicted crossover pressure for large tuples).\n"
+         grows with w (the paper's predicted crossover pressure for large tuples).",
     );
 }
 
 /// E6 — §4.1: dynamic calling-convention checks at first-class call sites.
-fn e6() {
-    println!("== E6: first-class call-site checks (§4.1) ==");
+fn e6(em: &mut Emit) {
     let mut t = Table::new(&[
         "calls n",
         "interp checks",
@@ -295,10 +339,12 @@ fn e6() {
             vs.closure_calls.to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    em.section(
+        "e6",
+        "== E6: first-class call-site checks (§4.1) ==",
+        &t,
         "shape check: the interpreter checks every first-class call and adapts \
          (boxes/unboxes) when conventions mismatch; after normalization \"all method \
-         calls pass scalar arguments\" and the check does not exist.\n"
+         calls pass scalar arguments\" and the check does not exist.",
     );
 }

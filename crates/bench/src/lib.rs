@@ -2,9 +2,12 @@
 //!
 //! The benchmark harness that regenerates every evaluation claim of the
 //! paper (see DESIGN.md's per-experiment index, E1–E6 and T1). The
-//! `paper_tables` binary prints the tables recorded in EXPERIMENTS.md;
-//! the `benches/` directory holds the criterion timing benches.
+//! `paper_tables` binary prints the tables recorded in EXPERIMENTS.md
+//! (`--json` emits them machine-readable via `vgl_obs::json`); the
+//! `benches/` directory holds the timing benches, built on the in-tree
+//! [`harness`] so the workspace builds with no external dependencies.
 
+pub mod harness;
 pub mod workloads;
 
 use std::time::{Duration, Instant};
@@ -116,6 +119,24 @@ impl Table {
             line(r, &widths, &mut out);
         }
         out
+    }
+
+    /// The table as a JSON array of `{header: cell}` objects (cells stay
+    /// strings — they carry formatted units).
+    pub fn to_json(&self) -> vgl_obs::json::Json {
+        use vgl_obs::json::Json;
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|r| {
+                    let mut o = Json::object();
+                    for (h, c) in self.headers.iter().zip(r) {
+                        o.set(h, Json::Str(c.clone()));
+                    }
+                    o
+                })
+                .collect(),
+        )
     }
 }
 

@@ -1,28 +1,35 @@
 //! `vglc` — the virgil-rs command-line driver.
 //!
 //! ```text
-//! vglc run <file.v>       compile and run on the VM (default)
-//! vglc interp <file.v>    run on the reference interpreter
-//! vglc both <file.v>      run on both engines and compare
-//! vglc stats <file.v>     print pipeline statistics
-//! vglc disasm <file.v>    print the compiled bytecode
+//! vglc run <file.v>            compile and run on the VM (default)
+//! vglc interp <file.v>         run on the reference interpreter
+//! vglc both <file.v>           run on both engines and compare
+//! vglc stats [--json] <file.v> print pipeline statistics; --json emits one
+//!                              JSON object (phases, pipeline, both engines)
+//! vglc profile <file.v>        run on the VM with profiling: per-phase
+//!                              compile times, opcode histogram, GC events
+//! vglc disasm <file.v>         print the compiled bytecode
 //! ```
 
 use std::process::ExitCode;
 use vgl::Compiler;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: vglc [run|interp|both|stats|disasm] <file.v>");
+    eprintln!("usage: vglc [run|interp|both|stats [--json]|profile|disasm] <file.v>");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, path) = match args.as_slice() {
-        [path] => ("run".to_string(), path.clone()),
-        [cmd, path] => (cmd.clone(), path.clone()),
+    let (cmd, json, path) = match args.as_slice() {
+        [path] if !path.starts_with('-') => ("run".to_string(), false, path.clone()),
+        [cmd, path] if !path.starts_with('-') => (cmd.clone(), false, path.clone()),
+        [cmd, flag, path] if flag == "--json" => (cmd.clone(), true, path.clone()),
         _ => return usage(),
     };
+    if json && cmd != "stats" {
+        return usage();
+    }
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
@@ -64,6 +71,25 @@ fn main() -> ExitCode {
             print!("{}", v.output);
             finish(v.result)
         }
+        "stats" if json => {
+            let i = compilation.interpret();
+            let (v, profile) = compilation.execute_profiled();
+            let report = vgl::report::stats_json(&compilation, Some(&i), Some(&v), Some(&profile));
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        "profile" => {
+            let (out, profile) = compilation.execute_profiled();
+            println!("== compile phases ==");
+            print!("{}", compilation.trace.render_table());
+            println!("== vm profile ==");
+            print!("{}", profile.render_table());
+            if !out.output.is_empty() {
+                println!("== program output ==");
+                print!("{}", out.output);
+            }
+            finish(out.result)
+        }
         "stats" => {
             let s = &compilation.stats;
             println!("size before:       {}", s.size_before);
@@ -97,6 +123,12 @@ fn main() -> ExitCode {
                 s.opt.devirtualized
             );
             println!("expansion:         x{:.2}", compilation.expansion_ratio());
+            println!(
+                "pass times:        mono {:.1}us, norm {:.1}us, opt {:.1}us",
+                s.times.mono.as_secs_f64() * 1e6,
+                s.times.norm.as_secs_f64() * 1e6,
+                s.times.opt.as_secs_f64() * 1e6
+            );
             ExitCode::SUCCESS
         }
         "disasm" => {

@@ -34,15 +34,18 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::fmt;
 
 pub use vgl_interp::{Interp, InterpError, InterpStats};
 pub use vgl_ir::{Exception, Module, ModuleSize};
-pub use vgl_passes::{MonoStats, NormStats, OptStats, PipelineStats};
-pub use vgl_runtime::{AllocStats, HeapStats};
+pub use vgl_obs::{JsonLinesSink, PhaseTrace, Sink, TableSink, Tracer};
+pub use vgl_passes::{MonoStats, NormStats, OptStats, PassTimes, PipelineStats};
+pub use vgl_runtime::{AllocStats, GcInfo, HeapStats};
 pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap};
 pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
-pub use vgl_vm::{Vm, VmError, VmProgram, VmStats};
+pub use vgl_vm::{GcEvent, Vm, VmError, VmProfile, VmProgram, VmStats};
 
 /// A compilation failure: rendered diagnostics.
 #[derive(Clone, Debug)]
@@ -114,33 +117,119 @@ impl Compiler {
     /// # Errors
     /// Returns every parse and type error with rendered positions.
     pub fn compile(&self, source: &str) -> Result<Compilation, CompileError> {
+        self.compile_traced(source, &mut Tracer::disabled())
+    }
+
+    /// [`Compiler::compile`], emitting one span per phase (lex, parse, sema,
+    /// mono, normalize, optimize, lower) into `tracer`. The same samples are
+    /// kept on the returned [`Compilation::trace`] either way, so a disabled
+    /// tracer only skips the sink writes, not the timing.
+    ///
+    /// # Errors
+    /// Returns every parse and type error with rendered positions.
+    pub fn compile_traced(
+        &self,
+        source: &str,
+        tracer: &mut Tracer<'_>,
+    ) -> Result<Compilation, CompileError> {
+        let mut trace = PhaseTrace::new();
+        // Lexing is timed on a scratch pass (the parser re-lexes internally;
+        // lexing is linear and cheap, so the duplication is negligible).
+        let token_count = {
+            let mut scratch = Diagnostics::new();
+            trace.time(
+                "lex",
+                source.len(),
+                || vgl_syntax::lexer::lex(source, &mut scratch),
+                Vec::len,
+            )
+            .len()
+        };
         let mut diags = Diagnostics::new();
-        let ast = vgl_syntax::parse_program(source, &mut diags);
+        let ast = trace.time(
+            "parse",
+            token_count,
+            || vgl_syntax::parse_program(source, &mut diags),
+            |p| p.decls.len(),
+        );
         if diags.has_errors() {
             return Err(render(source, diags));
         }
-        let Some(module) = vgl_sema::analyze(&ast, &mut diags) else {
+        let analyzed = trace.time(
+            "sema",
+            ast.decls.len(),
+            || vgl_sema::analyze(&ast, &mut diags),
+            |m| m.as_ref().map_or(0, |m| vgl_ir::measure(m).expr_nodes),
+        );
+        let Some(module) = analyzed else {
             return Err(render(source, diags));
         };
         // Pipeline: mono → norm → (opt).
-        let (mut compiled, mono) = vgl_passes::monomorphize(&module);
         let size_before = vgl_ir::measure(&module);
+        let (mut compiled, mono) = trace.time(
+            "mono",
+            size_before.expr_nodes,
+            || vgl_passes::monomorphize(&module),
+            |(m, _)| vgl_ir::measure(m).expr_nodes,
+        );
         let size_after_mono = vgl_ir::measure(&compiled);
-        let norm = vgl_passes::normalize(&mut compiled);
-        let opt = if self.options.optimize {
-            vgl_passes::optimize(&mut compiled)
-        } else {
-            OptStats::default()
-        };
+        let norm = trace.time(
+            "normalize",
+            size_after_mono.expr_nodes,
+            || vgl_passes::normalize(&mut compiled),
+            |_| 0,
+        );
+        let size_after_norm = vgl_ir::measure(&compiled);
+        trace.phases.last_mut().expect("norm sample").items_out = size_after_norm.expr_nodes;
+        let opt = trace.time(
+            "optimize",
+            size_after_norm.expr_nodes,
+            || {
+                if self.options.optimize {
+                    vgl_passes::optimize(&mut compiled)
+                } else {
+                    OptStats::default()
+                }
+            },
+            |_| 0,
+        );
         debug_assert!(vgl_ir::check_normalized(&compiled).is_empty());
         let size_after = vgl_ir::measure(&compiled);
-        let program = vgl_vm::lower(&compiled);
+        trace.phases.last_mut().expect("opt sample").items_out = size_after.expr_nodes;
+        let program = trace.time(
+            "lower",
+            size_after.expr_nodes,
+            || vgl_vm::lower(&compiled),
+            vgl_vm::VmProgram::code_size,
+        );
+        let dur = |name: &str| {
+            trace
+                .phases
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.duration)
+                .unwrap_or_default()
+        };
+        let times =
+            PassTimes { mono: dur("mono"), norm: dur("normalize"), opt: dur("optimize") };
+        if tracer.enabled() {
+            trace.emit(tracer);
+        }
         Ok(Compilation {
             options: self.options,
             module,
             compiled,
             program,
-            stats: PipelineStats { mono, norm, opt, size_before, size_after_mono, size_after },
+            stats: PipelineStats {
+                mono,
+                norm,
+                opt,
+                size_before,
+                size_after_mono,
+                size_after,
+                times,
+            },
+            trace,
         })
     }
 }
@@ -181,6 +270,8 @@ pub struct Compilation {
     pub program: VmProgram,
     /// Pipeline statistics.
     pub stats: PipelineStats,
+    /// Per-phase wall-clock samples (lex through lower).
+    pub trace: PhaseTrace,
 }
 
 impl Compilation {
@@ -231,6 +322,28 @@ impl Compilation {
             interp_stats: None,
             vm_stats: Some(vm.stats),
         }
+    }
+
+    /// [`Compilation::execute`] with VM profiling enabled: also returns the
+    /// per-opcode retired-instruction histogram and the GC event log.
+    pub fn execute_profiled(&self) -> (RunOutcome, VmProfile) {
+        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        vm.enable_profiling();
+        if let Some(f) = self.options.fuel {
+            vm.set_fuel(f);
+        }
+        let result = match vm.run() {
+            Ok(words) => Ok(display_words(&words)),
+            Err(e) => Err(e.to_string()),
+        };
+        let outcome = RunOutcome {
+            result,
+            output: vm.output(),
+            interp_stats: None,
+            vm_stats: Some(vm.stats),
+        };
+        let profile = vm.take_profile().unwrap_or_default();
+        (outcome, profile)
     }
 
     /// Code expansion ratio due to monomorphization (E4): IR nodes after

@@ -1,0 +1,190 @@
+//! The unified machine-readable report behind `vglc stats --json`.
+//!
+//! One JSON object ties together every observability surface of the system:
+//! per-phase compile times ([`crate::PhaseTrace`]), the pipeline statistics
+//! (E4's code-expansion data), the interpreter's dynamic cost counters
+//! (boxed tuples, §4.1 call-site checks, type-environment lookups), and the
+//! VM's counters plus, when profiled, the per-opcode histogram and GC event
+//! log. `crates/bench` consumes this shape for the paper tables.
+
+use crate::{Compilation, InterpStats, RunOutcome, VmProfile, VmStats};
+use vgl_obs::json::Json;
+
+/// Builds the full report for one compiled program.
+///
+/// `interp` and `vm` are outcomes from the respective engines (either may be
+/// omitted); `profile` is the VM profile from
+/// [`Compilation::execute_profiled`].
+pub fn stats_json(
+    c: &Compilation,
+    interp: Option<&RunOutcome>,
+    vm: Option<&RunOutcome>,
+    profile: Option<&VmProfile>,
+) -> Json {
+    let mut root = Json::object();
+    root.set("phases", c.trace.to_json());
+    root.set("pipeline", pipeline_json(c));
+    root.set("bytecode_instrs", Json::from(c.code_size()));
+    if let Some(run) = interp {
+        let mut o = outcome_json(run);
+        if let Some(s) = &run.interp_stats {
+            o.set("stats", interp_stats_json(s));
+        }
+        root.set("interp", o);
+    }
+    if let Some(run) = vm {
+        let mut o = outcome_json(run);
+        if let Some(s) = &run.vm_stats {
+            o.set("stats", vm_stats_json(s));
+        }
+        if let Some(p) = profile {
+            o.set("profile", p.to_json());
+        }
+        root.set("vm", o);
+    }
+    root
+}
+
+fn pipeline_json(c: &Compilation) -> Json {
+    let s = &c.stats;
+    let mut o = Json::object();
+
+    let mut mono = Json::object();
+    mono.set("method_instances", Json::from(s.mono.method_instances));
+    mono.set("class_instances", Json::from(s.mono.class_instances));
+    mono.set("live_source_methods", Json::from(s.mono.live_source_methods));
+    mono.set("live_source_classes", Json::from(s.mono.live_source_classes));
+    o.set("mono", mono);
+
+    let mut norm = Json::object();
+    norm.set("tuple_exprs_removed", Json::from(s.norm.tuple_exprs_removed));
+    norm.set("params_expanded", Json::from(s.norm.params_expanded));
+    norm.set("fields_expanded", Json::from(s.norm.fields_expanded));
+    norm.set("globals_expanded", Json::from(s.norm.globals_expanded));
+    norm.set("multi_return_methods", Json::from(s.norm.multi_return_methods));
+    norm.set("wrappers_synthesized", Json::from(s.norm.wrappers_synthesized));
+    o.set("normalize", norm);
+
+    let mut opt = Json::object();
+    opt.set("consts_folded", Json::from(s.opt.consts_folded));
+    opt.set("queries_folded", Json::from(s.opt.queries_folded));
+    opt.set("casts_folded", Json::from(s.opt.casts_folded));
+    opt.set("branches_folded", Json::from(s.opt.branches_folded));
+    opt.set("dead_stmts_removed", Json::from(s.opt.dead_stmts_removed));
+    opt.set("devirtualized", Json::from(s.opt.devirtualized));
+    opt.set("inlined", Json::from(s.opt.inlined));
+    o.set("optimize", opt);
+
+    o.set("size_before", size_json(&s.size_before));
+    o.set("size_after_mono", size_json(&s.size_after_mono));
+    o.set("size_after", size_json(&s.size_after));
+    o.set("expansion_ratio", Json::Num(c.expansion_ratio()));
+
+    let mut times = Json::object();
+    times.set("mono_us", Json::Num(s.times.mono.as_secs_f64() * 1e6));
+    times.set("norm_us", Json::Num(s.times.norm.as_secs_f64() * 1e6));
+    times.set("opt_us", Json::Num(s.times.opt.as_secs_f64() * 1e6));
+    times.set("total_us", Json::Num(s.times.total().as_secs_f64() * 1e6));
+    o.set("pass_times", times);
+    o
+}
+
+fn size_json(s: &vgl_ir::ModuleSize) -> Json {
+    let mut o = Json::object();
+    o.set("methods", Json::from(s.methods));
+    o.set("classes", Json::from(s.classes));
+    o.set("expr_nodes", Json::from(s.expr_nodes));
+    o.set("locals", Json::from(s.locals));
+    o
+}
+
+fn outcome_json(run: &RunOutcome) -> Json {
+    let mut o = Json::object();
+    match &run.result {
+        Ok(v) => o.set("result", Json::Str(v.clone())),
+        Err(e) => o.set("error", Json::Str(e.clone())),
+    }
+    o.set("output_bytes", Json::from(run.output.len()));
+    o
+}
+
+fn interp_stats_json(s: &InterpStats) -> Json {
+    let mut o = Json::object();
+    o.set("steps", Json::from(s.steps));
+    o.set("callsite_checks", Json::from(s.callsite_checks));
+    o.set("callsite_adaptations", Json::from(s.callsite_adaptations));
+    o.set("type_substitutions", Json::from(s.type_substitutions));
+    o.set("env_lookups", Json::from(s.env_lookups));
+    o.set("env_depth_total", Json::from(s.env_depth_total));
+    o.set("max_env_depth", Json::from(s.max_env_depth));
+    let mut a = Json::object();
+    a.set("tuples", Json::from(s.allocs.tuples));
+    a.set("objects", Json::from(s.allocs.objects));
+    a.set("arrays", Json::from(s.allocs.arrays));
+    a.set("closures", Json::from(s.allocs.closures));
+    o.set("allocs", a);
+    o
+}
+
+fn vm_stats_json(s: &VmStats) -> Json {
+    let mut o = Json::object();
+    o.set("instrs", Json::from(s.instrs));
+    o.set("calls", Json::from(s.calls));
+    o.set("virtual_calls", Json::from(s.virtual_calls));
+    o.set("closure_calls", Json::from(s.closure_calls));
+    let mut h = Json::object();
+    h.set("objects", Json::from(s.heap.objects));
+    h.set("arrays", Json::from(s.heap.arrays));
+    h.set("closures", Json::from(s.heap.closures));
+    h.set("tuple_boxes", Json::from(s.heap.tuple_boxes));
+    h.set("collections", Json::from(s.heap.collections));
+    h.set("copied_slots", Json::from(s.heap.copied_slots));
+    h.set("allocated_slots", Json::from(s.heap.allocated_slots));
+    o.set("heap", h);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let c = Compiler::new()
+            .compile(
+                "def pair<T>(x: T) -> (T, T) { return (x, x); }\n\
+                 def main() -> int { var p = pair(21); return p.0 + p.1; }",
+            )
+            .expect("compiles");
+        let i = c.interpret();
+        let (v, prof) = c.execute_profiled();
+        let j = stats_json(&c, Some(&i), Some(&v), Some(&prof));
+        let text = j.render();
+        let back = vgl_obs::json::parse(&text).expect("valid json");
+        assert_eq!(back.get("vm").and_then(|v| v.get("result")).and_then(Json::as_str), Some("42"));
+        assert_eq!(
+            back.get("interp").and_then(|v| v.get("result")).and_then(Json::as_str),
+            Some("42")
+        );
+        let phases = back.get("phases").and_then(Json::as_arr).expect("phases array");
+        let names: Vec<&str> =
+            phases.iter().filter_map(|p| p.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, ["lex", "parse", "sema", "mono", "normalize", "optimize", "lower"]);
+        // The interpreter boxes the tuple; the VM structurally cannot.
+        let tuples = back
+            .get("interp")
+            .and_then(|v| v.get("stats"))
+            .and_then(|v| v.get("allocs"))
+            .and_then(|v| v.get("tuples"))
+            .and_then(Json::as_u64);
+        assert!(tuples.unwrap_or(0) > 0, "interp should box tuples: {tuples:?}");
+        let opcodes =
+            back.get("vm").and_then(|v| v.get("profile")).and_then(|v| v.get("opcodes"));
+        let retired: u64 = match opcodes {
+            Some(Json::Obj(entries)) => entries.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+            _ => 0,
+        };
+        assert!(retired > 0, "profile should retire instructions");
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `vglc` binary: every subcommand over the checked-in
+//! examples, exit codes, engine agreement under `both`, and the shape of
+//! `stats --json`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn vglc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vglc"))
+        .args(args)
+        .output()
+        .expect("vglc runs")
+}
+
+fn examples() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/v");
+    let mut v: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {dir:?}: {e}"))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "v"))
+        .collect();
+    v.sort();
+    assert!(!v.is_empty(), "no examples found in {dir:?}");
+    v
+}
+
+#[test]
+fn run_interp_and_both_agree_on_every_example() {
+    for path in examples() {
+        let p = path.to_str().expect("utf8 path");
+        let run = vglc(&["run", p]);
+        let interp = vglc(&["interp", p]);
+        let both = vglc(&["both", p]);
+        assert!(run.status.success(), "{p}: run failed: {run:?}");
+        assert!(interp.status.success(), "{p}: interp failed: {interp:?}");
+        assert!(both.status.success(), "{p}: engines disagree: {both:?}");
+        assert_eq!(run.stdout, interp.stdout, "{p}: stdout differs across engines");
+        assert_eq!(run.stdout, both.stdout, "{p}: both prints the agreed output");
+    }
+}
+
+#[test]
+fn stats_json_is_valid_and_complete_for_every_example() {
+    for path in examples() {
+        let p = path.to_str().expect("utf8 path");
+        let out = vglc(&["stats", "--json", p]);
+        assert!(out.status.success(), "{p}: stats --json failed: {out:?}");
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        let json = vgl_obs::json::parse(text.trim())
+            .unwrap_or_else(|e| panic!("{p}: invalid JSON: {e:?}\n{text}"));
+        for key in ["phases", "pipeline", "bytecode_instrs", "interp", "vm"] {
+            assert!(json.get(key).is_some(), "{p}: missing key {key:?}");
+        }
+        // Both engines embedded in one report must agree on the result.
+        let interp = json.get("interp").and_then(|o| o.get("result"));
+        let vm = json.get("vm").and_then(|o| o.get("result"));
+        assert!(interp.is_some() && vm.is_some(), "{p}: missing results");
+        assert_eq!(
+            interp.and_then(vgl_obs::json::Json::as_str),
+            vm.and_then(vgl_obs::json::Json::as_str),
+            "{p}: engines disagree in the report"
+        );
+        // The VM profile rides along with opcode counts.
+        let profile = json.get("vm").and_then(|o| o.get("profile"));
+        assert!(profile.is_some(), "{p}: missing vm profile");
+    }
+}
+
+#[test]
+fn profile_prints_phase_and_opcode_tables() {
+    let path = examples().remove(0);
+    let out = vglc(&["profile", path.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "profile failed: {out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("== compile phases =="), "missing phase table:\n{text}");
+    assert!(text.contains("== vm profile =="), "missing vm table:\n{text}");
+    for phase in ["lex", "parse", "sema", "mono", "normalize", "optimize", "lower"] {
+        assert!(text.contains(phase), "missing phase {phase}:\n{text}");
+    }
+    assert!(text.contains("gc:"), "missing gc summary:\n{text}");
+}
+
+#[test]
+fn plain_stats_still_prints_pass_times() {
+    let path = examples().remove(0);
+    let out = vglc(&["stats", path.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("pass times:"), "missing pass times:\n{text}");
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = vglc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = vglc(&["frobnicate", "--json", "x.v"]);
+    assert_eq!(out.status.code(), Some(2), "--json is stats-only");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = vglc(&["run", "/nonexistent/nope.v"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("cannot read"), "unexpected stderr: {err}");
+}

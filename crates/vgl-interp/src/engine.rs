@@ -47,6 +47,14 @@ pub struct InterpStats {
     pub callsite_adaptations: usize,
     /// Runtime type substitutions (the type-argument-passing cost, E2).
     pub type_substitutions: usize,
+    /// Type-environment consultations (every substitution walks the frame's
+    /// type env — §4.3's "invisible arguments" being read back).
+    pub env_lookups: usize,
+    /// Cumulative type-env size across consultations; `env_depth_total /
+    /// env_lookups` is the mean environment depth paid per lookup.
+    pub env_depth_total: usize,
+    /// Largest type environment consulted.
+    pub max_env_depth: usize,
     /// Expression evaluation steps.
     pub steps: u64,
 }
@@ -164,6 +172,9 @@ impl<'m> Interp<'m> {
             return t;
         }
         self.stats.type_substitutions += 1;
+        self.stats.env_lookups += 1;
+        self.stats.env_depth_total += env.len();
+        self.stats.max_env_depth = self.stats.max_env_depth.max(env.len());
         self.store.substitute(t, env)
     }
 
@@ -321,7 +332,7 @@ impl<'m> Interp<'m> {
         let vars = self.module.all_type_params(method);
         debug_assert_eq!(vars.len(), type_args.len(), "type arity at call of {}", m.name);
         let type_env: HashMap<TypeVarId, Type> =
-            vars.into_iter().zip(type_args.into_iter()).collect();
+            vars.into_iter().zip(type_args).collect();
         let mut locals = Vec::with_capacity(m.locals.len());
         debug_assert_eq!(args.len(), m.param_count, "arity at call of {}", m.name);
         locals.extend(args);
@@ -590,7 +601,11 @@ impl<'m> Interp<'m> {
                 self.out.push(b'\n');
                 Ok(Value::Unit)
             }
-            Builtin::Ticks => Ok(Value::Int(self.stats.steps as i32)),
+            // Saturate: `steps` is u64 and a long-running program would
+            // silently wrap a plain `as i32` cast past 2^31 steps.
+            Builtin::Ticks => Ok(Value::Int(
+                i32::try_from(self.stats.steps).unwrap_or(i32::MAX),
+            )),
             Builtin::Error => Err(Exception::UserError),
         }
     }
@@ -1076,17 +1091,14 @@ impl<'m> Interp<'m> {
         if v.is_null() {
             return false;
         }
-        match (v, self.store.kind(to).clone()) {
-            // Queries are purely type-based: an int is never *of type* byte,
-            // even when its value is representable (only the *cast* converts).
-            (Value::Tuple(es), TypeKind::Tuple(ts)) => {
-                return es.len() == ts.len()
-                    && es
-                        .iter()
-                        .zip(ts)
-                        .all(|(x, t)| self.runtime_query(x, t));
-            }
-            _ => {}
+        // Queries are purely type-based: an int is never *of type* byte,
+        // even when its value is representable (only the *cast* converts).
+        if let (Value::Tuple(es), TypeKind::Tuple(ts)) = (v, self.store.kind(to).clone()) {
+            return es.len() == ts.len()
+                && es
+                    .iter()
+                    .zip(ts)
+                    .all(|(x, t)| self.runtime_query(x, t));
         }
         let dyn_ty = self.dynamic_type(v);
         vgl_types::is_subtype(&mut self.store, &self.module.hier, dyn_ty, to)
@@ -1096,3 +1108,49 @@ impl<'m> Interp<'m> {
 // The public-facing method used by Method in module.rs references locals;
 // keep a compile-time check that Method is exported as expected.
 const _: fn(&Method) -> usize = |m| m.param_count;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> Module {
+        let mut d = vgl_syntax::Diagnostics::new();
+        let ast = vgl_syntax::parse_program(src, &mut d);
+        vgl_sema::analyze(&ast, &mut d).expect("typechecks")
+    }
+
+    #[test]
+    fn ticks_saturates_instead_of_wrapping() {
+        let module = analyze("def main() -> int { return 0; }");
+        let mut i = Interp::new(&module);
+        // Pretend a very long run: past 2^31 steps a plain `as i32` cast
+        // would go negative; ticks must saturate at i32::MAX instead.
+        i.stats.steps = (1u64 << 31) + 17;
+        let v = i.call_builtin(Builtin::Ticks, vec![]).expect("ticks");
+        assert_eq!(v.as_int(), i32::MAX);
+        i.stats.steps = u64::MAX;
+        let v = i.call_builtin(Builtin::Ticks, vec![]).expect("ticks");
+        assert_eq!(v.as_int(), i32::MAX);
+        // Below the boundary the exact count is reported.
+        i.stats.steps = 123;
+        let v = i.call_builtin(Builtin::Ticks, vec![]).expect("ticks");
+        assert_eq!(v.as_int(), 123);
+    }
+
+    #[test]
+    fn env_lookup_depth_counted_for_generic_calls() {
+        let module = analyze(
+            "def boxed<A, B>(v: A, w: B) -> A {\n\
+                 var a = Array<A>.new(1);\n\
+                 a[0] = v;\n\
+                 return a[0];\n\
+             }\n\
+             def main() -> int { return boxed(7, true); }",
+        );
+        let mut i = Interp::new(&module);
+        i.run().expect("runs");
+        assert!(i.stats.env_lookups > 0, "generic call must consult the env");
+        assert!(i.stats.env_depth_total >= i.stats.env_lookups);
+        assert_eq!(i.stats.max_env_depth, 2, "boxed has two type params");
+    }
+}

@@ -70,3 +70,50 @@ pub fn measure(module: &Module) -> ModuleSize {
     }
     size
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_module() -> Module {
+        Module {
+            store: vgl_types::TypeStore::new(),
+            hier: vgl_types::Hierarchy::new(),
+            classes: vec![],
+            methods: vec![],
+            globals: vec![],
+            main: None,
+        }
+    }
+
+    #[test]
+    fn empty_module_measures_zero() {
+        let size = measure(&empty_module());
+        assert_eq!(size, ModuleSize::default());
+        assert_eq!(size.expr_nodes, 0);
+    }
+
+    #[test]
+    fn expansion_over_zero_node_base_is_one() {
+        let base = ModuleSize::default();
+        let after = ModuleSize { expr_nodes: 100, ..ModuleSize::default() };
+        // A zero-node base would divide by zero; the ratio is defined as 1.0.
+        assert_eq!(after.expansion_over(&base), 1.0);
+        assert_eq!(base.expansion_over(&base), 1.0);
+    }
+
+    #[test]
+    fn expansion_over_reports_node_ratio() {
+        let base = ModuleSize { expr_nodes: 50, ..ModuleSize::default() };
+        let after = ModuleSize { expr_nodes: 125, methods: 7, ..ModuleSize::default() };
+        assert_eq!(after.expansion_over(&base), 2.5);
+        // Shrinkage is reported below 1.0, not clamped.
+        assert_eq!(base.expansion_over(&after), 0.4);
+    }
+
+    #[test]
+    fn empty_module_expansion_is_stable() {
+        let e = measure(&empty_module());
+        assert_eq!(e.expansion_over(&e), 1.0);
+    }
+}

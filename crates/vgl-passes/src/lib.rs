@@ -25,7 +25,27 @@ pub use mono::{monomorphize, MonoStats};
 pub use normalize::{normalize, NormStats};
 pub use optimize::{optimize, OptStats};
 
+use std::time::Duration;
 use vgl_ir::Module;
+use vgl_obs::{FieldValue, PhaseTrace, Tracer};
+
+/// Wall-clock durations of the three pipeline passes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassTimes {
+    /// Monomorphization time.
+    pub mono: Duration,
+    /// Normalization time.
+    pub norm: Duration,
+    /// Optimization time.
+    pub opt: Duration,
+}
+
+impl PassTimes {
+    /// Total pipeline pass time.
+    pub fn total(&self) -> Duration {
+        self.mono + self.norm + self.opt
+    }
+}
 
 /// Combined statistics from a full pipeline run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,6 +62,8 @@ pub struct PipelineStats {
     pub size_after_mono: vgl_ir::ModuleSize,
     /// IR size after the full pipeline.
     pub size_after: vgl_ir::ModuleSize,
+    /// Per-pass wall-clock durations.
+    pub times: PassTimes,
 }
 
 /// Runs the full static pipeline (mono → norm → opt), verifying the §4
@@ -51,11 +73,27 @@ pub struct PipelineStats {
 /// Panics if a pass breaks its invariant — that is a compiler bug, not a
 /// user error.
 pub fn compile_pipeline(module: &Module) -> (Module, PipelineStats) {
+    compile_pipeline_traced(module, &mut Tracer::disabled())
+}
+
+/// [`compile_pipeline`], emitting one span per pass (with IR node counts
+/// in/out and per-pass statistics) into `tracer`. With a disabled tracer the
+/// only overhead is six `Instant::now()` reads for [`PassTimes`].
+pub fn compile_pipeline_traced(
+    module: &Module,
+    tracer: &mut Tracer<'_>,
+) -> (Module, PipelineStats) {
+    let mut trace = PhaseTrace::new();
     let mut stats = PipelineStats {
         size_before: vgl_ir::measure(module),
         ..PipelineStats::default()
     };
-    let (mut m, mono_stats) = monomorphize(module);
+    let nodes_before = stats.size_before.expr_nodes;
+
+    let (mut m, mono_stats) =
+        trace.time("mono", nodes_before, || monomorphize(module), |(m, _)| {
+            vgl_ir::measure(m).expr_nodes
+        });
     stats.mono = mono_stats;
     stats.size_after_mono = vgl_ir::measure(&m);
     let violations = vgl_ir::check_monomorphic(&m);
@@ -63,18 +101,60 @@ pub fn compile_pipeline(module: &Module) -> (Module, PipelineStats) {
         violations.is_empty(),
         "monomorphization left type parameters: {violations:#?}"
     );
-    stats.norm = normalize(&mut m);
+
+    let nodes_mono = stats.size_after_mono.expr_nodes;
+    stats.norm = trace.time("normalize", nodes_mono, || normalize(&mut m), |_| 0);
+    let nodes_norm = vgl_ir::measure(&m).expr_nodes;
+    trace.phases.last_mut().expect("norm sample").items_out = nodes_norm;
     let violations = vgl_ir::check_normalized(&m);
     assert!(
         violations.is_empty(),
         "normalization left tuples: {violations:#?}"
     );
-    stats.opt = optimize(&mut m);
+
+    stats.opt = trace.time("optimize", nodes_norm, || optimize(&mut m), |_| 0);
+    stats.size_after = vgl_ir::measure(&m);
+    trace.phases.last_mut().expect("opt sample").items_out = stats.size_after.expr_nodes;
     let violations = vgl_ir::check_normalized(&m);
     assert!(
         violations.is_empty(),
         "optimizer broke normalization invariants: {violations:#?}"
     );
-    stats.size_after = vgl_ir::measure(&m);
+
+    stats.times = PassTimes {
+        mono: trace.phases[0].duration,
+        norm: trace.phases[1].duration,
+        opt: trace.phases[2].duration,
+    };
+    if tracer.enabled() {
+        emit_pass_spans(&trace, &stats, tracer);
+    }
     (m, stats)
+}
+
+fn emit_pass_spans(trace: &PhaseTrace, stats: &PipelineStats, tracer: &mut Tracer<'_>) {
+    for p in &trace.phases {
+        let span = tracer.start(p.name);
+        let mut fields = vec![
+            ("nodes_in", FieldValue::UInt(p.items_in as u64)),
+            ("nodes_out", FieldValue::UInt(p.items_out as u64)),
+            ("dur_us", FieldValue::Float(p.duration.as_secs_f64() * 1e6)),
+        ];
+        match p.name {
+            "mono" => fields.push((
+                "method_instances",
+                FieldValue::UInt(stats.mono.method_instances as u64),
+            )),
+            "normalize" => fields.push((
+                "tuple_exprs_removed",
+                FieldValue::UInt(stats.norm.tuple_exprs_removed as u64),
+            )),
+            "optimize" => fields.push((
+                "queries_folded",
+                FieldValue::UInt(stats.opt.queries_folded as u64),
+            )),
+            _ => {}
+        }
+        tracer.finish(span, &fields);
+    }
 }

@@ -686,7 +686,7 @@ impl<'m> Mono<'m> {
             let old_vt = self.src.class(old_c).vtable.clone();
             let mut vt: Vec<MethodId> = Vec::new();
             for (slot, &impl_m) in old_vt.iter().enumerate() {
-                let Some(&root) = self.slot_roots.get(&(old_c, slot)).map(|r| r) else {
+                let Some(&root) = self.slot_roots.get(&(old_c, slot)) else {
                     continue;
                 };
                 let owns: Vec<TypeArgs> = self

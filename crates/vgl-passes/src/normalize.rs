@@ -1238,10 +1238,7 @@ impl<'m> Norm<'m> {
         let bool_ = self.module.store.bool_;
         let method = match op {
             Oper::Eq(t) | Oper::Ne(t) => {
-                let pieces = {
-                    let p = self.pieces_of(t);
-                    p
-                };
+                let pieces = self.pieces_of(t);
                 let w = pieces.len();
                 let mut locals = Vec::new();
                 for (j, &p) in pieces.iter().enumerate() {

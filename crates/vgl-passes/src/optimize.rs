@@ -145,11 +145,7 @@ fn build_inline_table(module: &Module) -> Vec<Option<InlineBody>> {
                     | ExprKind::LocalSet(..)
                     | ExprKind::GlobalSet(..)
                     | ExprKind::Let { .. } => ok = false,
-                    ExprKind::Local(l) => {
-                        if l.index() >= m.param_count {
-                            ok = false;
-                        }
-                    }
+                    ExprKind::Local(l) if l.index() >= m.param_count => ok = false,
                     _ => {}
                 }
             });
@@ -613,11 +609,9 @@ fn fold_stmts(stmts: &mut Vec<Stmt>, stats: &mut OptStats) {
                     continue;
                 }
             }
-            Stmt::Expr(e) => {
-                if is_pure(e) {
-                    stats.dead_stmts_removed += 1;
-                    continue;
-                }
+            Stmt::Expr(e) if is_pure(e) => {
+                stats.dead_stmts_removed += 1;
+                continue;
             }
             _ => {}
         }

@@ -121,6 +121,20 @@ pub struct HeapStats {
     pub allocated_slots: usize,
 }
 
+/// What one collection did — returned by [`Heap::collect`] so callers
+/// (the VM's profiler) can report per-GC events without re-deriving them
+/// from counter deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcInfo {
+    /// Slots live (copied to to-space) after the collection.
+    pub live_slots: usize,
+    /// Slots copied by this collection (== `live_slots` for a semispace
+    /// collector; kept separate for future generational collectors).
+    pub copied_slots: usize,
+    /// Semispace capacity at collection time.
+    pub capacity_slots: usize,
+}
+
 /// A semispace heap.
 #[derive(Debug)]
 pub struct Heap {
@@ -169,7 +183,7 @@ impl Heap {
         let at = self.top;
         self.space[at] = header(kind, meta, len);
         for i in 0..len {
-            self.space[at + 1 + i] = NULL & 0; // zero scalar
+            self.space[at + 1 + i] = 0; // zero scalar
         }
         self.top += need;
         self.stats.allocated_slots += need;
@@ -225,8 +239,9 @@ impl Heap {
     }
 
     /// Cheney collection: copies everything reachable from `roots` into the
-    /// other semispace and rewrites the roots in place.
-    pub fn collect(&mut self, roots: &mut [&mut [Word]]) {
+    /// other semispace and rewrites the roots in place. Returns what the
+    /// collection did (live/copied slot counts) for observability.
+    pub fn collect(&mut self, roots: &mut [&mut [Word]]) -> GcInfo {
         self.stats.collections += 1;
         std::mem::swap(&mut self.space, &mut self.alt);
         // `alt` is now the from-space; `space` is the to-space.
@@ -257,7 +272,13 @@ impl Heap {
             }
             scan += len + 1;
         }
-        self.stats.copied_slots += self.top - 1;
+        let copied = self.top - 1;
+        self.stats.copied_slots += copied;
+        GcInfo {
+            live_slots: copied,
+            copied_slots: copied,
+            capacity_slots: self.space.len(),
+        }
     }
 
     fn forward(&mut self, v: Word) -> Word {
@@ -271,7 +292,7 @@ impl Heap {
         }
         let len = (h & 0xFFFF_FFFF) as usize;
         let at = self.top;
-        debug_assert!(at + len + 1 <= self.space.len(), "to-space overflow");
+        debug_assert!(at + len < self.space.len(), "to-space overflow");
         self.space[at] = h;
         for i in 0..len {
             self.space[at + 1 + i] = self.alt[old + 1 + i];

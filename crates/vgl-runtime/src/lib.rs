@@ -13,5 +13,5 @@
 pub mod heap;
 pub mod value;
 
-pub use heap::{CellKind, Heap, HeapStats, NeedsGc, Word, NULL};
+pub use heap::{CellKind, GcInfo, Heap, HeapStats, NeedsGc, Word, NULL};
 pub use value::{AllocStats, ArrData, Closure, ObjData, Value};

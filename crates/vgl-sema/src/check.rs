@@ -504,7 +504,7 @@ impl Analyzer<'_> {
             if let Some(c) = cx.class {
                 if cx.has_this
                     && self.find_field(c, &name.name).is_none()
-                    && cx.tscope.vars.get(&name.name).is_none()
+                    && !cx.tscope.vars.contains_key(&name.name)
                 {
                     if let Some(m) = self.module.class_method_by_name(c, &name.name) {
                         let explicit = if type_args.is_empty() {
@@ -534,7 +534,7 @@ impl Analyzer<'_> {
                 }
             }
             if !self.component_globals.contains_key(&name.name)
-                && cx.tscope.vars.get(&name.name).is_none()
+                && !cx.tscope.vars.contains_key(&name.name)
             {
                 if let Some(&m) = self.component_methods.get(&name.name) {
                     let explicit = if type_args.is_empty() {
@@ -916,6 +916,7 @@ impl Analyzer<'_> {
 
     /// Infers unknown type variables from call arguments, then checks them.
     /// Returns (args in parameter form, solutions in `unknown` order).
+    #[allow(clippy::too_many_arguments)]
     fn infer_call(
         &mut self,
         cx: &mut BodyCx,

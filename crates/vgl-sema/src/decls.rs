@@ -652,8 +652,7 @@ impl Analyzer<'_> {
             let params: Vec<Type> = m.locals[1..m.param_count]
                 .iter()
                 .map(|l| {
-                    let t = self.module.store.substitute(l.ty, &alpha);
-                    t
+                    self.module.store.substitute(l.ty, &alpha)
                 })
                 .collect();
             let p = self.module.store.tuple(params);

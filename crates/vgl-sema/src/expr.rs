@@ -130,12 +130,8 @@ impl Analyzer<'_> {
             .module
             .hier
             .supertypes(&mut self.module.store, a);
-        for s in sups {
-            if vgl_types::is_subtype(&mut self.module.store, &self.module.hier, b, s) {
-                return Some(s);
-            }
-        }
-        None
+        sups.into_iter()
+            .find(|&s| vgl_types::is_subtype(&mut self.module.store, &self.module.hier, b, s))
     }
 
     pub(crate) fn require_subtype(&mut self, got: Type, want: Type, span: Span) -> bool {
@@ -397,7 +393,7 @@ impl Analyzer<'_> {
                 if c == decl_class {
                     let params = self.module.class(c).type_params.clone();
                     let subst: HashMap<_, _> =
-                        params.into_iter().zip(args.into_iter()).collect();
+                        params.into_iter().zip(args).collect();
                     return self.module.store.substitute(field_ty, &subst);
                 }
             }
@@ -778,6 +774,7 @@ impl Analyzer<'_> {
     /// Determines the full type-argument list for a method reference used as
     /// a value (no call arguments to infer from): combines known class args,
     /// explicit args, and expected-type matching.
+    #[allow(clippy::too_many_arguments)]
     fn finish_method_targs(
         &mut self,
         _cx: &mut BodyCx,

@@ -194,10 +194,7 @@ impl Lexer<'_, '_> {
 
     fn scan_escape(&mut self) -> bool {
         // Called after a backslash has been consumed; consumes the escape char.
-        match self.bump() {
-            b'n' | b'r' | b't' | b'\\' | b'\'' | b'"' | b'0' => true,
-            _ => false,
-        }
+        matches!(self.bump(), b'n' | b'r' | b't' | b'\\' | b'\'' | b'"' | b'0')
     }
 
     fn scan_byte_lit(&mut self, start: usize) -> TokenKind {
@@ -221,15 +218,14 @@ impl Lexer<'_, '_> {
         loop {
             match self.bump() {
                 b'"' => return TokenKind::StringLit,
-                b'\\' => {
-                    if !self.scan_escape() {
-                        self.diags.error(
-                            Span::new(start as u32, self.pos as u32),
-                            "invalid escape in string literal",
-                        );
-                        return TokenKind::Error;
-                    }
+                b'\\' if !self.scan_escape() => {
+                    self.diags.error(
+                        Span::new(start as u32, self.pos as u32),
+                        "invalid escape in string literal",
+                    );
+                    return TokenKind::Error;
                 }
+                b'\\' => {}
                 0 if self.pos > self.src.len() => {
                     self.diags.error(
                         Span::new(start as u32, self.src.len() as u32),

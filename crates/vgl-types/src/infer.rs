@@ -182,11 +182,10 @@ fn match_var(
         }
         (_, TypeKind::Null) => {
             // `null` matches any nullable expected type without binding info.
-            match store.kind(expected) {
-                TypeKind::Class(..) | TypeKind::Array(_) | TypeKind::Function(..) => true,
-                TypeKind::Var(_) => true,
-                _ => false,
-            }
+            matches!(
+                store.kind(expected),
+                TypeKind::Class(..) | TypeKind::Array(_) | TypeKind::Function(..) | TypeKind::Var(_)
+            )
         }
         _ => {
             // No vars to bind below: fall back to plain subtyping in the

@@ -298,11 +298,8 @@ impl TypeStore {
     /// Collects every type variable occurring in `t` into `out`.
     pub fn collect_vars(&self, t: Type, out: &mut Vec<TypeVarId>) {
         match self.kind(t) {
-            TypeKind::Var(v) => {
-                if !out.contains(v) {
-                    out.push(*v);
-                }
-            }
+            TypeKind::Var(v) if !out.contains(v) => out.push(*v),
+            TypeKind::Var(_) => {}
             TypeKind::Array(e) => self.collect_vars(*e, out),
             TypeKind::Tuple(es) => {
                 for e in es.clone() {

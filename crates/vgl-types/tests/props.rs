@@ -1,13 +1,45 @@
 //! Property tests over the type system: subtyping laws, degenerate tuple
 //! rules, flattening invariants, and cast-relation coherence over randomly
 //! generated types.
+//!
+//! Types are generated from a seeded in-tree xorshift PRNG (deterministic,
+//! dependency-free); failures print the seed. `VGL_PROP_CASES` overrides the
+//! default 128 cases.
 
-use proptest::prelude::*;
 use vgl_types::{
     cast_relation, is_subtype, CastRelation, ClassInfo, Hierarchy, Type, TypeStore,
 };
 
-/// A recipe for building a random type in a fresh store (strategies cannot
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn cases() -> u64 {
+    std::env::var("VGL_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// A recipe for building a random type in a fresh store (recipes cannot
 /// carry the store itself).
 #[derive(Clone, Debug)]
 enum TyRecipe {
@@ -22,21 +54,29 @@ enum TyRecipe {
     Function(Box<TyRecipe>, Box<TyRecipe>),
 }
 
-fn arb_ty() -> impl Strategy<Value = TyRecipe> {
-    let leaf = prop_oneof![
-        Just(TyRecipe::Void),
-        Just(TyRecipe::Bool),
-        Just(TyRecipe::Byte),
-        Just(TyRecipe::Int),
-        (0u8..4).prop_map(TyRecipe::Class),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|t| TyRecipe::Array(Box::new(t))),
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(TyRecipe::Tuple),
-            (inner.clone(), inner).prop_map(|(p, r)| TyRecipe::Function(Box::new(p), Box::new(r))),
-        ]
-    })
+fn gen_ty(rng: &mut Rng, depth: u32) -> TyRecipe {
+    let leaf = |rng: &mut Rng| match rng.below(5) {
+        0 => TyRecipe::Void,
+        1 => TyRecipe::Bool,
+        2 => TyRecipe::Byte,
+        3 => TyRecipe::Int,
+        _ => TyRecipe::Class(rng.below(4) as u8),
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.below(4) {
+        0 => leaf(rng),
+        1 => TyRecipe::Array(Box::new(gen_ty(rng, depth - 1))),
+        2 => {
+            let n = rng.below(4);
+            TyRecipe::Tuple((0..n).map(|_| gen_ty(rng, depth - 1)).collect())
+        }
+        _ => TyRecipe::Function(
+            Box::new(gen_ty(rng, depth - 1)),
+            Box::new(gen_ty(rng, depth - 1)),
+        ),
+    }
 }
 
 struct Fixture {
@@ -84,83 +124,121 @@ fn build(f: &mut Fixture, r: &TyRecipe) -> Type {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(128),
-        ..ProptestConfig::default()
-    })]
+/// Runs `body` once per case with a per-test seed stream.
+fn for_cases(tag: u64, mut body: impl FnMut(u64, &mut Rng)) {
+    for case in 0..cases() {
+        let seed = (tag << 32) | case;
+        let mut rng = Rng::new(seed);
+        body(seed, &mut rng);
+    }
+}
 
-    #[test]
-    fn subtyping_is_reflexive(r in arb_ty()) {
+#[test]
+fn subtyping_is_reflexive() {
+    for_cases(0x01, |seed, rng| {
+        let r = gen_ty(rng, 3);
         let mut f = fixture();
         let t = build(&mut f, &r);
-        prop_assert!(is_subtype(&mut f.store, &f.hier, t, t));
-    }
+        assert!(is_subtype(&mut f.store, &f.hier, t, t), "seed {seed}: {r:?}");
+    });
+}
 
-    #[test]
-    fn subtyping_is_transitive(a in arb_ty(), b in arb_ty(), c in arb_ty()) {
+#[test]
+fn subtyping_is_transitive() {
+    for_cases(0x02, |seed, rng| {
+        let (a, b, c) = (gen_ty(rng, 3), gen_ty(rng, 3), gen_ty(rng, 3));
         let mut f = fixture();
         let (ta, tb, tc) = (build(&mut f, &a), build(&mut f, &b), build(&mut f, &c));
         if is_subtype(&mut f.store, &f.hier, ta, tb)
             && is_subtype(&mut f.store, &f.hier, tb, tc)
         {
-            prop_assert!(is_subtype(&mut f.store, &f.hier, ta, tc));
+            assert!(
+                is_subtype(&mut f.store, &f.hier, ta, tc),
+                "seed {seed}: {a:?} <: {b:?} <: {c:?}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn subtyping_is_antisymmetric(a in arb_ty(), b in arb_ty()) {
+#[test]
+fn subtyping_is_antisymmetric() {
+    for_cases(0x03, |seed, rng| {
+        let (a, b) = (gen_ty(rng, 3), gen_ty(rng, 3));
         let mut f = fixture();
         let (ta, tb) = (build(&mut f, &a), build(&mut f, &b));
         if is_subtype(&mut f.store, &f.hier, ta, tb)
             && is_subtype(&mut f.store, &f.hier, tb, ta)
         {
             // Interning makes structural equality id equality.
-            prop_assert_eq!(ta, tb);
+            assert_eq!(ta, tb, "seed {seed}: {a:?} / {b:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn interning_is_canonical(r in arb_ty()) {
+#[test]
+fn interning_is_canonical() {
+    for_cases(0x04, |seed, rng| {
         // Building the same recipe twice yields the same id.
+        let r = gen_ty(rng, 3);
         let mut f = fixture();
         let t1 = build(&mut f, &r);
         let t2 = build(&mut f, &r);
-        prop_assert_eq!(t1, t2);
-    }
+        assert_eq!(t1, t2, "seed {seed}: {r:?}");
+    });
+}
 
-    #[test]
-    fn subsumption_implies_legal_cast(a in arb_ty(), b in arb_ty()) {
+#[test]
+fn subsumption_implies_legal_cast() {
+    for_cases(0x05, |seed, rng| {
+        let (a, b) = (gen_ty(rng, 3), gen_ty(rng, 3));
         let mut f = fixture();
         let (ta, tb) = (build(&mut f, &a), build(&mut f, &b));
         if is_subtype(&mut f.store, &f.hier, ta, tb) {
-            prop_assert_eq!(
+            assert_eq!(
                 cast_relation(&mut f.store, &f.hier, ta, tb),
-                CastRelation::Subsumption
+                CastRelation::Subsumption,
+                "seed {seed}: {a:?} <: {b:?}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn flatten_has_no_tuples_or_voids(r in arb_ty()) {
+#[test]
+fn flatten_has_no_tuples_or_voids() {
+    for_cases(0x06, |seed, rng| {
+        let r = gen_ty(rng, 3);
         let mut f = fixture();
         let t = build(&mut f, &r);
         for p in f.store.flatten(t) {
-            prop_assert!(!matches!(f.store.kind(p), vgl_types::TypeKind::Tuple(_)));
-            prop_assert!(!f.store.is_void(p));
+            assert!(
+                !matches!(f.store.kind(p), vgl_types::TypeKind::Tuple(_)),
+                "seed {seed}: {r:?}"
+            );
+            assert!(!f.store.is_void(p), "seed {seed}: {r:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn scalar_width_matches_flatten(r in arb_ty()) {
+#[test]
+fn scalar_width_matches_flatten() {
+    for_cases(0x07, |seed, rng| {
+        let r = gen_ty(rng, 3);
         let mut f = fixture();
         let t = build(&mut f, &r);
-        prop_assert_eq!(f.store.scalar_width(t), f.store.flatten(t).len());
-    }
+        assert_eq!(
+            f.store.scalar_width(t),
+            f.store.flatten(t).len(),
+            "seed {seed}: {r:?}"
+        );
+    });
+}
 
-    #[test]
-    fn function_variance_law(p1 in arb_ty(), r1 in arb_ty(), p2 in arb_ty(), r2 in arb_ty()) {
+#[test]
+fn function_variance_law() {
+    for_cases(0x08, |seed, rng| {
         // (P1 -> R1) <: (P2 -> R2)  iff  P2 <: P1 and R1 <: R2.
+        let (p1, r1, p2, r2) =
+            (gen_ty(rng, 3), gen_ty(rng, 3), gen_ty(rng, 3), gen_ty(rng, 3));
         let mut f = fixture();
         let (tp1, tr1) = (build(&mut f, &p1), build(&mut f, &r1));
         let (tp2, tr2) = (build(&mut f, &p2), build(&mut f, &r2));
@@ -169,12 +247,15 @@ proptest! {
         let lhs = is_subtype(&mut f.store, &f.hier, f1, f2);
         let rhs = is_subtype(&mut f.store, &f.hier, tp2, tp1)
             && is_subtype(&mut f.store, &f.hier, tr1, tr2);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs, "seed {seed}: ({p1:?} -> {r1:?}) vs ({p2:?} -> {r2:?})");
+    });
+}
 
-    #[test]
-    fn tuple_covariance_law(xs in proptest::collection::vec(arb_ty(), 2..4),
-                            ys in proptest::collection::vec(arb_ty(), 2..4)) {
+#[test]
+fn tuple_covariance_law() {
+    for_cases(0x09, |seed, rng| {
+        let xs: Vec<TyRecipe> = (0..2 + rng.below(2)).map(|_| gen_ty(rng, 3)).collect();
+        let ys: Vec<TyRecipe> = (0..2 + rng.below(2)).map(|_| gen_ty(rng, 3)).collect();
         let mut f = fixture();
         let tx: Vec<Type> = xs.iter().map(|r| build(&mut f, r)).collect();
         let ty: Vec<Type> = ys.iter().map(|r| build(&mut f, r)).collect();
@@ -185,6 +266,6 @@ proptest! {
             && tx.iter().zip(ty.iter()).all(|(&x, &y)| {
                 is_subtype(&mut f.store, &f.hier, x, y)
             });
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs, "seed {seed}: {xs:?} vs {ys:?}");
+    });
 }

@@ -270,6 +270,102 @@ pub enum Instr {
     Trap(Exception),
 }
 
+/// Number of distinct opcodes — the length of [`OPCODE_NAMES`] and of the
+/// profiler's retired-instruction histogram.
+pub const OPCODE_COUNT: usize = 37;
+
+/// Opcode mnemonics, indexed by [`Instr::opcode`].
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "const_i",
+    "const_null",
+    "const_pool",
+    "mov",
+    "bin",
+    "neg",
+    "not",
+    "eq_rr",
+    "eq_clos",
+    "jump",
+    "br_false",
+    "br_true",
+    "call",
+    "call_virt",
+    "call_clos",
+    "call_builtin",
+    "make_clos",
+    "make_clos_virt",
+    "new_object",
+    "new_array",
+    "array_lit",
+    "array_len",
+    "array_get",
+    "array_set",
+    "field_get",
+    "field_set",
+    "global_get",
+    "global_set",
+    "class_query",
+    "class_cast",
+    "clos_query",
+    "clos_cast",
+    "int_to_byte",
+    "check_null",
+    "is_null",
+    "ret",
+    "trap",
+];
+
+impl Instr {
+    /// A dense opcode index in `0..OPCODE_COUNT`, used by the profiler's
+    /// per-opcode histogram.
+    pub fn opcode(&self) -> usize {
+        match self {
+            Instr::ConstI(..) => 0,
+            Instr::ConstNull(..) => 1,
+            Instr::ConstPool(..) => 2,
+            Instr::Mov(..) => 3,
+            Instr::Bin(..) => 4,
+            Instr::Neg(..) => 5,
+            Instr::Not(..) => 6,
+            Instr::EqRR(..) => 7,
+            Instr::EqClos(..) => 8,
+            Instr::Jump(..) => 9,
+            Instr::BrFalse(..) => 10,
+            Instr::BrTrue(..) => 11,
+            Instr::Call { .. } => 12,
+            Instr::CallVirt { .. } => 13,
+            Instr::CallClos { .. } => 14,
+            Instr::CallBuiltin { .. } => 15,
+            Instr::MakeClos { .. } => 16,
+            Instr::MakeClosVirt { .. } => 17,
+            Instr::NewObject { .. } => 18,
+            Instr::NewArray { .. } => 19,
+            Instr::ArrayLit { .. } => 20,
+            Instr::ArrayLen { .. } => 21,
+            Instr::ArrayGet { .. } => 22,
+            Instr::ArraySet { .. } => 23,
+            Instr::FieldGet { .. } => 24,
+            Instr::FieldSet { .. } => 25,
+            Instr::GlobalGet { .. } => 26,
+            Instr::GlobalSet { .. } => 27,
+            Instr::ClassQuery { .. } => 28,
+            Instr::ClassCast { .. } => 29,
+            Instr::ClosQuery { .. } => 30,
+            Instr::ClosCast { .. } => 31,
+            Instr::IntToByte { .. } => 32,
+            Instr::CheckNull(..) => 33,
+            Instr::IsNull(..) => 34,
+            Instr::Ret(..) => 35,
+            Instr::Trap(..) => 36,
+        }
+    }
+
+    /// The mnemonic for this instruction's opcode.
+    pub fn opcode_name(&self) -> &'static str {
+        OPCODE_NAMES[self.opcode()]
+    }
+}
+
 /// Per-function admissibility for closure type tests: whether each function,
 /// in bound and unbound form, satisfies the target function type.
 #[derive(Clone, Debug, Default)]

@@ -21,9 +21,13 @@
 mod bytecode;
 mod disasm;
 mod lower;
+mod profile;
 mod vm;
 
-pub use bytecode::{BinKind, ClosTest, FuncId, Instr, Reg, VmClass, VmFunc, VmProgram};
+pub use bytecode::{
+    BinKind, ClosTest, FuncId, Instr, Reg, VmClass, VmFunc, VmProgram, OPCODE_COUNT, OPCODE_NAMES,
+};
 pub use disasm::{disasm, disasm_instr};
 pub use lower::lower;
+pub use profile::{GcEvent, VmProfile};
 pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats};

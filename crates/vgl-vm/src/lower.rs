@@ -172,10 +172,7 @@ impl<'m> Lower<'m> {
         code.push(Instr::Call { func: ctor.0, args, rets: vec![] });
         code.push(Instr::Ret(vec![obj]));
         let params: Vec<Type> = cm.locals[1..cm.param_count].iter().map(|l| l.ty).collect();
-        let ret = {
-            let cls = self.store.class(class, vec![]);
-            cls
-        };
+        let ret = self.store.class(class, vec![]);
         let f = VmFunc {
             name: format!("<new:{}>", self.module.class(class).name),
             param_count: nparams,

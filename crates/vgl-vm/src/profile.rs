@@ -1,0 +1,135 @@
+//! Optional execution profiling for the VM: a per-opcode
+//! retired-instruction histogram and per-collection GC events.
+//!
+//! Profiling is off by default and costs the dispatch loop nothing beyond
+//! one `Option` branch per instruction when disabled (see the
+//! `profiling_disabled_is_free` differential check in the VM tests). Enable
+//! it with [`crate::Vm::enable_profiling`].
+
+use crate::bytecode::{OPCODE_COUNT, OPCODE_NAMES};
+use std::time::Duration;
+use vgl_obs::json::Json;
+use vgl_obs::{FieldValue, Tracer};
+
+/// One garbage collection observed during a profiled run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcEvent {
+    /// Wall-clock pause.
+    pub pause: Duration,
+    /// Slots live after the collection.
+    pub live_slots: usize,
+    /// Slots copied by the collection.
+    pub copied_slots: usize,
+    /// Semispace capacity at collection time.
+    pub capacity_slots: usize,
+    /// Instructions retired when the collection happened.
+    pub at_instr: u64,
+}
+
+/// Profiling data for one VM run.
+#[derive(Clone, Debug)]
+pub struct VmProfile {
+    /// Retired instructions per opcode, indexed like
+    /// [`crate::bytecode::OPCODE_NAMES`].
+    pub opcodes: [u64; OPCODE_COUNT],
+    /// Every collection, in order.
+    pub gc_events: Vec<GcEvent>,
+}
+
+impl Default for VmProfile {
+    fn default() -> VmProfile {
+        VmProfile { opcodes: [0; OPCODE_COUNT], gc_events: Vec::new() }
+    }
+}
+
+impl VmProfile {
+    /// An empty profile.
+    pub fn new() -> VmProfile {
+        VmProfile::default()
+    }
+
+    /// Total retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.opcodes.iter().sum()
+    }
+
+    /// Total GC pause time.
+    pub fn gc_pause_total(&self) -> Duration {
+        self.gc_events.iter().map(|e| e.pause).sum()
+    }
+
+    /// `(mnemonic, count)` for every executed opcode, most-retired first.
+    pub fn opcode_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut rows: Vec<(&'static str, u64)> = OPCODE_NAMES
+            .iter()
+            .zip(self.opcodes.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&n, &c)| (n, c))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
+
+    /// Renders the histogram and GC summary as an aligned table.
+    pub fn render_table(&self) -> String {
+        let total = self.retired().max(1);
+        let mut out = String::new();
+        out.push_str(&format!("{:<16} {:>12} {:>7}\n", "opcode", "retired", "%"));
+        for (name, count) in self.opcode_histogram() {
+            out.push_str(&format!(
+                "{:<16} {:>12} {:>6.1}%\n",
+                name,
+                count,
+                count as f64 * 100.0 / total as f64
+            ));
+        }
+        out.push_str(&format!(
+            "gc: {} collections, {} slots copied, {:.1}us total pause\n",
+            self.gc_events.len(),
+            self.gc_events.iter().map(|e| e.copied_slots).sum::<usize>(),
+            self.gc_pause_total().as_secs_f64() * 1e6
+        ));
+        out
+    }
+
+    /// JSON: `{"opcodes": {...}, "gc": [...]}`.
+    pub fn to_json(&self) -> Json {
+        let mut opcodes = Json::object();
+        for (name, count) in self.opcode_histogram() {
+            opcodes.set(name, Json::from(count));
+        }
+        let gc = Json::Arr(
+            self.gc_events
+                .iter()
+                .map(|e| {
+                    let mut o = Json::object();
+                    o.set("pause_us", Json::Num(e.pause.as_secs_f64() * 1e6));
+                    o.set("live_slots", Json::from(e.live_slots));
+                    o.set("copied_slots", Json::from(e.copied_slots));
+                    o.set("capacity_slots", Json::from(e.capacity_slots));
+                    o.set("at_instr", Json::from(e.at_instr));
+                    o
+                })
+                .collect(),
+        );
+        let mut j = Json::object();
+        j.set("opcodes", opcodes);
+        j.set("gc", gc);
+        j
+    }
+
+    /// Emits each GC event into a tracer.
+    pub fn emit_gc(&self, tracer: &mut Tracer<'_>) {
+        for e in &self.gc_events {
+            tracer.event(
+                "gc",
+                &[
+                    ("pause_us", FieldValue::Float(e.pause.as_secs_f64() * 1e6)),
+                    ("live_slots", FieldValue::UInt(e.live_slots as u64)),
+                    ("copied_slots", FieldValue::UInt(e.copied_slots as u64)),
+                    ("at_instr", FieldValue::UInt(e.at_instr)),
+                ],
+            );
+        }
+    }
+}

@@ -4,6 +4,8 @@
 //! explicit `new`/literals (plus closure cells, reported separately).
 
 use crate::bytecode::*;
+use crate::profile::{GcEvent, VmProfile};
+use std::time::Instant;
 use vgl_ir::ops::{self, Exception};
 use vgl_ir::Builtin;
 use vgl_runtime::heap::{
@@ -68,6 +70,8 @@ pub struct Vm<'p> {
     /// Statistics.
     pub stats: VmStats,
     fuel: Option<u64>,
+    /// Boxed so the disabled case costs the dispatch loop one null check.
+    profile: Option<Box<VmProfile>>,
 }
 
 impl<'p> Vm<'p> {
@@ -95,12 +99,31 @@ impl<'p> Vm<'p> {
             out: Vec::new(),
             stats: VmStats::default(),
             fuel: None,
+            profile: None,
         }
     }
 
     /// Limits execution to an instruction budget.
     pub fn set_fuel(&mut self, instrs: u64) {
         self.fuel = Some(instrs);
+    }
+
+    /// Turns on profiling: per-opcode retired-instruction histogram and GC
+    /// pause events, readable afterwards via [`Vm::profile`].
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The profile collected so far, when profiling is enabled.
+    pub fn profile(&self) -> Option<&VmProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Consumes the collected profile.
+    pub fn take_profile(&mut self) -> Option<VmProfile> {
+        self.profile.take().map(|b| *b)
     }
 
     /// Captured output.
@@ -162,6 +185,9 @@ impl<'p> Vm<'p> {
             // Default: advance to the next instruction.
             self.frames[fi].pc = pc + 1;
             let instr = &self.program.funcs[func as usize].code[pc];
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.opcodes[instr.opcode()] += 1;
+            }
             macro_rules! reg {
                 ($r:expr) => {
                     self.stack[base + $r as usize]
@@ -509,7 +535,17 @@ impl<'p> Vm<'p> {
                 let sp = self.stack.len();
                 let mut stack = std::mem::take(&mut self.stack);
                 let mut globals = std::mem::take(&mut self.globals);
-                self.heap.collect(&mut [&mut stack[..sp], &mut globals[..]]);
+                let pause_start = self.profile.is_some().then(Instant::now);
+                let info = self.heap.collect(&mut [&mut stack[..sp], &mut globals[..]]);
+                if let (Some(p), Some(t0)) = (self.profile.as_deref_mut(), pause_start) {
+                    p.gc_events.push(GcEvent {
+                        pause: t0.elapsed(),
+                        live_slots: info.live_slots,
+                        copied_slots: info.copied_slots,
+                        capacity_slots: info.capacity_slots,
+                        at_instr: self.stats.instrs,
+                    });
+                }
                 self.stack = stack;
                 self.globals = globals;
                 let r = match self.heap.try_alloc(kind, meta, len) {

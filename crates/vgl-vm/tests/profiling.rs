@@ -1,0 +1,104 @@
+//! VM profiling invariants: profiling changes no observable behavior, the
+//! opcode histogram accounts for every retired instruction, and GC events
+//! mirror the heap's collection counters.
+
+use vgl_passes::compile_pipeline;
+use vgl_sema::analyze;
+use vgl_syntax::{parse_program, Diagnostics};
+use vgl_vm::{lower, ret_as_int, Vm, VmProgram, OPCODE_COUNT, OPCODE_NAMES};
+
+fn compile(src: &str) -> VmProgram {
+    let mut d = Diagnostics::new();
+    let ast = parse_program(src, &mut d);
+    assert!(!d.has_errors(), "parse: {:?}", d.into_vec());
+    let mut d = Diagnostics::new();
+    let module = analyze(&ast, &mut d).unwrap_or_else(|| panic!("sema: {:#?}", d.into_vec()));
+    let (compiled, _) = compile_pipeline(&module);
+    lower(&compiled)
+}
+
+const CHURN: &str = "class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }\n\
+    def sum(l: List<int>) -> int {\n\
+      var s = 0;\n\
+      for (x = l; x != null; x = x.tail) s = s + x.head;\n\
+      return s;\n\
+    }\n\
+    def main() -> int {\n\
+      var keep: List<int>;\n\
+      var total = 0;\n\
+      for (i = 0; i < 200; i = i + 1) {\n\
+        keep = List.new(i, keep);\n\
+        var garbage = List.new(i * 2, null);\n\
+        total = total + garbage.head;\n\
+      }\n\
+      return sum(keep) + total;\n\
+    }";
+
+#[test]
+fn profiling_disabled_is_free() {
+    // Same program, with and without profiling: identical result, output,
+    // and execution counters — profiling must observe, never perturb.
+    let program = compile(CHURN);
+    let mut plain = Vm::with_heap(&program, 512);
+    let r1 = plain.run().expect("runs");
+    assert!(plain.profile().is_none(), "profiling is off by default");
+
+    let mut profiled = Vm::with_heap(&program, 512);
+    profiled.enable_profiling();
+    let r2 = profiled.run().expect("runs");
+
+    assert_eq!(ret_as_int(&r1), ret_as_int(&r2));
+    assert_eq!(plain.output(), profiled.output());
+    assert_eq!(plain.stats.instrs, profiled.stats.instrs);
+    assert_eq!(plain.stats.calls, profiled.stats.calls);
+    assert_eq!(plain.stats.heap.collections, profiled.stats.heap.collections);
+    assert!(profiled.profile().is_some());
+}
+
+#[test]
+fn histogram_accounts_for_every_retired_instruction() {
+    let program = compile(CHURN);
+    let mut vm = Vm::with_heap(&program, 512);
+    vm.enable_profiling();
+    vm.run().expect("runs");
+    let profile = vm.profile().expect("profiling on");
+    assert_eq!(
+        profile.retired(),
+        vm.stats.instrs,
+        "histogram total must equal the instruction counter"
+    );
+    // The histogram only reports executed opcodes, sorted descending.
+    let hist = profile.opcode_histogram();
+    assert!(!hist.is_empty());
+    assert!(hist.windows(2).all(|w| w[0].1 >= w[1].1), "sorted by count");
+    assert!(hist.iter().all(|&(_, c)| c > 0));
+}
+
+#[test]
+fn gc_events_mirror_heap_collections() {
+    let program = compile(CHURN);
+    let mut vm = Vm::with_heap(&program, 512); // small: forces collections
+    vm.enable_profiling();
+    vm.run().expect("runs");
+    let profile = vm.take_profile().expect("profiling on");
+    assert!(vm.stats.heap.collections > 0, "expected GC activity");
+    assert_eq!(profile.gc_events.len(), vm.stats.heap.collections);
+    let mut last_at = 0;
+    for e in &profile.gc_events {
+        assert!(e.live_slots <= e.capacity_slots);
+        assert!(e.copied_slots >= e.live_slots, "copy includes headers");
+        assert!(e.at_instr >= last_at, "events are ordered");
+        last_at = e.at_instr;
+    }
+    // take_profile leaves the VM unprofiled.
+    assert!(vm.profile().is_none());
+}
+
+#[test]
+fn opcode_names_are_dense_and_unique() {
+    assert_eq!(OPCODE_NAMES.len(), OPCODE_COUNT);
+    let mut names: Vec<&str> = OPCODE_NAMES.to_vec();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), OPCODE_COUNT, "duplicate opcode name");
+}

@@ -1,0 +1,37 @@
+// Single inheritance, virtual dispatch, and type queries/casts (paper
+// §2.1/§3.3): the optimizer folds statically decidable queries; the VM
+// answers the rest with constant-time class-id range checks.
+class Shape {
+    def area() -> int { return 0; }
+}
+class Rect extends Shape {
+    def w: int;
+    def h: int;
+    new(w, h) { }
+    def area() -> int { return w * h; }
+}
+class Square extends Rect {
+    new(s: int) super(s, s) { }
+}
+
+def describe(s: Shape) -> int {
+    if (Square.?(s)) return 1000 + s.area();
+    if (Rect.?(s)) return 100 + Rect.!(s).w;
+    return s.area();
+}
+
+def main() -> int {
+    var shapes = Array<Shape>.new(3);
+    shapes[0] = Shape.new();
+    shapes[1] = Rect.new(3, 4);
+    shapes[2] = Square.new(5);
+    var total = 0;
+    for (i = 0; i < 3; i = i + 1) {
+        var d = describe(shapes[i]);
+        total = total + d;
+        System.puti(d);
+        System.putc(' ');
+    }
+    System.ln();
+    return total;
+}

@@ -1,0 +1,29 @@
+// First-class functions from every binding form (paper §2.3/§4.1):
+// top-level defs, bound methods (o.m), and partial application all meet at
+// the same arrow type and call sites.
+class Counter {
+    var count: int;
+    new(count) { }
+    def bump(by: int) -> int {
+        count = count + by;
+        return count;
+    }
+}
+
+def twice(f: int -> int, x: int) -> int { return f(f(x)); }
+
+def addThree(x: int) -> int { return x + 3; }
+
+def main() -> int {
+    var c = Counter.new(10);
+    var bound = c.bump;
+    var a = twice(bound, 2);     // 10+2=12, 12+12=24 -> count drives result
+    var b = twice(addThree, 5);  // 5+3+3 = 11
+    System.puti(a);
+    System.putc(' ');
+    System.puti(b);
+    System.putc(' ');
+    System.puti(c.count);
+    System.ln();
+    return a + b + c.count;
+}

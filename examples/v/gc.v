@@ -1,0 +1,33 @@
+// Allocation churn: builds and drops list cells so the semispace collector
+// runs during VM execution (`vglc profile` shows the GC events).
+class Node {
+    def val: int;
+    def next: Node;
+    new(val, next) { }
+}
+
+def sum(n: Node) -> int {
+    var total = 0;
+    var cur = n;
+    while (cur != null) {
+        total = total + cur.val;
+        cur = cur.next;
+    }
+    return total;
+}
+
+def build(len: int, seed: int) -> Node {
+    var head: Node = null;
+    for (i = 0; i < len; i = i + 1) head = Node.new(seed + i, head);
+    return head;
+}
+
+def main() -> int {
+    var acc = 0;
+    for (round = 0; round < 2000; round = round + 1) {
+        acc = (acc + sum(build(200, round))) % 99991;
+    }
+    System.puti(acc);
+    System.ln();
+    return acc;
+}

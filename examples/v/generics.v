@@ -1,0 +1,23 @@
+// Type parameters on functions and classes (paper §2.4/§4.3): the
+// interpreter passes type arguments at runtime; the compiled pipeline
+// monomorphizes them away.
+class Box<T> {
+    def val: T;
+    new(val) { }
+    def get() -> T { return val; }
+}
+
+def id<T>(x: T) -> T { return x; }
+
+def apply<A, B>(f: A -> B, x: A) -> B { return f(x); }
+
+def main() -> int {
+    var bi = Box<int>.new(17);
+    var bb = Box<bool>.new(true);
+    var n = id(apply(bi.get, ()));
+    System.puti(n);
+    System.putc(' ');
+    System.putb(id(bb.get()));
+    System.ln();
+    return n + (bb.get() ? 25 : 0);
+}

@@ -1,0 +1,6 @@
+// Smallest observable program: prints and returns an int.
+def main() -> int {
+    System.puts("hello, virgil");
+    System.ln();
+    return 42;
+}

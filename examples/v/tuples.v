@@ -1,0 +1,23 @@
+// Tuples across parameters, returns, arrays, and fields (paper §2.2/§4.2):
+// the interpreter boxes them; normalization flattens every one to scalars.
+def swap(p: (int, int)) -> (int, int) { return (p.1, p.0); }
+
+def minmax(a: int, b: int) -> (int, int) {
+    return a < b ? (a, b) : (b, a);
+}
+
+def main() -> int {
+    var ps = Array<(int, int)>.new(4);
+    for (i = 0; i < 4; i = i + 1) ps[i] = minmax(7 - i, i * 3);
+    var total = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        var q = swap(ps[i]);
+        total = total + q.0 * 10 + q.1;
+        System.puti(q.0);
+        System.putc(',');
+        System.puti(q.1);
+        System.putc(' ');
+    }
+    System.ln();
+    return total;
+}

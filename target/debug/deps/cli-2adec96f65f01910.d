@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-2adec96f65f01910.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2adec96f65f01910: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_vglc=/root/repo/target/debug/vglc
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus-ef0785dc8a771d25.d: tests/tests/corpus.rs
+
+/root/repo/target/debug/deps/corpus-ef0785dc8a771d25: tests/tests/corpus.rs
+
+tests/tests/corpus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corpus-f2305caf4adeae05.d: tests/tests/corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus-f2305caf4adeae05.rmeta: tests/tests/corpus.rs Cargo.toml
+
+tests/tests/corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

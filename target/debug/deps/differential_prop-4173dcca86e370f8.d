@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_prop-4173dcca86e370f8.d: tests/tests/differential_prop.rs
+
+/root/repo/target/debug/deps/differential_prop-4173dcca86e370f8: tests/tests/differential_prop.rs
+
+tests/tests/differential_prop.rs:

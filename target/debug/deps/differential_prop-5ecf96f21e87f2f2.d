@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_prop-5ecf96f21e87f2f2.d: tests/tests/differential_prop.rs
+
+/root/repo/target/debug/deps/differential_prop-5ecf96f21e87f2f2: tests/tests/differential_prop.rs
+
+tests/tests/differential_prop.rs:

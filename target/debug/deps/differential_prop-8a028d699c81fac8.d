@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_prop-8a028d699c81fac8.d: tests/tests/differential_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_prop-8a028d699c81fac8.rmeta: tests/tests/differential_prop.rs Cargo.toml
+
+tests/tests/differential_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

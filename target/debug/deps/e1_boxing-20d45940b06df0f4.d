@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_boxing-20d45940b06df0f4.d: crates/bench/benches/e1_boxing.rs
+
+/root/repo/target/debug/deps/e1_boxing-20d45940b06df0f4: crates/bench/benches/e1_boxing.rs
+
+crates/bench/benches/e1_boxing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_boxing-eff74be1f475ecc8.d: crates/bench/benches/e1_boxing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_boxing-eff74be1f475ecc8.rmeta: crates/bench/benches/e1_boxing.rs Cargo.toml
+
+crates/bench/benches/e1_boxing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

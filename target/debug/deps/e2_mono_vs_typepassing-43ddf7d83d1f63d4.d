@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_mono_vs_typepassing-43ddf7d83d1f63d4.d: crates/bench/benches/e2_mono_vs_typepassing.rs
+
+/root/repo/target/debug/deps/e2_mono_vs_typepassing-43ddf7d83d1f63d4: crates/bench/benches/e2_mono_vs_typepassing.rs
+
+crates/bench/benches/e2_mono_vs_typepassing.rs:

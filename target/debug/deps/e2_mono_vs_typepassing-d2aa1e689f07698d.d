@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_mono_vs_typepassing-d2aa1e689f07698d.d: crates/bench/benches/e2_mono_vs_typepassing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_mono_vs_typepassing-d2aa1e689f07698d.rmeta: crates/bench/benches/e2_mono_vs_typepassing.rs Cargo.toml
+
+crates/bench/benches/e2_mono_vs_typepassing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_query_folding-679f58cba68720a2.d: crates/bench/benches/e3_query_folding.rs
+
+/root/repo/target/debug/deps/e3_query_folding-679f58cba68720a2: crates/bench/benches/e3_query_folding.rs
+
+crates/bench/benches/e3_query_folding.rs:

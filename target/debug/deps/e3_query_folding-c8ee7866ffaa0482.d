@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_query_folding-c8ee7866ffaa0482.d: crates/bench/benches/e3_query_folding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_query_folding-c8ee7866ffaa0482.rmeta: crates/bench/benches/e3_query_folding.rs Cargo.toml
+
+crates/bench/benches/e3_query_folding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_code_expansion-049fb0f6c65d3420.d: crates/bench/benches/e4_code_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_code_expansion-049fb0f6c65d3420.rmeta: crates/bench/benches/e4_code_expansion.rs Cargo.toml
+
+crates/bench/benches/e4_code_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_code_expansion-9e7b9ce3caa6f366.d: crates/bench/benches/e4_code_expansion.rs
+
+/root/repo/target/debug/deps/e4_code_expansion-9e7b9ce3caa6f366: crates/bench/benches/e4_code_expansion.rs
+
+crates/bench/benches/e4_code_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_tuple_width-3f11ca08a6bec843.d: crates/bench/benches/e5_tuple_width.rs
+
+/root/repo/target/debug/deps/e5_tuple_width-3f11ca08a6bec843: crates/bench/benches/e5_tuple_width.rs
+
+crates/bench/benches/e5_tuple_width.rs:

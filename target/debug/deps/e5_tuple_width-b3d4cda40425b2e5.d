@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_tuple_width-b3d4cda40425b2e5.d: crates/bench/benches/e5_tuple_width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_tuple_width-b3d4cda40425b2e5.rmeta: crates/bench/benches/e5_tuple_width.rs Cargo.toml
+
+crates/bench/benches/e5_tuple_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

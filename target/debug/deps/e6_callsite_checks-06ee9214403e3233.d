@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_callsite_checks-06ee9214403e3233.d: crates/bench/benches/e6_callsite_checks.rs
+
+/root/repo/target/debug/deps/e6_callsite_checks-06ee9214403e3233: crates/bench/benches/e6_callsite_checks.rs
+
+crates/bench/benches/e6_callsite_checks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_callsite_checks-c3b275f552eb3057.d: crates/bench/benches/e6_callsite_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_callsite_checks-c3b275f552eb3057.rmeta: crates/bench/benches/e6_callsite_checks.rs Cargo.toml
+
+crates/bench/benches/e6_callsite_checks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

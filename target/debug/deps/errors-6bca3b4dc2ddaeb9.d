@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/errors-6bca3b4dc2ddaeb9.d: tests/tests/errors.rs
+
+/root/repo/target/debug/deps/errors-6bca3b4dc2ddaeb9: tests/tests/errors.rs
+
+tests/tests/errors.rs:

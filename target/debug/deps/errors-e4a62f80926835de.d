@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/errors-e4a62f80926835de.d: tests/tests/errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberrors-e4a62f80926835de.rmeta: tests/tests/errors.rs Cargo.toml
+
+tests/tests/errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden-a70cbf56268edb1d.d: tests/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-a70cbf56268edb1d.rmeta: tests/tests/golden.rs Cargo.toml
+
+tests/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden-fb905ae2e51c3419.d: tests/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-fb905ae2e51c3419: tests/tests/golden.rs
+
+tests/tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests

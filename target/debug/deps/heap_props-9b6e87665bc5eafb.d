@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heap_props-9b6e87665bc5eafb.d: crates/vgl-runtime/tests/heap_props.rs
+
+/root/repo/target/debug/deps/heap_props-9b6e87665bc5eafb: crates/vgl-runtime/tests/heap_props.rs
+
+crates/vgl-runtime/tests/heap_props.rs:

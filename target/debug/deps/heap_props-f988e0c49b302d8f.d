@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heap_props-f988e0c49b302d8f.d: crates/vgl-runtime/tests/heap_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheap_props-f988e0c49b302d8f.rmeta: crates/vgl-runtime/tests/heap_props.rs Cargo.toml
+
+crates/vgl-runtime/tests/heap_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/listings-a8e40c921c8cebf2.d: tests/tests/listings.rs
+
+/root/repo/target/debug/deps/listings-a8e40c921c8cebf2: tests/tests/listings.rs
+
+tests/tests/listings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/listings-ee8261669339d946.d: tests/tests/listings.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblistings-ee8261669339d946.rmeta: tests/tests/listings.rs Cargo.toml
+
+tests/tests/listings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

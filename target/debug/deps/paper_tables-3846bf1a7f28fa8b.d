@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-3846bf1a7f28fa8b.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-3846bf1a7f28fa8b: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-a8e2367ce3a4de18.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-a8e2367ce3a4de18: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6334ab6e3737d7a3.d: crates/vgl-passes/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-6334ab6e3737d7a3: crates/vgl-passes/tests/pipeline.rs
+
+crates/vgl-passes/tests/pipeline.rs:

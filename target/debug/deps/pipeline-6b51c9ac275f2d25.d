@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-6b51c9ac275f2d25.d: crates/vgl-passes/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-6b51c9ac275f2d25.rmeta: crates/vgl-passes/tests/pipeline.rs Cargo.toml
+
+crates/vgl-passes/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profiling-0bd1bfa95e7fbad1.d: crates/vgl-vm/tests/profiling.rs
+
+/root/repo/target/debug/deps/profiling-0bd1bfa95e7fbad1: crates/vgl-vm/tests/profiling.rs
+
+crates/vgl-vm/tests/profiling.rs:

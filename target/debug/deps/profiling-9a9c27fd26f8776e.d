@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profiling-9a9c27fd26f8776e.d: crates/vgl-vm/tests/profiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofiling-9a9c27fd26f8776e.rmeta: crates/vgl-vm/tests/profiling.rs Cargo.toml
+
+crates/vgl-vm/tests/profiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

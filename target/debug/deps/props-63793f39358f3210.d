@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-63793f39358f3210.d: crates/vgl-types/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-63793f39358f3210.rmeta: crates/vgl-types/tests/props.rs Cargo.toml
+
+crates/vgl-types/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

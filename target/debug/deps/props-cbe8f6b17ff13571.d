@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-cbe8f6b17ff13571.d: crates/vgl-types/tests/props.rs
+
+/root/repo/target/debug/deps/props-cbe8f6b17ff13571: crates/vgl-types/tests/props.rs
+
+crates/vgl-types/tests/props.rs:

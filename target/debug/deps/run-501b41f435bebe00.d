@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run-501b41f435bebe00.d: crates/vgl-interp/tests/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun-501b41f435bebe00.rmeta: crates/vgl-interp/tests/run.rs Cargo.toml
+
+crates/vgl-interp/tests/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

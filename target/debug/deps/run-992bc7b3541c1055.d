@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run-992bc7b3541c1055.d: crates/vgl-interp/tests/run.rs
+
+/root/repo/target/debug/deps/run-992bc7b3541c1055: crates/vgl-interp/tests/run.rs
+
+crates/vgl-interp/tests/run.rs:

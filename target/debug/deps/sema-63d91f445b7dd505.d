@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sema-63d91f445b7dd505.d: crates/vgl-sema/tests/sema.rs
+
+/root/repo/target/debug/deps/sema-63d91f445b7dd505: crates/vgl-sema/tests/sema.rs
+
+crates/vgl-sema/tests/sema.rs:

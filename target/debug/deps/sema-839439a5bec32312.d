@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sema-839439a5bec32312.d: crates/vgl-sema/tests/sema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsema-839439a5bec32312.rmeta: crates/vgl-sema/tests/sema.rs Cargo.toml
+
+crates/vgl-sema/tests/sema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

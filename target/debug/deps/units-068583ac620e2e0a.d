@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/units-068583ac620e2e0a.d: crates/vgl-passes/tests/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunits-068583ac620e2e0a.rmeta: crates/vgl-passes/tests/units.rs Cargo.toml
+
+crates/vgl-passes/tests/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/units-9304bdb937a521d8.d: crates/vgl-passes/tests/units.rs
+
+/root/repo/target/debug/deps/units-9304bdb937a521d8: crates/vgl-passes/tests/units.rs
+
+crates/vgl-passes/tests/units.rs:

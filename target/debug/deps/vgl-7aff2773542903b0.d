@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vgl-7aff2773542903b0.d: crates/core/src/lib.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl-7aff2773542903b0.rmeta: crates/core/src/lib.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vgl-97d143f600d089c2.d: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libvgl-97d143f600d089c2.rlib: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libvgl-97d143f600d089c2.rmeta: crates/core/src/lib.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:

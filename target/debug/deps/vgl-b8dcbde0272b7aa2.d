@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/vgl-b8dcbde0272b7aa2.d: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/vgl-b8dcbde0272b7aa2: crates/core/src/lib.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:

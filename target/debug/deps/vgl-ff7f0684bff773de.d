@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vgl-ff7f0684bff773de.d: crates/core/src/lib.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl-ff7f0684bff773de.rmeta: crates/core/src/lib.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vgl_bench-1791edb83129ecfc.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/vgl_bench-1791edb83129ecfc: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/workloads.rs:

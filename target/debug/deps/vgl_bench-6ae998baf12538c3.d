@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vgl_bench-6ae998baf12538c3.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libvgl_bench-6ae998baf12538c3.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libvgl_bench-6ae998baf12538c3.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vgl_bench-b070ad0f250192e7.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_bench-b070ad0f250192e7.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

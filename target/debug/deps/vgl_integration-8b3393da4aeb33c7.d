@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vgl_integration-8b3393da4aeb33c7.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/vgl_integration-8b3393da4aeb33c7: tests/src/lib.rs
+
+tests/src/lib.rs:

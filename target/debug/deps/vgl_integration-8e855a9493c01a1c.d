@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vgl_integration-8e855a9493c01a1c.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libvgl_integration-8e855a9493c01a1c.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libvgl_integration-8e855a9493c01a1c.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

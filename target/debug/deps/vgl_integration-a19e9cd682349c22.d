@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vgl_integration-a19e9cd682349c22.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_integration-a19e9cd682349c22.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

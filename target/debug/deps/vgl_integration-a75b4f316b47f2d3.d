@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vgl_integration-a75b4f316b47f2d3.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libvgl_integration-a75b4f316b47f2d3.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libvgl_integration-a75b4f316b47f2d3.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

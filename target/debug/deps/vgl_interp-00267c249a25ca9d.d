@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vgl_interp-00267c249a25ca9d.d: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_interp-00267c249a25ca9d.rmeta: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs Cargo.toml
+
+crates/vgl-interp/src/lib.rs:
+crates/vgl-interp/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

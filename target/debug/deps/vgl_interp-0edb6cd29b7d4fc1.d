@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/vgl_interp-0edb6cd29b7d4fc1.d: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/debug/deps/vgl_interp-0edb6cd29b7d4fc1: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+crates/vgl-interp/src/lib.rs:
+crates/vgl-interp/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vgl_interp-cd587fac50c57282.d: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/debug/deps/libvgl_interp-cd587fac50c57282.rlib: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/debug/deps/libvgl_interp-cd587fac50c57282.rmeta: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+crates/vgl-interp/src/lib.rs:
+crates/vgl-interp/src/engine.rs:

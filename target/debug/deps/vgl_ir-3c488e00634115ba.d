@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vgl_ir-3c488e00634115ba.d: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+/root/repo/target/debug/deps/vgl_ir-3c488e00634115ba: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+crates/vgl-ir/src/lib.rs:
+crates/vgl-ir/src/body.rs:
+crates/vgl-ir/src/metrics.rs:
+crates/vgl-ir/src/module.rs:
+crates/vgl-ir/src/ops.rs:
+crates/vgl-ir/src/validate.rs:
+crates/vgl-ir/src/visit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vgl_ir-ea81af9ad9daaeb7.d: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+/root/repo/target/debug/deps/libvgl_ir-ea81af9ad9daaeb7.rlib: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+/root/repo/target/debug/deps/libvgl_ir-ea81af9ad9daaeb7.rmeta: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+crates/vgl-ir/src/lib.rs:
+crates/vgl-ir/src/body.rs:
+crates/vgl-ir/src/metrics.rs:
+crates/vgl-ir/src/module.rs:
+crates/vgl-ir/src/ops.rs:
+crates/vgl-ir/src/validate.rs:
+crates/vgl-ir/src/visit.rs:

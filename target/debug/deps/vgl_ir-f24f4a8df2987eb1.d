@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vgl_ir-f24f4a8df2987eb1.d: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_ir-f24f4a8df2987eb1.rmeta: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs Cargo.toml
+
+crates/vgl-ir/src/lib.rs:
+crates/vgl-ir/src/body.rs:
+crates/vgl-ir/src/metrics.rs:
+crates/vgl-ir/src/module.rs:
+crates/vgl-ir/src/ops.rs:
+crates/vgl-ir/src/validate.rs:
+crates/vgl-ir/src/visit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

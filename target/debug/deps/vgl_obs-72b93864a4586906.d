@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vgl_obs-72b93864a4586906.d: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_obs-72b93864a4586906.rmeta: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs Cargo.toml
+
+crates/vgl-obs/src/lib.rs:
+crates/vgl-obs/src/json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vgl_obs-9916eebe6863f803.d: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/debug/deps/libvgl_obs-9916eebe6863f803.rlib: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/debug/deps/libvgl_obs-9916eebe6863f803.rmeta: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+crates/vgl-obs/src/lib.rs:
+crates/vgl-obs/src/json.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/vgl_obs-c1b1785ec8045519.d: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/debug/deps/vgl_obs-c1b1785ec8045519: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+crates/vgl-obs/src/lib.rs:
+crates/vgl-obs/src/json.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vgl_passes-646b504191fdd5f6.d: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+/root/repo/target/debug/deps/libvgl_passes-646b504191fdd5f6.rlib: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+/root/repo/target/debug/deps/libvgl_passes-646b504191fdd5f6.rmeta: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+crates/vgl-passes/src/lib.rs:
+crates/vgl-passes/src/mono.rs:
+crates/vgl-passes/src/normalize.rs:
+crates/vgl-passes/src/optimize.rs:

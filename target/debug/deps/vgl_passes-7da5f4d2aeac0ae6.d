@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vgl_passes-7da5f4d2aeac0ae6.d: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+/root/repo/target/debug/deps/vgl_passes-7da5f4d2aeac0ae6: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+crates/vgl-passes/src/lib.rs:
+crates/vgl-passes/src/mono.rs:
+crates/vgl-passes/src/normalize.rs:
+crates/vgl-passes/src/optimize.rs:

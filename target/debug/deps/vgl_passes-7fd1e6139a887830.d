@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vgl_passes-7fd1e6139a887830.d: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+/root/repo/target/debug/deps/libvgl_passes-7fd1e6139a887830.rlib: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+/root/repo/target/debug/deps/libvgl_passes-7fd1e6139a887830.rmeta: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+crates/vgl-passes/src/lib.rs:
+crates/vgl-passes/src/mono.rs:
+crates/vgl-passes/src/normalize.rs:
+crates/vgl-passes/src/optimize.rs:

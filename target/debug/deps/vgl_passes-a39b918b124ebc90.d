@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vgl_passes-a39b918b124ebc90.d: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_passes-a39b918b124ebc90.rmeta: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs Cargo.toml
+
+crates/vgl-passes/src/lib.rs:
+crates/vgl-passes/src/mono.rs:
+crates/vgl-passes/src/normalize.rs:
+crates/vgl-passes/src/optimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vgl_runtime-35f5086b17c7ab1b.d: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/debug/deps/libvgl_runtime-35f5086b17c7ab1b.rlib: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/debug/deps/libvgl_runtime-35f5086b17c7ab1b.rmeta: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+crates/vgl-runtime/src/lib.rs:
+crates/vgl-runtime/src/heap.rs:
+crates/vgl-runtime/src/value.rs:

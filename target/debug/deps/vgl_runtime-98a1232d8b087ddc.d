@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vgl_runtime-98a1232d8b087ddc.d: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_runtime-98a1232d8b087ddc.rmeta: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs Cargo.toml
+
+crates/vgl-runtime/src/lib.rs:
+crates/vgl-runtime/src/heap.rs:
+crates/vgl-runtime/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

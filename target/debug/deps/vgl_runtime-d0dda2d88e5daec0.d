@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vgl_runtime-d0dda2d88e5daec0.d: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/debug/deps/vgl_runtime-d0dda2d88e5daec0: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+crates/vgl-runtime/src/lib.rs:
+crates/vgl-runtime/src/heap.rs:
+crates/vgl-runtime/src/value.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vgl_sema-b114bd4137d80a9c.d: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_sema-b114bd4137d80a9c.rmeta: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs Cargo.toml
+
+crates/vgl-sema/src/lib.rs:
+crates/vgl-sema/src/analyzer.rs:
+crates/vgl-sema/src/check.rs:
+crates/vgl-sema/src/decls.rs:
+crates/vgl-sema/src/expr.rs:
+crates/vgl-sema/src/resolve.rs:
+crates/vgl-sema/src/stmt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vgl_sema-be7474ffd8b3138d.d: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+/root/repo/target/debug/deps/vgl_sema-be7474ffd8b3138d: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+crates/vgl-sema/src/lib.rs:
+crates/vgl-sema/src/analyzer.rs:
+crates/vgl-sema/src/check.rs:
+crates/vgl-sema/src/decls.rs:
+crates/vgl-sema/src/expr.rs:
+crates/vgl-sema/src/resolve.rs:
+crates/vgl-sema/src/stmt.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vgl_sema-e83bfb98671911c9.d: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+/root/repo/target/debug/deps/libvgl_sema-e83bfb98671911c9.rlib: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+/root/repo/target/debug/deps/libvgl_sema-e83bfb98671911c9.rmeta: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+crates/vgl-sema/src/lib.rs:
+crates/vgl-sema/src/analyzer.rs:
+crates/vgl-sema/src/check.rs:
+crates/vgl-sema/src/decls.rs:
+crates/vgl-sema/src/expr.rs:
+crates/vgl-sema/src/resolve.rs:
+crates/vgl-sema/src/stmt.rs:

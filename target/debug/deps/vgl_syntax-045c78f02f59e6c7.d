@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vgl_syntax-045c78f02f59e6c7.d: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_syntax-045c78f02f59e6c7.rmeta: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs Cargo.toml
+
+crates/vgl-syntax/src/lib.rs:
+crates/vgl-syntax/src/ast.rs:
+crates/vgl-syntax/src/diag.rs:
+crates/vgl-syntax/src/lexer.rs:
+crates/vgl-syntax/src/parser.rs:
+crates/vgl-syntax/src/printer.rs:
+crates/vgl-syntax/src/span.rs:
+crates/vgl-syntax/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vgl_syntax-095adeb13cfbfe12.d: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+/root/repo/target/debug/deps/vgl_syntax-095adeb13cfbfe12: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+crates/vgl-syntax/src/lib.rs:
+crates/vgl-syntax/src/ast.rs:
+crates/vgl-syntax/src/diag.rs:
+crates/vgl-syntax/src/lexer.rs:
+crates/vgl-syntax/src/parser.rs:
+crates/vgl-syntax/src/printer.rs:
+crates/vgl-syntax/src/span.rs:
+crates/vgl-syntax/src/token.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vgl_syntax-d2f7a5df647ca2b4.d: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_syntax-d2f7a5df647ca2b4.rmeta: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs Cargo.toml
+
+crates/vgl-syntax/src/lib.rs:
+crates/vgl-syntax/src/ast.rs:
+crates/vgl-syntax/src/diag.rs:
+crates/vgl-syntax/src/lexer.rs:
+crates/vgl-syntax/src/parser.rs:
+crates/vgl-syntax/src/printer.rs:
+crates/vgl-syntax/src/span.rs:
+crates/vgl-syntax/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vgl_types-02426b0a6fb64131.d: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_types-02426b0a6fb64131.rmeta: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs Cargo.toml
+
+crates/vgl-types/src/lib.rs:
+crates/vgl-types/src/hierarchy.rs:
+crates/vgl-types/src/infer.rs:
+crates/vgl-types/src/relations.rs:
+crates/vgl-types/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vgl_types-c32fe9f609733957.d: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+/root/repo/target/debug/deps/vgl_types-c32fe9f609733957: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+crates/vgl-types/src/lib.rs:
+crates/vgl-types/src/hierarchy.rs:
+crates/vgl-types/src/infer.rs:
+crates/vgl-types/src/relations.rs:
+crates/vgl-types/src/store.rs:

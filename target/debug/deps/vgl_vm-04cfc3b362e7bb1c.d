@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vgl_vm-04cfc3b362e7bb1c.d: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+/root/repo/target/debug/deps/vgl_vm-04cfc3b362e7bb1c: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+crates/vgl-vm/src/lib.rs:
+crates/vgl-vm/src/bytecode.rs:
+crates/vgl-vm/src/disasm.rs:
+crates/vgl-vm/src/lower.rs:
+crates/vgl-vm/src/profile.rs:
+crates/vgl-vm/src/vm.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vgl_vm-39bf1f4396a87a9b.d: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+/root/repo/target/debug/deps/libvgl_vm-39bf1f4396a87a9b.rlib: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+/root/repo/target/debug/deps/libvgl_vm-39bf1f4396a87a9b.rmeta: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+crates/vgl-vm/src/lib.rs:
+crates/vgl-vm/src/bytecode.rs:
+crates/vgl-vm/src/disasm.rs:
+crates/vgl-vm/src/lower.rs:
+crates/vgl-vm/src/profile.rs:
+crates/vgl-vm/src/vm.rs:

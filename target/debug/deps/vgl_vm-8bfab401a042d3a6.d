@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vgl_vm-8bfab401a042d3a6.d: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+/root/repo/target/debug/deps/libvgl_vm-8bfab401a042d3a6.rlib: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+/root/repo/target/debug/deps/libvgl_vm-8bfab401a042d3a6.rmeta: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+crates/vgl-vm/src/lib.rs:
+crates/vgl-vm/src/bytecode.rs:
+crates/vgl-vm/src/disasm.rs:
+crates/vgl-vm/src/lower.rs:
+crates/vgl-vm/src/profile.rs:
+crates/vgl-vm/src/vm.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vgl_vm-cae9a0d6f3874323.d: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvgl_vm-cae9a0d6f3874323.rmeta: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs Cargo.toml
+
+crates/vgl-vm/src/lib.rs:
+crates/vgl-vm/src/bytecode.rs:
+crates/vgl-vm/src/disasm.rs:
+crates/vgl-vm/src/lower.rs:
+crates/vgl-vm/src/profile.rs:
+crates/vgl-vm/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vglc-448ad6c21429bcef.d: crates/core/src/bin/vglc.rs
+
+/root/repo/target/debug/deps/vglc-448ad6c21429bcef: crates/core/src/bin/vglc.rs
+
+crates/core/src/bin/vglc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vglc-7f54b5016c53dc6d.d: crates/core/src/bin/vglc.rs
+
+/root/repo/target/debug/deps/vglc-7f54b5016c53dc6d: crates/core/src/bin/vglc.rs
+
+crates/core/src/bin/vglc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vglc-a8e4960ee9b910e8.d: crates/core/src/bin/vglc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvglc-a8e4960ee9b910e8.rmeta: crates/core/src/bin/vglc.rs Cargo.toml
+
+crates/core/src/bin/vglc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vglc-f793fded847e9710.d: crates/core/src/bin/vglc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvglc-f793fded847e9710.rmeta: crates/core/src/bin/vglc.rs Cargo.toml
+
+crates/core/src/bin/vglc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

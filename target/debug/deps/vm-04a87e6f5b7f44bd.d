@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm-04a87e6f5b7f44bd.d: crates/vgl-vm/tests/vm.rs
+
+/root/repo/target/debug/deps/vm-04a87e6f5b7f44bd: crates/vgl-vm/tests/vm.rs
+
+crates/vgl-vm/tests/vm.rs:

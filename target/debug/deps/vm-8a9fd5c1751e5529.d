@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm-8a9fd5c1751e5529.d: crates/vgl-vm/tests/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm-8a9fd5c1751e5529.rmeta: crates/vgl-vm/tests/vm.rs Cargo.toml
+
+crates/vgl-vm/tests/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_edges-539c83505535030c.d: crates/vgl-vm/tests/vm_edges.rs
+
+/root/repo/target/debug/deps/vm_edges-539c83505535030c: crates/vgl-vm/tests/vm_edges.rs
+
+crates/vgl-vm/tests/vm_edges.rs:

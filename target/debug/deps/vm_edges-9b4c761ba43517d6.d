@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_edges-9b4c761ba43517d6.d: crates/vgl-vm/tests/vm_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_edges-9b4c761ba43517d6.rmeta: crates/vgl-vm/tests/vm_edges.rs Cargo.toml
+
+crates/vgl-vm/tests/vm_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

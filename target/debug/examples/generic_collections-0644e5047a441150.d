@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generic_collections-0644e5047a441150.d: crates/core/../../examples/generic_collections.rs
+
+/root/repo/target/debug/examples/generic_collections-0644e5047a441150: crates/core/../../examples/generic_collections.rs
+
+crates/core/../../examples/generic_collections.rs:

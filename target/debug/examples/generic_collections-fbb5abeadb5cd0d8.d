@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generic_collections-fbb5abeadb5cd0d8.d: crates/core/../../examples/generic_collections.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgeneric_collections-fbb5abeadb5cd0d8.rmeta: crates/core/../../examples/generic_collections.rs Cargo.toml
+
+crates/core/../../examples/generic_collections.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/instr_backend-06e80f28bd77e260.d: crates/core/../../examples/instr_backend.rs
+
+/root/repo/target/debug/examples/instr_backend-06e80f28bd77e260: crates/core/../../examples/instr_backend.rs
+
+crates/core/../../examples/instr_backend.rs:

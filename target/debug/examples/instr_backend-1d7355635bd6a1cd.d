@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/instr_backend-1d7355635bd6a1cd.d: crates/core/../../examples/instr_backend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinstr_backend-1d7355635bd6a1cd.rmeta: crates/core/../../examples/instr_backend.rs Cargo.toml
+
+crates/core/../../examples/instr_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/patterns-390d7022a144d02b.d: crates/core/../../examples/patterns.rs
+
+/root/repo/target/debug/examples/patterns-390d7022a144d02b: crates/core/../../examples/patterns.rs
+
+crates/core/../../examples/patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/patterns-62266ab923322002.d: crates/core/../../examples/patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpatterns-62266ab923322002.rmeta: crates/core/../../examples/patterns.rs Cargo.toml
+
+crates/core/../../examples/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-712da7b2fbb3885c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-712da7b2fbb3885c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

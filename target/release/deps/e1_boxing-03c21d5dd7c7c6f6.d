@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_boxing-03c21d5dd7c7c6f6.d: crates/bench/benches/e1_boxing.rs
+
+/root/repo/target/release/deps/e1_boxing-03c21d5dd7c7c6f6: crates/bench/benches/e1_boxing.rs
+
+crates/bench/benches/e1_boxing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2_mono_vs_typepassing-39c754af68b440a4.d: crates/bench/benches/e2_mono_vs_typepassing.rs
+
+/root/repo/target/release/deps/e2_mono_vs_typepassing-39c754af68b440a4: crates/bench/benches/e2_mono_vs_typepassing.rs
+
+crates/bench/benches/e2_mono_vs_typepassing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_query_folding-c6a683780226b43f.d: crates/bench/benches/e3_query_folding.rs
+
+/root/repo/target/release/deps/e3_query_folding-c6a683780226b43f: crates/bench/benches/e3_query_folding.rs
+
+crates/bench/benches/e3_query_folding.rs:

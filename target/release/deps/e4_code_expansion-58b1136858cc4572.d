@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e4_code_expansion-58b1136858cc4572.d: crates/bench/benches/e4_code_expansion.rs
+
+/root/repo/target/release/deps/e4_code_expansion-58b1136858cc4572: crates/bench/benches/e4_code_expansion.rs
+
+crates/bench/benches/e4_code_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e5_tuple_width-51cbabd3cb3b050c.d: crates/bench/benches/e5_tuple_width.rs
+
+/root/repo/target/release/deps/e5_tuple_width-51cbabd3cb3b050c: crates/bench/benches/e5_tuple_width.rs
+
+crates/bench/benches/e5_tuple_width.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_callsite_checks-e977f7e8fa833d3c.d: crates/bench/benches/e6_callsite_checks.rs
+
+/root/repo/target/release/deps/e6_callsite_checks-e977f7e8fa833d3c: crates/bench/benches/e6_callsite_checks.rs
+
+crates/bench/benches/e6_callsite_checks.rs:

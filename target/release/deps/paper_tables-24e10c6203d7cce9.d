@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_tables-24e10c6203d7cce9.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/release/deps/paper_tables-24e10c6203d7cce9: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_tables-b5717a08047b80f1.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/release/deps/paper_tables-b5717a08047b80f1: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

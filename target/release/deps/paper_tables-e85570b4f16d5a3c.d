@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_tables-e85570b4f16d5a3c.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/release/deps/paper_tables-e85570b4f16d5a3c: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/vgl-5a347b27c8806141.d: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/vgl-5a347b27c8806141: crates/core/src/lib.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vgl-aec5a13eea311f55.d: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libvgl-aec5a13eea311f55.rlib: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libvgl-aec5a13eea311f55.rmeta: crates/core/src/lib.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:

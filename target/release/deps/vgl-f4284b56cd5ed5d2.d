@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vgl-f4284b56cd5ed5d2.d: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libvgl-f4284b56cd5ed5d2.rlib: crates/core/src/lib.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libvgl-f4284b56cd5ed5d2.rmeta: crates/core/src/lib.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:

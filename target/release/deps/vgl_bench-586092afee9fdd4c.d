@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vgl_bench-586092afee9fdd4c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/vgl_bench-586092afee9fdd4c: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vgl_bench-9d72b60fd6f66f96.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvgl_bench-9d72b60fd6f66f96.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvgl_bench-9d72b60fd6f66f96.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/workloads.rs:

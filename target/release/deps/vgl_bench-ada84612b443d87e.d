@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vgl_bench-ada84612b443d87e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvgl_bench-ada84612b443d87e.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvgl_bench-ada84612b443d87e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vgl_integration-222e5e85f6dfd8fb.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/vgl_integration-222e5e85f6dfd8fb: tests/src/lib.rs
+
+tests/src/lib.rs:

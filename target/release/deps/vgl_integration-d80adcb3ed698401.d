@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vgl_integration-d80adcb3ed698401.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libvgl_integration-d80adcb3ed698401.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libvgl_integration-d80adcb3ed698401.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/vgl_interp-08e0e0ae1f49f249.d: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/release/deps/vgl_interp-08e0e0ae1f49f249: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+crates/vgl-interp/src/lib.rs:
+crates/vgl-interp/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vgl_interp-5be78f2c5a2cca87.d: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/release/deps/libvgl_interp-5be78f2c5a2cca87.rlib: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/release/deps/libvgl_interp-5be78f2c5a2cca87.rmeta: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+crates/vgl-interp/src/lib.rs:
+crates/vgl-interp/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vgl_interp-747d3f2bc09559eb.d: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/release/deps/libvgl_interp-747d3f2bc09559eb.rlib: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+/root/repo/target/release/deps/libvgl_interp-747d3f2bc09559eb.rmeta: crates/vgl-interp/src/lib.rs crates/vgl-interp/src/engine.rs
+
+crates/vgl-interp/src/lib.rs:
+crates/vgl-interp/src/engine.rs:

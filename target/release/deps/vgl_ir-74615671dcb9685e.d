@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vgl_ir-74615671dcb9685e.d: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+/root/repo/target/release/deps/vgl_ir-74615671dcb9685e: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+crates/vgl-ir/src/lib.rs:
+crates/vgl-ir/src/body.rs:
+crates/vgl-ir/src/metrics.rs:
+crates/vgl-ir/src/module.rs:
+crates/vgl-ir/src/ops.rs:
+crates/vgl-ir/src/validate.rs:
+crates/vgl-ir/src/visit.rs:

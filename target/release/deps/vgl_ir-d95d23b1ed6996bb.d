@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vgl_ir-d95d23b1ed6996bb.d: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+/root/repo/target/release/deps/libvgl_ir-d95d23b1ed6996bb.rlib: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+/root/repo/target/release/deps/libvgl_ir-d95d23b1ed6996bb.rmeta: crates/vgl-ir/src/lib.rs crates/vgl-ir/src/body.rs crates/vgl-ir/src/metrics.rs crates/vgl-ir/src/module.rs crates/vgl-ir/src/ops.rs crates/vgl-ir/src/validate.rs crates/vgl-ir/src/visit.rs
+
+crates/vgl-ir/src/lib.rs:
+crates/vgl-ir/src/body.rs:
+crates/vgl-ir/src/metrics.rs:
+crates/vgl-ir/src/module.rs:
+crates/vgl-ir/src/ops.rs:
+crates/vgl-ir/src/validate.rs:
+crates/vgl-ir/src/visit.rs:

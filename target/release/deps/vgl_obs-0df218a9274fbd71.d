@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/vgl_obs-0df218a9274fbd71.d: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/release/deps/vgl_obs-0df218a9274fbd71: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+crates/vgl-obs/src/lib.rs:
+crates/vgl-obs/src/json.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vgl_obs-904a18fa02d94445.d: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/release/deps/libvgl_obs-904a18fa02d94445.rlib: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/release/deps/libvgl_obs-904a18fa02d94445.rmeta: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+crates/vgl-obs/src/lib.rs:
+crates/vgl-obs/src/json.rs:

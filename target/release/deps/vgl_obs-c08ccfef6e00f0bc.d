@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vgl_obs-c08ccfef6e00f0bc.d: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/release/deps/libvgl_obs-c08ccfef6e00f0bc.rlib: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+/root/repo/target/release/deps/libvgl_obs-c08ccfef6e00f0bc.rmeta: crates/vgl-obs/src/lib.rs crates/vgl-obs/src/json.rs
+
+crates/vgl-obs/src/lib.rs:
+crates/vgl-obs/src/json.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vgl_passes-e298de2e7d1400a7.d: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+/root/repo/target/release/deps/libvgl_passes-e298de2e7d1400a7.rlib: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+/root/repo/target/release/deps/libvgl_passes-e298de2e7d1400a7.rmeta: crates/vgl-passes/src/lib.rs crates/vgl-passes/src/mono.rs crates/vgl-passes/src/normalize.rs crates/vgl-passes/src/optimize.rs
+
+crates/vgl-passes/src/lib.rs:
+crates/vgl-passes/src/mono.rs:
+crates/vgl-passes/src/normalize.rs:
+crates/vgl-passes/src/optimize.rs:

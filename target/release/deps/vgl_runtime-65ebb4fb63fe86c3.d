@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vgl_runtime-65ebb4fb63fe86c3.d: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/release/deps/libvgl_runtime-65ebb4fb63fe86c3.rlib: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/release/deps/libvgl_runtime-65ebb4fb63fe86c3.rmeta: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+crates/vgl-runtime/src/lib.rs:
+crates/vgl-runtime/src/heap.rs:
+crates/vgl-runtime/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vgl_runtime-a4947120db940a05.d: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/release/deps/vgl_runtime-a4947120db940a05: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+crates/vgl-runtime/src/lib.rs:
+crates/vgl-runtime/src/heap.rs:
+crates/vgl-runtime/src/value.rs:

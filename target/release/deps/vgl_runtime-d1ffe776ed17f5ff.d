@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vgl_runtime-d1ffe776ed17f5ff.d: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/release/deps/libvgl_runtime-d1ffe776ed17f5ff.rlib: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+/root/repo/target/release/deps/libvgl_runtime-d1ffe776ed17f5ff.rmeta: crates/vgl-runtime/src/lib.rs crates/vgl-runtime/src/heap.rs crates/vgl-runtime/src/value.rs
+
+crates/vgl-runtime/src/lib.rs:
+crates/vgl-runtime/src/heap.rs:
+crates/vgl-runtime/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vgl_sema-1b5fb52a589140e7.d: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+/root/repo/target/release/deps/vgl_sema-1b5fb52a589140e7: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+crates/vgl-sema/src/lib.rs:
+crates/vgl-sema/src/analyzer.rs:
+crates/vgl-sema/src/check.rs:
+crates/vgl-sema/src/decls.rs:
+crates/vgl-sema/src/expr.rs:
+crates/vgl-sema/src/resolve.rs:
+crates/vgl-sema/src/stmt.rs:

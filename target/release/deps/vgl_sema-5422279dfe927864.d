@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vgl_sema-5422279dfe927864.d: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+/root/repo/target/release/deps/libvgl_sema-5422279dfe927864.rlib: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+/root/repo/target/release/deps/libvgl_sema-5422279dfe927864.rmeta: crates/vgl-sema/src/lib.rs crates/vgl-sema/src/analyzer.rs crates/vgl-sema/src/check.rs crates/vgl-sema/src/decls.rs crates/vgl-sema/src/expr.rs crates/vgl-sema/src/resolve.rs crates/vgl-sema/src/stmt.rs
+
+crates/vgl-sema/src/lib.rs:
+crates/vgl-sema/src/analyzer.rs:
+crates/vgl-sema/src/check.rs:
+crates/vgl-sema/src/decls.rs:
+crates/vgl-sema/src/expr.rs:
+crates/vgl-sema/src/resolve.rs:
+crates/vgl-sema/src/stmt.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vgl_syntax-220eef0b3406492d.d: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+/root/repo/target/release/deps/libvgl_syntax-220eef0b3406492d.rlib: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+/root/repo/target/release/deps/libvgl_syntax-220eef0b3406492d.rmeta: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+crates/vgl-syntax/src/lib.rs:
+crates/vgl-syntax/src/ast.rs:
+crates/vgl-syntax/src/diag.rs:
+crates/vgl-syntax/src/lexer.rs:
+crates/vgl-syntax/src/parser.rs:
+crates/vgl-syntax/src/printer.rs:
+crates/vgl-syntax/src/span.rs:
+crates/vgl-syntax/src/token.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vgl_syntax-f7131df9ad170fc4.d: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+/root/repo/target/release/deps/libvgl_syntax-f7131df9ad170fc4.rlib: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+/root/repo/target/release/deps/libvgl_syntax-f7131df9ad170fc4.rmeta: crates/vgl-syntax/src/lib.rs crates/vgl-syntax/src/ast.rs crates/vgl-syntax/src/diag.rs crates/vgl-syntax/src/lexer.rs crates/vgl-syntax/src/parser.rs crates/vgl-syntax/src/printer.rs crates/vgl-syntax/src/span.rs crates/vgl-syntax/src/token.rs
+
+crates/vgl-syntax/src/lib.rs:
+crates/vgl-syntax/src/ast.rs:
+crates/vgl-syntax/src/diag.rs:
+crates/vgl-syntax/src/lexer.rs:
+crates/vgl-syntax/src/parser.rs:
+crates/vgl-syntax/src/printer.rs:
+crates/vgl-syntax/src/span.rs:
+crates/vgl-syntax/src/token.rs:

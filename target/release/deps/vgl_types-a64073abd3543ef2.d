@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vgl_types-a64073abd3543ef2.d: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+/root/repo/target/release/deps/libvgl_types-a64073abd3543ef2.rlib: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+/root/repo/target/release/deps/libvgl_types-a64073abd3543ef2.rmeta: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+crates/vgl-types/src/lib.rs:
+crates/vgl-types/src/hierarchy.rs:
+crates/vgl-types/src/infer.rs:
+crates/vgl-types/src/relations.rs:
+crates/vgl-types/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vgl_types-a780da0e30225356.d: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+/root/repo/target/release/deps/vgl_types-a780da0e30225356: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+crates/vgl-types/src/lib.rs:
+crates/vgl-types/src/hierarchy.rs:
+crates/vgl-types/src/infer.rs:
+crates/vgl-types/src/relations.rs:
+crates/vgl-types/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vgl_types-e0a0c0fc67dd4300.d: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+/root/repo/target/release/deps/libvgl_types-e0a0c0fc67dd4300.rlib: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+/root/repo/target/release/deps/libvgl_types-e0a0c0fc67dd4300.rmeta: crates/vgl-types/src/lib.rs crates/vgl-types/src/hierarchy.rs crates/vgl-types/src/infer.rs crates/vgl-types/src/relations.rs crates/vgl-types/src/store.rs
+
+crates/vgl-types/src/lib.rs:
+crates/vgl-types/src/hierarchy.rs:
+crates/vgl-types/src/infer.rs:
+crates/vgl-types/src/relations.rs:
+crates/vgl-types/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vgl_vm-07288381481afc34.d: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+/root/repo/target/release/deps/vgl_vm-07288381481afc34: crates/vgl-vm/src/lib.rs crates/vgl-vm/src/bytecode.rs crates/vgl-vm/src/disasm.rs crates/vgl-vm/src/lower.rs crates/vgl-vm/src/profile.rs crates/vgl-vm/src/vm.rs
+
+crates/vgl-vm/src/lib.rs:
+crates/vgl-vm/src/bytecode.rs:
+crates/vgl-vm/src/disasm.rs:
+crates/vgl-vm/src/lower.rs:
+crates/vgl-vm/src/profile.rs:
+crates/vgl-vm/src/vm.rs:

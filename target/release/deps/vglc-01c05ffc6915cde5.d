@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vglc-01c05ffc6915cde5.d: crates/core/src/bin/vglc.rs
+
+/root/repo/target/release/deps/vglc-01c05ffc6915cde5: crates/core/src/bin/vglc.rs
+
+crates/core/src/bin/vglc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vglc-07b886b82a46e20f.d: crates/core/src/bin/vglc.rs
+
+/root/repo/target/release/deps/vglc-07b886b82a46e20f: crates/core/src/bin/vglc.rs
+
+crates/core/src/bin/vglc.rs:

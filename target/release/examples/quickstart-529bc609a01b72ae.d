@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-529bc609a01b72ae.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-529bc609a01b72ae: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

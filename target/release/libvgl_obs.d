@@ -1,0 +1,1 @@
+/root/repo/target/release/libvgl_obs.rlib: /root/repo/crates/vgl-obs/src/json.rs /root/repo/crates/vgl-obs/src/lib.rs

@@ -1,123 +1,197 @@
-//! Property-based differential testing: randomly generated Virgil programs
-//! must behave identically on the type-passing interpreter (source module),
-//! the interpreter over the compiled module, and the VM — results, output,
-//! and exceptions. This is the strongest evidence that monomorphization,
+//! Randomized differential testing: generated Virgil programs must behave
+//! identically on the type-passing interpreter (source module), the
+//! interpreter over the compiled module, and the VM — results, output, and
+//! exceptions. This is the strongest evidence that monomorphization,
 //! normalization, optimization, and lowering are semantics-preserving.
 //!
 //! Also checks the parse∘print round-trip property on every generated
 //! program.
+//!
+//! Generation is driven by a seeded in-tree xorshift PRNG, so every run of
+//! a given case count is deterministic and a failure prints its seed. Set
+//! `VGL_PROP_CASES` to raise the case count (default 48).
 
-use proptest::prelude::*;
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
 
-fn arb_int(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-20i32..20).prop_map(|v| if v < 0 { format!("(0 - {})", -v) } else { v.to_string() }),
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("p.0".to_string()),
-        Just("p.1".to_string()),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
     }
-    let sub = move || arb_int(depth - 1);
-    let subb = move || arb_bool(depth - 1);
-    let subp = move || arb_pair(depth - 1);
-    prop_oneof![
-        leaf,
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} + {y})")),
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} - {y})")),
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} * {y})")),
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn cases() -> u64 {
+    std::env::var("VGL_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+fn gen_int(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.below(5) {
+        0 => {
+            let v = rng.below(40) as i32 - 20;
+            if v < 0 {
+                format!("(0 - {})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        1 => "a".to_string(),
+        2 => "b".to_string(),
+        3 => "p.0".to_string(),
+        _ => "p.1".to_string(),
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    let d = depth - 1;
+    match rng.below(14) {
+        0 => leaf(rng),
+        1 => format!("({} + {})", gen_int(rng, d), gen_int(rng, d)),
+        2 => format!("({} - {})", gen_int(rng, d), gen_int(rng, d)),
+        3 => format!("({} * {})", gen_int(rng, d), gen_int(rng, d)),
         // Division guarded against zero: divisor in 1..=8.
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} / (1 + ({y} & 7)))")),
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} % (1 + ({y} & 7)))")),
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} << (({y}) & 7))")),
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} >> (({y}) & 7))")),
-        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("({c} ? {x} : {y})")),
-        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("choose({c}, {x}, {y})")),
-        (sub(), sub()).prop_map(|(x, y)| format!("f2({x}, {y})")),
-        subp().prop_map(|p| format!("fst({p})")),
-        subp().prop_map(|p| format!("({p}).0")),
-        subp().prop_map(|p| format!("({p}).1")),
-    ]
-    .boxed()
+        4 => format!("({} / (1 + ({} & 7)))", gen_int(rng, d), gen_int(rng, d)),
+        5 => format!("({} % (1 + ({} & 7)))", gen_int(rng, d), gen_int(rng, d)),
+        6 => format!("({} << (({}) & 7))", gen_int(rng, d), gen_int(rng, d)),
+        7 => format!("({} >> (({}) & 7))", gen_int(rng, d), gen_int(rng, d)),
+        8 => format!(
+            "({} ? {} : {})",
+            gen_bool(rng, d),
+            gen_int(rng, d),
+            gen_int(rng, d)
+        ),
+        9 => format!(
+            "choose({}, {}, {})",
+            gen_bool(rng, d),
+            gen_int(rng, d),
+            gen_int(rng, d)
+        ),
+        10 => format!("f2({}, {})", gen_int(rng, d), gen_int(rng, d)),
+        11 => format!("fst({})", gen_pair(rng, d)),
+        12 => format!("({}).0", gen_pair(rng, d)),
+        _ => format!("({}).1", gen_pair(rng, d)),
+    }
 }
 
-fn arb_bool(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![Just("true".to_string()), Just("false".to_string())];
+fn gen_bool(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| {
+        if rng.below(2) == 0 { "true".to_string() } else { "false".to_string() }
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let sub = move || arb_bool(depth - 1);
-    let subi = move || arb_int(depth - 1);
-    let subp = move || arb_pair(depth - 1);
-    prop_oneof![
-        leaf,
-        (subi(), subi()).prop_map(|(x, y)| format!("({x} < {y})")),
-        (subi(), subi()).prop_map(|(x, y)| format!("({x} == {y})")),
-        (subi(), subi()).prop_map(|(x, y)| format!("({x} >= {y})")),
-        (subp(), subp()).prop_map(|(x, y)| format!("({x} == {y})")),
-        sub().prop_map(|x| format!("!({x})")),
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} && {y})")),
-        (sub(), sub()).prop_map(|(x, y)| format!("({x} || {y})")),
-        (sub(), sub(), sub()).prop_map(|(c, x, y)| format!("choose({c}, {x}, {y})")),
-    ]
-    .boxed()
+    let d = depth - 1;
+    match rng.below(9) {
+        0 => leaf(rng),
+        1 => format!("({} < {})", gen_int(rng, d), gen_int(rng, d)),
+        2 => format!("({} == {})", gen_int(rng, d), gen_int(rng, d)),
+        3 => format!("({} >= {})", gen_int(rng, d), gen_int(rng, d)),
+        4 => format!("({} == {})", gen_pair(rng, d), gen_pair(rng, d)),
+        5 => format!("!({})", gen_bool(rng, d)),
+        6 => format!("({} && {})", gen_bool(rng, d), gen_bool(rng, d)),
+        7 => format!("({} || {})", gen_bool(rng, d), gen_bool(rng, d)),
+        _ => format!(
+            "choose({}, {}, {})",
+            gen_bool(rng, d),
+            gen_bool(rng, d),
+            gen_bool(rng, d)
+        ),
+    }
 }
 
-fn arb_pair(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        Just("p".to_string()),
-        Just("(1, 2)".to_string()),
-        Just("(a, b)".to_string()),
-    ];
+fn gen_pair(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.below(3) {
+        0 => "p".to_string(),
+        1 => "(1, 2)".to_string(),
+        _ => "(a, b)".to_string(),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let sub = move || arb_pair(depth - 1);
-    let subi = move || arb_int(depth - 1);
-    let subb = move || arb_bool(depth - 1);
-    prop_oneof![
-        leaf,
-        (subi(), subi()).prop_map(|(x, y)| format!("({x}, {y})")),
-        sub().prop_map(|x| format!("swapp({x})")),
-        (sub(), sub()).prop_map(|(x, y)| format!("addp({x}, {y})")),
-        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("choose({c}, {x}, {y})")),
-        (subb(), sub(), sub()).prop_map(|(c, x, y)| format!("({c} ? {x} : {y})")),
-    ]
-    .boxed()
+    let d = depth - 1;
+    match rng.below(6) {
+        0 => leaf(rng),
+        1 => format!("({}, {})", gen_int(rng, d), gen_int(rng, d)),
+        2 => format!("swapp({})", gen_pair(rng, d)),
+        3 => format!("addp({}, {})", gen_pair(rng, d), gen_pair(rng, d)),
+        4 => format!(
+            "choose({}, {}, {})",
+            gen_bool(rng, d),
+            gen_pair(rng, d),
+            gen_pair(rng, d)
+        ),
+        _ => format!(
+            "({} ? {} : {})",
+            gen_bool(rng, d),
+            gen_pair(rng, d),
+            gen_pair(rng, d)
+        ),
+    }
 }
 
 /// A random statement for main's body, threading the mutable vars a/b/p.
-fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
-    prop_oneof![
-        arb_int(depth).prop_map(|e| format!("a = {e};")),
-        arb_int(depth).prop_map(|e| format!("b = {e};")),
-        arb_pair(depth).prop_map(|e| format!("p = {e};")),
-        (arb_bool(depth), arb_int(depth), arb_int(depth))
-            .prop_map(|(c, x, y)| format!("if ({c}) a = {x}; else b = {y};")),
-        (arb_int(depth)).prop_map(|e| format!(
-            "for (i = 0; i < 3; i = i + 1) a = a + {e};"
-        )),
-        arb_int(depth).prop_map(|e| format!("System.puti({e}); System.putc(' ');")),
-        arb_pair(depth).prop_map(|e| format!("sink({e});")),
+fn gen_stmt(rng: &mut Rng, depth: u32) -> String {
+    match rng.below(15) {
+        0 => format!("a = {};", gen_int(rng, depth)),
+        1 => format!("b = {};", gen_int(rng, depth)),
+        2 => format!("p = {};", gen_pair(rng, depth)),
+        3 => format!(
+            "if ({}) a = {}; else b = {};",
+            gen_bool(rng, depth),
+            gen_int(rng, depth),
+            gen_int(rng, depth)
+        ),
+        4 => format!(
+            "for (i = 0; i < 3; i = i + 1) a = a + {};",
+            gen_int(rng, depth)
+        ),
+        5 => format!("System.puti({}); System.putc(' ');", gen_int(rng, depth)),
+        6 => format!("sink({});", gen_pair(rng, depth)),
         // Array traffic, including arrays of tuples (SoA after the pipeline).
-        (arb_int(depth), arb_int(depth))
-            .prop_map(|(i, v)| format!("xs[({i}) & 3] = {v};")),
-        arb_int(depth).prop_map(|i| format!("a = a + xs[({i}) & 3];")),
-        (arb_int(depth), arb_pair(depth))
-            .prop_map(|(i, v)| format!("ps[({i}) & 3] = {v};")),
-        arb_int(depth).prop_map(|i| format!("p = ps[({i}) & 3];")),
+        7 => format!(
+            "xs[({}) & 3] = {};",
+            gen_int(rng, depth),
+            gen_int(rng, depth)
+        ),
+        8 => format!("a = a + xs[({}) & 3];", gen_int(rng, depth)),
+        9 => format!(
+            "ps[({}) & 3] = {};",
+            gen_int(rng, depth),
+            gen_pair(rng, depth)
+        ),
+        10 => format!("p = ps[({}) & 3];", gen_int(rng, depth)),
         // Byte round-trips through checked casts (masked into range).
-        arb_int(depth).prop_map(|e| format!("a = a + int.!(byte.!(({e}) & 255));")),
+        11 => format!("a = a + int.!(byte.!(({}) & 255));", gen_int(rng, depth)),
         // Virtual dispatch through a mutable receiver variable.
-        (arb_bool(depth), arb_int(depth))
-            .prop_map(|(c, e)| format!("o = {c} ? o : mkd({e});")),
-        arb_int(depth).prop_map(|e| format!("a = a + o.v({e});")),
+        12 => format!(
+            "o = {} ? o : mkd({});",
+            gen_bool(rng, depth),
+            gen_int(rng, depth)
+        ),
+        13 => format!("a = a + o.v({});", gen_int(rng, depth)),
         // Bind-time virtual resolution (a.m closures).
-        arb_int(depth).prop_map(|e| format!("{{ var f = o.v; b = b + f({e}); }}")),
-    ]
-    .boxed()
+        _ => format!("{{ var f = o.v; b = b + f({}); }}", gen_int(rng, depth)),
+    }
+}
+
+fn gen_stmts(rng: &mut Rng, max: u64, depth: u32) -> Vec<String> {
+    let n = 1 + rng.below(max);
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
 }
 
 fn program(stmts: Vec<String>) -> String {
@@ -166,27 +240,24 @@ fn run_interp(m: &vgl::Module, fuel: u64) -> (Result<String, String>, String) {
     (r, i.output())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48),
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn differential_three_way(stmts in proptest::collection::vec(arb_stmt(3), 1..6)) {
-        let src = program(stmts);
+#[test]
+fn differential_three_way() {
+    for case in 0..cases() {
+        let seed = 0xD1FF_0000 + case;
+        let mut rng = Rng::new(seed);
+        let src = program(gen_stmts(&mut rng, 5, 3));
         // Front end must accept the generated program.
         let mut d = vgl::Diagnostics::new();
         let ast = vgl_syntax::parse_program(&src, &mut d);
-        prop_assert!(!d.has_errors(), "parse errors in generated program:\n{src}");
+        assert!(!d.has_errors(), "seed {seed}: parse errors in generated program:\n{src}");
         let module = vgl_sema::analyze(&ast, &mut d)
-            .unwrap_or_else(|| panic!("sema errors {:#?} in:\n{src}", d.into_vec()));
+            .unwrap_or_else(|| panic!("seed {seed}: sema errors {:#?} in:\n{src}", d.into_vec()));
 
         let (r1, o1) = run_interp(&module, 10_000_000);
         let (compiled, _) = vgl_passes::compile_pipeline(&module);
         let (r2, o2) = run_interp(&compiled, 10_000_000);
-        prop_assert_eq!(&r1, &r2, "interp source vs compiled:\n{}", src);
-        prop_assert_eq!(&o1, &o2, "interp output source vs compiled:\n{}", src);
+        assert_eq!(r1, r2, "seed {seed}: interp source vs compiled:\n{src}");
+        assert_eq!(o1, o2, "seed {seed}: interp output source vs compiled:\n{src}");
 
         let prog = vgl_vm::lower(&compiled);
         let mut vm = vgl_vm::Vm::new(&prog);
@@ -195,26 +266,35 @@ proptest! {
             Ok(words) => Ok(vgl_vm::ret_as_int(&words).expect("int result").to_string()),
             Err(e) => Err(e.to_string()),
         };
-        prop_assert_eq!(&r1, &r3, "interp vs VM:\n{}", src);
-        prop_assert_eq!(&o1, &vm.output(), "interp vs VM output:\n{}", src);
+        assert_eq!(r1, r3, "seed {seed}: interp vs VM:\n{src}");
+        assert_eq!(o1, vm.output(), "seed {seed}: interp vs VM output:\n{src}");
     }
+}
 
-    #[test]
-    fn printer_round_trip(stmts in proptest::collection::vec(arb_stmt(2), 1..4)) {
-        let src = program(stmts);
+#[test]
+fn printer_round_trip() {
+    for case in 0..cases() {
+        let seed = 0x9913_0000 + case;
+        let mut rng = Rng::new(seed);
+        let src = program(gen_stmts(&mut rng, 3, 2));
         let mut d = vgl::Diagnostics::new();
         let p1 = vgl_syntax::parse_program(&src, &mut d);
-        prop_assert!(!d.has_errors());
+        assert!(!d.has_errors(), "seed {seed}: parse errors:\n{src}");
         let printed = vgl_syntax::print_program(&p1);
         let mut d2 = vgl::Diagnostics::new();
         let p2 = vgl_syntax::parse_program(&printed, &mut d2);
-        prop_assert!(!d2.has_errors(), "reparse failed:\n{printed}");
+        assert!(!d2.has_errors(), "seed {seed}: reparse failed:\n{printed}");
         // Fixpoint: printing the reparse gives identical text.
-        prop_assert_eq!(vgl_syntax::print_program(&p2), printed);
+        assert_eq!(vgl_syntax::print_program(&p2), printed, "seed {seed}");
     }
+}
 
-    #[test]
-    fn generated_exprs_fold_consistently(e in arb_int(4)) {
+#[test]
+fn generated_exprs_fold_consistently() {
+    for case in 0..cases() {
+        let seed = 0xF01D_0000 + case;
+        let mut rng = Rng::new(seed);
+        let e = gen_int(&mut rng, 4);
         // A single pure expression: the optimizer may fold it entirely; the
         // value must not change.
         let src = format!(
@@ -228,10 +308,11 @@ proptest! {
              def sink(q: (int, int)) {{ System.puti(q.0 ^ q.1); }}\n\
              def main() -> int {{ var a = 3, b = 5; var p = (1, 2); return {e}; }}"
         );
-        let c = vgl::Compiler::new().compile(&src)
-            .unwrap_or_else(|err| panic!("compile failed:\n{err}\nfor:\n{src}"));
+        let c = vgl::Compiler::new()
+            .compile(&src)
+            .unwrap_or_else(|err| panic!("seed {seed}: compile failed:\n{err}\nfor:\n{src}"));
         let i = c.interpret();
         let v = c.execute();
-        prop_assert_eq!(&i.result, &v.result, "engines disagree on:\n{}", src);
+        assert_eq!(i.result, v.result, "seed {seed}: engines disagree on:\n{src}");
     }
 }

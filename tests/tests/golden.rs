@@ -1,0 +1,92 @@
+//! Golden-output tests over `examples/v/*.v`: every example must compile,
+//! produce exactly the recorded output and result on BOTH engines, and
+//! produce a valid machine-readable stats report. Update the table below
+//! when an example legitimately changes.
+
+use std::path::PathBuf;
+
+fn example(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../examples/v")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+/// `(file, expected result, expected output)`.
+const GOLDEN: &[(&str, &str, &str)] = &[
+    ("hello.v", "42", "hello, virgil\n"),
+    ("generics.v", "42", "17 true\n"),
+    ("tuples.v", "292", "7,0 6,3 6,5 9,4 \n"),
+    ("classes.v", "1128", "0 103 1025 \n"),
+    ("closures.v", "59", "24 11 24\n"),
+    ("gc.v", "39564", "39564\n"),
+];
+
+#[test]
+fn examples_match_golden_output_on_both_engines() {
+    for &(name, result, output) in GOLDEN {
+        let c = vgl::Compiler::new()
+            .compile(&example(name))
+            .unwrap_or_else(|e| panic!("{name} failed to compile:\n{e}"));
+        let i = c.interpret();
+        let v = c.execute();
+        assert_eq!(i.result.as_deref(), Ok(result), "{name}: interp result");
+        assert_eq!(v.result.as_deref(), Ok(result), "{name}: vm result");
+        assert_eq!(i.output, output, "{name}: interp output");
+        assert_eq!(v.output, output, "{name}: vm output");
+    }
+}
+
+#[test]
+fn examples_trace_every_phase() {
+    for &(name, _, _) in GOLDEN {
+        let c = vgl::Compiler::new().compile(&example(name)).expect("compiles");
+        let names: Vec<&str> = c.trace.phases.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            ["lex", "parse", "sema", "mono", "normalize", "optimize", "lower"],
+            "{name}: phase list"
+        );
+        assert!(
+            c.trace.phases.iter().all(|p| p.items_in > 0),
+            "{name}: every phase consumed something"
+        );
+    }
+}
+
+#[test]
+fn examples_produce_valid_stats_reports() {
+    for &(name, result, _) in GOLDEN {
+        let c = vgl::Compiler::new().compile(&example(name)).expect("compiles");
+        let i = c.interpret();
+        let (v, profile) = c.execute_profiled();
+        let report = vgl::report::stats_json(&c, Some(&i), Some(&v), Some(&profile));
+        let text = report.render();
+        let back = vgl_obs::json::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: report is not valid JSON: {e:?}"));
+        for key in ["phases", "pipeline", "bytecode_instrs", "interp", "vm"] {
+            assert!(back.get(key).is_some(), "{name}: report missing {key:?}");
+        }
+        let vm_result = back
+            .get("vm")
+            .and_then(|v| v.get("result"))
+            .and_then(vgl_obs::json::Json::as_str);
+        assert_eq!(vm_result, Some(result), "{name}: report vm result");
+    }
+}
+
+#[test]
+fn gc_example_profiles_collections() {
+    let c = vgl::Compiler::new().compile(&example("gc.v")).expect("compiles");
+    let (out, profile) = c.execute_profiled();
+    assert!(out.result.is_ok());
+    assert!(
+        !profile.gc_events.is_empty(),
+        "gc.v should trigger at least one collection"
+    );
+    for e in &profile.gc_events {
+        assert!(e.live_slots <= e.capacity_slots, "live fits in the semispace");
+        assert!(e.at_instr > 0, "collections happen during execution");
+    }
+    assert!(profile.retired() > 0);
+}
