@@ -9,18 +9,70 @@
 //! vglc profile <file.v>        run on the VM with profiling: per-phase
 //!                              compile times, opcode histogram, GC events
 //! vglc disasm <file.v>         print the compiled bytecode
+//! vglc fuzz [--seed N] [--cases N] [--dump]
+//!                              differential fuzzing: generate N programs,
+//!                              run them on five engine configurations, and
+//!                              shrink + report the first disagreement
 //! ```
 
 use std::process::ExitCode;
 use vgl::Compiler;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: vglc [run|interp|both|stats [--json]|profile|disasm] <file.v>");
+    eprintln!(
+        "usage: vglc [run|interp|both|stats [--json]|profile|disasm] <file.v>\n\
+         \x20      vglc fuzz [--seed N] [--cases N] [--dump]"
+    );
     ExitCode::from(2)
+}
+
+fn fuzz(args: &[String]) -> ExitCode {
+    let mut cfg = vgl::fuzz::FuzzConfig::default();
+    let mut dump = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--dump" {
+            dump = true;
+            continue;
+        }
+        let value = it.next().and_then(|v| v.parse::<u64>().ok());
+        match (flag.as_str(), value) {
+            ("--seed", Some(v)) => cfg.seed = v,
+            ("--cases", Some(v)) => cfg.cases = v,
+            _ => return usage(),
+        }
+    }
+    if dump {
+        for i in 0..cfg.cases {
+            let seed = cfg.seed.wrapping_add(i);
+            let prog = vgl::fuzz::gen_program(seed, &cfg.gen);
+            eprintln!("// ---- seed {seed} ----\n{}", vgl::fuzz::emit(&prog));
+        }
+    }
+    println!("fuzzing: seed {}, {} cases, 5 engine configurations", cfg.seed, cfg.cases);
+    let report = vgl::fuzz::run_fuzz(&cfg, |i, v| {
+        if (i + 1) % 50 == 0 {
+            println!("  ... case {} ({})", i + 1, vgl::fuzz::describe(v));
+        }
+    });
+    println!("{}", report.summary());
+    match report.failure {
+        None => ExitCode::SUCCESS,
+        Some(f) => {
+            eprintln!("\nFAILURE at case {} (seed {}):", f.case_index, f.seed);
+            eprintln!("{}", f.verdict);
+            eprintln!("\nshrunk repro ({} lines):\n{}", f.shrunk_lines, f.shrunk);
+            eprintln!("reproduce with: vglc fuzz --seed {} --cases 1", f.seed);
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz(&args[1..]);
+    }
     let (cmd, json, path) = match args.as_slice() {
         [path] if !path.starts_with('-') => ("run".to_string(), false, path.clone()),
         [cmd, path] if !path.starts_with('-') => (cmd.clone(), false, path.clone()),

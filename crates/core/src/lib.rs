@@ -47,6 +47,8 @@ pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap};
 pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
 pub use vgl_vm::{GcEvent, Vm, VmError, VmProfile, VmProgram, VmStats};
 
+pub use vgl_fuzz as fuzz;
+
 /// A compilation failure: rendered diagnostics.
 #[derive(Clone, Debug)]
 pub struct CompileError {
@@ -81,11 +83,21 @@ pub struct Options {
     /// Fuel (steps/instructions) for the convenience runners; `None` means
     /// unbounded.
     pub fuel: Option<u64>,
+    /// Validate IR invariants ([`vgl_ir::check_monomorphic`] after
+    /// monomorphization, [`vgl_ir::check_normalized`] after the pipeline)
+    /// and panic on violation. On by default in debug builds and tests, off
+    /// in release builds to keep the hot path clean.
+    pub validate_ir: bool,
 }
 
 impl Default for Options {
     fn default() -> Options {
-        Options { optimize: true, heap_slots: 1 << 20, fuel: Some(1 << 32) }
+        Options {
+            optimize: true,
+            heap_slots: 1 << 20,
+            fuel: Some(1 << 32),
+            validate_ir: cfg!(debug_assertions),
+        }
     }
 }
 
@@ -172,6 +184,14 @@ impl Compiler {
             || vgl_passes::monomorphize(&module),
             |(m, _)| vgl_ir::measure(m).expr_nodes,
         );
+        if self.options.validate_ir {
+            let violations = vgl_ir::check_monomorphic(&compiled);
+            assert!(
+                violations.is_empty(),
+                "internal compiler error: monomorphization left polymorphism behind:\n{}",
+                render_violations(&violations)
+            );
+        }
         let size_after_mono = vgl_ir::measure(&compiled);
         let norm = trace.time(
             "normalize",
@@ -193,7 +213,14 @@ impl Compiler {
             },
             |_| 0,
         );
-        debug_assert!(vgl_ir::check_normalized(&compiled).is_empty());
+        if self.options.validate_ir {
+            let violations = vgl_ir::check_normalized(&compiled);
+            assert!(
+                violations.is_empty(),
+                "internal compiler error: pipeline broke tuple normal form:\n{}",
+                render_violations(&violations)
+            );
+        }
         let size_after = vgl_ir::measure(&compiled);
         trace.phases.last_mut().expect("opt sample").items_out = size_after.expr_nodes;
         let program = trace.time(
@@ -232,6 +259,14 @@ impl Compiler {
             trace,
         })
     }
+}
+
+fn render_violations(violations: &[vgl_ir::Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  {}: {}", v.location, v.message))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn render(source: &str, diags: Diagnostics) -> CompileError {

@@ -1,0 +1,291 @@
+//! The differential oracle: one generated program, every execution strategy,
+//! identical observable behavior.
+//!
+//! A case is run on **five** engine configurations:
+//!
+//! 1. the reference interpreter over the *source* module (runtime type
+//!    arguments, boxed tuples — the paper's §4.3 interpreter strategy);
+//! 2. the interpreter over the monomorphized + normalized module;
+//! 3. the VM over the lowered unoptimized module;
+//! 4. the interpreter over the optimized module;
+//! 5. the VM over the lowered optimized module.
+//!
+//! All five must agree on the result value, the printed output, and the trap
+//! (`!DivideByZeroException`, `!NullCheckException`, `!TypeCheckException`,
+//! ...). Fuel exhaustion is **never** conflated with a language exception:
+//! engines count steps differently, so an `OutOfFuel` anywhere makes the
+//! case [`Verdict::Inconclusive`] rather than a mismatch.
+//!
+//! Between passes the oracle also validates the §4 IR invariants with
+//! [`vgl_ir::validate`]: [`vgl_ir::check_monomorphic`] after
+//! monomorphization, [`vgl_ir::check_normalized`] after normalization and
+//! again after optimization, and the strict [`vgl_ir::check_tuple_free`]
+//! restricted to class fields and globals (where no boundary forms are
+//! permitted at all).
+
+use vgl_ir::{Module, Violation};
+
+/// Fuel and heap budgets for oracle runs.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// Interpreter step budget per run.
+    pub interp_fuel: u64,
+    /// VM instruction budget per run.
+    pub vm_fuel: u64,
+    /// VM semispace size in slots (kept small so allocation-heavy programs
+    /// exercise the collector).
+    pub heap_slots: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig { interp_fuel: 4_000_000, vm_fuel: 40_000_000, heap_slots: 1 << 14 }
+    }
+}
+
+/// How one engine run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Normal completion with the displayed result value.
+    Value(String),
+    /// A language-level runtime exception (displayed form, e.g.
+    /// `!NullCheckException`).
+    Trap(String),
+    /// The step/instruction budget ran out — distinct from any trap.
+    OutOfFuel,
+}
+
+/// One engine execution: which engine, how it ended, what it printed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineRun {
+    /// Engine label (`interp-src`, `interp-mono`, `vm-noopt`, `interp-opt`,
+    /// `vm-opt`).
+    pub engine: &'static str,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Everything printed via `System.*`.
+    pub output: String,
+}
+
+/// The oracle's judgement of one generated program.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// All engines agree (`trapped` records whether they agreed on a trap).
+    Pass {
+        /// Whether the agreed outcome was a runtime exception.
+        trapped: bool,
+    },
+    /// Some engine ran out of fuel; engines count steps differently, so the
+    /// case proves nothing either way.
+    Inconclusive {
+        /// The first engine that ran dry.
+        engine: &'static str,
+    },
+    /// The front end rejected the generated program — a generator bug.
+    Frontend {
+        /// Rendered diagnostics.
+        errors: String,
+    },
+    /// An IR invariant was violated after a pass — a compiler bug.
+    Invariant {
+        /// Which stage broke the invariant.
+        stage: &'static str,
+        /// The reported violations.
+        violations: Vec<Violation>,
+    },
+    /// Engines disagree on result, output, or trap — a miscompile.
+    Mismatch {
+        /// Every engine run, first one is the reference.
+        runs: Vec<EngineRun>,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict is a failure the fuzzer should report and shrink.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Frontend { .. } | Verdict::Invariant { .. } | Verdict::Mismatch { .. }
+        )
+    }
+}
+
+/// A one-line description of a verdict, for reports.
+pub fn describe(v: &Verdict) -> String {
+    match v {
+        Verdict::Pass { trapped: false } => "pass".into(),
+        Verdict::Pass { trapped: true } => "pass (agreed trap)".into(),
+        Verdict::Inconclusive { engine } => format!("inconclusive (out of fuel on {engine})"),
+        Verdict::Frontend { errors } => format!("front end rejected generated program:\n{errors}"),
+        Verdict::Invariant { stage, violations } => {
+            let mut s = format!("IR invariant violated after {stage}:");
+            for v in violations.iter().take(5) {
+                s.push_str(&format!("\n  {}: {}", v.location, v.message));
+            }
+            s
+        }
+        Verdict::Mismatch { runs } => {
+            let mut s = String::from("engines disagree:");
+            for r in runs {
+                s.push_str(&format!(
+                    "\n  {:>11}: {:?} output={:?}",
+                    r.engine, r.outcome, r.output
+                ));
+            }
+            s
+        }
+    }
+}
+
+fn run_interp(engine: &'static str, m: &Module, fuel: u64) -> EngineRun {
+    let mut i = vgl_interp::Interp::new(m);
+    i.set_fuel(fuel);
+    let outcome = match i.run() {
+        Ok(v) => Outcome::Value(v.to_string()),
+        Err(vgl_interp::InterpError::OutOfFuel) => Outcome::OutOfFuel,
+        Err(e) => Outcome::Trap(e.to_string()),
+    };
+    EngineRun { engine, outcome, output: i.output() }
+}
+
+fn run_vm(engine: &'static str, m: &Module, cfg: &OracleConfig) -> EngineRun {
+    let prog = vgl_vm::lower(m);
+    let mut vm = vgl_vm::Vm::with_heap(&prog, cfg.heap_slots);
+    vm.set_fuel(cfg.vm_fuel);
+    let outcome = match vm.run() {
+        Ok(words) => match vgl_vm::ret_as_int(&words) {
+            Some(v) => Outcome::Value(v.to_string()),
+            None => Outcome::Value(format!("{words:?}")),
+        },
+        Err(vgl_vm::VmError::OutOfFuel) => Outcome::OutOfFuel,
+        Err(e) => Outcome::Trap(e.to_string()),
+    };
+    EngineRun { engine, outcome, output: vm.output() }
+}
+
+/// Strict tuple-freedom for declarations: class fields and globals admit no
+/// boundary forms, so [`vgl_ir::check_tuple_free`]'s verdict is exact there.
+fn strict_decl_tuple_violations(m: &Module) -> Vec<Violation> {
+    vgl_ir::check_tuple_free(m)
+        .into_iter()
+        .filter(|v| v.location.starts_with("class ") || v.location.starts_with("global "))
+        .collect()
+}
+
+/// Compiles `src` through the front end and both pipeline variants, runs all
+/// five engine configurations, validates IR invariants between passes, and
+/// compares every observable.
+pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
+    // Front end.
+    let mut diags = vgl_syntax::Diagnostics::new();
+    let ast = vgl_syntax::parse_program(src, &mut diags);
+    if diags.has_errors() {
+        return Verdict::Frontend { errors: render_diags(src, diags) };
+    }
+    let Some(module) = vgl_sema::analyze(&ast, &mut diags) else {
+        return Verdict::Frontend { errors: render_diags(src, diags) };
+    };
+
+    // Pipeline with pass-level validation.
+    let (mono_m, _) = vgl_passes::monomorphize(&module);
+    let violations = vgl_ir::check_monomorphic(&mono_m);
+    if !violations.is_empty() {
+        return Verdict::Invariant { stage: "monomorphize", violations };
+    }
+    let mut norm_m = mono_m;
+    vgl_passes::normalize(&mut norm_m);
+    let violations = vgl_ir::check_normalized(&norm_m);
+    if !violations.is_empty() {
+        return Verdict::Invariant { stage: "normalize", violations };
+    }
+    let violations = strict_decl_tuple_violations(&norm_m);
+    if !violations.is_empty() {
+        return Verdict::Invariant { stage: "normalize (strict decls)", violations };
+    }
+    // `Module` is intentionally not `Clone`; rebuild the optimized variant
+    // from the source module through the same (deterministic) passes.
+    let (mut opt_m, _) = vgl_passes::monomorphize(&module);
+    vgl_passes::normalize(&mut opt_m);
+    vgl_passes::optimize(&mut opt_m);
+    let violations = vgl_ir::check_normalized(&opt_m);
+    if !violations.is_empty() {
+        return Verdict::Invariant { stage: "optimize", violations };
+    }
+
+    // Five engine configurations.
+    let runs = vec![
+        run_interp("interp-src", &module, cfg.interp_fuel),
+        run_interp("interp-mono", &norm_m, cfg.interp_fuel),
+        run_vm("vm-noopt", &norm_m, cfg),
+        run_interp("interp-opt", &opt_m, cfg.interp_fuel),
+        run_vm("vm-opt", &opt_m, cfg),
+    ];
+
+    // OutOfFuel anywhere ⇒ inconclusive, and never comparable to a trap.
+    if let Some(r) = runs.iter().find(|r| r.outcome == Outcome::OutOfFuel) {
+        return Verdict::Inconclusive { engine: r.engine };
+    }
+    let reference = &runs[0];
+    let agree = runs[1..]
+        .iter()
+        .all(|r| r.outcome == reference.outcome && r.output == reference.output);
+    if !agree {
+        return Verdict::Mismatch { runs };
+    }
+    Verdict::Pass { trapped: matches!(reference.outcome, Outcome::Trap(_)) }
+}
+
+fn render_diags(src: &str, diags: vgl_syntax::Diagnostics) -> String {
+    let lines = vgl_syntax::LineMap::new(src);
+    diags
+        .into_vec()
+        .iter()
+        .map(|d| d.render("<fuzz>", &lines))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreeing_program_passes() {
+        let v = check_source(
+            "def main() -> int { System.puti(7); return 40 + 2; }",
+            &OracleConfig::default(),
+        );
+        assert!(matches!(v, Verdict::Pass { trapped: false }), "{}", describe(&v));
+    }
+
+    #[test]
+    fn agreed_trap_is_a_pass_and_not_fuel() {
+        let v = check_source(
+            "def main() -> int { var z = 0; return 3 / z; }",
+            &OracleConfig::default(),
+        );
+        assert!(matches!(v, Verdict::Pass { trapped: true }), "{}", describe(&v));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_inconclusive_not_a_trap() {
+        let cfg = OracleConfig { interp_fuel: 50, vm_fuel: 50, ..OracleConfig::default() };
+        let v = check_source(
+            "def main() -> int {\n\
+                 var i = 0;\n\
+                 while (i < 1000000) i = i + 1;\n\
+                 return i;\n\
+             }",
+            &cfg,
+        );
+        assert!(matches!(v, Verdict::Inconclusive { .. }), "{}", describe(&v));
+        assert!(!describe(&v).contains("Exception"));
+    }
+
+    #[test]
+    fn frontend_rejection_is_reported() {
+        let v = check_source("def main() -> int { return q; }", &OracleConfig::default());
+        assert!(matches!(v, Verdict::Frontend { .. }));
+        assert!(v.is_failure());
+    }
+}

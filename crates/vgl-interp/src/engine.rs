@@ -119,8 +119,8 @@ impl<'m> Interp<'m> {
         let Some(main) = self.module.main else {
             return Err(InterpError::NoMain);
         };
-        self.init_globals().map_err(Self::lift)?;
-        self.call(main, vec![], vec![]).map_err(Self::lift)
+        self.init_globals().map_err(|e| self.lift(e))?;
+        self.call(main, vec![], vec![]).map_err(|e| self.lift(e))
     }
 
     /// Initializes globals then calls a component method by name (testing
@@ -129,14 +129,19 @@ impl<'m> Interp<'m> {
         let Some(m) = self.module.method_by_name(name) else {
             return Err(InterpError::NoMain);
         };
-        self.init_globals().map_err(Self::lift)?;
-        self.call(m, vec![], args).map_err(Self::lift)
+        self.init_globals().map_err(|e| self.lift(e))?;
+        self.call(m, vec![], args).map_err(|e| self.lift(e))
     }
 
-    fn lift(e: Exception) -> InterpError {
-        if e == FUEL_EXCEPTION {
-            // `System.error` also maps here; both are terminal.
-            InterpError::Exception(Exception::UserError)
+    /// Classifies an unwound exception. The fuel sentinel shares its
+    /// `Exception` value with `System.error`, so disambiguate by whether the
+    /// budget actually ran out: the per-eval fuel check fires *before* any
+    /// builtin can raise, so `steps > fuel` exactly identifies exhaustion —
+    /// fuel exhaustion must surface as [`InterpError::OutOfFuel`], never as
+    /// the language-level `!Error` trap.
+    fn lift(&self, e: Exception) -> InterpError {
+        if e == FUEL_EXCEPTION && self.fuel.is_some_and(|f| self.stats.steps > f) {
+            InterpError::OutOfFuel
         } else {
             InterpError::Exception(e)
         }

@@ -1,0 +1,34 @@
+// Bound delegates (paper §2.3/§3.2): `obj.method` closes over the receiver
+// at *bind time* — virtual resolution happens when the delegate is created,
+// not when it is applied, and rebinding after a field update sees new state.
+class Scaler {
+    var factor: int;
+    new(factor) { }
+    def apply(x: int) -> int { return x * factor; }
+}
+class Offset extends Scaler {
+    new(factor: int) super(factor) { }
+    def apply(x: int) -> int { return x + factor; }
+}
+
+def runAll(fs: Array<int -> int>, x: int) -> int {
+    var acc = 0;
+    for (i = 0; i < fs.length; i = i + 1) acc = acc + fs[i](x);
+    return acc;
+}
+
+def main() -> int {
+    var s = Scaler.new(3);
+    var o: Scaler = Offset.new(100);
+    var fs = Array<int -> int>.new(3);
+    fs[0] = s.apply;          // binds Scaler.apply with receiver s
+    fs[1] = o.apply;          // virtual at bind time: Offset.apply
+    s.factor = 5;             // the bound receiver is shared, not copied:
+    fs[2] = s.apply;          // both delegates now scale by 5
+    var a = runAll(fs, 7);    // 35 + 107 + 35 = 177
+    System.puti(a);
+    System.putc(' ');
+    System.puti(fs[0](2));    // 10 — same receiver as fs[2]
+    System.ln();
+    return a;
+}

@@ -1,0 +1,40 @@
+// Wide tuples (paper §2.2/§4.2): width-8 values flow through parameters,
+// returns, locals, and element-wise arithmetic. Normalization flattens each
+// into eight scalars — the VM never sees a tuple, only a scalar calling
+// convention with multi-value returns.
+def iota8(base: int) -> (int, int, int, int, int, int, int, int) {
+    return (base, base + 1, base + 2, base + 3,
+            base + 4, base + 5, base + 6, base + 7);
+}
+
+def rev8(t: (int, int, int, int, int, int, int, int))
+        -> (int, int, int, int, int, int, int, int) {
+    return (t.7, t.6, t.5, t.4, t.3, t.2, t.1, t.0);
+}
+
+def add8(a: (int, int, int, int, int, int, int, int),
+         b: (int, int, int, int, int, int, int, int))
+        -> (int, int, int, int, int, int, int, int) {
+    return (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3,
+            a.4 + b.4, a.5 + b.5, a.6 + b.6, a.7 + b.7);
+}
+
+def sum8(t: (int, int, int, int, int, int, int, int)) -> int {
+    return t.0 + t.1 + t.2 + t.3 + t.4 + t.5 + t.6 + t.7;
+}
+
+def main() -> int {
+    var t = iota8(1);                  // (1..8)
+    var u = add8(t, rev8(t));          // every lane is 9
+    System.puti(u.0);
+    System.putc(' ');
+    System.puti(u.7);
+    System.putc(' ');
+    System.puti(sum8(u));              // 72
+    System.ln();
+    var total = 0;
+    for (i = 0; i < 3; i = i + 1) total = total + sum8(iota8(i));
+    System.puti(total);                // 28+36+44 = 108
+    System.ln();
+    return sum8(u) + total;            // 180
+}

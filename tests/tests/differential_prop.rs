@@ -4,34 +4,15 @@
 //! exceptions. This is the strongest evidence that monomorphization,
 //! normalization, optimization, and lowering are semantics-preserving.
 //!
-//! Also checks the parse∘print round-trip property on every generated
-//! program.
-//!
-//! Generation is driven by a seeded in-tree xorshift PRNG, so every run of
-//! a given case count is deterministic and a failure prints its seed. Set
-//! `VGL_PROP_CASES` to raise the case count (default 48).
+//! Program generation lives in `vgl-fuzz` (typed AST model over the full
+//! §2–§3 surface: class hierarchies, virtual/abstract dispatch, bound
+//! delegates, generics, tuples up to width 16, queries/casts, recursion,
+//! GC churn); these tests drive it through the five-engine oracle and the
+//! `vgl::Compiler` facade. Every failure prints the seed; reproduce with
+//! `vglc fuzz --seed <seed> --cases 1`. Set `VGL_PROP_CASES` to raise the
+//! case count (default 48).
 
-/// xorshift64* — deterministic, dependency-free.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
+use vgl::fuzz;
 
 fn cases() -> u64 {
     std::env::var("VGL_PROP_CASES")
@@ -40,243 +21,34 @@ fn cases() -> u64 {
         .unwrap_or(48)
 }
 
-fn gen_int(rng: &mut Rng, depth: u32) -> String {
-    let leaf = |rng: &mut Rng| match rng.below(5) {
-        0 => {
-            let v = rng.below(40) as i32 - 20;
-            if v < 0 {
-                format!("(0 - {})", -v)
-            } else {
-                v.to_string()
-            }
-        }
-        1 => "a".to_string(),
-        2 => "b".to_string(),
-        3 => "p.0".to_string(),
-        _ => "p.1".to_string(),
-    };
-    if depth == 0 {
-        return leaf(rng);
-    }
-    let d = depth - 1;
-    match rng.below(14) {
-        0 => leaf(rng),
-        1 => format!("({} + {})", gen_int(rng, d), gen_int(rng, d)),
-        2 => format!("({} - {})", gen_int(rng, d), gen_int(rng, d)),
-        3 => format!("({} * {})", gen_int(rng, d), gen_int(rng, d)),
-        // Division guarded against zero: divisor in 1..=8.
-        4 => format!("({} / (1 + ({} & 7)))", gen_int(rng, d), gen_int(rng, d)),
-        5 => format!("({} % (1 + ({} & 7)))", gen_int(rng, d), gen_int(rng, d)),
-        6 => format!("({} << (({}) & 7))", gen_int(rng, d), gen_int(rng, d)),
-        7 => format!("({} >> (({}) & 7))", gen_int(rng, d), gen_int(rng, d)),
-        8 => format!(
-            "({} ? {} : {})",
-            gen_bool(rng, d),
-            gen_int(rng, d),
-            gen_int(rng, d)
-        ),
-        9 => format!(
-            "choose({}, {}, {})",
-            gen_bool(rng, d),
-            gen_int(rng, d),
-            gen_int(rng, d)
-        ),
-        10 => format!("f2({}, {})", gen_int(rng, d), gen_int(rng, d)),
-        11 => format!("fst({})", gen_pair(rng, d)),
-        12 => format!("({}).0", gen_pair(rng, d)),
-        _ => format!("({}).1", gen_pair(rng, d)),
-    }
-}
-
-fn gen_bool(rng: &mut Rng, depth: u32) -> String {
-    let leaf = |rng: &mut Rng| {
-        if rng.below(2) == 0 { "true".to_string() } else { "false".to_string() }
-    };
-    if depth == 0 {
-        return leaf(rng);
-    }
-    let d = depth - 1;
-    match rng.below(9) {
-        0 => leaf(rng),
-        1 => format!("({} < {})", gen_int(rng, d), gen_int(rng, d)),
-        2 => format!("({} == {})", gen_int(rng, d), gen_int(rng, d)),
-        3 => format!("({} >= {})", gen_int(rng, d), gen_int(rng, d)),
-        4 => format!("({} == {})", gen_pair(rng, d), gen_pair(rng, d)),
-        5 => format!("!({})", gen_bool(rng, d)),
-        6 => format!("({} && {})", gen_bool(rng, d), gen_bool(rng, d)),
-        7 => format!("({} || {})", gen_bool(rng, d), gen_bool(rng, d)),
-        _ => format!(
-            "choose({}, {}, {})",
-            gen_bool(rng, d),
-            gen_bool(rng, d),
-            gen_bool(rng, d)
-        ),
-    }
-}
-
-fn gen_pair(rng: &mut Rng, depth: u32) -> String {
-    let leaf = |rng: &mut Rng| match rng.below(3) {
-        0 => "p".to_string(),
-        1 => "(1, 2)".to_string(),
-        _ => "(a, b)".to_string(),
-    };
-    if depth == 0 {
-        return leaf(rng);
-    }
-    let d = depth - 1;
-    match rng.below(6) {
-        0 => leaf(rng),
-        1 => format!("({}, {})", gen_int(rng, d), gen_int(rng, d)),
-        2 => format!("swapp({})", gen_pair(rng, d)),
-        3 => format!("addp({}, {})", gen_pair(rng, d), gen_pair(rng, d)),
-        4 => format!(
-            "choose({}, {}, {})",
-            gen_bool(rng, d),
-            gen_pair(rng, d),
-            gen_pair(rng, d)
-        ),
-        _ => format!(
-            "({} ? {} : {})",
-            gen_bool(rng, d),
-            gen_pair(rng, d),
-            gen_pair(rng, d)
-        ),
-    }
-}
-
-/// A random statement for main's body, threading the mutable vars a/b/p.
-fn gen_stmt(rng: &mut Rng, depth: u32) -> String {
-    match rng.below(15) {
-        0 => format!("a = {};", gen_int(rng, depth)),
-        1 => format!("b = {};", gen_int(rng, depth)),
-        2 => format!("p = {};", gen_pair(rng, depth)),
-        3 => format!(
-            "if ({}) a = {}; else b = {};",
-            gen_bool(rng, depth),
-            gen_int(rng, depth),
-            gen_int(rng, depth)
-        ),
-        4 => format!(
-            "for (i = 0; i < 3; i = i + 1) a = a + {};",
-            gen_int(rng, depth)
-        ),
-        5 => format!("System.puti({}); System.putc(' ');", gen_int(rng, depth)),
-        6 => format!("sink({});", gen_pair(rng, depth)),
-        // Array traffic, including arrays of tuples (SoA after the pipeline).
-        7 => format!(
-            "xs[({}) & 3] = {};",
-            gen_int(rng, depth),
-            gen_int(rng, depth)
-        ),
-        8 => format!("a = a + xs[({}) & 3];", gen_int(rng, depth)),
-        9 => format!(
-            "ps[({}) & 3] = {};",
-            gen_int(rng, depth),
-            gen_pair(rng, depth)
-        ),
-        10 => format!("p = ps[({}) & 3];", gen_int(rng, depth)),
-        // Byte round-trips through checked casts (masked into range).
-        11 => format!("a = a + int.!(byte.!(({}) & 255));", gen_int(rng, depth)),
-        // Virtual dispatch through a mutable receiver variable.
-        12 => format!(
-            "o = {} ? o : mkd({});",
-            gen_bool(rng, depth),
-            gen_int(rng, depth)
-        ),
-        13 => format!("a = a + o.v({});", gen_int(rng, depth)),
-        // Bind-time virtual resolution (a.m closures).
-        _ => format!("{{ var f = o.v; b = b + f({}); }}", gen_int(rng, depth)),
-    }
-}
-
-fn gen_stmts(rng: &mut Rng, max: u64, depth: u32) -> Vec<String> {
-    let n = 1 + rng.below(max);
-    (0..n).map(|_| gen_stmt(rng, depth)).collect()
-}
-
-fn program(stmts: Vec<String>) -> String {
-    let body = stmts.join("\n    ");
-    format!(
-        r#"
-def choose<T>(c: bool, x: T, y: T) -> T {{ return c ? x : y; }}
-def f2(x: int, y: int) -> int {{ return x * 2 - y; }}
-def fst(q: (int, int)) -> int {{ return q.0; }}
-def swapp(q: (int, int)) -> (int, int) {{ return (q.1, q.0); }}
-def addp(x: (int, int), y: (int, int)) -> (int, int) {{
-    return (x.0 + y.0, x.1 + y.1);
-}}
-def sink(q: (int, int)) {{ System.puti(q.0 ^ q.1); }}
-class VBase {{
-    var bias: int;
-    new(bias) {{ }}
-    def v(x: int) -> int {{ return x + bias; }}
-}}
-class VDer extends VBase {{
-    new(bias: int) super(bias) {{ }}
-    def v(x: int) -> int {{ return x * 2 - bias; }}
-}}
-def mkd(bias: int) -> VBase {{ return VDer.new(bias & 15); }}
-def main() -> int {{
-    var a = 3, b = 5;
-    var p = (1, 2);
-    var xs = Array<int>.new(4);
-    var ps = Array<(int, int)>.new(4);
-    var o: VBase = VBase.new(1);
-    {body}
-    System.puti(a); System.puti(b); System.puti(p.0); System.puti(p.1);
-    return a ^ (b << 1) ^ p.0 ^ (p.1 << 2);
-}}
-"#
-    )
-}
-
-fn run_interp(m: &vgl::Module, fuel: u64) -> (Result<String, String>, String) {
-    let mut i = vgl::Interp::new(m);
-    i.set_fuel(fuel);
-    let r = match i.run() {
-        Ok(v) => Ok(v.to_string()),
-        Err(e) => Err(e.to_string()),
-    };
-    (r, i.output())
-}
-
+/// Every generated program agrees across all five engine configurations
+/// (source interpreter, monomorphized interpreter, VM, and both optimized
+/// variants) on result, output, and trap — checked by the vgl-fuzz oracle,
+/// which also validates the §4 IR invariants between passes.
 #[test]
 fn differential_three_way() {
+    let gen = fuzz::GenConfig::default();
+    let oracle = fuzz::OracleConfig::default();
     for case in 0..cases() {
         let seed = 0xD1FF_0000 + case;
-        let mut rng = Rng::new(seed);
-        let src = program(gen_stmts(&mut rng, 5, 3));
-        // Front end must accept the generated program.
-        let mut d = vgl::Diagnostics::new();
-        let ast = vgl_syntax::parse_program(&src, &mut d);
-        assert!(!d.has_errors(), "seed {seed}: parse errors in generated program:\n{src}");
-        let module = vgl_sema::analyze(&ast, &mut d)
-            .unwrap_or_else(|| panic!("seed {seed}: sema errors {:#?} in:\n{src}", d.into_vec()));
-
-        let (r1, o1) = run_interp(&module, 10_000_000);
-        let (compiled, _) = vgl_passes::compile_pipeline(&module);
-        let (r2, o2) = run_interp(&compiled, 10_000_000);
-        assert_eq!(r1, r2, "seed {seed}: interp source vs compiled:\n{src}");
-        assert_eq!(o1, o2, "seed {seed}: interp output source vs compiled:\n{src}");
-
-        let prog = vgl_vm::lower(&compiled);
-        let mut vm = vgl_vm::Vm::new(&prog);
-        vm.set_fuel(50_000_000);
-        let r3 = match vm.run() {
-            Ok(words) => Ok(vgl_vm::ret_as_int(&words).expect("int result").to_string()),
-            Err(e) => Err(e.to_string()),
-        };
-        assert_eq!(r1, r3, "seed {seed}: interp vs VM:\n{src}");
-        assert_eq!(o1, vm.output(), "seed {seed}: interp vs VM output:\n{src}");
+        let prog = fuzz::gen_program(seed, &gen);
+        let src = fuzz::emit(&prog);
+        let verdict = fuzz::check_source(&src, &oracle);
+        assert!(
+            !verdict.is_failure(),
+            "seed {seed}: {}\nprogram:\n{src}",
+            fuzz::describe(&verdict)
+        );
     }
 }
 
+/// Parse∘print reaches a fixpoint on every generated program.
 #[test]
 fn printer_round_trip() {
+    let gen = fuzz::GenConfig::default();
     for case in 0..cases() {
         let seed = 0x9913_0000 + case;
-        let mut rng = Rng::new(seed);
-        let src = program(gen_stmts(&mut rng, 3, 2));
+        let src = fuzz::emit(&fuzz::gen_program(seed, &gen));
         let mut d = vgl::Diagnostics::new();
         let p1 = vgl_syntax::parse_program(&src, &mut d);
         assert!(!d.has_errors(), "seed {seed}: parse errors:\n{src}");
@@ -289,30 +61,33 @@ fn printer_round_trip() {
     }
 }
 
+/// The optimizer (constant folding, query folding, devirtualization) must
+/// never change a program's observable behavior: compile each generated
+/// program with the optimizer on and off through the `vgl::Compiler` facade
+/// and compare both engines' results and output.
 #[test]
 fn generated_exprs_fold_consistently() {
+    let gen = fuzz::GenConfig::default();
     for case in 0..cases() {
         let seed = 0xF01D_0000 + case;
-        let mut rng = Rng::new(seed);
-        let e = gen_int(&mut rng, 4);
-        // A single pure expression: the optimizer may fold it entirely; the
-        // value must not change.
-        let src = format!(
-            "def choose<T>(c: bool, x: T, y: T) -> T {{ return c ? x : y; }}\n\
-             def f2(x: int, y: int) -> int {{ return x * 2 - y; }}\n\
-             def fst(q: (int, int)) -> int {{ return q.0; }}\n\
-             def swapp(q: (int, int)) -> (int, int) {{ return (q.1, q.0); }}\n\
-             def addp(x: (int, int), y: (int, int)) -> (int, int) {{\n\
-                 return (x.0 + y.0, x.1 + y.1);\n\
-             }}\n\
-             def sink(q: (int, int)) {{ System.puti(q.0 ^ q.1); }}\n\
-             def main() -> int {{ var a = 3, b = 5; var p = (1, 2); return {e}; }}"
-        );
-        let c = vgl::Compiler::new()
+        let src = fuzz::emit(&fuzz::gen_program(seed, &gen));
+        let opt = vgl::Compiler::new()
             .compile(&src)
             .unwrap_or_else(|err| panic!("seed {seed}: compile failed:\n{err}\nfor:\n{src}"));
-        let i = c.interpret();
-        let v = c.execute();
-        assert_eq!(i.result, v.result, "seed {seed}: engines disagree on:\n{src}");
+        let noopt = vgl::Compiler::new()
+            .without_optimizer()
+            .compile(&src)
+            .unwrap_or_else(|err| panic!("seed {seed}: compile failed:\n{err}\nfor:\n{src}"));
+        let runs = [opt.interpret(), opt.execute(), noopt.interpret(), noopt.execute()];
+        for r in &runs[1..] {
+            assert_eq!(
+                runs[0].result, r.result,
+                "seed {seed}: optimizer changed the result of:\n{src}"
+            );
+            assert_eq!(
+                runs[0].output, r.output,
+                "seed {seed}: optimizer changed the output of:\n{src}"
+            );
+        }
     }
 }

@@ -19,6 +19,8 @@ const GOLDEN: &[(&str, &str, &str)] = &[
     ("tuples.v", "292", "7,0 6,3 6,5 9,4 \n"),
     ("classes.v", "1128", "0 103 1025 \n"),
     ("closures.v", "59", "24 11 24\n"),
+    ("delegates.v", "177", "177 10\n"),
+    ("wide_tuples.v", "180", "9 9 72\n108\n"),
     ("gc.v", "39564", "39564\n"),
 ];
 

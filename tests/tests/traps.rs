@@ -1,0 +1,122 @@
+//! Trap equivalence across engines: a language-level runtime exception must
+//! surface identically on the source interpreter, the compiled-module
+//! interpreter, and the VM (optimizer on and off) — and fuel exhaustion must
+//! never be conflated with a language exception, because engines count steps
+//! differently.
+//!
+//! These are the hand-written counterparts to the randomized campaigns in
+//! `differential_prop.rs`: one fixed program per trap class, checked through
+//! the same five-engine oracle.
+
+use vgl_fuzz::{check_source, describe, Outcome, OracleConfig, Verdict};
+
+fn assert_agreed_trap(src: &str, expect_in_trap: &str) {
+    let cfg = OracleConfig::default();
+    let v = check_source(src, &cfg);
+    assert!(
+        matches!(v, Verdict::Pass { trapped: true }),
+        "expected all engines to agree on a trap for:\n{src}\ngot: {}",
+        describe(&v)
+    );
+    // The trap's display form is checked on one engine; the oracle already
+    // proved all five agree on it.
+    let mut i = {
+        let mut d = vgl::Diagnostics::new();
+        let ast = vgl_syntax::parse_program(src, &mut d);
+        let m = vgl_sema::analyze(&ast, &mut d).expect("typechecks");
+        vgl::Interp::new(&m).run().expect_err("traps").to_string()
+    };
+    i.make_ascii_lowercase();
+    assert!(
+        i.contains(&expect_in_trap.to_ascii_lowercase()),
+        "trap {i:?} does not mention {expect_in_trap:?} for:\n{src}"
+    );
+}
+
+#[test]
+fn divide_by_zero_agrees() {
+    assert_agreed_trap(
+        "def main() -> int { var z = 0; return 7 / z; }",
+        "DivideByZero",
+    );
+}
+
+#[test]
+fn null_dereference_agrees() {
+    assert_agreed_trap(
+        "class C { var x: int; new(x) { } }\n\
+         def main() -> int { var c: C = null; return c.x; }",
+        "NullCheck",
+    );
+}
+
+#[test]
+fn failed_cast_agrees() {
+    assert_agreed_trap(
+        "class A { def m() -> int { return 1; } }\n\
+         class B extends A { def m() -> int { return 2; } }\n\
+         def main() -> int { var a: A = A.new(); return B.!(a).m(); }",
+        "TypeCheck",
+    );
+}
+
+#[test]
+fn bounds_check_agrees() {
+    assert_agreed_trap(
+        "def main() -> int { var xs = Array<int>.new(2); var i = 5; return xs[i]; }",
+        "BoundsCheck",
+    );
+}
+
+/// With a tiny budget every engine runs dry; the oracle must classify the
+/// case as inconclusive, never as an agreed (or mismatched) trap.
+#[test]
+fn fuel_exhaustion_is_never_a_language_exception() {
+    let cfg = OracleConfig { interp_fuel: 100, vm_fuel: 100, ..OracleConfig::default() };
+    let v = check_source(
+        "def main() -> int {\n\
+             var i = 0;\n\
+             while (i < 100000000) i = i + 1;\n\
+             return i;\n\
+         }",
+        &cfg,
+    );
+    assert!(
+        matches!(v, Verdict::Inconclusive { .. }),
+        "fuel exhaustion misclassified as {}",
+        describe(&v)
+    );
+    assert!(!v.is_failure(), "fuel exhaustion must not be reported as a bug");
+}
+
+/// The same looping program *with* enough fuel terminates normally — the
+/// budget, not the program, caused the inconclusive verdict above.
+#[test]
+fn fuel_budget_only_gates_long_runs() {
+    let v = check_source(
+        "def main() -> int {\n\
+             var i = 0;\n\
+             while (i < 1000) i = i + 1;\n\
+             return i;\n\
+         }",
+        &OracleConfig::default(),
+    );
+    assert!(matches!(v, Verdict::Pass { trapped: false }), "{}", describe(&v));
+}
+
+/// `OutOfFuel` is a distinct outcome variant, not a trap string: directly
+/// compare the interpreter's classification.
+#[test]
+fn out_of_fuel_outcome_is_distinct_from_traps() {
+    let src = "def main() -> int { var i = 0; while (i < 100000000) i = i + 1; return i; }";
+    let mut d = vgl::Diagnostics::new();
+    let ast = vgl_syntax::parse_program(src, &mut d);
+    let m = vgl_sema::analyze(&ast, &mut d).expect("typechecks");
+    let mut i = vgl::Interp::new(&m);
+    i.set_fuel(50);
+    let err = i.run().expect_err("runs dry");
+    assert!(matches!(err, vgl::InterpError::OutOfFuel));
+    // And the fuzz outcome model keeps it as its own variant.
+    let o = Outcome::OutOfFuel;
+    assert_ne!(o, Outcome::Trap("!Error: out of fuel".into()));
+}
