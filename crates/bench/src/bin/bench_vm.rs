@@ -1,0 +1,73 @@
+//! CI bench-smoke for the bytecode back-end optimizer: runs the E2
+//! (polymorphic) and E3 (dispatch chain) workloads on the VM with fusion
+//! off and on, writes the medians to `BENCH_vm.json`, and **fails (exit 1)
+//! if the fused configuration is more than 10% slower** than unfused on any
+//! workload — the regression gate for superinstruction fusion and inline
+//! caches.
+//!
+//! Usage: `cargo run --release -p vgl-bench --bin bench_vm [out.json]`
+//! Sample count honors `VGL_BENCH_SAMPLES` (default 10).
+
+use std::process::ExitCode;
+use vgl_bench::{measure_fusion, workloads};
+use vgl_obs::json::Json;
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_vm.json".to_string());
+    let samples = std::env::var("VGL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(10);
+    let cases = [
+        ("E2 polymorphic(200)", workloads::polymorphic(200)),
+        ("E3 dispatch_chain(20000)", workloads::dispatch_chain(20_000)),
+    ];
+    let mut rows = Vec::new();
+    let mut slow = false;
+    println!(
+        "{:<28} {:>14} {:>14} {:>9} {:>8} {:>12} {:>13}",
+        "workload", "unfused (us)", "fused (us)", "speedup", "ic hit%", "super share", "instrs"
+    );
+    for (name, src) in &cases {
+        let m = measure_fusion(name, src, samples);
+        let speedup = m.speedup();
+        println!(
+            "{:<28} {:>14.1} {:>14.1} {:>8.2}x {:>7.1}% {:>11.1}% {:>6} -> {:>4}",
+            m.name,
+            m.unfused.as_secs_f64() * 1e6,
+            m.fused.as_secs_f64() * 1e6,
+            speedup,
+            m.ic_hit_rate * 100.0,
+            m.super_share * 100.0,
+            m.instrs_before,
+            m.instrs_after,
+        );
+        if speedup < 0.9 {
+            eprintln!("bench_vm: REGRESSION — {} fused is {:.2}x (>10% slower)", m.name, speedup);
+            slow = true;
+        }
+        let mut o = Json::object();
+        o.set("workload", Json::Str(m.name.clone()));
+        o.set("unfused_us", Json::Num(m.unfused.as_secs_f64() * 1e6));
+        o.set("fused_us", Json::Num(m.fused.as_secs_f64() * 1e6));
+        o.set("speedup", Json::Num(speedup));
+        o.set("ic_hit_rate", Json::Num(m.ic_hit_rate));
+        o.set("super_share", Json::Num(m.super_share));
+        o.set("instrs_before", Json::from(m.instrs_before));
+        o.set("instrs_after", Json::from(m.instrs_after));
+        rows.push(o);
+    }
+    let mut root = Json::object();
+    root.set("samples", Json::from(samples));
+    root.set("workloads", Json::Arr(rows));
+    if let Err(e) = std::fs::write(&out_path, format!("{root}\n")) {
+        eprintln!("bench_vm: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if slow {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

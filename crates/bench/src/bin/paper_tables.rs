@@ -2,7 +2,7 @@
 //! (see DESIGN.md per-experiment index). Run `cargo run --release -p
 //! vgl-bench --bin paper_tables` and paste the output into EXPERIMENTS.md.
 //!
-//! Usage: `paper_tables [--json] [t1|e1|e2|e3|e4|e5|e6|e7|all]`
+//! Usage: `paper_tables [--json] [t1|e1|e2|e3|e4|e5|e6|e7|e8|all]`
 //!
 //! With `--json`, the selected tables are emitted as one JSON object
 //! (`{"e1": [...], ...}`, one array of row objects per experiment) instead
@@ -63,6 +63,9 @@ fn main() {
     if all || which == "e7" {
         e7(&mut em);
     }
+    if all || which == "e8" {
+        e8(&mut em);
+    }
     if let Some(root) = em.json {
         println!("{root}");
     }
@@ -109,6 +112,43 @@ fn e7(em: &mut Emit) {
         "== E7: compile throughput (§5 'compiles very fast') ==",
         &t,
         "shape check: compile time scales roughly linearly with program size.",
+    );
+}
+
+/// E8 — the bytecode back-end optimizer (superinstruction fusion + inline
+/// caches): fused vs unfused VM medians on the E2/E3 runtime workloads,
+/// with the fused run's IC hit rate and superinstruction attribution.
+fn e8(em: &mut Emit) {
+    let mut t = Table::new(&[
+        "workload",
+        "instrs (unfused -> fused)",
+        "vm unfused (us, median)",
+        "vm fused (us, median)",
+        "speedup",
+        "ic hit rate",
+        "super share",
+    ]);
+    for (name, src) in [
+        ("E2 polymorphic(200)", workloads::polymorphic(200)),
+        ("E3 dispatch_chain(20000)", workloads::dispatch_chain(20_000)),
+    ] {
+        let m = vgl_bench::measure_fusion(name, &src, 10);
+        t.row(&[
+            m.name.clone(),
+            format!("{} -> {}", m.instrs_before, m.instrs_after),
+            us(m.unfused),
+            us(m.fused),
+            format!("{:.2}x", m.speedup()),
+            format!("{:.1}%", m.ic_hit_rate * 100.0),
+            format!("{:.1}%", m.super_share * 100.0),
+        ]);
+    }
+    em.section(
+        "e8",
+        "== E8: bytecode back-end optimizer — fusion + inline caches ==",
+        &t,
+        "shape check: fused medians beat unfused on both runtime workloads; the \
+         superinstruction share explains where the cycles went.",
     );
 }
 

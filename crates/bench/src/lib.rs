@@ -72,6 +72,73 @@ pub fn us(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e6)
 }
 
+/// One workload measured on the VM with the bytecode back-end optimizer
+/// (superinstruction fusion + inline caches) off and on — the E8 data point.
+#[derive(Clone, Debug)]
+pub struct FusionMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// Median VM time without fusion.
+    pub unfused: Duration,
+    /// Median VM time with fusion.
+    pub fused: Duration,
+    /// Static instruction count before the fusion pass.
+    pub instrs_before: usize,
+    /// Static instruction count after.
+    pub instrs_after: usize,
+    /// Inline-cache hit rate of the fused run.
+    pub ic_hit_rate: f64,
+    /// Share of retired instructions that were superinstructions.
+    pub super_share: f64,
+}
+
+impl FusionMeasurement {
+    /// unfused/fused — above 1.0 means fusion wins.
+    pub fn speedup(&self) -> f64 {
+        self.unfused.as_secs_f64() / self.fused.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Compiles `source` twice (fusion off/on), asserts both programs behave
+/// identically, and reports interleaved median timings plus the fused run's
+/// IC and superinstruction attribution. `samples` timed runs per engine.
+pub fn measure_fusion(name: &str, source: &str, samples: usize) -> FusionMeasurement {
+    let unfused = match Compiler::new().without_fuse().compile(source) {
+        Ok(c) => c,
+        Err(e) => panic!("workload failed to compile:\n{e}"),
+    };
+    let fused = match Compiler::new().with_fuse().compile(source) {
+        Ok(c) => c,
+        Err(e) => panic!("workload failed to compile:\n{e}"),
+    };
+    let a = unfused.execute();
+    let b = fused.execute();
+    assert_eq!(a.result, b.result, "{name}: fusion changed the result");
+    assert_eq!(a.output, b.output, "{name}: fusion changed the output");
+    let stats = b.vm_stats.as_ref().expect("vm stats");
+    assert_eq!(stats.heap.tuple_boxes, 0, "{name}: fused run boxed a tuple");
+    // Interleave samples so clock drift and cache warmth hit both equally.
+    let (mut tu, mut tf) = (Vec::with_capacity(samples), Vec::with_capacity(samples));
+    for _ in 0..samples {
+        tu.push(measure_vm(&unfused).time);
+        tf.push(measure_vm(&fused).time);
+    }
+    let median = |mut v: Vec<Duration>| {
+        v.sort();
+        v[(v.len() - 1) / 2]
+    };
+    let (_, profile) = fused.execute_profiled();
+    FusionMeasurement {
+        name: name.to_string(),
+        unfused: median(tu),
+        fused: median(tf),
+        instrs_before: fused.fuse.instrs_before,
+        instrs_after: fused.fuse.instrs_after,
+        ic_hit_rate: stats.ic_hit_rate(),
+        super_share: profile.super_share(),
+    }
+}
+
 /// Simple fixed-width table printer.
 pub struct Table {
     headers: Vec<String>,

@@ -7,20 +7,26 @@
 //! vglc stats [--json] <file.v> print pipeline statistics; --json emits one
 //!                              JSON object (phases, pipeline, both engines)
 //! vglc profile <file.v>        run on the VM with profiling: per-phase
-//!                              compile times, opcode histogram, GC events
-//! vglc disasm <file.v>         print the compiled bytecode
+//!                              compile times, opcode histogram (with the
+//!                              superinstruction share), IC hit/miss, GC
+//! vglc disasm <file.v>         print the compiled bytecode; with fusion on
+//!                              (the default in release), unfused and fused
+//!                              code are shown side by side
 //! vglc fuzz [--seed N] [--cases N] [--dump]
 //!                              differential fuzzing: generate N programs,
-//!                              run them on five engine configurations, and
+//!                              run them on six engine configurations, and
 //!                              shrink + report the first disagreement
 //! ```
+//!
+//! `--fuse` / `--no-fuse` override the bytecode back-end optimizer (default:
+//! on in release builds, off in debug) for any compile-based subcommand.
 
 use std::process::ExitCode;
 use vgl::Compiler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vglc [run|interp|both|stats [--json]|profile|disasm] <file.v>\n\
+        "usage: vglc [run|interp|both|stats [--json]|profile|disasm] [--fuse|--no-fuse] <file.v>\n\
          \x20      vglc fuzz [--seed N] [--cases N] [--dump]"
     );
     ExitCode::from(2)
@@ -49,7 +55,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             eprintln!("// ---- seed {seed} ----\n{}", vgl::fuzz::emit(&prog));
         }
     }
-    println!("fuzzing: seed {}, {} cases, 5 engine configurations", cfg.seed, cfg.cases);
+    println!("fuzzing: seed {}, {} cases, 6 engine configurations", cfg.seed, cfg.cases);
     let report = vgl::fuzz::run_fuzz(&cfg, |i, v| {
         if (i + 1) % 50 == 0 {
             println!("  ... case {} ({})", i + 1, vgl::fuzz::describe(v));
@@ -69,10 +75,22 @@ fn fuzz(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         return fuzz(&args[1..]);
     }
+    let mut options = vgl::Options::default();
+    args.retain(|a| match a.as_str() {
+        "--fuse" => {
+            options.fuse = true;
+            false
+        }
+        "--no-fuse" => {
+            options.fuse = false;
+            false
+        }
+        _ => true,
+    });
     let (cmd, json, path) = match args.as_slice() {
         [path] if !path.starts_with('-') => ("run".to_string(), false, path.clone()),
         [cmd, path] if !path.starts_with('-') => (cmd.clone(), false, path.clone()),
@@ -89,7 +107,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compilation = match Compiler::new().compile(&source) {
+    // `disasm` always compiles unfused so the side-by-side view can show the
+    // fusion pass's before and after on the same baseline.
+    let fuse_requested = options.fuse;
+    if cmd == "disasm" {
+        options.fuse = false;
+    }
+    let compilation = match Compiler::with_options(options).compile(&source) {
         Ok(c) => c,
         Err(e) => {
             // Re-render with the real file name.
@@ -134,8 +158,26 @@ fn main() -> ExitCode {
             let (out, profile) = compilation.execute_profiled();
             println!("== compile phases ==");
             print!("{}", compilation.trace.render_table());
+            let f = &compilation.fuse;
+            if f.instrs_before > 0 {
+                println!(
+                    "fuse: {} -> {} instrs ({} rewrites)",
+                    f.instrs_before,
+                    f.instrs_after,
+                    f.fused_total()
+                );
+            }
             println!("== vm profile ==");
             print!("{}", profile.render_table());
+            if let Some(s) = &out.vm_stats {
+                println!(
+                    "ic: {} hits, {} misses ({:.1}% hit rate); ret spills: {}",
+                    s.ic_hits,
+                    s.ic_misses,
+                    s.ic_hit_rate() * 100.0,
+                    s.ret_spills
+                );
+            }
             if !out.output.is_empty() {
                 println!("== program output ==");
                 print!("{}", out.output);
@@ -174,6 +216,19 @@ fn main() -> ExitCode {
                 s.opt.dead_stmts_removed,
                 s.opt.devirtualized
             );
+            let f = &compilation.fuse;
+            if f.instrs_before > 0 {
+                println!(
+                    "fuse:  {} -> {} instrs; {} copies propagated, {} movs coalesced, \
+                     {} dead removed, {} pairs fused",
+                    f.instrs_before,
+                    f.instrs_after,
+                    f.copies_propagated,
+                    f.movs_coalesced,
+                    f.dead_removed,
+                    f.fused_total()
+                );
+            }
             println!("expansion:         x{:.2}", compilation.expansion_ratio());
             println!(
                 "pass times:        mono {:.1}us, norm {:.1}us, opt {:.1}us",
@@ -184,7 +239,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "disasm" => {
-            print!("{}", vgl_vm::disasm(&compilation.program));
+            if fuse_requested {
+                let mut fused = compilation.program.clone();
+                vgl_vm::fuse(&mut fused);
+                print!("{}", vgl_vm::side_by_side(&compilation.program, &fused));
+            } else {
+                print!("{}", vgl_vm::disasm(&compilation.program));
+            }
             ExitCode::SUCCESS
         }
         _ => usage(),

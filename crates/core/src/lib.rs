@@ -45,7 +45,7 @@ pub use vgl_passes::{MonoStats, NormStats, OptStats, PassTimes, PipelineStats};
 pub use vgl_runtime::{AllocStats, GcInfo, HeapStats};
 pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap};
 pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
-pub use vgl_vm::{GcEvent, Vm, VmError, VmProfile, VmProgram, VmStats};
+pub use vgl_vm::{FuseStats, GcEvent, Vm, VmError, VmProfile, VmProgram, VmStats};
 
 pub use vgl_fuzz as fuzz;
 
@@ -84,10 +84,18 @@ pub struct Options {
     /// unbounded.
     pub fuel: Option<u64>,
     /// Validate IR invariants ([`vgl_ir::check_monomorphic`] after
-    /// monomorphization, [`vgl_ir::check_normalized`] after the pipeline)
-    /// and panic on violation. On by default in debug builds and tests, off
-    /// in release builds to keep the hot path clean.
+    /// monomorphization, [`vgl_ir::check_normalized`] after the pipeline,
+    /// [`vgl_vm::check_fused`] after bytecode fusion) and panic on
+    /// violation. On by default in debug builds and tests, off in release
+    /// builds to keep the hot path clean.
     pub validate_ir: bool,
+    /// Run the bytecode back-end optimizer after lowering: copy propagation,
+    /// dead-register elimination, and superinstruction fusion
+    /// ([`vgl_vm::fuse`]). Default **on in release builds** (the measured
+    /// configuration), off in debug so the unfused opcode set stays the
+    /// tested baseline; flip explicitly with [`Compiler::with_fuse`] /
+    /// [`Compiler::without_fuse`] or `vglc --fuse` / `--no-fuse`.
+    pub fuse: bool,
 }
 
 impl Default for Options {
@@ -97,6 +105,7 @@ impl Default for Options {
             heap_slots: 1 << 20,
             fuel: Some(1 << 32),
             validate_ir: cfg!(debug_assertions),
+            fuse: cfg!(not(debug_assertions)),
         }
     }
 }
@@ -121,6 +130,18 @@ impl Compiler {
     /// Disables the optimizer (ablation).
     pub fn without_optimizer(mut self) -> Compiler {
         self.options.optimize = false;
+        self
+    }
+
+    /// Forces the bytecode fusion pass on (it defaults on only in release).
+    pub fn with_fuse(mut self) -> Compiler {
+        self.options.fuse = true;
+        self
+    }
+
+    /// Forces the bytecode fusion pass off (ablation / unfused baseline).
+    pub fn without_fuse(mut self) -> Compiler {
+        self.options.fuse = false;
         self
     }
 
@@ -223,12 +244,32 @@ impl Compiler {
         }
         let size_after = vgl_ir::measure(&compiled);
         trace.phases.last_mut().expect("opt sample").items_out = size_after.expr_nodes;
-        let program = trace.time(
+        let mut program = trace.time(
             "lower",
             size_after.expr_nodes,
             || vgl_vm::lower(&compiled),
             vgl_vm::VmProgram::code_size,
         );
+        let fuse = if self.options.fuse {
+            let stats = trace.time(
+                "fuse",
+                program.code_size(),
+                || vgl_vm::fuse(&mut program),
+                |_| 0,
+            );
+            trace.phases.last_mut().expect("fuse sample").items_out = program.code_size();
+            stats
+        } else {
+            vgl_vm::FuseStats::default()
+        };
+        if self.options.validate_ir {
+            let violations = vgl_vm::check_fused(&program);
+            assert!(
+                violations.is_empty(),
+                "internal compiler error: bytecode back end broke a VM invariant:\n{}",
+                render_violations(&violations)
+            );
+        }
         let dur = |name: &str| {
             trace
                 .phases
@@ -247,6 +288,7 @@ impl Compiler {
             module,
             compiled,
             program,
+            fuse,
             stats: PipelineStats {
                 mono,
                 norm,
@@ -301,8 +343,10 @@ pub struct Compilation {
     pub module: Module,
     /// The monomorphized + normalized (+ optimized) module.
     pub compiled: Module,
-    /// The bytecode program.
+    /// The bytecode program (post-fusion when [`Options::fuse`] is set).
     pub program: VmProgram,
+    /// What the bytecode back-end optimizer did (all zero when disabled).
+    pub fuse: FuseStats,
     /// Pipeline statistics.
     pub stats: PipelineStats,
     /// Per-phase wall-clock samples (lex through lower).

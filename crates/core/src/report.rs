@@ -25,6 +25,7 @@ pub fn stats_json(
     root.set("phases", c.trace.to_json());
     root.set("pipeline", pipeline_json(c));
     root.set("bytecode_instrs", Json::from(c.code_size()));
+    root.set("fuse", fuse_json(&c.fuse));
     if let Some(run) = interp {
         let mut o = outcome_json(run);
         if let Some(s) = &run.interp_stats {
@@ -126,12 +127,33 @@ fn interp_stats_json(s: &InterpStats) -> Json {
     o
 }
 
+/// What the bytecode back-end optimizer did (static rewrite counts).
+fn fuse_json(f: &crate::FuseStats) -> Json {
+    let mut o = Json::object();
+    o.set("instrs_before", Json::from(f.instrs_before));
+    o.set("instrs_after", Json::from(f.instrs_after));
+    o.set("copies_propagated", Json::from(f.copies_propagated));
+    o.set("movs_coalesced", Json::from(f.movs_coalesced));
+    o.set("dead_removed", Json::from(f.dead_removed));
+    o.set("bin_imm_fused", Json::from(f.bin_imm_fused));
+    o.set("cmp_br_fused", Json::from(f.cmp_br_fused));
+    o.set("not_br_folded", Json::from(f.not_br_folded));
+    o.set("field_ret_fused", Json::from(f.field_ret_fused));
+    o.set("inc_local_fused", Json::from(f.inc_local_fused));
+    o.set("global_fused", Json::from(f.global_fused));
+    o
+}
+
 fn vm_stats_json(s: &VmStats) -> Json {
     let mut o = Json::object();
     o.set("instrs", Json::from(s.instrs));
     o.set("calls", Json::from(s.calls));
     o.set("virtual_calls", Json::from(s.virtual_calls));
     o.set("closure_calls", Json::from(s.closure_calls));
+    o.set("ic_hits", Json::from(s.ic_hits));
+    o.set("ic_misses", Json::from(s.ic_misses));
+    o.set("ic_hit_rate", Json::Num(s.ic_hit_rate()));
+    o.set("ret_spills", Json::from(s.ret_spills));
     let mut h = Json::object();
     h.set("objects", Json::from(s.heap.objects));
     h.set("arrays", Json::from(s.heap.arrays));

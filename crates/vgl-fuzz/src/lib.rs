@@ -10,11 +10,12 @@
 //!   spanning class hierarchies with virtual and abstract methods, first-class
 //!   functions and bound delegates, generics, tuples up to width 16, type
 //!   queries/casts, recursion, and GC-pressure loops;
-//! - [`oracle`] runs each program on five engine configurations (source
-//!   interpreter, monomorphized interpreter, VM, and both post-optimizer
-//!   variants), validates the §4 IR invariants between passes, and demands
-//!   identical results, output, and traps — with fuel exhaustion kept
-//!   strictly distinct from language exceptions;
+//! - [`oracle`] runs each program on six engine configurations (source
+//!   interpreter, monomorphized interpreter, VM, both post-optimizer
+//!   variants, and the VM over bytecode rewritten by the back-end
+//!   superinstruction fuser), validates the §4 IR invariants between passes,
+//!   and demands identical results, output, and traps — with fuel exhaustion
+//!   kept strictly distinct from language exceptions;
 //! - [`mod@shrink`] greedily reduces a failing program to a minimal repro while
 //!   preserving the failure class, so every report is a short program plus a
 //!   seed.

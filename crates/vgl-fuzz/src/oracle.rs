@@ -1,16 +1,21 @@
 //! The differential oracle: one generated program, every execution strategy,
 //! identical observable behavior.
 //!
-//! A case is run on **five** engine configurations:
+//! A case is run on **six** engine configurations:
 //!
 //! 1. the reference interpreter over the *source* module (runtime type
 //!    arguments, boxed tuples — the paper's §4.3 interpreter strategy);
 //! 2. the interpreter over the monomorphized + normalized module;
 //! 3. the VM over the lowered unoptimized module;
 //! 4. the interpreter over the optimized module;
-//! 5. the VM over the lowered optimized module.
+//! 5. the VM over the lowered optimized module;
+//! 6. the VM over the lowered optimized module after the bytecode back-end
+//!    optimizer ([`vgl_vm::fuse`]: copy propagation, dead-register
+//!    elimination, superinstruction fusion) — run with
+//!    [`vgl_vm::check_fused`] validating the fused code first, and the
+//!    §4.2 zero-tuple-box invariant asserted on its heap statistics after.
 //!
-//! All five must agree on the result value, the printed output, and the trap
+//! All six must agree on the result value, the printed output, and the trap
 //! (`!DivideByZeroException`, `!NullCheckException`, `!TypeCheckException`,
 //! ...). Fuel exhaustion is **never** conflated with a language exception:
 //! engines count steps differently, so an `OutOfFuel` anywhere makes the
@@ -59,7 +64,7 @@ pub enum Outcome {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineRun {
     /// Engine label (`interp-src`, `interp-mono`, `vm-noopt`, `interp-opt`,
-    /// `vm-opt`).
+    /// `vm-opt`, `vm-fused`).
     pub engine: &'static str,
     /// How the run ended.
     pub outcome: Outcome,
@@ -149,8 +154,17 @@ fn run_interp(engine: &'static str, m: &Module, fuel: u64) -> EngineRun {
 }
 
 fn run_vm(engine: &'static str, m: &Module, cfg: &OracleConfig) -> EngineRun {
-    let prog = vgl_vm::lower(m);
-    let mut vm = vgl_vm::Vm::with_heap(&prog, cfg.heap_slots);
+    run_vm_program(engine, &vgl_vm::lower(m), cfg).0
+}
+
+/// Runs an already-lowered (possibly fused) program; also returns the final
+/// tuple-box count so fused runs can assert the §4.2 invariant dynamically.
+fn run_vm_program(
+    engine: &'static str,
+    prog: &vgl_vm::VmProgram,
+    cfg: &OracleConfig,
+) -> (EngineRun, usize) {
+    let mut vm = vgl_vm::Vm::with_heap(prog, cfg.heap_slots);
     vm.set_fuel(cfg.vm_fuel);
     let outcome = match vm.run() {
         Ok(words) => match vgl_vm::ret_as_int(&words) {
@@ -160,7 +174,8 @@ fn run_vm(engine: &'static str, m: &Module, cfg: &OracleConfig) -> EngineRun {
         Err(vgl_vm::VmError::OutOfFuel) => Outcome::OutOfFuel,
         Err(e) => Outcome::Trap(e.to_string()),
     };
-    EngineRun { engine, outcome, output: vm.output() }
+    let tuple_boxes = vm.stats.heap.tuple_boxes;
+    (EngineRun { engine, outcome, output: vm.output() }, tuple_boxes)
 }
 
 /// Strict tuple-freedom for declarations: class fields and globals admit no
@@ -173,7 +188,7 @@ fn strict_decl_tuple_violations(m: &Module) -> Vec<Violation> {
 }
 
 /// Compiles `src` through the front end and both pipeline variants, runs all
-/// five engine configurations, validates IR invariants between passes, and
+/// six engine configurations, validates IR invariants between passes, and
 /// compares every observable.
 pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
     // Front end.
@@ -212,13 +227,36 @@ pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
         return Verdict::Invariant { stage: "optimize", violations };
     }
 
-    // Five engine configurations.
+    // The sixth configuration runs the bytecode back-end optimizer over the
+    // optimized lowering; its structural validator gates execution.
+    let mut fused_prog = vgl_vm::lower(&opt_m);
+    vgl_vm::fuse(&mut fused_prog);
+    let violations = vgl_vm::check_fused(&fused_prog);
+    if !violations.is_empty() {
+        return Verdict::Invariant { stage: "fuse", violations };
+    }
+    let (fused_run, fused_tuple_boxes) = run_vm_program("vm-fused", &fused_prog, cfg);
+    if fused_tuple_boxes != 0 {
+        return Verdict::Invariant {
+            stage: "fuse (execution)",
+            violations: vec![Violation {
+                location: "heap".into(),
+                message: format!(
+                    "fused execution allocated {fused_tuple_boxes} tuple boxes; §4.2 \
+                     requires exactly 0"
+                ),
+            }],
+        };
+    }
+
+    // Six engine configurations.
     let runs = vec![
         run_interp("interp-src", &module, cfg.interp_fuel),
         run_interp("interp-mono", &norm_m, cfg.interp_fuel),
         run_vm("vm-noopt", &norm_m, cfg),
         run_interp("interp-opt", &opt_m, cfg.interp_fuel),
         run_vm("vm-opt", &opt_m, cfg),
+        fused_run,
     ];
 
     // OutOfFuel anywhere ⇒ inconclusive, and never comparable to a trap.

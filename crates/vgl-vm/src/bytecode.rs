@@ -95,6 +95,9 @@ pub enum Instr {
     CallVirt {
         /// Vtable slot.
         slot: u32,
+        /// Call-site index into the VM's monomorphic inline-cache table
+        /// (dense in `0..`[`VmProgram::virt_sites`]).
+        site: u32,
         /// Argument registers; `args[0]` is the receiver (null-checked).
         args: Vec<Reg>,
         /// Destinations.
@@ -268,11 +271,117 @@ pub enum Instr {
     Ret(Vec<Reg>),
     /// Raise an exception.
     Trap(Exception),
+
+    // ---- superinstructions (emitted only by the fusion pass) ------------
+    /// dst ← a ⊕ imm — a [`Instr::Bin`] whose second operand was a constant
+    /// (fused from `ConstI` + `Bin`).
+    BinI {
+        /// Operation.
+        k: BinKind,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Immediate right operand.
+        imm: i32,
+    },
+    /// r ← r + imm — the loop-counter increment (fused from `BinI(Add)` when
+    /// destination and source coincide).
+    IncLocal {
+        /// Register incremented in place.
+        r: Reg,
+        /// Increment (wrapping).
+        imm: i32,
+    },
+    /// Fused compare+branch: jump `off` when `(a k b) == expect`; `k` is one
+    /// of the four ordering comparisons.
+    CmpBr {
+        /// Comparison (`Lt`/`Le`/`Gt`/`Ge` only).
+        k: BinKind,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Relative jump when the comparison matches `expect`.
+        off: i32,
+        /// Branch polarity.
+        expect: bool,
+    },
+    /// Fused compare+branch against an immediate — the canonical
+    /// `for (i = 0; i < N; ...)` loop header in one instruction.
+    CmpBrI {
+        /// Comparison (`Lt`/`Le`/`Gt`/`Ge` only).
+        k: BinKind,
+        /// Left operand.
+        a: Reg,
+        /// Immediate right operand.
+        imm: i32,
+        /// Relative jump when the comparison matches `expect`.
+        off: i32,
+        /// Branch polarity.
+        expect: bool,
+    },
+    /// Fused word-equality branch: jump `off` when `(a == b) == expect`.
+    EqBr {
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Relative jump.
+        off: i32,
+        /// Branch polarity.
+        expect: bool,
+    },
+    /// Fused null-test branch: jump `off` when `(v == null) == expect` —
+    /// the `for (x = l; x != null; x = x.tail)` header in one instruction.
+    NullBr {
+        /// Tested register.
+        v: Reg,
+        /// Relative jump.
+        off: i32,
+        /// Branch polarity.
+        expect: bool,
+    },
+    /// Fused field load + return (null-checked) — the accessor-method body.
+    FieldGetRet {
+        /// Object.
+        obj: Reg,
+        /// Field slot.
+        slot: u32,
+    },
+    /// dst ← global ⊕ b (fused from `GlobalGet` + `Bin` when the loaded
+    /// temp dies at the operation).
+    GlobalBin {
+        /// Operation.
+        k: BinKind,
+        /// Destination.
+        dst: Reg,
+        /// Global index (left operand).
+        g: u32,
+        /// Right operand.
+        b: Reg,
+    },
+    /// global ← global ⊕ b — the global-accumulator idiom
+    /// (`sink = sink + x`) in one instruction, fused from
+    /// `GlobalBin` + `GlobalSet` over the same global.
+    GlobalAccum {
+        /// Operation.
+        k: BinKind,
+        /// Global index (read then written).
+        g: u32,
+        /// Right operand.
+        b: Reg,
+    },
 }
 
 /// Number of distinct opcodes — the length of [`OPCODE_NAMES`] and of the
 /// profiler's retired-instruction histogram.
-pub const OPCODE_COUNT: usize = 37;
+pub const OPCODE_COUNT: usize = 46;
+
+/// Index of the first superinstruction opcode: opcodes in
+/// `FIRST_SUPER_OPCODE..OPCODE_COUNT` are only ever emitted by the fusion
+/// pass (`vgl_vm::fuse`), never by lowering.
+pub const FIRST_SUPER_OPCODE: usize = 37;
 
 /// Opcode mnemonics, indexed by [`Instr::opcode`].
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
@@ -313,6 +422,15 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "is_null",
     "ret",
     "trap",
+    "bin_i",
+    "inc_local",
+    "cmp_br",
+    "cmp_br_i",
+    "eq_br",
+    "null_br",
+    "field_get_ret",
+    "global_bin",
+    "global_accum",
 ];
 
 impl Instr {
@@ -357,7 +475,37 @@ impl Instr {
             Instr::IsNull(..) => 34,
             Instr::Ret(..) => 35,
             Instr::Trap(..) => 36,
+            Instr::BinI { .. } => 37,
+            Instr::IncLocal { .. } => 38,
+            Instr::CmpBr { .. } => 39,
+            Instr::CmpBrI { .. } => 40,
+            Instr::EqBr { .. } => 41,
+            Instr::NullBr { .. } => 42,
+            Instr::FieldGetRet { .. } => 43,
+            Instr::GlobalBin { .. } => 44,
+            Instr::GlobalAccum { .. } => 45,
         }
+    }
+
+    /// Whether this instruction is a fusion-emitted superinstruction.
+    pub fn is_super(&self) -> bool {
+        self.opcode() >= FIRST_SUPER_OPCODE
+    }
+
+    /// Whether executing this instruction can allocate on the VM heap. The
+    /// fusion pass must keep the multiset of allocating instructions intact
+    /// (the §4.2 structural claim: only explicit `new`/literals and closure
+    /// cells allocate), and its validator checks exactly this set.
+    pub fn allocates(&self) -> bool {
+        matches!(
+            self,
+            Instr::ConstPool(..)
+                | Instr::MakeClos { .. }
+                | Instr::MakeClosVirt { .. }
+                | Instr::NewObject { .. }
+                | Instr::NewArray { .. }
+                | Instr::ArrayLit { .. }
+        )
     }
 
     /// The mnemonic for this instruction's opcode.
@@ -428,6 +576,12 @@ pub struct VmProgram {
     pub clos_tests: Vec<ClosTest>,
     /// Entry function.
     pub main: Option<FuncId>,
+    /// Number of `CallVirt` sites — the size of the VM's monomorphic
+    /// inline-cache table (each site carries a dense `site` index).
+    pub virt_sites: usize,
+    /// Largest frame (register count) of any function — the static
+    /// max-frame analysis used to pre-size the value stack.
+    pub max_frame_regs: usize,
 }
 
 impl VmProgram {

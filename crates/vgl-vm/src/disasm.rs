@@ -1,7 +1,28 @@
-//! Bytecode disassembler, for `vglc disasm` and debugging.
+//! Bytecode disassembler, for `vglc disasm` and debugging — including the
+//! [`side_by_side`] view `vglc disasm` uses to show each function before and
+//! after superinstruction fusion.
 
 use crate::bytecode::{BinKind, Instr, VmProgram};
 use std::fmt::Write as _;
+
+fn bin_op(k: BinKind) -> &'static str {
+    match k {
+        BinKind::Add => "+",
+        BinKind::Sub => "-",
+        BinKind::Mul => "*",
+        BinKind::Div => "/",
+        BinKind::Mod => "%",
+        BinKind::Lt => "<",
+        BinKind::Le => "<=",
+        BinKind::Gt => ">",
+        BinKind::Ge => ">=",
+        BinKind::And => "&",
+        BinKind::Or => "|",
+        BinKind::Xor => "^",
+        BinKind::Shl => "<<",
+        BinKind::Shr => ">>",
+    }
+}
 
 /// Renders one instruction.
 pub fn disasm_instr(i: &Instr) -> String {
@@ -15,25 +36,7 @@ pub fn disasm_instr(i: &Instr) -> String {
         ConstNull(d) => format!("r{d} <- null"),
         ConstPool(d, ix) => format!("r{d} <- pool[{ix}]"),
         Mov(d, s) => format!("r{d} <- r{s}"),
-        Bin(k, d, a, b) => {
-            let op = match k {
-                BinKind::Add => "+",
-                BinKind::Sub => "-",
-                BinKind::Mul => "*",
-                BinKind::Div => "/",
-                BinKind::Mod => "%",
-                BinKind::Lt => "<",
-                BinKind::Le => "<=",
-                BinKind::Gt => ">",
-                BinKind::Ge => ">=",
-                BinKind::And => "&",
-                BinKind::Or => "|",
-                BinKind::Xor => "^",
-                BinKind::Shl => "<<",
-                BinKind::Shr => ">>",
-            };
-            format!("r{d} <- r{a} {op} r{b}")
-        }
+        Bin(k, d, a, b) => format!("r{d} <- r{a} {} r{b}", bin_op(*k)),
         Neg(d, a) => format!("r{d} <- -r{a}"),
         Not(d, a) => format!("r{d} <- !r{a}"),
         EqRR(d, a, b) => format!("r{d} <- r{a} == r{b}"),
@@ -42,8 +45,8 @@ pub fn disasm_instr(i: &Instr) -> String {
         BrFalse(c, off) => format!("br_false r{c} {off:+}"),
         BrTrue(c, off) => format!("br_true r{c} {off:+}"),
         Call { func, args, rets } => format!("call f{func} {} -> {}", regs(args), regs(rets)),
-        CallVirt { slot, args, rets } => {
-            format!("call_virt slot={slot} {} -> {}", regs(args), regs(rets))
+        CallVirt { slot, site, args, rets } => {
+            format!("call_virt slot={slot} ic#{site} {} -> {}", regs(args), regs(rets))
         }
         CallClos { clos, args, rets } => {
             format!("call_clos r{clos} {} -> {}", regs(args), regs(rets))
@@ -79,6 +82,19 @@ pub fn disasm_instr(i: &Instr) -> String {
         IsNull(d, v) => format!("r{d} <- r{v} == null"),
         Ret(rs) => format!("ret {}", regs(rs)),
         Trap(x) => format!("trap {x}"),
+        BinI { k, dst, a, imm } => format!("r{dst} <- r{a} {} #{imm}", bin_op(*k)),
+        IncLocal { r, imm } => format!("r{r} <- r{r} + #{imm}"),
+        CmpBr { k, a, b, off, expect } => {
+            format!("br if (r{a} {} r{b}) == {expect} {off:+}", bin_op(*k))
+        }
+        CmpBrI { k, a, imm, off, expect } => {
+            format!("br if (r{a} {} #{imm}) == {expect} {off:+}", bin_op(*k))
+        }
+        EqBr { a, b, off, expect } => format!("br if (r{a} == r{b}) == {expect} {off:+}"),
+        NullBr { v, off, expect } => format!("br if (r{v} == null) == {expect} {off:+}"),
+        FieldGetRet { obj, slot } => format!("ret r{obj}.{slot}"),
+        GlobalBin { k, dst, g, b } => format!("r{dst} <- g{g} {} r{b}", bin_op(*k)),
+        GlobalAccum { k, g, b } => format!("g{g} <- g{g} {} r{b}", bin_op(*k)),
     }
 }
 
@@ -118,6 +134,45 @@ pub fn disasm(p: &VmProgram) -> String {
     out
 }
 
+/// Renders two variants of the same program function-by-function in two
+/// columns — `vglc disasm`'s before/after-fusion view. `before` and `after`
+/// must have the same function list (fusion rewrites bodies in place).
+pub fn side_by_side(before: &VmProgram, after: &VmProgram) -> String {
+    assert_eq!(before.funcs.len(), after.funcs.len(), "same program, two variants");
+    const COL: usize = 38;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; {} functions; {} instructions unfused, {} fused",
+        before.funcs.len(),
+        before.code_size(),
+        after.code_size()
+    );
+    let _ = writeln!(out, "; {:<COL$} | -- fused --", "-- unfused --");
+    for (i, (bf, af)) in before.funcs.iter().zip(after.funcs.iter()).enumerate() {
+        let _ = writeln!(
+            out,
+            "\nf{i} {} (params={}, regs={}, rets={}):",
+            bf.name, bf.param_count, bf.reg_count, bf.ret_count
+        );
+        let rows = bf.code.len().max(af.code.len());
+        for pc in 0..rows {
+            let left = bf
+                .code
+                .get(pc)
+                .map(|x| format!("{pc:4}  {}", disasm_instr(x)))
+                .unwrap_or_default();
+            let right = af
+                .code
+                .get(pc)
+                .map(|x| format!("{pc:4}  {}", disasm_instr(x)))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  {left:<COL$} | {right}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,7 +196,7 @@ mod tests {
             BrFalse(0, -2),
             BrTrue(0, 2),
             Call { func: 0, args: vec![1], rets: vec![2] },
-            CallVirt { slot: 0, args: vec![1], rets: vec![] },
+            CallVirt { slot: 0, site: 0, args: vec![1], rets: vec![] },
             CallClos { clos: 0, args: vec![], rets: vec![1] },
             CallBuiltin { b: vgl_ir::Builtin::Ln, args: vec![], rets: vec![] },
             MakeClos { dst: 0, func: 1, recv: Some(2) },
@@ -165,6 +220,13 @@ mod tests {
             IsNull(0, 1),
             Ret(vec![0]),
             Trap(Exception::TypeCheck),
+            BinI { k: BinKind::Add, dst: 0, a: 1, imm: 3 },
+            IncLocal { r: 0, imm: 1 },
+            CmpBr { k: BinKind::Lt, a: 0, b: 1, off: -2, expect: true },
+            CmpBrI { k: BinKind::Ge, a: 0, imm: 10, off: 2, expect: false },
+            EqBr { a: 0, b: 1, off: 1, expect: true },
+            NullBr { v: 0, off: 1, expect: false },
+            FieldGetRet { obj: 0, slot: 1 },
         ];
         for i in &instrs {
             assert!(!disasm_instr(i).is_empty());

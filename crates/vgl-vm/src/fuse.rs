@@ -1,0 +1,1214 @@
+//! The bytecode back-end optimizer: peephole cleanup + superinstruction
+//! fusion over lowered register code.
+//!
+//! The paper's §4 position is that each monomorphic version can be
+//! "optimized independently" once the harmonizing front-end features have
+//! been compiled away — by monomorphization (§4.3) and tuple normalization
+//! (§4.2) the bytecode is a flat scalar register program, so classic
+//! kernel-level VM optimizations (Ertl & Gregg's superinstructions, Hölzle's
+//! inline caches) apply directly. This pass is that back end:
+//!
+//! 1. **copy propagation** (per basic block) rewrites uses of `Mov` targets
+//!    to their sources;
+//! 2. **def–mov coalescing** redirects a pure producer straight into the
+//!    register its value was about to be moved to;
+//! 3. **dead-register elimination** drops side-effect-free writes whose
+//!    destination is not live afterwards (a per-function backward liveness
+//!    analysis — register-count reuse by the lowerer makes anything coarser
+//!    nearly useless);
+//! 4. **superinstruction fusion** collapses hot adjacent pairs:
+//!    `ConstI`+`Bin` → [`Instr::BinI`], compare+branch → [`Instr::CmpBr`] /
+//!    [`Instr::CmpBrI`], equality/null-test+branch → [`Instr::EqBr`] /
+//!    [`Instr::NullBr`], `Not`+branch → inverted branch, `FieldGet`+`Ret` →
+//!    [`Instr::FieldGetRet`], `r ← r + imm` → [`Instr::IncLocal`], and the
+//!    global-accumulator idiom `GlobalGet`+`Bin` → [`Instr::GlobalBin`],
+//!    then +`GlobalSet` → [`Instr::GlobalAccum`] (`g = g ⊕ x` in one step).
+//!
+//! The pass preserves the structural invariant that matters to the paper's
+//! evaluation: **no instruction that can implicitly heap-allocate is ever
+//! introduced or removed** — [`fuse`] asserts the multiset of allocating
+//! instructions is unchanged, and [`check_fused`] re-validates the whole
+//! program (register bounds, branch targets, IC sites, terminators,
+//! alloc-opcode set) in the same `Violation`-list form as `vgl_ir`'s
+//! validators.
+
+use crate::bytecode::*;
+use std::collections::HashSet;
+use vgl_ir::Violation;
+
+/// What the fusion pass did, per rewrite kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Uses rewritten by copy propagation.
+    pub copies_propagated: usize,
+    /// Pure producers redirected into a `Mov` destination.
+    pub movs_coalesced: usize,
+    /// Dead pure writes removed.
+    pub dead_removed: usize,
+    /// `ConstI`+`Bin` pairs fused into `BinI`.
+    pub bin_imm_fused: usize,
+    /// Compare+branch pairs fused (`CmpBr`, `CmpBrI`, `EqBr`, `NullBr`).
+    pub cmp_br_fused: usize,
+    /// `Not`+branch pairs folded into the inverted branch.
+    pub not_br_folded: usize,
+    /// `FieldGet`+`Ret` pairs fused.
+    pub field_ret_fused: usize,
+    /// `BinI(Add, r, r, imm)` rewritten to `IncLocal`.
+    pub inc_local_fused: usize,
+    /// Global-accumulator fusions (`GlobalGet`+`Bin` → `GlobalBin` and
+    /// `GlobalBin`+`GlobalSet` → `GlobalAccum`).
+    pub global_fused: usize,
+    /// Instructions before the pass, summed over all functions.
+    pub instrs_before: usize,
+    /// Instructions after the pass.
+    pub instrs_after: usize,
+}
+
+impl FuseStats {
+    /// Total pair fusions performed.
+    pub fn fused_total(&self) -> usize {
+        self.bin_imm_fused
+            + self.cmp_br_fused
+            + self.not_br_folded
+            + self.field_ret_fused
+            + self.inc_local_fused
+            + self.global_fused
+    }
+}
+
+/// Runs the optimizer over every function in place and refreshes the static
+/// max-frame analysis ([`VmProgram::max_frame_regs`]).
+///
+/// # Panics
+/// Debug-asserts that the multiset of allocating instructions is unchanged
+/// (the §4.2 no-implicit-allocation invariant).
+pub fn fuse(p: &mut VmProgram) -> FuseStats {
+    let mut stats = FuseStats::default();
+    for f in &mut p.funcs {
+        stats.instrs_before += f.code.len();
+        let allocs_before = count_allocs(&f.code);
+        fuse_func(f, &mut stats);
+        debug_assert_eq!(
+            allocs_before,
+            count_allocs(&f.code),
+            "fusion changed the allocating-instruction count in {}",
+            f.name
+        );
+        stats.instrs_after += f.code.len();
+    }
+    p.max_frame_regs = p.funcs.iter().map(|f| f.reg_count).max().unwrap_or(0);
+    stats
+}
+
+fn count_allocs(code: &[Instr]) -> usize {
+    code.iter().filter(|i| i.allocates()).count()
+}
+
+fn fuse_func(f: &mut VmFunc, stats: &mut FuseStats) {
+    copy_propagate(f, stats);
+    // Iterate cleanup + fusion to a fixpoint: coalescing exposes dead
+    // writes, `BinI` fusion exposes `CmpBrI`/`IncLocal` fusion, and so on.
+    loop {
+        let mut changed = eliminate_dead(f, stats);
+        changed |= fuse_pairs(f, stats);
+        if !changed {
+            break;
+        }
+    }
+}
+
+// ---- use/def accounting ----------------------------------------------------
+
+/// Calls `g` for every source-register operand of `i`.
+fn for_each_use(i: &Instr, g: &mut impl FnMut(Reg)) {
+    use Instr::*;
+    match i {
+        ConstI(..) | ConstNull(..) | ConstPool(..) | Jump(..) | GlobalGet { .. }
+        | NewObject { .. } | Trap(..) => {}
+        Mov(_, s) | Neg(_, s) | Not(_, s) | IsNull(_, s) | IntToByte { src: s, .. } => g(*s),
+        Bin(_, _, a, b) | EqRR(_, a, b) | EqClos(_, a, b) => {
+            g(*a);
+            g(*b);
+        }
+        BrFalse(c, _) | BrTrue(c, _) => g(*c),
+        Call { args, .. } => args.iter().for_each(|&r| g(r)),
+        CallVirt { args, .. } => args.iter().for_each(|&r| g(r)),
+        CallClos { clos, args, .. } => {
+            g(*clos);
+            args.iter().for_each(|&r| g(r));
+        }
+        CallBuiltin { args, .. } => args.iter().for_each(|&r| g(r)),
+        MakeClos { recv, .. } => {
+            if let Some(r) = recv {
+                g(*r);
+            }
+        }
+        MakeClosVirt { recv, .. } => g(*recv),
+        NewArray { len, .. } => g(*len),
+        ArrayLit { elems, .. } => elems.iter().for_each(|&r| g(r)),
+        ArrayLen { arr, .. } => g(*arr),
+        ArrayGet { arr, idx, .. } => {
+            g(*arr);
+            g(*idx);
+        }
+        ArraySet { arr, idx, val } => {
+            g(*arr);
+            g(*idx);
+            g(*val);
+        }
+        FieldGet { obj, .. } => g(*obj),
+        FieldSet { obj, val, .. } => {
+            g(*obj);
+            g(*val);
+        }
+        GlobalSet { src, .. } => g(*src),
+        ClassQuery { obj, .. } => g(*obj),
+        ClassCast { obj, .. } => g(*obj),
+        ClosQuery { clos, .. } => g(*clos),
+        ClosCast { clos, .. } => g(*clos),
+        CheckNull(r) => g(*r),
+        Ret(rs) => rs.iter().for_each(|&r| g(r)),
+        BinI { a, .. } => g(*a),
+        IncLocal { r, .. } => g(*r),
+        CmpBr { a, b, .. } => {
+            g(*a);
+            g(*b);
+        }
+        CmpBrI { a, .. } => g(*a),
+        EqBr { a, b, .. } => {
+            g(*a);
+            g(*b);
+        }
+        NullBr { v, .. } => g(*v),
+        FieldGetRet { obj, .. } => g(*obj),
+        GlobalBin { b, .. } | GlobalAccum { b, .. } => g(*b),
+    }
+}
+
+/// Rewrites every source-register operand of `i` through `g`.
+fn map_uses(i: &mut Instr, g: &mut impl FnMut(Reg) -> Reg) {
+    use Instr::*;
+    match i {
+        ConstI(..) | ConstNull(..) | ConstPool(..) | Jump(..) | GlobalGet { .. }
+        | NewObject { .. } | Trap(..) => {}
+        Mov(_, s) | Neg(_, s) | Not(_, s) | IsNull(_, s) | IntToByte { src: s, .. } => {
+            *s = g(*s)
+        }
+        Bin(_, _, a, b) | EqRR(_, a, b) | EqClos(_, a, b) => {
+            *a = g(*a);
+            *b = g(*b);
+        }
+        BrFalse(c, _) | BrTrue(c, _) => *c = g(*c),
+        Call { args, .. } | CallVirt { args, .. } | CallBuiltin { args, .. } => {
+            args.iter_mut().for_each(|r| *r = g(*r))
+        }
+        CallClos { clos, args, .. } => {
+            *clos = g(*clos);
+            args.iter_mut().for_each(|r| *r = g(*r));
+        }
+        MakeClos { recv, .. } => {
+            if let Some(r) = recv {
+                *r = g(*r);
+            }
+        }
+        MakeClosVirt { recv, .. } => *recv = g(*recv),
+        NewArray { len, .. } => *len = g(*len),
+        ArrayLit { elems, .. } => elems.iter_mut().for_each(|r| *r = g(*r)),
+        ArrayLen { arr, .. } => *arr = g(*arr),
+        ArrayGet { arr, idx, .. } => {
+            *arr = g(*arr);
+            *idx = g(*idx);
+        }
+        ArraySet { arr, idx, val } => {
+            *arr = g(*arr);
+            *idx = g(*idx);
+            *val = g(*val);
+        }
+        FieldGet { obj, .. } => *obj = g(*obj),
+        FieldSet { obj, val, .. } => {
+            *obj = g(*obj);
+            *val = g(*val);
+        }
+        GlobalSet { src, .. } => *src = g(*src),
+        ClassQuery { obj, .. } | ClassCast { obj, .. } => *obj = g(*obj),
+        ClosQuery { clos, .. } | ClosCast { clos, .. } => *clos = g(*clos),
+        CheckNull(r) => *r = g(*r),
+        Ret(rs) => rs.iter_mut().for_each(|r| *r = g(*r)),
+        BinI { a, .. } => *a = g(*a),
+        IncLocal { r, .. } => *r = g(*r),
+        CmpBr { a, b, .. } | EqBr { a, b, .. } => {
+            *a = g(*a);
+            *b = g(*b);
+        }
+        CmpBrI { a, .. } => *a = g(*a),
+        NullBr { v, .. } => *v = g(*v),
+        FieldGetRet { obj, .. } => *obj = g(*obj),
+        GlobalBin { b, .. } | GlobalAccum { b, .. } => *b = g(*b),
+    }
+}
+
+/// Calls `g` for every register `i` writes.
+fn for_each_def(i: &Instr, g: &mut impl FnMut(Reg)) {
+    use Instr::*;
+    match i {
+        ConstI(d, _) | ConstNull(d) | ConstPool(d, _) | Mov(d, _) | Neg(d, _) | Not(d, _)
+        | EqRR(d, ..) | EqClos(d, ..) | IsNull(d, _) => g(*d),
+        Bin(_, d, ..) => g(*d),
+        Call { rets, .. } | CallVirt { rets, .. } | CallClos { rets, .. }
+        | CallBuiltin { rets, .. } => rets.iter().for_each(|&r| g(r)),
+        MakeClos { dst, .. } | MakeClosVirt { dst, .. } | NewObject { dst, .. }
+        | NewArray { dst, .. } | ArrayLit { dst, .. } | ArrayLen { dst, .. }
+        | ArrayGet { dst, .. } | FieldGet { dst, .. } | GlobalGet { dst, .. }
+        | ClassQuery { dst, .. } | ClosQuery { dst, .. } | IntToByte { dst, .. } => g(*dst),
+        BinI { dst, .. } | GlobalBin { dst, .. } => g(*dst),
+        IncLocal { r, .. } => g(*r),
+        Jump(..) | BrFalse(..) | BrTrue(..) | ArraySet { .. } | FieldSet { .. }
+        | GlobalSet { .. } | ClassCast { .. } | ClosCast { .. } | CheckNull(..) | Ret(..)
+        | Trap(..) | CmpBr { .. } | CmpBrI { .. } | EqBr { .. } | NullBr { .. }
+        | FieldGetRet { .. } | GlobalAccum { .. } => {}
+    }
+}
+
+/// The relative branch offset carried by `i`, if any.
+fn branch_off(i: &Instr) -> Option<i32> {
+    match i {
+        Instr::Jump(off)
+        | Instr::BrFalse(_, off)
+        | Instr::BrTrue(_, off)
+        | Instr::CmpBr { off, .. }
+        | Instr::CmpBrI { off, .. }
+        | Instr::EqBr { off, .. }
+        | Instr::NullBr { off, .. } => Some(*off),
+        _ => None,
+    }
+}
+
+fn set_branch_off(i: &mut Instr, new_off: i32) {
+    match i {
+        Instr::Jump(off)
+        | Instr::BrFalse(_, off)
+        | Instr::BrTrue(_, off)
+        | Instr::CmpBr { off, .. }
+        | Instr::CmpBrI { off, .. }
+        | Instr::EqBr { off, .. }
+        | Instr::NullBr { off, .. } => *off = new_off,
+        _ => unreachable!("set_branch_off on non-branch"),
+    }
+}
+
+/// Whether `i` may transfer control (ends a basic block).
+fn is_control(i: &Instr) -> bool {
+    branch_off(i).is_some()
+        || matches!(i, Instr::Ret(..) | Instr::Trap(..) | Instr::FieldGetRet { .. })
+}
+
+/// Pure producers: no side effect, no trap, exactly one scalar destination.
+/// (`Div`/`Mod` trap; loads from objects/arrays null-check; allocating
+/// instructions are excluded so the alloc multiset is untouchable.)
+fn pure_def(i: &Instr) -> Option<Reg> {
+    use Instr::*;
+    match i {
+        ConstI(d, _) | ConstNull(d) | Mov(d, _) | Neg(d, _) | Not(d, _) | EqRR(d, ..)
+        | EqClos(d, ..) | IsNull(d, _) => Some(*d),
+        Bin(k, d, ..) | BinI { k, dst: d, .. } | GlobalBin { k, dst: d, .. }
+            if !matches!(k, BinKind::Div | BinKind::Mod) =>
+        {
+            Some(*d)
+        }
+        GlobalGet { dst, .. } | ClassQuery { dst, .. } | ClosQuery { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+/// Producers whose destination may be redirected by def–mov coalescing: one
+/// destination, written strictly after all operands are read. Trapping
+/// loads/conversions qualify (the trap fires before any write either way);
+/// allocating instructions are excluded.
+fn coalescable_def(i: &Instr) -> Option<Reg> {
+    use Instr::*;
+    match i {
+        ConstI(d, _) | ConstNull(d) | Mov(d, _) | Neg(d, _) | Not(d, _) | EqRR(d, ..)
+        | EqClos(d, ..) | IsNull(d, _) | Bin(_, d, ..) => Some(*d),
+        BinI { dst, .. }
+        | GlobalBin { dst, .. }
+        | GlobalGet { dst, .. }
+        | ClassQuery { dst, .. }
+        | ClosQuery { dst, .. }
+        | FieldGet { dst, .. }
+        | ArrayGet { dst, .. }
+        | ArrayLen { dst, .. }
+        | IntToByte { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn set_def(i: &mut Instr, new_dst: Reg) {
+    use Instr::*;
+    match i {
+        ConstI(d, _) | ConstNull(d) | Mov(d, _) | Neg(d, _) | Not(d, _) | EqRR(d, ..)
+        | EqClos(d, ..) | IsNull(d, _) | Bin(_, d, ..) => *d = new_dst,
+        BinI { dst, .. }
+        | GlobalBin { dst, .. }
+        | GlobalGet { dst, .. }
+        | ClassQuery { dst, .. }
+        | ClosQuery { dst, .. }
+        | FieldGet { dst, .. }
+        | ArrayGet { dst, .. }
+        | ArrayLen { dst, .. }
+        | IntToByte { dst, .. } => *dst = new_dst,
+        _ => unreachable!("set_def on instruction without a redirectable destination"),
+    }
+}
+
+/// All branch-target pcs in `code`.
+fn jump_targets(code: &[Instr]) -> HashSet<usize> {
+    let mut t = HashSet::new();
+    for (pc, i) in code.iter().enumerate() {
+        if let Some(off) = branch_off(i) {
+            t.insert((pc as i64 + off as i64) as usize);
+        }
+    }
+    t
+}
+
+// ---- liveness --------------------------------------------------------------
+
+/// Per-pc live-out register sets, by backward iterative dataflow over the
+/// instruction-level CFG. `live_out(pc, r)` answers "may `r` be read after
+/// `pc` executes, before being redefined, on some path?" — the exact
+/// condition under which a definition of `r` reaching `pc` must be kept.
+///
+/// The lowerer reuses a small pool of temp registers for every expression,
+/// so read counts over the whole function are always saturated; only
+/// liveness can see that a temp dies at the instruction that consumes it.
+struct Liveness {
+    words: usize,
+    out: Vec<u64>,
+}
+
+impl Liveness {
+    fn compute(f: &VmFunc) -> Liveness {
+        let n = f.code.len();
+        let words = (f.reg_count / 64 + 1).max(1);
+        let mut uses = vec![0u64; n * words];
+        let mut defs = vec![0u64; n * words];
+        let bit = |v: &mut [u64], pc: usize, r: Reg| {
+            v[pc * words + (r as usize >> 6)] |= 1u64 << (r as usize & 63)
+        };
+        for (pc, i) in f.code.iter().enumerate() {
+            for_each_use(i, &mut |r| bit(&mut uses, pc, r));
+            for_each_def(i, &mut |r| bit(&mut defs, pc, r));
+        }
+        let succs = |pc: usize| -> (Option<usize>, Option<usize>) {
+            let i = &f.code[pc];
+            match i {
+                Instr::Ret(..) | Instr::Trap(..) | Instr::FieldGetRet { .. } => (None, None),
+                Instr::Jump(off) => (Some((pc as i64 + *off as i64) as usize), None),
+                _ => match branch_off(i) {
+                    Some(off) => (
+                        (pc + 1 < n).then_some(pc + 1),
+                        Some((pc as i64 + off as i64) as usize),
+                    ),
+                    None => ((pc + 1 < n).then_some(pc + 1), None),
+                },
+            }
+        };
+        let mut out = vec![0u64; n * words];
+        let mut inn = vec![0u64; n * words];
+        loop {
+            let mut changed = false;
+            for pc in (0..n).rev() {
+                let (s1, s2) = succs(pc);
+                for w in 0..words {
+                    let mut o = 0u64;
+                    if let Some(s) = s1 {
+                        o |= inn[s * words + w];
+                    }
+                    if let Some(s) = s2 {
+                        o |= inn[s * words + w];
+                    }
+                    let i_new = uses[pc * words + w] | (o & !defs[pc * words + w]);
+                    if out[pc * words + w] != o || inn[pc * words + w] != i_new {
+                        out[pc * words + w] = o;
+                        inn[pc * words + w] = i_new;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Liveness { words, out };
+            }
+        }
+    }
+
+    fn live_out(&self, pc: usize, r: Reg) -> bool {
+        self.out[pc * self.words + (r as usize >> 6)] >> (r as usize & 63) & 1 == 1
+    }
+}
+
+// ---- copy propagation ------------------------------------------------------
+
+/// Forward-propagates `Mov(d, s)` within each basic block: later uses of `d`
+/// read `s` directly until either register is redefined.
+fn copy_propagate(f: &mut VmFunc, stats: &mut FuseStats) {
+    let targets = jump_targets(&f.code);
+    // copy_of[d] = Some(s) means "d currently holds a copy of s".
+    let mut copy_of: Vec<Option<Reg>> = vec![None; f.reg_count.max(1)];
+    for (pc, i) in f.code.iter_mut().enumerate() {
+        if targets.contains(&pc) {
+            copy_of.iter_mut().for_each(|c| *c = None);
+        }
+        map_uses(i, &mut |r| {
+            if let Some(s) = copy_of[r as usize] {
+                stats.copies_propagated += 1;
+                s
+            } else {
+                r
+            }
+        });
+        // Record/invalidate copies through this instruction's writes.
+        let mut defs: Vec<Reg> = Vec::new();
+        for_each_def(i, &mut |d| defs.push(d));
+        for &d in &defs {
+            copy_of[d as usize] = None;
+            for c in copy_of.iter_mut() {
+                if *c == Some(d) {
+                    *c = None;
+                }
+            }
+        }
+        if let Instr::Mov(d, s) = *i {
+            if d != s {
+                copy_of[d as usize] = Some(s);
+            }
+        }
+        if is_control(i) {
+            copy_of.iter_mut().for_each(|c| *c = None);
+        }
+    }
+}
+
+// ---- rebuild (instruction removal with branch remapping) -------------------
+
+#[derive(Clone)]
+enum Action {
+    Keep,
+    /// Delete this (pure, unread) instruction.
+    Drop,
+    /// Rewrite this instruction in place.
+    Replace(Instr),
+    /// Replace this instruction *and the next* with one fused instruction.
+    /// Branch offsets inside the fused instruction must already be expressed
+    /// relative to this (the first) pc.
+    Fuse(Instr),
+}
+
+/// Applies `plan`, recomputing every branch offset. Branches into a removed
+/// pure instruction fall through to the next kept one; branches into the
+/// second element of a fused pair are the planner's responsibility to avoid.
+fn rebuild(f: &mut VmFunc, plan: &[Action]) {
+    let n = f.code.len();
+    let mut new_code: Vec<Instr> = Vec::with_capacity(n);
+    let mut old_of_new: Vec<usize> = Vec::with_capacity(n);
+    let mut new_of_old: Vec<usize> = vec![usize::MAX; n + 1];
+    let mut pc = 0;
+    while pc < n {
+        match &plan[pc] {
+            Action::Keep => {
+                new_of_old[pc] = new_code.len();
+                old_of_new.push(pc);
+                new_code.push(f.code[pc].clone());
+                pc += 1;
+            }
+            Action::Drop => {
+                pc += 1;
+            }
+            Action::Replace(i) => {
+                new_of_old[pc] = new_code.len();
+                old_of_new.push(pc);
+                new_code.push(i.clone());
+                pc += 1;
+            }
+            Action::Fuse(i) => {
+                new_of_old[pc] = new_code.len();
+                old_of_new.push(pc);
+                new_code.push(i.clone());
+                pc += 2;
+            }
+        }
+    }
+    new_of_old[n] = new_code.len();
+    for i in (0..n).rev() {
+        if new_of_old[i] == usize::MAX {
+            new_of_old[i] = new_of_old[i + 1];
+        }
+    }
+    for (ni, instr) in new_code.iter_mut().enumerate() {
+        if let Some(off) = branch_off(instr) {
+            let old_pc = old_of_new[ni];
+            let old_target = (old_pc as i64 + off as i64) as usize;
+            let new_target = new_of_old[old_target];
+            set_branch_off(instr, new_target as i32 - ni as i32);
+        }
+    }
+    f.code = new_code;
+}
+
+// ---- dead-register elimination --------------------------------------------
+
+/// Removes pure writes whose destination is not live afterwards. Returns
+/// whether anything changed.
+fn eliminate_dead(f: &mut VmFunc, stats: &mut FuseStats) -> bool {
+    let mut changed_any = false;
+    loop {
+        let live = Liveness::compute(f);
+        let mut plan = vec![Action::Keep; f.code.len()];
+        let mut changed = false;
+        for (pc, i) in f.code.iter().enumerate() {
+            if let Some(d) = pure_def(i) {
+                if !live.live_out(pc, d) {
+                    plan[pc] = Action::Drop;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return changed_any;
+        }
+        stats.dead_removed += plan.iter().filter(|a| matches!(a, Action::Drop)).count();
+        rebuild(f, &plan);
+        changed_any = true;
+    }
+}
+
+// ---- fusion ----------------------------------------------------------------
+
+fn cmp_kind(k: BinKind) -> bool {
+    matches!(k, BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge)
+}
+
+/// Mirrors a comparison so its operands can swap sides: `c < x` ⇔ `x > c`.
+fn swap_cmp(k: BinKind) -> BinKind {
+    match k {
+        BinKind::Lt => BinKind::Gt,
+        BinKind::Le => BinKind::Ge,
+        BinKind::Gt => BinKind::Lt,
+        BinKind::Ge => BinKind::Le,
+        other => other,
+    }
+}
+
+fn commutes(k: BinKind) -> bool {
+    matches!(
+        k,
+        BinKind::Add | BinKind::Mul | BinKind::And | BinKind::Or | BinKind::Xor
+    )
+}
+
+/// One left-to-right scan fusing adjacent pairs. Returns whether anything
+/// changed.
+fn fuse_pairs(f: &mut VmFunc, stats: &mut FuseStats) -> bool {
+    let targets = jump_targets(&f.code);
+    let live = Liveness::compute(f);
+    // Fusing deletes the first instruction's definition of the temp `r`;
+    // that is sound exactly when `r` is dead after the pair — not live out
+    // of the second instruction (which covers a branch's taken path too),
+    // or redefined by the second instruction itself.
+    let temp_dies = |r: Reg, pc: usize| {
+        let mut redefined = false;
+        for_each_def(&f.code[pc + 1], &mut |d| redefined |= d == r);
+        redefined || !live.live_out(pc + 1, r)
+    };
+    let n = f.code.len();
+    let mut plan = vec![Action::Keep; n];
+    let mut changed = false;
+    let mut pc = 0;
+    while pc < n {
+        // Single-instruction rewrite: BinI(Add, r, r, imm) → IncLocal.
+        if let Instr::BinI { k: BinKind::Add, dst, a, imm } = f.code[pc] {
+            if dst == a {
+                plan[pc] = Action::Replace(Instr::IncLocal { r: dst, imm });
+                stats.inc_local_fused += 1;
+                changed = true;
+                pc += 1;
+                continue;
+            }
+        }
+        if pc + 1 >= n || targets.contains(&(pc + 1)) {
+            pc += 1;
+            continue;
+        }
+        let (first, second) = (&f.code[pc], &f.code[pc + 1]);
+        // Branch offsets are relative to the branch (the second element);
+        // the fused instruction sits at the first element's pc.
+        let refit = |off: i32| off + 1;
+        let fused: Option<(Instr, &mut usize)> = match (first, second) {
+            // ConstI + Bin → BinI (constant on either side).
+            (&Instr::ConstI(t, v), &Instr::Bin(k, d, a, b)) => {
+                match i32::try_from(v) {
+                    Ok(imm) if b == t && a != t && temp_dies(t, pc) => Some((
+                        Instr::BinI { k, dst: d, a, imm },
+                        &mut stats.bin_imm_fused,
+                    )),
+                    Ok(imm)
+                        if a == t
+                            && b != t
+                            && (commutes(k) || cmp_kind(k))
+                            && temp_dies(t, pc) =>
+                    {
+                        Some((
+                            Instr::BinI { k: swap_cmp(k), dst: d, a: b, imm },
+                            &mut stats.bin_imm_fused,
+                        ))
+                    }
+                    _ => None,
+                }
+            }
+            // GlobalGet + Bin → GlobalBin (global on either side).
+            (&Instr::GlobalGet { dst: t, g }, &Instr::Bin(k, d, a, b)) => {
+                if a == t && b != t && temp_dies(t, pc) {
+                    Some((Instr::GlobalBin { k, dst: d, g, b }, &mut stats.global_fused))
+                } else if b == t && a != t && (commutes(k) || cmp_kind(k)) && temp_dies(t, pc) {
+                    Some((
+                        Instr::GlobalBin { k: swap_cmp(k), dst: d, g, b: a },
+                        &mut stats.global_fused,
+                    ))
+                } else {
+                    None
+                }
+            }
+            // GlobalBin + GlobalSet of the same global → GlobalAccum
+            // (`g = g ⊕ x`). Sound even when `b` aliases the dying temp:
+            // the fused read of `b` sees the same pre-pair value.
+            (&Instr::GlobalBin { k, dst: t, g, b }, &Instr::GlobalSet { g: g2, src })
+                if src == t && g2 == g && temp_dies(t, pc) =>
+            {
+                Some((Instr::GlobalAccum { k, g, b }, &mut stats.global_fused))
+            }
+            // ConstNull + EqRR → IsNull.
+            (&Instr::ConstNull(t), &Instr::EqRR(d, a, b))
+                if (b == t && a != t || a == t && b != t) && temp_dies(t, pc) =>
+            {
+                let v = if b == t { a } else { b };
+                Some((Instr::IsNull(d, v), &mut stats.bin_imm_fused))
+            }
+            // Not + branch → inverted branch on the original condition.
+            (&Instr::Not(d, s), &Instr::BrFalse(c, off)) if c == d && temp_dies(d, pc) => {
+                Some((Instr::BrTrue(s, refit(off)), &mut stats.not_br_folded))
+            }
+            (&Instr::Not(d, s), &Instr::BrTrue(c, off)) if c == d && temp_dies(d, pc) => {
+                Some((Instr::BrFalse(s, refit(off)), &mut stats.not_br_folded))
+            }
+            // compare + branch → CmpBr.
+            (&Instr::Bin(k, d, a, b), &Instr::BrFalse(c, off))
+                if cmp_kind(k) && c == d && temp_dies(d, pc) =>
+            {
+                Some((
+                    Instr::CmpBr { k, a, b, off: refit(off), expect: false },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            (&Instr::Bin(k, d, a, b), &Instr::BrTrue(c, off))
+                if cmp_kind(k) && c == d && temp_dies(d, pc) =>
+            {
+                Some((
+                    Instr::CmpBr { k, a, b, off: refit(off), expect: true },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            // compare-immediate + branch → CmpBrI.
+            (&Instr::BinI { k, dst, a, imm }, &Instr::BrFalse(c, off))
+                if cmp_kind(k) && c == dst && temp_dies(dst, pc) =>
+            {
+                Some((
+                    Instr::CmpBrI { k, a, imm, off: refit(off), expect: false },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            (&Instr::BinI { k, dst, a, imm }, &Instr::BrTrue(c, off))
+                if cmp_kind(k) && c == dst && temp_dies(dst, pc) =>
+            {
+                Some((
+                    Instr::CmpBrI { k, a, imm, off: refit(off), expect: true },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            // word equality + branch → EqBr.
+            (&Instr::EqRR(d, a, b), &Instr::BrFalse(c, off))
+                if c == d && temp_dies(d, pc) =>
+            {
+                Some((
+                    Instr::EqBr { a, b, off: refit(off), expect: false },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            (&Instr::EqRR(d, a, b), &Instr::BrTrue(c, off)) if c == d && temp_dies(d, pc) => {
+                Some((
+                    Instr::EqBr { a, b, off: refit(off), expect: true },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            // null test + branch → NullBr.
+            (&Instr::IsNull(d, v), &Instr::BrFalse(c, off)) if c == d && temp_dies(d, pc) => {
+                Some((
+                    Instr::NullBr { v, off: refit(off), expect: false },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            (&Instr::IsNull(d, v), &Instr::BrTrue(c, off)) if c == d && temp_dies(d, pc) => {
+                Some((
+                    Instr::NullBr { v, off: refit(off), expect: true },
+                    &mut stats.cmp_br_fused,
+                ))
+            }
+            // field load + return → FieldGetRet.
+            (&Instr::FieldGet { dst, obj, slot }, Instr::Ret(rs))
+                if rs.len() == 1 && rs[0] == dst && obj != dst && temp_dies(dst, pc) =>
+            {
+                Some((Instr::FieldGetRet { obj, slot }, &mut stats.field_ret_fused))
+            }
+            // def + Mov → def into the Mov's destination (coalescing).
+            (a, &Instr::Mov(x, t)) => match coalescable_def(a) {
+                Some(d) if d == t && x != t && temp_dies(t, pc) => {
+                    let mut redirected = a.clone();
+                    set_def(&mut redirected, x);
+                    Some((redirected, &mut stats.movs_coalesced))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some((instr, counter)) = fused {
+            *counter += 1;
+            plan[pc] = Action::Fuse(instr);
+            changed = true;
+            pc += 2;
+        } else {
+            pc += 1;
+        }
+    }
+    if changed {
+        rebuild(f, &plan);
+    }
+    changed
+}
+
+// ---- validation ------------------------------------------------------------
+
+/// Validates a (possibly fused) program in `vgl_ir`-validator form: register
+/// operands within each function's frame, branch targets inside the
+/// function, dense inline-cache site indices, a control-transfer instruction
+/// at every function end, and superinstructions confined to the fusable
+/// opcode set (none of which allocate).
+pub fn check_fused(p: &VmProgram) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut sites_seen = vec![false; p.virt_sites];
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let loc = |pc: usize| format!("func {} (f{fi}) pc {pc}", f.name);
+        if f.code.is_empty() {
+            out.push(Violation {
+                location: format!("func {} (f{fi})", f.name),
+                message: "empty function body".into(),
+            });
+            continue;
+        }
+        let last = f.code.len() - 1;
+        // The final instruction must not fall through past the end:
+        // Ret/Trap/FieldGetRet, or a strictly backward jump.
+        let end_ok = matches!(
+            f.code[last],
+            Instr::Ret(..) | Instr::Trap(..) | Instr::FieldGetRet { .. }
+        ) || matches!(f.code[last], Instr::Jump(o) if o < 0);
+        if !end_ok {
+            out.push(Violation {
+                location: loc(last),
+                message: "function may fall through past its last instruction".into(),
+            });
+        }
+        for (pc, i) in f.code.iter().enumerate() {
+            let mut check_reg = |r: Reg| {
+                if (r as usize) >= f.reg_count {
+                    out.push(Violation {
+                        location: loc(pc),
+                        message: format!(
+                            "register r{r} out of frame (reg_count {})",
+                            f.reg_count
+                        ),
+                    });
+                }
+            };
+            for_each_use(i, &mut check_reg);
+            for_each_def(i, &mut check_reg);
+            if let Some(off) = branch_off(i) {
+                let target = pc as i64 + off as i64;
+                if target < 0 || target as usize >= f.code.len() {
+                    out.push(Violation {
+                        location: loc(pc),
+                        message: format!("branch target {target} outside function"),
+                    });
+                }
+            }
+            if let Instr::CmpBr { k, .. } | Instr::CmpBrI { k, .. } = i {
+                if !cmp_kind(*k) {
+                    out.push(Violation {
+                        location: loc(pc),
+                        message: format!("{k:?} is not a comparison kind"),
+                    });
+                }
+            }
+            let global_ref = match i {
+                Instr::GlobalGet { g, .. }
+                | Instr::GlobalSet { g, .. }
+                | Instr::GlobalBin { g, .. }
+                | Instr::GlobalAccum { g, .. } => Some(*g),
+                _ => None,
+            };
+            if let Some(g) = global_ref {
+                if g as usize >= p.global_count {
+                    out.push(Violation {
+                        location: loc(pc),
+                        message: format!(
+                            "global {g} out of range (global_count {})",
+                            p.global_count
+                        ),
+                    });
+                }
+            }
+            if i.is_super() && i.allocates() {
+                out.push(Violation {
+                    location: loc(pc),
+                    message: "superinstruction allocates (§4.2 invariant broken)".into(),
+                });
+            }
+            if let Instr::CallVirt { site, .. } = i {
+                match sites_seen.get_mut(*site as usize) {
+                    Some(seen) => *seen = true,
+                    None => out.push(Violation {
+                        location: loc(pc),
+                        message: format!(
+                            "IC site {site} out of range (virt_sites {})",
+                            p.virt_sites
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+    for (site, seen) in sites_seen.iter().enumerate() {
+        if !seen {
+            out.push(Violation {
+                location: "program".into(),
+                message: format!("IC site {site} allocated but never referenced"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func(reg_count: usize, code: Vec<Instr>) -> VmFunc {
+        VmFunc { name: "t".into(), param_count: 0, reg_count, ret_count: 1, code }
+    }
+
+    #[test]
+    fn rebuild_remaps_branches_over_dropped_instrs() {
+        // 0: const r1 <- 7   (dead)
+        // 1: const r0 <- 1
+        // 2: br_true r0 +2   (→ 4)
+        // 3: const r0 <- 2
+        // 4: ret r0
+        let mut f = func(2, vec![
+            Instr::ConstI(1, 7),
+            Instr::ConstI(0, 1),
+            Instr::BrTrue(0, 2),
+            Instr::ConstI(0, 2),
+            Instr::Ret(vec![0]),
+        ]);
+        let mut stats = FuseStats::default();
+        assert!(eliminate_dead(&mut f, &mut stats));
+        assert_eq!(f.code.len(), 4);
+        let Instr::BrTrue(_, off) = f.code[1] else { panic!("branch kept") };
+        assert_eq!(off, 2, "target remapped past the dropped instruction");
+    }
+
+    #[test]
+    fn validator_rejects_bad_register_and_branch() {
+        let p = VmProgram {
+            funcs: vec![func(1, vec![Instr::Mov(0, 9), Instr::Jump(5)])],
+            ..VmProgram::default()
+        };
+        let v = check_fused(&p);
+        assert!(v.iter().any(|v| v.message.contains("out of frame")), "{v:?}");
+        assert!(v.iter().any(|v| v.message.contains("outside function")), "{v:?}");
+        assert!(v.iter().any(|v| v.message.contains("fall through")), "{v:?}");
+    }
+
+    /// Runs `fuse_pairs` once over `code` and returns the rewritten body.
+    fn pairs(reg_count: usize, code: Vec<Instr>) -> (Vec<Instr>, FuseStats) {
+        let mut f = func(reg_count, code);
+        let mut stats = FuseStats::default();
+        fuse_pairs(&mut f, &mut stats);
+        (f.code, stats)
+    }
+
+    #[test]
+    fn const_bin_fuses_to_bin_imm() {
+        let (code, stats) = pairs(3, vec![
+            Instr::ConstI(1, 5),
+            Instr::Bin(BinKind::Sub, 2, 0, 1),
+            Instr::Ret(vec![2]),
+        ]);
+        assert_eq!(stats.bin_imm_fused, 1);
+        assert!(matches!(code[0], Instr::BinI { k: BinKind::Sub, dst: 2, a: 0, imm: 5 }));
+    }
+
+    #[test]
+    fn const_bin_swaps_commutative_and_comparison_operands() {
+        let (code, _) = pairs(3, vec![
+            Instr::ConstI(1, 5),
+            Instr::Bin(BinKind::Mul, 2, 1, 0),
+            Instr::Ret(vec![2]),
+        ]);
+        assert!(matches!(code[0], Instr::BinI { k: BinKind::Mul, dst: 2, a: 0, imm: 5 }));
+        let (code, _) = pairs(3, vec![
+            Instr::ConstI(1, 5),
+            Instr::Bin(BinKind::Lt, 2, 1, 0), // 5 < r0  ⇔  r0 > 5
+            Instr::Ret(vec![2]),
+        ]);
+        assert!(matches!(code[0], Instr::BinI { k: BinKind::Gt, dst: 2, a: 0, imm: 5 }));
+        // Sub does not commute: `5 - r0` must stay unfused.
+        let (code, _) = pairs(3, vec![
+            Instr::ConstI(1, 5),
+            Instr::Bin(BinKind::Sub, 2, 1, 0),
+            Instr::Ret(vec![2]),
+        ]);
+        assert!(matches!(code[0], Instr::ConstI(1, 5)));
+    }
+
+    #[test]
+    fn const_live_after_pair_blocks_fusion() {
+        // r1 is returned after the Bin, so its ConstI def must survive.
+        let (code, stats) = pairs(3, vec![
+            Instr::ConstI(1, 5),
+            Instr::Bin(BinKind::Add, 2, 0, 1),
+            Instr::Ret(vec![1]),
+        ]);
+        assert_eq!(stats.bin_imm_fused, 0);
+        assert!(matches!(code[0], Instr::ConstI(1, 5)));
+    }
+
+    #[test]
+    fn const_null_eq_fuses_to_is_null() {
+        let (code, _) = pairs(3, vec![
+            Instr::ConstNull(1),
+            Instr::EqRR(2, 0, 1),
+            Instr::Ret(vec![2]),
+        ]);
+        assert!(matches!(code[0], Instr::IsNull(2, 0)));
+    }
+
+    #[test]
+    fn not_branch_folds_to_inverted_branch() {
+        let (code, stats) = pairs(2, vec![
+            Instr::Not(1, 0),
+            Instr::BrFalse(1, 2),
+            Instr::Ret(vec![0]),
+            Instr::Ret(vec![0]),
+        ]);
+        assert_eq!(stats.not_br_folded, 1);
+        // Offset re-expressed relative to the fused pc: 1 + 2 = 3 → pc 3,
+        // which rebuild renumbers to 2 after the pair collapses.
+        assert!(matches!(code[0], Instr::BrTrue(0, 2)), "{code:?}");
+    }
+
+    #[test]
+    fn compare_branch_fuses_to_cmp_br() {
+        let (code, stats) = pairs(3, vec![
+            Instr::Bin(BinKind::Lt, 2, 0, 1),
+            Instr::BrFalse(2, 2),
+            Instr::Ret(vec![0]),
+            Instr::Ret(vec![1]),
+        ]);
+        assert_eq!(stats.cmp_br_fused, 1);
+        assert!(
+            matches!(code[0], Instr::CmpBr { k: BinKind::Lt, a: 0, b: 1, off: 2, expect: false }),
+            "{code:?}"
+        );
+    }
+
+    #[test]
+    fn compare_imm_branch_fuses_to_cmp_br_imm() {
+        let (code, _) = pairs(2, vec![
+            Instr::BinI { k: BinKind::Ge, dst: 1, a: 0, imm: 64 },
+            Instr::BrTrue(1, 2),
+            Instr::Ret(vec![0]),
+            Instr::Ret(vec![0]),
+        ]);
+        assert!(
+            matches!(code[0], Instr::CmpBrI { k: BinKind::Ge, a: 0, imm: 64, off: 2, expect: true }),
+            "{code:?}"
+        );
+    }
+
+    #[test]
+    fn eq_and_null_tests_fuse_with_branches() {
+        let (code, _) = pairs(3, vec![
+            Instr::EqRR(2, 0, 1),
+            Instr::BrFalse(2, 2),
+            Instr::Ret(vec![0]),
+            Instr::Ret(vec![1]),
+        ]);
+        assert!(matches!(code[0], Instr::EqBr { a: 0, b: 1, off: 2, expect: false }), "{code:?}");
+        let (code, _) = pairs(2, vec![
+            Instr::IsNull(1, 0),
+            Instr::BrTrue(1, 2),
+            Instr::Ret(vec![0]),
+            Instr::Ret(vec![0]),
+        ]);
+        assert!(matches!(code[0], Instr::NullBr { v: 0, off: 2, expect: true }), "{code:?}");
+    }
+
+    #[test]
+    fn field_get_ret_fuses() {
+        let (code, stats) = pairs(2, vec![
+            Instr::FieldGet { dst: 1, obj: 0, slot: 3 },
+            Instr::Ret(vec![1]),
+        ]);
+        assert_eq!(stats.field_ret_fused, 1);
+        assert!(matches!(code[0], Instr::FieldGetRet { obj: 0, slot: 3 }));
+    }
+
+    #[test]
+    fn def_mov_coalesces_and_inc_local_rewrites() {
+        let (code, stats) = pairs(3, vec![
+            Instr::FieldGet { dst: 2, obj: 0, slot: 0 },
+            Instr::Mov(1, 2),
+            Instr::Ret(vec![1]),
+        ]);
+        assert_eq!(stats.movs_coalesced, 1);
+        assert!(matches!(code[0], Instr::FieldGet { dst: 1, obj: 0, slot: 0 }));
+        let (code, stats) = pairs(1, vec![
+            Instr::BinI { k: BinKind::Add, dst: 0, a: 0, imm: 1 },
+            Instr::Ret(vec![0]),
+        ]);
+        assert_eq!(stats.inc_local_fused, 1);
+        assert!(matches!(code[0], Instr::IncLocal { r: 0, imm: 1 }));
+    }
+
+    #[test]
+    fn global_get_bin_fuses_and_chains_into_global_accum() {
+        // g0 = g0 + r0 lowers to get/bin/set; two rounds collapse it to one
+        // GlobalAccum.
+        let mut f = func(3, vec![
+            Instr::GlobalGet { dst: 1, g: 0 },
+            Instr::Bin(BinKind::Add, 2, 1, 0),
+            Instr::GlobalSet { g: 0, src: 2 },
+            Instr::Ret(vec![0]),
+        ]);
+        let mut stats = FuseStats::default();
+        fuse_pairs(&mut f, &mut stats);
+        assert_eq!(stats.global_fused, 1);
+        assert!(matches!(f.code[0], Instr::GlobalBin { k: BinKind::Add, dst: 2, g: 0, b: 0 }));
+        fuse_pairs(&mut f, &mut stats);
+        assert_eq!(stats.global_fused, 2);
+        assert!(
+            matches!(f.code[0], Instr::GlobalAccum { k: BinKind::Add, g: 0, b: 0 }),
+            "{:?}",
+            f.code
+        );
+    }
+
+    #[test]
+    fn global_bin_swaps_commutative_operands_only() {
+        // r0 + g0: the global loads into the right operand; Add commutes.
+        let (code, _) = pairs(3, vec![
+            Instr::GlobalGet { dst: 1, g: 0 },
+            Instr::Bin(BinKind::Add, 2, 0, 1),
+            Instr::Ret(vec![2]),
+        ]);
+        assert!(matches!(code[0], Instr::GlobalBin { k: BinKind::Add, dst: 2, g: 0, b: 0 }));
+        // r0 - g0 does not commute: must stay unfused.
+        let (code, stats) = pairs(3, vec![
+            Instr::GlobalGet { dst: 1, g: 0 },
+            Instr::Bin(BinKind::Sub, 2, 0, 1),
+            Instr::Ret(vec![2]),
+        ]);
+        assert_eq!(stats.global_fused, 0);
+        assert!(matches!(code[0], Instr::GlobalGet { .. }));
+    }
+
+    #[test]
+    fn global_accum_requires_same_global_and_dead_temp() {
+        // Different destination global: no accumulator fusion.
+        let (code, _) = pairs(3, vec![
+            Instr::GlobalBin { k: BinKind::Add, dst: 2, g: 0, b: 0 },
+            Instr::GlobalSet { g: 1, src: 2 },
+            Instr::Ret(vec![0]),
+        ]);
+        assert!(matches!(code[1], Instr::GlobalSet { g: 1, .. }), "{code:?}");
+        // Temp still live after the set: no fusion.
+        let (code, _) = pairs(3, vec![
+            Instr::GlobalBin { k: BinKind::Add, dst: 2, g: 0, b: 0 },
+            Instr::GlobalSet { g: 0, src: 2 },
+            Instr::Ret(vec![2]),
+        ]);
+        assert!(matches!(code[0], Instr::GlobalBin { .. }), "{code:?}");
+    }
+
+    #[test]
+    fn no_fusion_across_a_branch_target() {
+        // pc 2 (the branch) is itself a jump target, so the pair (1, 2) must
+        // not fuse — another path enters at the branch with r2 already set.
+        let (code, stats) = pairs(3, vec![
+            Instr::Jump(2),
+            Instr::Bin(BinKind::Lt, 2, 0, 1),
+            Instr::BrFalse(2, 2),
+            Instr::Ret(vec![0]),
+            Instr::Ret(vec![1]),
+        ]);
+        assert_eq!(stats.cmp_br_fused, 0);
+        assert!(matches!(code[1], Instr::Bin(BinKind::Lt, 2, 0, 1)), "{code:?}");
+    }
+
+    /// End-to-end equivalence on a real loop: the full pass must produce the
+    /// same result as the unfused program and land the hot-loop
+    /// superinstructions.
+    #[test]
+    fn fused_loop_program_runs_identically() {
+        // sum = 0; for (i = 0; i < 10; i = i + 1) sum = sum + i; return sum
+        let body = vec![
+            Instr::ConstI(0, 0),                     // sum
+            Instr::ConstI(1, 0),                     // i
+            Instr::ConstI(2, 10),                    // limit (live across loop)
+            Instr::Bin(BinKind::Lt, 3, 1, 2),
+            Instr::BrFalse(3, 5),
+            Instr::Bin(BinKind::Add, 0, 0, 1),
+            Instr::ConstI(4, 1),
+            Instr::Bin(BinKind::Add, 1, 1, 4),
+            Instr::Jump(-5),
+            Instr::Ret(vec![0]),
+        ];
+        let unfused = VmProgram {
+            funcs: vec![func(5, body)],
+            main: Some(0),
+            ..VmProgram::default()
+        };
+        let mut fused = unfused.clone();
+        let stats = fuse(&mut fused);
+        assert!(check_fused(&fused).is_empty(), "{:?}", check_fused(&fused));
+        assert!(stats.instrs_after < stats.instrs_before);
+        let code = &fused.funcs[0].code;
+        assert!(code.iter().any(|i| matches!(i, Instr::IncLocal { .. })), "{code:?}");
+        assert!(
+            code.iter().any(|i| matches!(i, Instr::CmpBr { .. } | Instr::CmpBrI { .. })),
+            "{code:?}"
+        );
+        let a = crate::Vm::new(&unfused).run().expect("unfused runs");
+        let b = crate::Vm::new(&fused).run().expect("fused runs");
+        assert_eq!(crate::ret_as_int(&a), Some(45));
+        assert_eq!(crate::ret_as_int(&a), crate::ret_as_int(&b));
+    }
+}

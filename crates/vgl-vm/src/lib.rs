@@ -14,20 +14,28 @@
 //!   numbering, cited by the paper) or precomputed closure admissibility
 //!   tables;
 //! * the only allocations are explicit `new`/literals and closure cells —
-//!   [`vgl_runtime::HeapStats::tuple_boxes`] is structurally always zero.
+//!   [`vgl_runtime::HeapStats::tuple_boxes`] is structurally always zero;
+//! * an optional bytecode back-end optimizer ([`fuse`]) performs copy
+//!   propagation, dead-register elimination, and superinstruction fusion on
+//!   the lowered code, and virtual call sites carry monomorphic inline
+//!   caches — the classic kernel-level VM optimizations the paper's
+//!   "optimize each version independently" claim licenses.
 
 #![warn(missing_docs)]
 
 mod bytecode;
 mod disasm;
+pub mod fuse;
 mod lower;
 mod profile;
 mod vm;
 
 pub use bytecode::{
-    BinKind, ClosTest, FuncId, Instr, Reg, VmClass, VmFunc, VmProgram, OPCODE_COUNT, OPCODE_NAMES,
+    BinKind, ClosTest, FuncId, Instr, Reg, VmClass, VmFunc, VmProgram, FIRST_SUPER_OPCODE,
+    OPCODE_COUNT, OPCODE_NAMES,
 };
-pub use disasm::{disasm, disasm_instr};
+pub use disasm::{disasm, disasm_instr, side_by_side};
+pub use fuse::{check_fused, fuse, FuseStats};
 pub use lower::lower;
 pub use profile::{GcEvent, VmProfile};
-pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats};
+pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats, RET_INLINE};

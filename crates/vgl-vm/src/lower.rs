@@ -35,6 +35,8 @@ struct Lower<'m> {
     /// Function signatures for closure tests: (param types, ret type).
     func_sigs: Vec<(Vec<Type>, Type)>,
     clos_test_cache: HashMap<Type, u32>,
+    /// Next `CallVirt` inline-cache site index.
+    next_virt_site: u32,
 }
 
 impl<'m> Lower<'m> {
@@ -49,6 +51,7 @@ impl<'m> Lower<'m> {
             arraynew_wrappers: HashMap::new(),
             func_sigs: Vec::new(),
             clos_test_cache: HashMap::new(),
+            next_virt_site: 0,
         }
     }
 
@@ -106,6 +109,9 @@ impl<'m> Lower<'m> {
             }
         }
         self.program.main = self.module.main.map(|m| m.0);
+        self.program.virt_sites = self.next_virt_site as usize;
+        self.program.max_frame_regs =
+            self.program.funcs.iter().map(|f| f.reg_count).max().unwrap_or(0);
     }
 
     fn assign_class_ranges(&mut self) {
@@ -550,7 +556,9 @@ impl<'m> Lower<'m> {
                     .expect("virtual call target has a slot") as u32;
                 let mut argr = vec![self.expr(recv, fx)];
                 argr.extend(args.iter().map(|a| self.expr(a, fx)));
-                fx.code.push(Instr::CallVirt { slot, args: argr, rets });
+                let site = self.next_virt_site;
+                self.next_virt_site += 1;
+                fx.code.push(Instr::CallVirt { slot, site, args: argr, rets });
             }
             ExprKind::CallClosure { func, args } => {
                 let cr = self.expr(func, fx);

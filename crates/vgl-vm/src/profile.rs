@@ -6,7 +6,7 @@
 //! `profiling_disabled_is_free` differential check in the VM tests). Enable
 //! it with [`crate::Vm::enable_profiling`].
 
-use crate::bytecode::{OPCODE_COUNT, OPCODE_NAMES};
+use crate::bytecode::{FIRST_SUPER_OPCODE, OPCODE_COUNT, OPCODE_NAMES};
 use std::time::Duration;
 use vgl_obs::json::Json;
 use vgl_obs::{FieldValue, Tracer};
@@ -58,6 +58,23 @@ impl VmProfile {
         self.gc_events.iter().map(|e| e.pause).sum()
     }
 
+    /// Retired instructions that were fusion-emitted superinstructions.
+    pub fn super_retired(&self) -> u64 {
+        self.opcodes[FIRST_SUPER_OPCODE..].iter().sum()
+    }
+
+    /// Share of retired instructions that were superinstructions, in
+    /// `[0, 1]` — the "how much of the hot path did fusion cover"
+    /// attribution number `vglc profile` reports.
+    pub fn super_share(&self) -> f64 {
+        let total = self.retired();
+        if total == 0 {
+            0.0
+        } else {
+            self.super_retired() as f64 / total as f64
+        }
+    }
+
     /// `(mnemonic, count)` for every executed opcode, most-retired first.
     pub fn opcode_histogram(&self) -> Vec<(&'static str, u64)> {
         let mut rows: Vec<(&'static str, u64)> = OPCODE_NAMES
@@ -84,6 +101,11 @@ impl VmProfile {
             ));
         }
         out.push_str(&format!(
+            "superinstructions: {} retired ({:.1}% of all)\n",
+            self.super_retired(),
+            self.super_share() * 100.0
+        ));
+        out.push_str(&format!(
             "gc: {} collections, {} slots copied, {:.1}us total pause\n",
             self.gc_events.len(),
             self.gc_events.iter().map(|e| e.copied_slots).sum::<usize>(),
@@ -92,7 +114,8 @@ impl VmProfile {
         out
     }
 
-    /// JSON: `{"opcodes": {...}, "gc": [...]}`.
+    /// JSON: `{"opcodes": {...}, "super_retired": n, "super_share": x,
+    /// "gc": [...]}`.
     pub fn to_json(&self) -> Json {
         let mut opcodes = Json::object();
         for (name, count) in self.opcode_histogram() {
@@ -114,6 +137,8 @@ impl VmProfile {
         );
         let mut j = Json::object();
         j.set("opcodes", opcodes);
+        j.set("super_retired", Json::from(self.super_retired()));
+        j.set("super_share", Json::Num(self.super_share()));
         j.set("gc", gc);
         j
     }

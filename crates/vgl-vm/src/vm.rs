@@ -2,6 +2,20 @@
 //! GC heap. No instruction allocates implicitly — the heap statistics after a
 //! run *prove* the §4.2 claim that compiled programs only allocate at
 //! explicit `new`/literals (plus closure cells, reported separately).
+//!
+//! The dispatch loop is **allocation-free in steady state** (the Rust side,
+//! not just the VM heap): call frames keep their return registers in inline
+//! storage ([`RetSlots`], spilling only for >2 returns — counted by
+//! [`VmStats::ret_spills`]), arguments are copied directly between stack
+//! frames with no temporary `Vec`, the value stack is pre-sized from the
+//! static max-frame analysis done at lowering/fusion time
+//! ([`crate::VmProgram::max_frame_regs`]), and the fuel check runs only at
+//! loop back-edges and calls — the two places a program can cycle — instead
+//! of once per instruction.
+//!
+//! Virtual calls go through **monomorphic inline caches** (Hölzle): each
+//! `CallVirt` site caches its last (class-id → callee) pair and skips the
+//! vtable load on a hit. Hit/miss counts are in [`VmStats`].
 
 use crate::bytecode::*;
 use crate::profile::{GcEvent, VmProfile};
@@ -48,15 +62,81 @@ pub struct VmStats {
     /// normalization made every function scalar, so arities always match
     /// (E6's compiled side).
     pub closure_calls: u64,
+    /// Inline-cache hits: `CallVirt` sites whose receiver class matched the
+    /// cached class, skipping the vtable load.
+    pub ic_hits: u64,
+    /// Inline-cache misses (first execution of a site, or a megamorphic
+    /// receiver change); each miss refills the cache.
+    pub ic_misses: u64,
+    /// Return-register lists that spilled to the Rust heap because a callee
+    /// returns more than [`RET_INLINE`] values. Zero for all-scalar code —
+    /// the steady-state dispatch loop performs **no Rust-side allocation**.
+    pub ret_spills: u64,
     /// Heap statistics (tuple_boxes is always 0 — E1's compiled side).
     pub heap: HeapStats,
 }
+
+impl VmStats {
+    /// Inline-cache hit rate in `[0, 1]`, or 1.0 when no virtual calls ran.
+    pub fn ic_hit_rate(&self) -> f64 {
+        let total = self.ic_hits + self.ic_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.ic_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Return registers kept inline in the frame; larger lists spill.
+pub const RET_INLINE: usize = 2;
+
+/// A call frame's return-destination registers: inline array for the common
+/// ≤[`RET_INLINE`] case, boxed slice fallback for wide multi-returns
+/// (normalized tuples can return up to 16 scalars).
+enum RetSlots {
+    Inline { len: u8, regs: [Reg; RET_INLINE] },
+    Spill(Box<[Reg]>),
+}
+
+impl RetSlots {
+    #[inline]
+    fn new(rets: &[Reg], spills: &mut u64) -> RetSlots {
+        if rets.len() <= RET_INLINE {
+            let mut regs = [0; RET_INLINE];
+            regs[..rets.len()].copy_from_slice(rets);
+            RetSlots::Inline { len: rets.len() as u8, regs }
+        } else {
+            *spills += 1;
+            RetSlots::Spill(rets.into())
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Reg] {
+        match self {
+            RetSlots::Inline { len, regs } => &regs[..*len as usize],
+            RetSlots::Spill(b) => b,
+        }
+    }
+}
+
+/// One monomorphic inline-cache entry: the last receiver class seen at a
+/// `CallVirt` site and the callee its vtable resolved to.
+#[derive(Clone, Copy)]
+struct IcEntry {
+    class: u32,
+    func: FuncId,
+}
+
+/// No class has this id; an entry holding it always misses.
+const IC_EMPTY: u32 = u32::MAX;
 
 struct FrameInfo {
     func: FuncId,
     pc: usize,
     base: usize,
-    rets: Vec<Reg>,
+    rets: RetSlots,
 }
 
 /// The virtual machine.
@@ -66,11 +146,15 @@ pub struct Vm<'p> {
     globals: Vec<Word>,
     stack: Vec<Word>,
     frames: Vec<FrameInfo>,
+    /// One entry per `CallVirt` site (dense `site` indices from lowering).
+    ic: Vec<IcEntry>,
     out: Vec<u8>,
     /// Statistics.
     pub stats: VmStats,
-    fuel: Option<u64>,
-    /// Boxed so the disabled case costs the dispatch loop one null check.
+    /// `u64::MAX` when unbounded, so the hot check is one compare.
+    fuel_limit: u64,
+    /// Boxed so the disabled case costs the dispatch loop nothing: the loop
+    /// is monomorphized over a `PROFILE` const and picked once per run.
     profile: Option<Box<VmProfile>>,
 }
 
@@ -94,18 +178,23 @@ impl<'p> Vm<'p> {
                     }
                 })
                 .collect(),
-            stack: Vec::with_capacity(4096),
-            frames: Vec::new(),
+            // Pre-size from the static max-frame analysis: room for a
+            // healthy call depth of the largest frame before any realloc.
+            stack: Vec::with_capacity((program.max_frame_regs * 64).max(4096)),
+            frames: Vec::with_capacity(64),
+            ic: vec![IcEntry { class: IC_EMPTY, func: 0 }; program.virt_sites],
             out: Vec::new(),
             stats: VmStats::default(),
-            fuel: None,
+            fuel_limit: u64::MAX,
             profile: None,
         }
     }
 
-    /// Limits execution to an instruction budget.
+    /// Limits execution to an instruction budget. The budget is checked at
+    /// loop back-edges and calls (the only ways a program can run forever),
+    /// so a run may overshoot by the length of one straight-line block.
     pub fn set_fuel(&mut self, instrs: u64) {
-        self.fuel = Some(instrs);
+        self.fuel_limit = instrs;
     }
 
     /// Turns on profiling: per-opcode retired-instruction histogram and GC
@@ -151,9 +240,20 @@ impl<'p> Vm<'p> {
         self.stack.resize(base + f.reg_count, 0);
         self.stack[base..base + args.len()].copy_from_slice(args);
         let ret_count = f.ret_count;
-        self.frames.push(FrameInfo { func, pc: 0, base, rets: Vec::new() });
+        self.frames.push(FrameInfo {
+            func,
+            pc: 0,
+            base,
+            rets: RetSlots::Inline { len: 0, regs: [0; RET_INLINE] },
+        });
         let depth = self.frames.len();
-        let r = self.interp_until(depth - 1);
+        // Monomorphize the dispatch loop over profiling once per run, so the
+        // disabled case pays nothing per instruction.
+        let r = if self.profile.is_some() {
+            self.interp_until::<true>(depth - 1)
+        } else {
+            self.interp_until::<false>(depth - 1)
+        };
         match r {
             Ok(values) => {
                 debug_assert_eq!(values.len(), ret_count);
@@ -169,13 +269,8 @@ impl<'p> Vm<'p> {
 
     /// Runs frames until the frame stack drops back to `floor`, returning
     /// the popped frame's return values.
-    fn interp_until(&mut self, floor: usize) -> Result<Vec<Word>, VmError> {
+    fn interp_until<const PROFILE: bool>(&mut self, floor: usize) -> Result<Vec<Word>, VmError> {
         loop {
-            if let Some(fuel) = self.fuel {
-                if self.stats.instrs >= fuel {
-                    return Err(VmError::OutOfFuel);
-                }
-            }
             self.stats.instrs += 1;
             let fi = self.frames.len() - 1;
             let (func, pc, base) = {
@@ -185,17 +280,32 @@ impl<'p> Vm<'p> {
             // Default: advance to the next instruction.
             self.frames[fi].pc = pc + 1;
             let instr = &self.program.funcs[func as usize].code[pc];
-            if let Some(p) = self.profile.as_deref_mut() {
-                p.opcodes[instr.opcode()] += 1;
+            if PROFILE {
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.opcodes[instr.opcode()] += 1;
+                }
             }
             macro_rules! reg {
                 ($r:expr) => {
                     self.stack[base + $r as usize]
                 };
             }
+            // Every loop in the bytecode crosses a backward branch, so the
+            // fuel check lives here (and at calls) instead of per-instruction.
             macro_rules! jump {
-                ($off:expr) => {
-                    self.frames[fi].pc = (pc as i64 + $off as i64) as usize
+                ($off:expr) => {{
+                    let off = $off;
+                    if off < 0 && self.stats.instrs >= self.fuel_limit {
+                        return Err(VmError::OutOfFuel);
+                    }
+                    self.frames[fi].pc = (pc as i64 + off as i64) as usize;
+                }};
+            }
+            macro_rules! check_fuel {
+                () => {
+                    if self.stats.instrs >= self.fuel_limit {
+                        return Err(VmError::OutOfFuel);
+                    }
                 };
             }
             match instr {
@@ -213,27 +323,7 @@ impl<'p> Vm<'p> {
                 Instr::Bin(k, d, a, b) => {
                     let x = as_i32(reg!(*a));
                     let y = as_i32(reg!(*b));
-                    let v = match k {
-                        BinKind::Add => from_i32(ops::int_add(x, y)),
-                        BinKind::Sub => from_i32(ops::int_sub(x, y)),
-                        BinKind::Mul => from_i32(ops::int_mul(x, y)),
-                        BinKind::Div => {
-                            from_i32(ops::int_div(x, y).map_err(VmError::Exception)?)
-                        }
-                        BinKind::Mod => {
-                            from_i32(ops::int_mod(x, y).map_err(VmError::Exception)?)
-                        }
-                        BinKind::Lt => heap::scalar(i64::from(x < y)),
-                        BinKind::Le => heap::scalar(i64::from(x <= y)),
-                        BinKind::Gt => heap::scalar(i64::from(x > y)),
-                        BinKind::Ge => heap::scalar(i64::from(x >= y)),
-                        BinKind::And => from_i32(x & y),
-                        BinKind::Or => from_i32(x | y),
-                        BinKind::Xor => from_i32(x ^ y),
-                        BinKind::Shl => from_i32(ops::int_shl(x, y)),
-                        BinKind::Shr => from_i32(ops::int_shr(x, y)),
-                    };
-                    reg!(*d) = v;
+                    reg!(*d) = bin_value(*k, x, y)?;
                 }
                 Instr::Neg(d, a) => {
                     let x = as_i32(reg!(*a));
@@ -272,28 +362,38 @@ impl<'p> Vm<'p> {
                 }
                 Instr::Call { func: callee, args, rets } => {
                     self.stats.calls += 1;
-                    let argv: Vec<Word> =
-                        args.iter().map(|&r| self.stack[base + r as usize]).collect();
-                    let rets = rets.clone();
-                    self.push_frame_vals(*callee, argv, rets);
+                    check_fuel!();
+                    let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
+                    self.push_frame_args(*callee, base, None, args, rets);
                 }
-                Instr::CallVirt { slot, args, rets } => {
+                Instr::CallVirt { slot, site, args, rets } => {
                     self.stats.calls += 1;
                     self.stats.virtual_calls += 1;
+                    check_fuel!();
                     let recv = reg!(args[0]);
                     if recv == NULL {
                         return Err(VmError::Exception(Exception::NullCheck));
                     }
-                    let class = self.heap.meta(recv) as usize;
-                    let callee = self.program.classes[class].vtable[*slot as usize];
-                    let argv: Vec<Word> =
-                        args.iter().map(|&r| self.stack[base + r as usize]).collect();
-                    let rets = rets.clone();
-                    self.push_frame_vals(callee, argv, rets);
+                    let class = self.heap.meta(recv);
+                    // Monomorphic inline cache: one compare against the last
+                    // receiver class replaces the two-load vtable walk.
+                    let cached = self.ic[*site as usize];
+                    let callee = if cached.class == class {
+                        self.stats.ic_hits += 1;
+                        cached.func
+                    } else {
+                        self.stats.ic_misses += 1;
+                        let f = self.program.classes[class as usize].vtable[*slot as usize];
+                        self.ic[*site as usize] = IcEntry { class, func: f };
+                        f
+                    };
+                    let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
+                    self.push_frame_args(callee, base, None, args, rets);
                 }
                 Instr::CallClos { clos, args, rets } => {
                     self.stats.calls += 1;
                     self.stats.closure_calls += 1;
+                    check_fuel!();
                     let c = reg!(*clos);
                     if c == NULL {
                         return Err(VmError::Exception(Exception::NullCheck));
@@ -302,22 +402,17 @@ impl<'p> Vm<'p> {
                     let recv = self.heap.get(c, 1);
                     // NOTE: no calling-convention check here — arity is
                     // statically exact after normalization (§4.1/§4.2).
-                    let mut argv: Vec<Word> = Vec::with_capacity(args.len() + 1);
-                    if recv != NULL {
-                        argv.push(recv);
-                    }
-                    for a in args {
-                        argv.push(reg!(*a));
-                    }
-                    let rets = rets.clone();
-                    self.push_frame_vals(fnid, argv, rets);
+                    let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
+                    let prepend = (recv != NULL).then_some(recv);
+                    self.push_frame_args(fnid, base, prepend, args, rets);
                 }
                 Instr::CallBuiltin { b, args, rets } => {
-                    let mut argv = Vec::with_capacity(args.len());
-                    for a in args {
-                        argv.push(reg!(*a));
+                    debug_assert!(args.len() <= 2, "builtin arity");
+                    let mut argv = [0 as Word; 2];
+                    for (i, &a) in args.iter().enumerate() {
+                        argv[i] = reg!(a);
                     }
-                    let r = self.builtin(*b, &argv)?;
+                    let r = self.builtin(*b, &argv[..args.len()])?;
                     if let (Some(&dst), Some(v)) = (rets.first(), r) {
                         reg!(dst) = v;
                     }
@@ -498,30 +593,118 @@ impl<'p> Vm<'p> {
                     reg!(*d) = heap::scalar(i64::from(n));
                 }
                 Instr::Ret(regs) => {
-                    let values: Vec<Word> =
-                        regs.iter().map(|&r| self.stack[base + r as usize]).collect();
+                    let frame = self.frames.pop().expect("frame present");
+                    if self.frames.len() == floor {
+                        // Boundary of this `call_function`: the only
+                        // allocation on the return path, once per entry.
+                        let values: Vec<Word> =
+                            regs.iter().map(|&r| self.stack[base + r as usize]).collect();
+                        self.stack.truncate(frame.base);
+                        return Ok(values);
+                    }
+                    let cbase = self.frames.last().expect("caller present").base;
+                    // Copy returned words straight into the caller's
+                    // registers: the regions are disjoint (cbase < base).
+                    for (&dst, &src) in frame.rets.as_slice().iter().zip(regs.iter()) {
+                        self.stack[cbase + dst as usize] = self.stack[base + src as usize];
+                    }
+                    self.stack.truncate(frame.base);
+                }
+                Instr::Trap(x) => return Err(VmError::Exception(*x)),
+
+                // ---- superinstructions (fusion-emitted) -------------------
+                Instr::BinI { k, dst, a, imm } => {
+                    let x = as_i32(reg!(*a));
+                    reg!(*dst) = bin_value(*k, x, *imm)?;
+                }
+                Instr::IncLocal { r, imm } => {
+                    let slot = base + *r as usize;
+                    self.stack[slot] =
+                        from_i32(ops::int_add(as_i32(self.stack[slot]), *imm));
+                }
+                Instr::CmpBr { k, a, b, off, expect } => {
+                    let x = as_i32(reg!(*a));
+                    let y = as_i32(reg!(*b));
+                    if cmp_value(*k, x, y) == *expect {
+                        jump!(*off);
+                    }
+                }
+                Instr::CmpBrI { k, a, imm, off, expect } => {
+                    let x = as_i32(reg!(*a));
+                    if cmp_value(*k, x, *imm) == *expect {
+                        jump!(*off);
+                    }
+                }
+                Instr::EqBr { a, b, off, expect } => {
+                    if (reg!(*a) == reg!(*b)) == *expect {
+                        jump!(*off);
+                    }
+                }
+                Instr::NullBr { v, off, expect } => {
+                    if (reg!(*v) == NULL) == *expect {
+                        jump!(*off);
+                    }
+                }
+                Instr::GlobalBin { k, dst, g, b } => {
+                    let x = as_i32(self.globals[*g as usize]);
+                    let y = as_i32(reg!(*b));
+                    reg!(*dst) = bin_value(*k, x, y)?;
+                }
+                Instr::GlobalAccum { k, g, b } => {
+                    let x = as_i32(self.globals[*g as usize]);
+                    let y = as_i32(reg!(*b));
+                    self.globals[*g as usize] = bin_value(*k, x, y)?;
+                }
+                Instr::FieldGetRet { obj, slot } => {
+                    let o = reg!(*obj);
+                    if o == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let v = self.heap.get(o, *slot as usize);
                     let frame = self.frames.pop().expect("frame present");
                     self.stack.truncate(frame.base);
                     if self.frames.len() == floor {
-                        return Ok(values);
+                        return Ok(vec![v]);
                     }
-                    let caller = self.frames.last().expect("caller present");
-                    let cbase = caller.base;
-                    for (&r, v) in frame.rets.iter().zip(values) {
-                        self.stack[cbase + r as usize] = v;
+                    let cbase = self.frames.last().expect("caller present").base;
+                    if let Some(&dst) = frame.rets.as_slice().first() {
+                        self.stack[cbase + dst as usize] = v;
                     }
                 }
-                Instr::Trap(x) => return Err(VmError::Exception(*x)),
             }
         }
     }
 
-    fn push_frame_vals(&mut self, callee: FuncId, argv: Vec<Word>, rets: Vec<Reg>) {
+    /// Pushes a callee frame, copying `prepend` (a bound receiver) and then
+    /// the caller registers `args` directly into the new frame — no
+    /// temporary argument vector.
+    #[inline]
+    fn push_frame_args(
+        &mut self,
+        callee: FuncId,
+        caller_base: usize,
+        prepend: Option<Word>,
+        args: &[Reg],
+        rets: RetSlots,
+    ) {
         let f = &self.program.funcs[callee as usize];
-        debug_assert_eq!(argv.len(), f.param_count, "arity calling {}", f.name);
+        debug_assert_eq!(
+            args.len() + usize::from(prepend.is_some()),
+            f.param_count,
+            "arity calling {}",
+            f.name
+        );
         let base = self.stack.len();
         self.stack.resize(base + f.reg_count, 0);
-        self.stack[base..base + argv.len()].copy_from_slice(&argv);
+        let mut at = base;
+        if let Some(w) = prepend {
+            self.stack[at] = w;
+            at += 1;
+        }
+        for &r in args {
+            self.stack[at] = self.stack[caller_base + r as usize];
+            at += 1;
+        }
         self.frames.push(FrameInfo { func: callee, pc: 0, base, rets });
     }
 
@@ -595,6 +778,43 @@ impl<'p> Vm<'p> {
             }
             Builtin::Ticks => Ok(Some(heap::scalar(self.stats.instrs as i64))),
             Builtin::Error => Err(VmError::Exception(Exception::UserError)),
+        }
+    }
+}
+
+/// Evaluates one scalar binary operation (shared by `Bin` and `BinI`).
+#[inline(always)]
+fn bin_value(k: BinKind, x: i32, y: i32) -> Result<Word, VmError> {
+    Ok(match k {
+        BinKind::Add => from_i32(ops::int_add(x, y)),
+        BinKind::Sub => from_i32(ops::int_sub(x, y)),
+        BinKind::Mul => from_i32(ops::int_mul(x, y)),
+        BinKind::Div => from_i32(ops::int_div(x, y).map_err(VmError::Exception)?),
+        BinKind::Mod => from_i32(ops::int_mod(x, y).map_err(VmError::Exception)?),
+        BinKind::Lt => heap::scalar(i64::from(x < y)),
+        BinKind::Le => heap::scalar(i64::from(x <= y)),
+        BinKind::Gt => heap::scalar(i64::from(x > y)),
+        BinKind::Ge => heap::scalar(i64::from(x >= y)),
+        BinKind::And => from_i32(x & y),
+        BinKind::Or => from_i32(x | y),
+        BinKind::Xor => from_i32(x ^ y),
+        BinKind::Shl => from_i32(ops::int_shl(x, y)),
+        BinKind::Shr => from_i32(ops::int_shr(x, y)),
+    })
+}
+
+/// Evaluates an ordering comparison for `CmpBr`/`CmpBrI`. The fusion
+/// validator guarantees `k` is one of the four orderings.
+#[inline(always)]
+fn cmp_value(k: BinKind, x: i32, y: i32) -> bool {
+    match k {
+        BinKind::Lt => x < y,
+        BinKind::Le => x <= y,
+        BinKind::Gt => x > y,
+        BinKind::Ge => x >= y,
+        _ => {
+            debug_assert!(false, "{k:?} is not a comparison kind");
+            false
         }
     }
 }

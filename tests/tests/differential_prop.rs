@@ -7,7 +7,7 @@
 //! Program generation lives in `vgl-fuzz` (typed AST model over the full
 //! §2–§3 surface: class hierarchies, virtual/abstract dispatch, bound
 //! delegates, generics, tuples up to width 16, queries/casts, recursion,
-//! GC churn); these tests drive it through the five-engine oracle and the
+//! GC churn); these tests drive it through the six-engine oracle and the
 //! `vgl::Compiler` facade. Every failure prints the seed; reproduce with
 //! `vglc fuzz --seed <seed> --cases 1`. Set `VGL_PROP_CASES` to raise the
 //! case count (default 48).
@@ -21,10 +21,11 @@ fn cases() -> u64 {
         .unwrap_or(48)
 }
 
-/// Every generated program agrees across all five engine configurations
-/// (source interpreter, monomorphized interpreter, VM, and both optimized
-/// variants) on result, output, and trap — checked by the vgl-fuzz oracle,
-/// which also validates the §4 IR invariants between passes.
+/// Every generated program agrees across all six engine configurations
+/// (source interpreter, monomorphized interpreter, VM, both optimized
+/// variants, and the VM over fused bytecode) on result, output, and trap —
+/// checked by the vgl-fuzz oracle, which also validates the §4 IR
+/// invariants between passes.
 #[test]
 fn differential_three_way() {
     let gen = fuzz::GenConfig::default();
@@ -39,6 +40,31 @@ fn differential_three_way() {
             "seed {seed}: {}\nprogram:\n{src}",
             fuzz::describe(&verdict)
         );
+    }
+}
+
+/// Pinned regression sweep for the bytecode back-end optimizer: 500 seeded
+/// cases (base seed 42) through the full six-engine oracle. The `vm-fused`
+/// configuration validates the fused bytecode with `check_fused` before
+/// running and asserts zero tuple boxes after, so a clean sweep here is the
+/// fusion/IC acceptance gate. Override the count with `VGL_FUZZ_CASES`.
+#[test]
+fn fuzz_regression_seed42_six_engines() {
+    let cfg = fuzz::FuzzConfig {
+        seed: 42,
+        cases: std::env::var("VGL_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500),
+        ..Default::default()
+    };
+    let report = fuzz::run_fuzz(&cfg, |_, _| {});
+    match &report.failure {
+        None => {}
+        Some(f) => panic!(
+            "case {} (seed {}):\n{}\nshrunk repro:\n{}",
+            f.case_index, f.seed, f.verdict, f.shrunk
+        ),
     }
 }
 

@@ -22,6 +22,7 @@ const GOLDEN: &[(&str, &str, &str)] = &[
     ("delegates.v", "177", "177 10\n"),
     ("wide_tuples.v", "180", "9 9 72\n108\n"),
     ("gc.v", "39564", "39564\n"),
+    ("dispatch_chain.v", "4800", "4800\n"),
 ];
 
 #[test]
@@ -75,6 +76,58 @@ fn examples_produce_valid_stats_reports() {
             .and_then(vgl_obs::json::Json::as_str);
         assert_eq!(vm_result, Some(result), "{name}: report vm result");
     }
+}
+
+/// The bytecode back-end optimizer (fusion + inline caches) must be
+/// observationally invisible: every example produces the identical result and
+/// output with fusion forced on, and fused execution allocates exactly zero
+/// tuple boxes (the §4.2 invariant, dynamically).
+#[test]
+fn examples_match_golden_output_with_fusion() {
+    for &(name, result, output) in GOLDEN {
+        let c = vgl::Compiler::new()
+            .with_fuse()
+            .compile(&example(name))
+            .unwrap_or_else(|e| panic!("{name} failed to compile fused:\n{e}"));
+        assert!(
+            c.fuse.instrs_before >= c.fuse.instrs_after,
+            "{name}: fusion must not grow code ({} -> {})",
+            c.fuse.instrs_before,
+            c.fuse.instrs_after
+        );
+        let v = c.execute();
+        assert_eq!(v.result.as_deref(), Ok(result), "{name}: fused vm result");
+        assert_eq!(v.output, output, "{name}: fused vm output");
+        let stats = v.vm_stats.expect("vm stats");
+        assert_eq!(stats.heap.tuple_boxes, 0, "{name}: fused run boxed a tuple");
+    }
+}
+
+/// Golden disassembly: the side-by-side unfused/fused listing for
+/// `dispatch_chain.v` is pinned to a checked-in file so any change to
+/// lowering, fusion rules, or the disassembler shows up in review. Regenerate
+/// with `VGL_UPDATE_GOLDEN=1 cargo test -p vgl-integration golden`.
+#[test]
+fn dispatch_chain_disasm_matches_golden() {
+    let c = vgl::Compiler::new()
+        .without_fuse()
+        .compile(&example("dispatch_chain.v"))
+        .expect("compiles");
+    let mut fused = c.program.clone();
+    vgl_vm::fuse(&mut fused);
+    let got = vgl_vm::side_by_side(&c.program, &fused);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/dispatch_chain.disasm");
+    if std::env::var_os("VGL_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden disasm");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("read {path:?}: {e}; regenerate with VGL_UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        got, want,
+        "disassembly drifted from {path:?}; regenerate with VGL_UPDATE_GOLDEN=1 if intended"
+    );
 }
 
 #[test]
