@@ -12,10 +12,19 @@
 //! vglc disasm <file.v>         print the compiled bytecode; with fusion on
 //!                              (the default in release), unfused and fused
 //!                              code are shown side by side
+//! vglc check [--json] <file.v> parse and typecheck only, reporting every
+//!                              diagnostic the front end can find (parse
+//!                              errors do not hide type errors); --json
+//!                              emits one JSON object
 //! vglc fuzz [--seed N] [--cases N] [--dump]
 //!                              differential fuzzing: generate N programs,
 //!                              run them on six engine configurations, and
 //!                              shrink + report the first disagreement
+//! vglc fuzz --chaos [--seed N] [--cases N]
+//!                              crash fuzzing: corrupt generated programs
+//!                              (token surgery, byte splices, truncation,
+//!                              nesting bombs) and demand diagnostics, not
+//!                              panics; minimizes + reports the first crash
 //! ```
 //!
 //! `--fuse` / `--no-fuse` override the bytecode back-end optimizer (default:
@@ -26,27 +35,74 @@ use vgl::Compiler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vglc [run|interp|both|stats [--json]|profile|disasm] [--fuse|--no-fuse] <file.v>\n\
-         \x20      vglc fuzz [--seed N] [--cases N] [--dump]"
+        "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|disasm] [--fuse|--no-fuse] <file.v>\n\
+         \x20      vglc fuzz [--chaos] [--seed N] [--cases N] [--dump]"
     );
     ExitCode::from(2)
+}
+
+fn chaos(seed: Option<u64>, cases: Option<u64>) -> ExitCode {
+    let mut cfg = vgl::fuzz::ChaosConfig::default();
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(c) = cases {
+        cfg.cases = c;
+    }
+    println!(
+        "chaos fuzzing: seed {}, {} cases (mutated inputs, full pipeline, \
+         diagnostics-or-bust)",
+        cfg.seed, cfg.cases
+    );
+    let report = vgl::fuzz::run_chaos(&cfg, |i, _| {
+        if (i + 1) % 500 == 0 {
+            println!("  ... case {}", i + 1);
+        }
+    });
+    println!("{}", report.summary());
+    match report.failure {
+        None => ExitCode::SUCCESS,
+        Some(f) => {
+            eprintln!("\nFAILURE at case {} (seed {}):", f.case_index, f.seed);
+            eprintln!("{}", f.kind);
+            eprintln!("\nminimized input:\n{}", f.shrunk);
+            eprintln!("reproduce with: vglc fuzz --chaos --seed {} --cases 1", f.seed);
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn fuzz(args: &[String]) -> ExitCode {
     let mut cfg = vgl::fuzz::FuzzConfig::default();
     let mut dump = false;
+    let mut chaos_mode = false;
+    let mut seed = None;
+    let mut cases = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--dump" {
             dump = true;
             continue;
         }
+        if flag == "--chaos" {
+            chaos_mode = true;
+            continue;
+        }
         let value = it.next().and_then(|v| v.parse::<u64>().ok());
         match (flag.as_str(), value) {
-            ("--seed", Some(v)) => cfg.seed = v,
-            ("--cases", Some(v)) => cfg.cases = v,
+            ("--seed", Some(v)) => seed = Some(v),
+            ("--cases", Some(v)) => cases = Some(v),
             _ => return usage(),
         }
+    }
+    if chaos_mode {
+        return chaos(seed, cases);
+    }
+    if let Some(v) = seed {
+        cfg.seed = v;
+    }
+    if let Some(v) = cases {
+        cfg.cases = v;
     }
     if dump {
         for i in 0..cfg.cases {
@@ -97,7 +153,7 @@ fn main() -> ExitCode {
         [cmd, flag, path] if flag == "--json" => (cmd.clone(), true, path.clone()),
         _ => return usage(),
     };
-    if json && cmd != "stats" {
+    if json && cmd != "stats" && cmd != "check" {
         return usage();
     }
     let source = match std::fs::read_to_string(&path) {
@@ -107,6 +163,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cmd == "check" {
+        return check(&path, &source, json);
+    }
     // `disasm` always compiles unfused so the side-by-side view can show the
     // fusion pass's before and after on the same baseline.
     let fuse_requested = options.fuse;
@@ -249,6 +308,28 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage(),
+    }
+}
+
+fn check(path: &str, source: &str, json: bool) -> ExitCode {
+    let report = Compiler::new().check(path, source);
+    if json {
+        println!("{}", report.to_json().render());
+    } else {
+        for r in &report.rendered {
+            eprint!("{r}");
+        }
+        eprintln!(
+            "{}: {} error(s), {} diagnostic(s)",
+            path,
+            report.error_count(),
+            report.diagnostics.len()
+        );
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

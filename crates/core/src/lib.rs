@@ -43,7 +43,7 @@ pub use vgl_ir::{Exception, Module, ModuleSize};
 pub use vgl_obs::{JsonLinesSink, PhaseTrace, Sink, TableSink, Tracer};
 pub use vgl_passes::{MonoStats, NormStats, OptStats, PassTimes, PipelineStats};
 pub use vgl_runtime::{AllocStats, GcInfo, HeapStats};
-pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap};
+pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap, Severity};
 pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
 pub use vgl_vm::{FuseStats, GcEvent, Vm, VmError, VmProfile, VmProgram, VmStats};
 
@@ -309,6 +309,111 @@ fn render_violations(violations: &[vgl_ir::Violation]) -> String {
         .map(|v| format!("  {}: {}", v.location, v.message))
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+/// The result of [`Compiler::check`]: every front-end diagnostic for one
+/// source file, with rendered source windows, produced without running the
+/// program.
+///
+/// Unlike [`Compiler::compile`], a parse error does not stop semantic
+/// analysis here — the partial AST (with its error placeholders) is analyzed
+/// anyway, so a single run reports everything the front end can find.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// File name used in rendered positions.
+    pub file_name: String,
+    /// The diagnostics, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Line/column of each diagnostic's start (parallel to `diagnostics`).
+    pub positions: Vec<vgl_syntax::LineCol>,
+    /// Each diagnostic rendered as a rustc-style source window (parallel to
+    /// `diagnostics`).
+    pub rendered: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the file is clean (no errors; warnings are fine).
+    pub fn ok(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == vgl_syntax::Severity::Error)
+            .count()
+    }
+
+    /// The report as a JSON object (for `vglc check --json`).
+    pub fn to_json(&self) -> vgl_obs::json::Json {
+        use vgl_obs::json::Json;
+        let mut o = Json::object();
+        o.set("file", Json::from(self.file_name.as_str()));
+        o.set("errors", Json::from(self.error_count()));
+        o.set(
+            "warnings",
+            Json::from(
+                self.diagnostics
+                    .iter()
+                    .filter(|d| d.severity == vgl_syntax::Severity::Warning)
+                    .count(),
+            ),
+        );
+        let mut arr = Vec::new();
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let mut jd = Json::object();
+            jd.set("severity", Json::from(d.severity.to_string().as_str()));
+            jd.set("line", Json::from(self.positions[i].line as u64));
+            jd.set("col", Json::from(self.positions[i].col as u64));
+            jd.set("message", Json::from(d.message.as_str()));
+            if !d.notes.is_empty() {
+                jd.set(
+                    "notes",
+                    Json::Arr(
+                        d.notes
+                            .iter()
+                            .map(|n| Json::from(n.message.as_str()))
+                            .collect(),
+                    ),
+                );
+            }
+            jd.set("rendered", Json::from(self.rendered[i].as_str()));
+            arr.push(jd);
+        }
+        o.set("diagnostics", Json::Arr(arr));
+        o
+    }
+}
+
+impl Compiler {
+    /// Parses and typechecks `source`, reporting every diagnostic the front
+    /// end can find, without running the program. Parse errors do not
+    /// suppress semantic analysis: the partial AST is analyzed so
+    /// independent mistakes all surface in one run.
+    pub fn check(&self, file_name: &str, source: &str) -> CheckReport {
+        let mut diags = Diagnostics::new();
+        let ast = vgl_syntax::parse_program(source, &mut diags);
+        // Analyze even when parsing failed: error nodes carry the poisoned
+        // type, so this is safe and finds independent type errors.
+        let _ = vgl_sema::analyze(&ast, &mut diags);
+        let lines = LineMap::new(source);
+        let diagnostics = diags.into_vec();
+        let positions = diagnostics
+            .iter()
+            .map(|d| lines.lookup(d.span.start))
+            .collect();
+        let rendered = diagnostics
+            .iter()
+            .map(|d| d.render_window(file_name, source, &lines))
+            .collect();
+        CheckReport {
+            file_name: file_name.to_string(),
+            diagnostics,
+            positions,
+            rendered,
+        }
+    }
 }
 
 fn render(source: &str, diags: Diagnostics) -> CompileError {

@@ -18,20 +18,26 @@
 //!   kept strictly distinct from language exceptions;
 //! - [`mod@shrink`] greedily reduces a failing program to a minimal repro while
 //!   preserving the failure class, so every report is a short program plus a
-//!   seed.
+//!   seed;
+//! - [`chaos`] corrupts the generated programs (token surgery, byte splices,
+//!   truncation, nesting amplifiers) and asserts the pipeline rejects bad
+//!   input with diagnostics instead of panicking — the crash-fuzzing lane
+//!   behind `vglc fuzz --chaos`.
 //!
-//! Entry points: [`run_fuzz`] (used by `vglc fuzz` and CI), or the modules
+//! Entry points: [`run_fuzz`] and [`run_chaos`] (used by `vglc fuzz` and CI), or the modules
 //! directly for property tests.
 
+pub mod chaos;
 pub mod gen;
 pub mod oracle;
 pub mod rng;
 pub mod shrink;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use gen::{emit, gen_program, GenConfig, Prog};
 pub use oracle::{check_source, describe, OracleConfig, Outcome, Verdict};
 pub use rng::Rng;
-pub use shrink::{fail_kind, shrink, FailKind};
+pub use shrink::{fail_kind, shrink, shrink_text, FailKind};
 
 /// A full fuzzing campaign's configuration.
 #[derive(Clone, Debug)]

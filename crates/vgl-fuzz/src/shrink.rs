@@ -546,6 +546,66 @@ pub fn shrink(prog: &Prog, kind: FailKind, cfg: &OracleConfig, budget: u32) -> P
     }
 }
 
+/// Minimizes a *textual* input while `still_fails` keeps returning `true`
+/// (ddmin-lite: contiguous line chunks first, then character chunks). Used
+/// by the chaos lane, whose inputs are mutated byte soup with no AST to
+/// shrink structurally. `src` must currently satisfy `still_fails`; `budget`
+/// caps predicate invocations so shrinking always terminates quickly.
+pub fn shrink_text(
+    src: &str,
+    mut still_fails: impl FnMut(&str) -> bool,
+    budget: u32,
+) -> String {
+    let mut spent: u32 = 0;
+    let mut segs: Vec<String> = src.lines().map(str::to_string).collect();
+    ddmin_pass(&mut segs, "\n", &mut still_fails, budget, &mut spent);
+    let reduced = segs.join("\n");
+    let mut segs: Vec<String> = reduced.chars().map(String::from).collect();
+    ddmin_pass(&mut segs, "", &mut still_fails, budget, &mut spent);
+    segs.join("")
+}
+
+/// One ddmin sweep over `segs`: tries removing contiguous chunks, halving
+/// the chunk size down to single segments, until a full single-segment pass
+/// removes nothing or the budget runs out.
+fn ddmin_pass(
+    segs: &mut Vec<String>,
+    sep: &str,
+    still_fails: &mut impl FnMut(&str) -> bool,
+    budget: u32,
+    spent: &mut u32,
+) {
+    let mut chunk = (segs.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < segs.len() {
+            if *spent >= budget {
+                return;
+            }
+            let end = (i + chunk).min(segs.len());
+            let candidate = segs[..i]
+                .iter()
+                .chain(segs[end..].iter())
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(sep);
+            *spent += 1;
+            if still_fails(&candidate) {
+                segs.drain(i..end);
+                removed_any = true;
+            } else {
+                i = end;
+            }
+        }
+        if chunk > 1 {
+            chunk /= 2;
+        } else if !removed_any {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

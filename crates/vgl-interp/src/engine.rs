@@ -324,6 +324,11 @@ impl<'m> Interp<'m> {
                 debug_assert!(false, "unsubstituted type variable at runtime");
                 Value::Unit
             }
+            TypeKind::Error => {
+                // Unreachable: a module with error diagnostics never runs.
+                debug_assert!(false, "error type at runtime");
+                Value::Unit
+            }
         })
     }
 

@@ -221,6 +221,9 @@ impl<'m> Mono<'m> {
             return n;
         }
         let n = match self.old_store.kind(t).clone() {
+            // Unreachable in practice: a module with error diagnostics is
+            // never monomorphized. Translate anyway rather than panic.
+            TypeKind::Error => self.new_store.error,
             TypeKind::Void => self.new_store.void,
             TypeKind::Bool => self.new_store.bool_,
             TypeKind::Byte => self.new_store.byte,

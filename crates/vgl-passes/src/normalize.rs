@@ -130,7 +130,8 @@ impl<'m> Norm<'m> {
             | TypeKind::Byte
             | TypeKind::Int
             | TypeKind::Null
-            | TypeKind::Class(..) => t,
+            | TypeKind::Class(..)
+            | TypeKind::Error => t,
             TypeKind::Tuple(es) => {
                 let mut flat = Vec::new();
                 for e in es {

@@ -83,24 +83,27 @@ impl<'d> Analyzer<'d> {
     }
 
     pub(crate) fn run(&mut self, program: &ast::Program) {
+        // The first two phases gate hard: a broken class graph (duplicate or
+        // cyclic inheritance) would poison the topological order every later
+        // phase iterates in. Past that point, analysis continues through
+        // errors — bad types resolve to the poisoned `store.error`, so
+        // signature collection, vtable layout, and body checking still run
+        // and report everything they can find.
+        // Gate on errors introduced *here*: the shared sink may already hold
+        // parse errors, and those must not stop analysis of the partial AST.
+        let baseline = self.diags.error_count();
         self.collect_classes(program);
-        if self.diags.has_errors() {
+        if self.diags.error_count() > baseline {
             return;
         }
         self.resolve_class_structure(program);
-        if self.diags.has_errors() {
+        if self.diags.error_count() > baseline {
             return;
         }
         self.collect_signatures(program);
-        if self.diags.has_errors() {
-            return;
-        }
         self.build_vtables();
-        if self.diags.has_errors() {
-            return;
-        }
         self.check_bodies(program);
-        if self.diags.has_errors() {
+        if self.diags.error_count() > baseline {
             return;
         }
         self.find_main();

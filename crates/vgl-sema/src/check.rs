@@ -140,6 +140,7 @@ impl Analyzer<'_> {
                         };
                         Some(IrExpr::new(Ir::TupleIndex(Box::new(r), *index), ty))
                     }
+                    TypeKind::Error => Some(IrExpr::new(Ir::Unit, r.ty)),
                     _ if *index == 0 => {
                         // Degenerate rule: (T) == T, so `.0` of a non-tuple is
                         // the value itself (paper listing (c4)).
@@ -164,6 +165,7 @@ impl Analyzer<'_> {
                     TypeKind::Array(elem) => {
                         Some(IrExpr::new(Ir::ArrayGet(Box::new(r), Box::new(i)), elem))
                     }
+                    TypeKind::Error => Some(IrExpr::new(Ir::Unit, r.ty)),
                     _ => {
                         let ts = self.show(r.ty);
                         self.error(e.span, format!("cannot index non-array type {ts}"));
@@ -230,6 +232,14 @@ impl Analyzer<'_> {
                 ))
             }
             ast::ExprKind::Assign { target, value } => self.check_assign(cx, target, value, e.span),
+            ast::ExprKind::Error => {
+                // The parser already reported this node; give it the poisoned
+                // error type so surrounding checks proceed without cascading.
+                // It never reaches later pipeline stages: analysis with any
+                // error diagnostic yields no module.
+                let err = self.module.store.error;
+                Some(IrExpr::new(Ir::Unit, err))
+            }
         }
     }
 
@@ -392,6 +402,13 @@ impl Analyzer<'_> {
                     Ir::ArraySet(Box::new(r), Box::new(i), Box::new(v)),
                     elem,
                 ))
+            }
+            ast::ExprKind::Error => {
+                // Already reported by the parser; still check the value side
+                // so its own errors surface.
+                let _ = self.check_expr(cx, value, None);
+                let err = self.module.store.error;
+                Some(IrExpr::new(Ir::Unit, err))
             }
             _ => {
                 self.error(span, "invalid assignment target");
@@ -1267,6 +1284,14 @@ impl Analyzer<'_> {
         args: &[ast::Expr],
         span: Span,
     ) -> Option<IrExpr> {
+        if self.module.store.is_error(f.ty) {
+            // The callee already failed; check the arguments for their own
+            // errors but report nothing new.
+            for a in args {
+                let _ = self.check_expr(cx, a, None);
+            }
+            return Some(IrExpr::new(Ir::Unit, f.ty));
+        }
         let TypeKind::Function(p, r) = self.module.store.kind(f.ty).clone() else {
             let ts = self.show(f.ty);
             self.error(span, format!("cannot call a value of non-function type {ts}"));

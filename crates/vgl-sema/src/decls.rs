@@ -54,8 +54,11 @@ impl Analyzer<'_> {
                 self.error(c.name.span, format!("cannot redefine built-in name '{}'", c.name.name));
                 continue;
             }
-            if self.class_names.contains_key(&c.name.name) {
+            if let Some(&first) = self.class_names.get(&c.name.name) {
                 self.error(c.name.span, format!("duplicate class '{}'", c.name.name));
+                if let Decl::Class(fc) = &program.decls[self.class_decl_index[first.index()]] {
+                    self.diags.note_last(Some(fc.name.span), "first defined here");
+                }
                 continue;
             }
             let mut tparams = Vec::new();

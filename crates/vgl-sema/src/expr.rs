@@ -550,6 +550,7 @@ impl Analyzer<'_> {
                 Some(MemberKind::StaticMethod { method: m, class_args: Some(class_args), explicit })
             }
             (TypeKind::Array(elem), MemberName::New(_)) => Some(MemberKind::ArrayNew { elem }),
+            (TypeKind::Error, _) => None,
             (_, m) => {
                 let ts = self.show(t);
                 self.error(span, format!("type {ts} has no member '{m}'"));
@@ -581,6 +582,10 @@ impl Analyzer<'_> {
         explicit: Option<Vec<Type>>,
         span: Span,
     ) -> Option<MemberKind> {
+        if self.module.store.is_error(v.ty) {
+            // The receiver already failed; don't pile a member error on top.
+            return None;
+        }
         match self.module.store.kind(v.ty).clone() {
             TypeKind::Array(_) => match member {
                 MemberName::Ident(id) if id.name == "length" => {

@@ -22,8 +22,13 @@ impl TypeScope {
 }
 
 impl Analyzer<'_> {
-    /// Resolves a syntactic type to an interned [`Type`]. Reports and returns
-    /// `None` on unknown names or arity errors.
+    /// Resolves a syntactic type to an interned [`Type`].
+    ///
+    /// Unknown names and arity errors are reported and yield the poisoned
+    /// error type (`store.error`), which unifies with everything, so one bad
+    /// type annotation does not stop the rest of the module from being
+    /// checked. The `Option` return is kept for call-site ergonomics; every
+    /// path returns `Some`.
     pub(crate) fn resolve_type(&mut self, te: &TypeExpr, scope: &TypeScope) -> Option<Type> {
         match &te.kind {
             TypeExprKind::Tuple(elems) => {
@@ -43,7 +48,7 @@ impl Analyzer<'_> {
                 if let Some(&v) = scope.vars.get(&name.name) {
                     if !args.is_empty() {
                         self.error(name.span, format!("type parameter '{}' takes no type arguments", name.name));
-                        return None;
+                        return Some(self.module.store.error);
                     }
                     return Some(self.module.store.var(v));
                 }
@@ -54,7 +59,7 @@ impl Analyzer<'_> {
                                 name.span,
                                 format!("primitive type '{}' takes no type arguments", name.name),
                             );
-                            return None;
+                            return Some(self.module.store.error);
                         }
                         Some(match name.name.as_str() {
                             "void" => self.module.store.void,
@@ -67,7 +72,7 @@ impl Analyzer<'_> {
                     "Array" => {
                         if args.len() != 1 {
                             self.error(name.span, "Array takes exactly one type argument");
-                            return None;
+                            return Some(self.module.store.error);
                         }
                         let elem = self.resolve_type(&args[0], scope)?;
                         Some(self.module.store.array(elem))
@@ -75,7 +80,7 @@ impl Analyzer<'_> {
                     other => {
                         let Some(&cid) = self.class_names.get(other) else {
                             self.error(name.span, format!("unknown type '{other}'"));
-                            return None;
+                            return Some(self.module.store.error);
                         };
                         let want = self.module.class(cid).type_params.len();
                         if args.len() != want {
@@ -86,7 +91,7 @@ impl Analyzer<'_> {
                                     args.len()
                                 ),
                             );
-                            return None;
+                            return Some(self.module.store.error);
                         }
                         let mut tys = Vec::with_capacity(args.len());
                         for a in args {

@@ -361,8 +361,15 @@ impl Analyzer<'_> {
                         }
                         None => None,
                     };
+                    // A failed initializer already produced a diagnostic;
+                    // bind the variable anyway (with the poisoned error
+                    // type when nothing better is known) so later uses of
+                    // the name don't cascade into "unknown identifier".
                     let init = match &b.init {
-                        Some(e) => Some(self.check_expr(cx, e, declared)?),
+                        Some(e) => Some(match self.check_expr(cx, e, declared) {
+                            Some(v) => v,
+                            None => IrExpr::new(Ir::Unit, self.module.store.error),
+                        }),
                         None => None,
                     };
                     let ty = match (declared, &init) {
@@ -377,13 +384,14 @@ impl Analyzer<'_> {
                                     b.name.span,
                                     "cannot infer a variable type from 'null'; annotate it",
                                 );
-                                return None;
+                                self.module.store.error
+                            } else {
+                                v.ty
                             }
-                            v.ty
                         }
                         (None, None) => {
                             self.error(b.name.span, format!("variable '{}' needs a type or initializer", b.name));
-                            return None;
+                            self.module.store.error
                         }
                     };
                     if !*mutable && init.is_none() {
@@ -432,7 +440,10 @@ impl Analyzer<'_> {
                             None => None,
                         };
                         let init = match &b.init {
-                            Some(e) => Some(self.check_expr(cx, e, declared)?),
+                            Some(e) => Some(match self.check_expr(cx, e, declared) {
+                                Some(v) => v,
+                                None => IrExpr::new(Ir::Unit, self.module.store.error),
+                            }),
                             None => None,
                         };
                         let ty = match (declared, &init) {
@@ -440,8 +451,7 @@ impl Analyzer<'_> {
                             (None, Some(v)) => v.ty,
                             (None, None) => {
                                 self.error(b.name.span, "for-loop variable needs an initializer");
-                                cx.scopes.pop();
-                                return None;
+                                self.module.store.error
                             }
                         };
                         let l = cx.declare(&b.name.name, ty, true);

@@ -642,3 +642,116 @@ fn generic_method_in_generic_class() {
          }",
     );
 }
+
+// ---- Error recovery: analysis continues past the first error ---------------
+
+/// Runs the front end end-to-end (parse + sema, diagnostics shared) and
+/// returns every error message, in order.
+fn all_errors(src: &str) -> Vec<String> {
+    let mut diags = Diagnostics::new();
+    let ast = parse_program(src, &mut diags);
+    let res = analyze(&ast, &mut diags);
+    assert!(res.is_none(), "expected errors for {src:?}");
+    diags
+        .iter()
+        .filter(|d| d.severity == vgl_syntax::Severity::Error)
+        .map(|d| d.message.clone())
+        .collect()
+}
+
+#[test]
+fn five_independent_errors_all_reported() {
+    // Five unrelated mistakes in five different statements; recovery must
+    // surface every one of them in a single run.
+    let msgs = all_errors(
+        "def main() {\n\
+           var a: int = true;\n\
+           var b = unknown_name;\n\
+           var c: NoSuchType = null;\n\
+           var d: bool = 1 + false;\n\
+           undefined_fn(1);\n\
+         }",
+    );
+    assert_eq!(msgs.len(), 5, "want exactly 5 errors, got {msgs:#?}");
+    for needle in ["mismatch", "unknown_name", "NoSuchType", "undefined_fn"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "no error mentions {needle:?}: {msgs:#?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_type_in_signature_does_not_hide_body_errors() {
+    // The bad parameter type poisons `p`, but the body's independent
+    // mistakes must still be diagnosed.
+    let msgs = all_errors(
+        "def f(p: Missing) -> int {\n\
+           var x: bool = 3;\n\
+           return p;\n\
+         }\n\
+         def main() { }",
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("Missing")),
+        "unknown type not reported: {msgs:#?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("mismatch")),
+        "body error swallowed by the signature error: {msgs:#?}"
+    );
+    // `return p` has the poisoned error type, which unifies with `int`:
+    // exactly the two real mistakes, no cascade.
+    assert_eq!(msgs.len(), 2, "cascaded errors: {msgs:#?}");
+}
+
+#[test]
+fn parse_error_does_not_hide_type_errors_elsewhere() {
+    // A parse error in one function and a type error in another: both
+    // surface in one run because sema analyzes the partial AST.
+    let msgs = all_errors(
+        "def broken() { var x = ; }\n\
+         def main() { var y: int = true; }",
+    );
+    assert!(msgs.len() >= 2, "want parse + sema errors, got {msgs:#?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("mismatch")),
+        "sema did not run past the parse error: {msgs:#?}"
+    );
+}
+
+#[test]
+fn duplicate_class_reports_both_sites() {
+    let mut diags = Diagnostics::new();
+    let ast = parse_program(
+        "class A { }\n\
+         class A { def x: int; }\n\
+         def main() { }",
+        &mut diags,
+    );
+    assert!(analyze(&ast, &mut diags).is_none());
+    let dup = diags
+        .iter()
+        .find(|d| d.message.contains("duplicate class"))
+        .expect("duplicate class diagnostic");
+    assert!(
+        dup.notes.iter().any(|n| n.message.contains("first defined here")),
+        "missing cross-reference note: {dup:#?}"
+    );
+}
+
+#[test]
+fn error_typed_receiver_does_not_cascade() {
+    // `v` has the poisoned type; member access and calls on it must stay
+    // silent rather than piling on "no such member" noise.
+    let msgs = all_errors(
+        "def main() {\n\
+           var v = nope;\n\
+           var w = v.anything;\n\
+           v.method(1, 2);\n\
+           var x: int = v;\n\
+         }",
+    );
+    assert_eq!(msgs.len(), 1, "cascaded errors: {msgs:#?}");
+    assert!(msgs[0].contains("nope"));
+}

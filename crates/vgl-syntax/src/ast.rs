@@ -540,6 +540,10 @@ pub enum ExprKind {
         /// The new value.
         value: Box<Expr>,
     },
+    /// A placeholder produced by parser error recovery. A diagnostic has
+    /// already been reported for it; semantic analysis gives it the poisoned
+    /// error type and otherwise ignores it.
+    Error,
 }
 
 impl Expr {

@@ -24,6 +24,16 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A secondary message attached to a [`Diagnostic`], optionally anchored to
+/// its own span (e.g. "first defined here").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Note {
+    /// Where the note points, if anywhere.
+    pub span: Option<Span>,
+    /// The note text, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
 /// One diagnostic message anchored to a span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -33,17 +43,35 @@ pub struct Diagnostic {
     pub span: Span,
     /// Human-readable message, lowercase, no trailing punctuation.
     pub message: String,
+    /// Attached notes, rendered after the main message.
+    pub notes: Vec<Note>,
 }
 
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(span: Span, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Error, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(span: Span, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a note (builder-style).
+    pub fn with_note(mut self, span: Option<Span>, message: impl Into<String>) -> Diagnostic {
+        self.notes.push(Note { span, message: message.into() });
+        self
     }
 
     /// Renders the diagnostic as `line:col: severity: message` given the file's
@@ -52,6 +80,62 @@ impl Diagnostic {
         let lc = lines.lookup(self.span.start);
         format!("{file_name}:{lc}: {}: {}", self.severity, self.message)
     }
+
+    /// Renders the diagnostic rustc-style: the header line, a source window
+    /// showing the offending line with a caret marker underneath, and any
+    /// notes after it.
+    ///
+    /// ```text
+    /// f.v:2:8: error: unknown type 'Foo'
+    ///   2 | var x: Foo = 1;
+    ///     |        ^^^
+    ///     = note: types are declared with 'class'
+    /// ```
+    pub fn render_window(&self, file_name: &str, source: &str, lines: &LineMap) -> String {
+        let mut out = self.render(file_name, lines);
+        out.push('\n');
+        out.push_str(&source_window(source, lines, self.span));
+        for n in &self.notes {
+            match n.span {
+                Some(s) => {
+                    let lc = lines.lookup(s.start);
+                    out.push_str(&format!(
+                        "    = note: {} (at {file_name}:{lc})\n{}",
+                        n.message,
+                        source_window(source, lines, s)
+                    ));
+                }
+                None => out.push_str(&format!("    = note: {}\n", n.message)),
+            }
+        }
+        out
+    }
+}
+
+/// The `  N | line text` / `    |  ^^^` window for one span. Multi-line spans
+/// are clipped to their first line; zero-width spans render a single caret.
+fn source_window(source: &str, lines: &LineMap, span: Span) -> String {
+    let lc = lines.lookup(span.start);
+    let line_ix = lc.line as usize - 1;
+    let start = match lines.line_start(line_ix) {
+        Some(s) => s as usize,
+        None => return String::new(),
+    };
+    let rest = source.get(start..).unwrap_or("");
+    let text = rest.split(['\n', '\r']).next().unwrap_or("").trim_end();
+    let gutter = format!("{:>4}", lc.line);
+    let col = lc.col as usize - 1;
+    // Carets cover the span clipped to this line (tabs render one column).
+    let span_len = (span.len() as usize).max(1);
+    let caret_len = span_len.min(text.len().saturating_sub(col).max(1));
+    let mut out = format!("{gutter} | {text}\n");
+    out.push_str(&format!(
+        "{} | {}{}\n",
+        " ".repeat(gutter.len()),
+        " ".repeat(col.min(text.len())),
+        "^".repeat(caret_len)
+    ));
+    out
 }
 
 impl fmt::Display for Diagnostic {
@@ -121,6 +205,19 @@ impl Diagnostics {
     pub fn extend(&mut self, other: Diagnostics) {
         self.items.extend(other.items);
     }
+
+    /// Drops every diagnostic past the first `len` (used to roll back
+    /// diagnostics recorded during speculative parsing).
+    pub fn truncate(&mut self, len: usize) {
+        self.items.truncate(len);
+    }
+
+    /// Attaches a note to the most recently recorded diagnostic, if any.
+    pub fn note_last(&mut self, span: Option<Span>, message: impl Into<String>) {
+        if let Some(d) = self.items.last_mut() {
+            d.notes.push(Note { span, message: message.into() });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +240,53 @@ mod tests {
         let lines = LineMap::new("ab\ncd");
         let d = Diagnostic::error(Span::new(3, 4), "unexpected token");
         assert_eq!(d.render("f.v", &lines), "f.v:2:1: error: unexpected token");
+    }
+
+    #[test]
+    fn render_window_marks_span() {
+        let src = "var ok = 1;\nvar x: Foo = 1;\n";
+        let lines = LineMap::new(src);
+        let foo = src.find("Foo").unwrap() as u32;
+        let d = Diagnostic::error(Span::new(foo, foo + 3), "unknown type 'Foo'");
+        let r = d.render_window("f.v", src, &lines);
+        assert!(r.starts_with("f.v:2:8: error: unknown type 'Foo'\n"), "{r}");
+        assert!(r.contains("   2 | var x: Foo = 1;\n"), "{r}");
+        assert!(r.contains("     |        ^^^\n"), "{r}");
+    }
+
+    #[test]
+    fn render_window_handles_eof_and_zero_width() {
+        let src = "x";
+        let lines = LineMap::new(src);
+        // Zero-width span at end of input still draws one caret.
+        let d = Diagnostic::error(Span::point(1), "unexpected end of input");
+        let r = d.render_window("f.v", src, &lines);
+        assert!(r.contains('^'), "{r}");
+        // Empty source doesn't panic.
+        let d2 = Diagnostic::error(Span::point(0), "empty");
+        let _ = d2.render_window("f.v", "", &LineMap::new(""));
+    }
+
+    #[test]
+    fn notes_render_after_window() {
+        let src = "class A { }\nclass A { }\n";
+        let lines = LineMap::new(src);
+        let second = src.rfind('A').unwrap() as u32;
+        let d = Diagnostic::error(Span::new(second, second + 1), "duplicate class 'A'")
+            .with_note(Some(Span::new(6, 7)), "first defined here");
+        let r = d.render_window("f.v", src, &lines);
+        assert!(r.contains("= note: first defined here"), "{r}");
+        assert!(r.matches('^').count() >= 2, "{r}");
+    }
+
+    #[test]
+    fn truncate_rolls_back() {
+        let mut d = Diagnostics::new();
+        d.error(Span::point(0), "keep");
+        let mark = d.len();
+        d.error(Span::point(1), "speculative");
+        d.truncate(mark);
+        assert_eq!(d.len(), 1);
+        assert!(d.iter().all(|x| x.message == "keep"));
     }
 }

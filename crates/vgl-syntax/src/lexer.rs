@@ -300,13 +300,26 @@ fn unescape(e: u8) -> Option<u8> {
 }
 
 /// Decodes an integer literal (decimal or `0x...`) to an `i64`; the caller
-/// range-checks against the target type.
+/// range-checks against the target type. Returns `None` (out of range) for
+/// decimal literals above `i64::MAX`; hex literals wrap through `u64` so
+/// `0xFFFFFFFFFFFFFFFF` is `-1`.
 pub fn decode_int_lit(text: &str) -> Option<i64> {
     if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).ok().or_else(|| u64::from_str_radix(hex, 16).ok().map(|v| v as i64))
     } else {
         text.parse::<i64>().ok()
     }
+}
+
+/// Decodes a *negated* decimal integer literal: the value of `-text`. This
+/// exists for `-9223372036854775808` (`i64::MIN`), whose positive half does
+/// not fit in an `i64` on its own; the parser folds a leading `-` into the
+/// literal before decoding. Hex literals already wrap and are rejected here.
+pub fn decode_neg_int_lit(text: &str) -> Option<i64> {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return None;
+    }
+    format!("-{text}").parse::<i64>().ok()
 }
 
 #[cfg(test)]
@@ -395,6 +408,17 @@ mod tests {
         assert_eq!(decode_int_lit("42"), Some(42));
         assert_eq!(decode_int_lit("0x10"), Some(16));
         assert_eq!(decode_int_lit("0xFFFFFFFF"), Some(0xFFFF_FFFF));
+    }
+
+    #[test]
+    fn decode_int_literal_range_edges() {
+        assert_eq!(decode_int_lit("9223372036854775807"), Some(i64::MAX));
+        assert_eq!(decode_int_lit("9223372036854775808"), None);
+        // i64::MIN only exists through the negation path.
+        assert_eq!(decode_neg_int_lit("9223372036854775808"), Some(i64::MIN));
+        assert_eq!(decode_neg_int_lit("9223372036854775809"), None);
+        assert_eq!(decode_neg_int_lit("42"), Some(-42));
+        assert_eq!(decode_neg_int_lit("0x10"), None);
     }
 
     #[test]

@@ -14,36 +14,57 @@
 
 use crate::ast::*;
 use crate::diag::Diagnostics;
-use crate::lexer::{self, decode_byte_lit, decode_int_lit, decode_string_lit};
+use crate::lexer::{
+    self, decode_byte_lit, decode_int_lit, decode_neg_int_lit, decode_string_lit,
+};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
-/// Parses a whole program. Errors are reported into `diags`; the returned
-/// program contains the declarations that parsed successfully.
-pub fn parse_program(source: &str, diags: &mut Diagnostics) -> Program {
+/// Maximum nesting depth of expressions, types, and statements. This is a
+/// semantic bound, not a stack-safety bound: the parser hops to a fresh
+/// segment thread every [`STACK_SEGMENT_DEPTH`] levels (see
+/// [`Parser::in_fresh_segment`]), so no host thread overflows no matter how
+/// deep the input nests. The limit exists so every later recursive consumer
+/// of the AST (semantic analysis, printing, dropping the `Box` chains) sees
+/// bounded nesting, and it bounds the number of live segment threads to
+/// `MAX_NESTING_DEPTH / STACK_SEGMENT_DEPTH`. One source-level nesting level
+/// may charge the counter up to twice (assignment and ternary layers both
+/// guard), so the practical paren depth is at least half this.
+pub const MAX_NESTING_DEPTH: u32 = 512;
+
+/// Depth interval at which the parser moves the remaining recursion onto a
+/// fresh thread with a known-large stack. Sized so one segment's worth of
+/// parser frames (~25 KiB per nesting level in a debug build) fits easily in
+/// even a small (1 MiB) host thread stack.
+const STACK_SEGMENT_DEPTH: u32 = 24;
+
+/// Stack size for each parser segment thread. Reserved lazily by the OS, so
+/// untouched pages cost nothing.
+const STACK_SEGMENT_BYTES: usize = 16 << 20;
+
+fn new_parser<'a, 'd>(source: &'a str, diags: &'d mut Diagnostics) -> Parser<'a, 'd> {
     let tokens = lexer::lex(source, diags);
-    let mut p = Parser {
+    Parser {
         src: source,
         tokens,
         pos: 0,
         diags,
         next_id: 0,
         splits: Vec::new(),
-    };
-    p.program()
+        depth: 0,
+    }
+}
+
+/// Parses a whole program. Errors are reported into `diags`; the returned
+/// program contains the declarations that parsed successfully, with
+/// [`ExprKind::Error`] placeholders where expressions failed to parse.
+pub fn parse_program(source: &str, diags: &mut Diagnostics) -> Program {
+    new_parser(source, diags).program()
 }
 
 /// Parses a single expression (used by tests and tools).
 pub fn parse_expr(source: &str, diags: &mut Diagnostics) -> Option<Expr> {
-    let tokens = lexer::lex(source, diags);
-    let mut p = Parser {
-        src: source,
-        tokens,
-        pos: 0,
-        diags,
-        next_id: 0,
-        splits: Vec::new(),
-    };
+    let mut p = new_parser(source, diags);
     let e = p.expr()?;
     if p.peek() != TokenKind::Eof {
         p.error_here("expected end of input after expression");
@@ -54,15 +75,7 @@ pub fn parse_expr(source: &str, diags: &mut Diagnostics) -> Option<Expr> {
 
 /// Parses a single type expression (used by tests and tools).
 pub fn parse_type(source: &str, diags: &mut Diagnostics) -> Option<TypeExpr> {
-    let tokens = lexer::lex(source, diags);
-    let mut p = Parser {
-        src: source,
-        tokens,
-        pos: 0,
-        diags,
-        next_id: 0,
-        splits: Vec::new(),
-    };
+    let mut p = new_parser(source, diags);
     let t = p.type_expr()?;
     if p.peek() != TokenKind::Eof {
         p.error_here("expected end of input after type");
@@ -79,6 +92,8 @@ struct Parser<'a, 'd> {
     next_id: NodeId,
     /// Journal of `>>`→`>` splits: (token index, original token).
     splits: Vec<(usize, Token)>,
+    /// Current nesting depth, bounded by [`MAX_NESTING_DEPTH`].
+    depth: u32,
 }
 
 #[derive(Clone, Copy)]
@@ -186,20 +201,92 @@ impl<'a> Parser<'a, '_> {
     }
 
     fn restore(&mut self, s: Snapshot) {
+        // Unwind the `>>` split journal defensively: a pop can only come up
+        // empty if a snapshot from a stale parse leaked in, and a malformed
+        // `>>` in type position must degrade to a diagnostic, not a panic.
         while self.splits.len() > s.splits_len {
-            let (i, t) = self.splits.pop().expect("split journal underflow");
-            self.tokens[i] = t;
+            match self.splits.pop() {
+                Some((i, t)) if i < self.tokens.len() => self.tokens[i] = t,
+                Some(_) | None => {
+                    self.error_here("malformed '>>' in type position");
+                    break;
+                }
+            }
         }
         self.pos = s.pos;
         self.next_id = s.next_id;
         // Diagnostics are append-only; speculative failures must not leak
-        // errors. Rebuild by truncation.
-        let kept: Vec<_> = self.diags.iter().take(s.diags_len).cloned().collect();
-        let mut d = Diagnostics::new();
-        for item in kept {
-            d.push(item);
+        // errors.
+        self.diags.truncate(s.diags_len);
+    }
+
+    /// Bumps the nesting depth; reports "too deeply nested" and returns
+    /// `None` at the limit, which unwinds (via `?`) to the nearest recovery
+    /// point.
+    fn enter(&mut self) -> Option<()> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            let span = self.cur().span;
+            self.diags.error(span, "expression too deeply nested");
+            self.diags.note_last(
+                None,
+                format!("the parser limits nesting to {MAX_NESTING_DEPTH} levels"),
+            );
+            return None;
         }
-        *self.diags = d;
+        self.depth += 1;
+        Some(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Runs `f` under the nesting-depth guard. Every [`STACK_SEGMENT_DEPTH`]
+    /// levels the remaining recursion is moved onto a fresh thread with a
+    /// 16 MiB stack, so deeply nested input can never overflow the host
+    /// thread's stack — the depth limit is enforced for semantic reasons
+    /// only (see [`MAX_NESTING_DEPTH`]).
+    fn guarded<T: Send>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Option<T> + Send,
+    ) -> Option<T> {
+        self.enter()?;
+        let r = if self.depth.is_multiple_of(STACK_SEGMENT_DEPTH) {
+            self.in_fresh_segment(f)
+        } else {
+            f(self)
+        };
+        self.leave();
+        r
+    }
+
+    /// Continues parsing on a new thread with a known-large stack. Scoped, so
+    /// the borrow of `self` flows through; panics propagate unchanged. If the
+    /// OS refuses a thread, the input is treated as too deeply nested rather
+    /// than risking an overflow inline.
+    fn in_fresh_segment<T: Send>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Option<T> + Send,
+    ) -> Option<T> {
+        let this = &mut *self;
+        let outcome = std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("vgl-parse-segment".into())
+                .stack_size(STACK_SEGMENT_BYTES)
+                .spawn_scoped(scope, move || f(this))
+                .map(|handle| match handle.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .ok()
+        });
+        outcome.unwrap_or_else(|| {
+            let span = self.cur().span;
+            self.diags.error(span, "expression too deeply nested");
+            self.diags
+                .note_last(None, "could not reserve stack space for the nested expression");
+            None
+        })
     }
 
     fn fresh_id(&mut self) -> NodeId {
@@ -519,6 +606,10 @@ impl<'a> Parser<'a, '_> {
     // ---- types -------------------------------------------------------------
 
     fn type_expr(&mut self) -> Option<TypeExpr> {
+        self.guarded(|p| p.type_expr_inner())
+    }
+
+    fn type_expr_inner(&mut self) -> Option<TypeExpr> {
         let lhs = self.type_atom()?;
         if self.eat(TokenKind::Arrow) {
             let rhs = self.type_expr()?; // right-associative
@@ -601,6 +692,10 @@ impl<'a> Parser<'a, '_> {
     }
 
     fn stmt(&mut self) -> Option<Stmt> {
+        self.guarded(|p| p.stmt_inner())
+    }
+
+    fn stmt_inner(&mut self) -> Option<Stmt> {
         let start = self.cur().span;
         let kind = match self.peek() {
             TokenKind::LBrace => StmtKind::Block(self.block()?),
@@ -733,6 +828,10 @@ impl<'a> Parser<'a, '_> {
     }
 
     fn assign_expr(&mut self) -> Option<Expr> {
+        self.guarded(|p| p.assign_expr_inner())
+    }
+
+    fn assign_expr_inner(&mut self) -> Option<Expr> {
         let lhs = self.ternary_expr()?;
         if self.at(TokenKind::Assign) {
             self.bump();
@@ -748,6 +847,10 @@ impl<'a> Parser<'a, '_> {
     }
 
     fn ternary_expr(&mut self) -> Option<Expr> {
+        self.guarded(|p| p.ternary_expr_inner())
+    }
+
+    fn ternary_expr_inner(&mut self) -> Option<Expr> {
         let cond = self.or_expr()?;
         if self.at(TokenKind::Question) {
             self.bump();
@@ -851,25 +954,76 @@ impl<'a> Parser<'a, '_> {
     }
 
     fn unary_expr(&mut self) -> Option<Expr> {
-        match self.peek() {
-            TokenKind::Minus => {
-                let start = self.bump().span;
-                let e = self.unary_expr()?;
-                let span = start.to(e.span);
-                Some(Expr { kind: ExprKind::Neg(Box::new(e)), span, id: self.fresh_id() })
+        // Collect prefix operators iteratively so `----…x` costs no native
+        // stack in the parser, then apply them innermost-first.
+        let mut prefixes: Vec<Token> = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Minus => {
+                    // `-9223372036854775808` (`i64::MIN`) only fits in an i64
+                    // as a whole: its positive half overflows, so fold the
+                    // sign into the literal before decoding.
+                    if self.peek_ahead(1) == TokenKind::IntLit {
+                        let lit = self.tokens[self.pos + 1];
+                        let text = lit.text(self.src);
+                        if decode_int_lit(text).is_none() {
+                            if let Some(v) = decode_neg_int_lit(text) {
+                                let minus = self.bump();
+                                self.bump();
+                                let span = minus.span.to(lit.span);
+                                let e = Expr {
+                                    kind: ExprKind::IntLit(v),
+                                    span,
+                                    id: self.fresh_id(),
+                                };
+                                let e = self.postfix_tail(e)?;
+                                return Some(self.apply_prefixes(prefixes, e));
+                            }
+                        }
+                    }
+                    prefixes.push(self.bump());
+                }
+                TokenKind::Bang => {
+                    prefixes.push(self.bump());
+                }
+                _ => break,
             }
-            TokenKind::Bang => {
-                let start = self.bump().span;
-                let e = self.unary_expr()?;
-                let span = start.to(e.span);
-                Some(Expr { kind: ExprKind::Not(Box::new(e)), span, id: self.fresh_id() })
-            }
-            _ => self.postfix_expr(),
         }
+        // A prefix run is nesting like any other: cap it so the resulting
+        // `Neg`/`Not` chain stays within what downstream recursion tolerates.
+        if prefixes.len() as u32 > MAX_NESTING_DEPTH {
+            let span = prefixes[0].span;
+            self.diags.error(span, "expression too deeply nested");
+            self.diags.note_last(
+                None,
+                format!("the parser limits nesting to {MAX_NESTING_DEPTH} levels"),
+            );
+            return None;
+        }
+        let e = self.postfix_expr()?;
+        Some(self.apply_prefixes(prefixes, e))
+    }
+
+    fn apply_prefixes(&mut self, prefixes: Vec<Token>, mut e: Expr) -> Expr {
+        for t in prefixes.into_iter().rev() {
+            let span = t.span.to(e.span);
+            let kind = match t.kind {
+                TokenKind::Minus => ExprKind::Neg(Box::new(e)),
+                _ => ExprKind::Not(Box::new(e)),
+            };
+            e = Expr { kind, span, id: self.fresh_id() };
+        }
+        e
     }
 
     fn postfix_expr(&mut self) -> Option<Expr> {
-        let mut e = self.primary_expr()?;
+        let e = self.primary_expr()?;
+        self.postfix_tail(e)
+    }
+
+    /// Parses call/index/member/type-arg suffixes onto an already-parsed
+    /// expression.
+    fn postfix_tail(&mut self, mut e: Expr) -> Option<Expr> {
         loop {
             match self.peek() {
                 TokenKind::LParen => {
@@ -1107,7 +1261,14 @@ impl<'a> Parser<'a, '_> {
                 let v = match decode_int_lit(text) {
                     Some(v) => v,
                     None => {
-                        self.diags.error(t.span, "integer literal out of range");
+                        self.diags.error(
+                            t.span,
+                            format!("integer literal '{text}' out of range"),
+                        );
+                        self.diags.note_last(
+                            None,
+                            format!("integer literals must fit in an i64 ({} to {})", i64::MIN, i64::MAX),
+                        );
                         0
                     }
                 };
@@ -1189,11 +1350,35 @@ impl<'a> Parser<'a, '_> {
                     id: self.fresh_id(),
                 })
             }
+            TokenKind::Error => {
+                // The lexer already reported this token; consume it and leave
+                // an error placeholder so parsing continues.
+                self.bump();
+                Some(Expr { kind: ExprKind::Error, span: t.span, id: self.fresh_id() })
+            }
             _ => {
                 self.error_here(format!("expected an expression, found {}", t.kind));
-                None
+                // Consume the offending token unless it can close or continue
+                // an enclosing construct — leaving anchors in place lets the
+                // surrounding recovery loops resynchronize on them.
+                if !Self::expr_recovery_anchor(t.kind) {
+                    self.bump();
+                }
+                Some(Expr { kind: ExprKind::Error, span: t.span, id: self.fresh_id() })
             }
         }
+    }
+
+    /// Tokens a failed `primary_expr` must not consume: closers and keywords
+    /// that enclosing constructs or recovery loops synchronize on.
+    fn expr_recovery_anchor(k: TokenKind) -> bool {
+        use TokenKind::*;
+        matches!(
+            k,
+            RParen | RBracket | RBrace | Semi | Comma | Colon | Eof | KwClass | KwDef
+                | KwVar | KwPrivate | KwNew | KwElse | KwReturn | KwIf | KwWhile | KwFor
+                | KwBreak | KwContinue
+        )
     }
 }
 
@@ -1580,5 +1765,151 @@ mod tests {
         let p = program_ok("def f(x: int) -> int { return x + 1; }");
         // All ids must be below node_count and the program parse allocated some.
         assert!(p.node_count > 0);
+    }
+
+    // ---- error recovery & robustness ---------------------------------------
+
+    #[test]
+    fn min_i64_literal_lexes_via_negation() {
+        let e = expr_ok("-9223372036854775808");
+        assert!(matches!(e.kind, ExprKind::IntLit(i64::MIN)), "{e:?}");
+        // Double negation still folds the innermost pair.
+        let e = expr_ok("--9223372036854775808");
+        match e.kind {
+            ExprKind::Neg(inner) => assert!(matches!(inner.kind, ExprKind::IntLit(i64::MIN))),
+            other => panic!("expected neg, got {other:?}"),
+        }
+        // Subtraction is not negation: `2-…` keeps the binary operator.
+        let mut d = Diagnostics::new();
+        let _ = parse_expr("2-9223372036854775808", &mut d);
+        assert!(d.has_errors(), "positive half alone is out of range");
+    }
+
+    #[test]
+    fn out_of_range_literal_reports_value() {
+        let mut d = Diagnostics::new();
+        let e = parse_expr("9223372036854775808", &mut d);
+        assert!(e.is_some());
+        assert!(d
+            .iter()
+            .any(|x| x.message.contains("9223372036854775808") && x.message.contains("out of range")));
+    }
+
+    #[test]
+    fn deep_nesting_reports_instead_of_overflowing() {
+        for src in [
+            "(".repeat(10_000),
+            "(".repeat(10_000) + "1" + &")".repeat(10_000),
+            "!".repeat(10_000) + "x",
+            "[".repeat(10_000),
+        ] {
+            let mut d = Diagnostics::new();
+            let _ = parse_expr(&src, &mut d);
+            assert!(d.has_errors(), "expected a diagnostic for {} …", &src[..8]);
+            assert!(
+                d.iter().any(|x| x.message.contains("too deeply nested")),
+                "wanted nesting diagnostic, got {:?}",
+                d.iter().take(3).collect::<Vec<_>>()
+            );
+        }
+        // Statements and types nest through the same guard.
+        let stmts = "{".repeat(10_000);
+        let mut d = Diagnostics::new();
+        let _ = parse_program(&format!("def f() {stmts}"), &mut d);
+        assert!(d.has_errors());
+        let types = "(".repeat(10_000) + "int";
+        let mut d = Diagnostics::new();
+        let _ = parse_type(&types, &mut d);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        // 200 levels sits well past any single thread's debug-build stack
+        // budget: this only passes because recursion is segmented across
+        // fresh threads.
+        let src = "(".repeat(200) + "1" + &")".repeat(200);
+        expr_ok(&src);
+        let ty = "(".repeat(200) + "int" + &")".repeat(200);
+        type_ok(&ty);
+    }
+
+    #[test]
+    fn stray_shr_is_diagnosed_not_panicking() {
+        for src in [">>", "a >> ;", "x = >>;", "List<int>> y", "f(a >>)"] {
+            let mut d = Diagnostics::new();
+            let _ = parse_program(&format!("def f() {{ {src} }}"), &mut d);
+            assert!(d.has_errors(), "expected errors for {src:?}");
+        }
+    }
+
+    #[test]
+    fn missing_expr_leaves_error_node() {
+        let mut d = Diagnostics::new();
+        let p = parse_program("def f() { var x = ; }", &mut d);
+        assert_eq!(d.error_count(), 1, "{:?}", d.iter().collect::<Vec<_>>());
+        // The declaration survives with an Error placeholder as initializer.
+        match &p.decls[0] {
+            Decl::Method(m) => {
+                let body = m.body.as_ref().expect("body");
+                match &body.stmts[0].kind {
+                    StmtKind::Local { binders, .. } => {
+                        let init = binders[0].init.as_ref().expect("init");
+                        assert!(matches!(init.kind, ExprKind::Error));
+                    }
+                    other => panic!("expected local, got {other:?}"),
+                }
+            }
+            _ => panic!("expected method"),
+        }
+    }
+
+    #[test]
+    fn multiple_independent_errors_all_reported() {
+        let src = "def f() {\n\
+                     var a = ;\n\
+                     var b = 1 +;\n\
+                     var c = [1, , 2];\n\
+                   }";
+        let mut d = Diagnostics::new();
+        let _ = parse_program(src, &mut d);
+        assert!(d.error_count() >= 3, "{:?}", d.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn missing_call_arg_recovers_within_call() {
+        let mut d = Diagnostics::new();
+        let p = parse_program("def f() { g(, 2); }", &mut d);
+        assert_eq!(d.error_count(), 1);
+        // The call still has two argument slots.
+        match &p.decls[0] {
+            Decl::Method(m) => {
+                let body = m.body.as_ref().expect("body");
+                match &body.stmts[0].kind {
+                    StmtKind::Expr(e) => match &e.kind {
+                        ExprKind::Call { args, .. } => assert_eq!(args.len(), 2),
+                        other => panic!("expected call, got {other:?}"),
+                    },
+                    other => panic!("expected expr stmt, got {other:?}"),
+                }
+            }
+            _ => panic!("expected method"),
+        }
+    }
+
+    #[test]
+    fn garbage_never_loops_forever() {
+        // Purely adversarial token soup; success is termination + errors.
+        for src in [
+            "} } ) ] ; , : >> << ?",
+            "class { { { def var",
+            "def f() { if (x { y } }",
+            "var = = = ;",
+            "\u{0}\u{1}\u{2}",
+        ] {
+            let mut d = Diagnostics::new();
+            let _ = parse_program(src, &mut d);
+            assert!(d.has_errors(), "expected errors for {src:?}");
+        }
     }
 }

@@ -448,6 +448,9 @@ impl Printer {
                 self.out.push_str(" = ");
                 self.expr_prec(value, PREC_ASSIGN);
             }
+            // Error placeholders only exist for source that already failed to
+            // parse, so the printed form does not need to re-lex.
+            ExprKind::Error => self.out.push_str("<error>"),
         }
     }
 }

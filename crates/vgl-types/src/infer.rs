@@ -132,6 +132,13 @@ fn match_var(
     ctx: &mut InferCtx,
     pol: Polarity,
 ) -> bool {
+    // The poisoned error type matches anything without binding: the error it
+    // stands for was already reported.
+    if matches!(store.kind(expected), TypeKind::Error)
+        || matches!(store.kind(actual), TypeKind::Error)
+    {
+        return true;
+    }
     if let TypeKind::Var(v) = *store.kind(expected) {
         if ctx.is_bindable(v) {
             return bind(store, hier, v, actual, ctx, pol);
@@ -342,5 +349,21 @@ mod tests {
         // `outer` is not bindable: only an identical var matches.
         assert!(match_types(&mut s, &h, tv, tv, &mut ctx));
         { let __t = s.int; assert!(!match_types(&mut s, &h, tv, __t, &mut ctx)); }
+    }
+
+    #[test]
+    fn error_type_matches_without_binding() {
+        let (mut s, h) = setup();
+        let v = TypeVarId(0);
+        let tv = s.var(v);
+        let mut ctx = InferCtx::new(&[v]);
+        // The poisoned error type matches any expected type — including an
+        // unbound inference var, which must stay unbound (no `<error>` leaks
+        // into inferred type arguments).
+        let err = s.error;
+        assert!(match_types(&mut s, &h, tv, err, &mut ctx));
+        assert_eq!(ctx.get(v), None);
+        let int = s.int;
+        assert!(match_types(&mut s, &h, err, int, &mut ctx));
     }
 }

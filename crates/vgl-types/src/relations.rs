@@ -79,6 +79,12 @@ pub fn is_subtype(store: &mut TypeStore, hier: &Hierarchy, a: Type, b: Type) -> 
     if a == b {
         return true;
     }
+    // The poisoned error type unifies with everything: a diagnostic has
+    // already been reported wherever it was produced, so no relation check
+    // involving it should generate a second, cascading error.
+    if matches!(store.kind(a), TypeKind::Error) || matches!(store.kind(b), TypeKind::Error) {
+        return true;
+    }
     match (store.kind(a).clone(), store.kind(b).clone()) {
         (TypeKind::Null, _) => store.is_nullable(b),
         (TypeKind::Tuple(xs), TypeKind::Tuple(ys)) => {
@@ -211,6 +217,7 @@ pub fn display_type(store: &TypeStore, hier: &Hierarchy, t: Type) -> String {
             }
         }
         TypeKind::Var(v) => format!("#{}", v.0),
+        TypeKind::Error => "<error>".into(),
     }
 }
 
@@ -490,5 +497,30 @@ mod tests {
         let hof_param = f.store.function(f.store.int, f.store.int);
         let hof = f.store.function(hof_param, f.store.int);
         assert_eq!(display_type(&f.store, &f.hier, hof), "(int -> int) -> int");
+    }
+
+    #[test]
+    fn error_type_unifies_with_everything() {
+        let mut f = fix();
+        let err = f.store.error;
+        assert!(f.store.is_error(err));
+        // Bidirectional subtyping with every shape of type.
+        let tup = f.store.tuple(vec![f.store.int, f.store.bool_]);
+        let fun = f.store.function(f.store.int, f.store.void);
+        for t in [f.store.int, f.store.bool_, f.store.void, tup, fun, err] {
+            assert!(is_subtype(&mut f.store, &f.hier, err, t));
+            assert!(is_subtype(&mut f.store, &f.hier, t, err));
+        }
+        // Casting to/from the error type never introduces a second failure.
+        let int = f.store.int;
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, err, int),
+            CastRelation::Subsumption
+        );
+        assert_eq!(
+            cast_relation(&mut f.store, &f.hier, int, err),
+            CastRelation::Subsumption
+        );
+        assert_eq!(display_type(&f.store, &f.hier, err), "<error>");
     }
 }

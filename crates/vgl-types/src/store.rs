@@ -77,6 +77,11 @@ pub enum TypeKind {
     Class(ClassId, Vec<Type>),
     /// A reference to a type parameter.
     Var(TypeVarId),
+    /// The poisoned error type, produced only after a diagnostic has been
+    /// reported. It unifies with every type so one error does not cascade
+    /// into dozens of follow-on mismatches; a module containing it is never
+    /// handed to later pipeline stages.
+    Error,
 }
 
 /// Interner for [`Type`]s plus pre-made primitives.
@@ -96,6 +101,8 @@ pub struct TypeStore {
     pub null: Type,
     /// `string`, an alias for `Array<byte>`.
     pub string: Type,
+    /// The poisoned error type (see [`TypeKind::Error`]).
+    pub error: Type,
 }
 
 impl Default for TypeStore {
@@ -116,6 +123,7 @@ impl TypeStore {
             int: Type(0),
             null: Type(0),
             string: Type(0),
+            error: Type(0),
         };
         s.void = s.intern(TypeKind::Void);
         s.bool_ = s.intern(TypeKind::Bool);
@@ -123,7 +131,13 @@ impl TypeStore {
         s.int = s.intern(TypeKind::Int);
         s.null = s.intern(TypeKind::Null);
         s.string = s.array(s.byte);
+        s.error = s.intern(TypeKind::Error);
         s
+    }
+
+    /// True if `t` is the poisoned error type.
+    pub fn is_error(&self, t: Type) -> bool {
+        t == self.error
     }
 
     fn intern(&mut self, kind: TypeKind) -> Type {
@@ -191,7 +205,11 @@ impl TypeStore {
     pub fn is_nullable(&self, t: Type) -> bool {
         matches!(
             self.kind(t),
-            TypeKind::Class(..) | TypeKind::Array(_) | TypeKind::Function(..) | TypeKind::Null
+            TypeKind::Class(..)
+                | TypeKind::Array(_)
+                | TypeKind::Function(..)
+                | TypeKind::Null
+                | TypeKind::Error
         )
     }
 

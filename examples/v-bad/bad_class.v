@@ -1,0 +1,5 @@
+// Duplicate class names and an unknown superclass.
+class Dup { }
+class Dup { def x: int; }
+class Orphan extends Missing { }
+def main() { }

@@ -1,0 +1,6 @@
+// Malformed escapes in string and byte literals.
+def main() {
+  var s = "bad \q escape";
+  var b = '\z';
+  var c = 'xy';
+}

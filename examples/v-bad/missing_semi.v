@@ -1,0 +1,8 @@
+// Missing semicolons and a missing call argument; recovery must keep the
+// rest of the function analyzable.
+def f(a: int, b: int) -> int { return a + b; }
+def main() {
+  var x = f(, 2);
+  var y = 1
+  var z: int = false;
+}

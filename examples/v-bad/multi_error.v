@@ -1,0 +1,9 @@
+// Five independent mistakes; `vglc check` must report every one of them in a
+// single run (error recovery keeps analysis going past each failure).
+def main() {
+  var a: int = true;
+  var b = unknown_name;
+  var c: NoSuchType = null;
+  var d: bool = 1 + false;
+  undefined_fn(1);
+}

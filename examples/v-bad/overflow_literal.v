@@ -1,0 +1,10 @@
+// Out-of-range integer literals. `-2147483648` (int min) is legal and must
+// lex through the negation path; `-9223372036854775808` also lexes as one
+// negated literal (i64 min) but draws a single, clean range error from the
+// typechecker -- not lexer garbage.
+def main() {
+  var a = 9223372036854775808;
+  var b = 0xFFFFFFFFFFFFFFFFFF;
+  var ok = -2147483648;
+  var c = -9223372036854775808;
+}

@@ -1,0 +1,6 @@
+// A `>>` outside any generic type: the split journal must back out cleanly
+// and report an expression error, not panic.
+def main() {
+  var x = >>;
+  var y: int = 3;
+}

@@ -1,0 +1,11 @@
+// Several independent type errors across class and function boundaries.
+class Point {
+  def x: int;
+  new(x) { }
+}
+def dist(p: Point) -> int { return p.x; }
+def main() {
+  var p = Point.new(true);
+  var n: bool = dist(p);
+  var q: Point = 3;
+}

@@ -1,0 +1,6 @@
+// The string literal never closes; the lexer must recover at the line end
+// and the parser must keep going to find the second error.
+def main() {
+  var s = "this string never ends;
+  var t: int = false;
+}

@@ -145,3 +145,91 @@ fn gc_example_profiles_collections() {
     }
     assert!(profile.retired() > 0);
 }
+
+// ---- Malformed corpus: diagnostics are golden too --------------------------
+
+fn bad_example_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../examples/v-bad")
+}
+
+/// Every file in `examples/v-bad`. Each must produce at least one error —
+/// and exactly the recorded rendered diagnostics. Regenerate the snapshots
+/// with `VGL_UPDATE_GOLDEN=1 cargo test -p tests`.
+const BAD: &[&str] = &[
+    "bad_class.v",
+    "bad_escape.v",
+    "deep_nesting.v",
+    "missing_semi.v",
+    "multi_error.v",
+    "overflow_literal.v",
+    "stray_shr.v",
+    "type_errors.v",
+    "unterminated_string.v",
+];
+
+#[test]
+fn bad_examples_match_expected_diagnostics() {
+    for &name in BAD {
+        let dir = bad_example_dir();
+        let src_path = dir.join(name);
+        let src = std::fs::read_to_string(&src_path)
+            .unwrap_or_else(|e| panic!("read {src_path:?}: {e}"));
+        // Check with the bare file name so snapshots are machine-independent.
+        let report = vgl::Compiler::new().check(name, &src);
+        assert!(!report.ok(), "{name}: expected errors, found none");
+        let got = report.rendered.concat();
+        let expected_path = dir.join(format!("{name}.expected"));
+        if std::env::var("VGL_UPDATE_GOLDEN").is_ok() {
+            std::fs::write(&expected_path, &got)
+                .unwrap_or_else(|e| panic!("write {expected_path:?}: {e}"));
+            continue;
+        }
+        let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!("read {expected_path:?}: {e} (VGL_UPDATE_GOLDEN=1 to create)")
+        });
+        assert_eq!(
+            got, want,
+            "{name}: diagnostics drifted; rerun with VGL_UPDATE_GOLDEN=1 if intended"
+        );
+    }
+}
+
+#[test]
+fn bad_examples_directory_is_fully_listed() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(bad_example_dir())
+        .expect("examples/v-bad exists")
+        .filter_map(|e| {
+            let name = e.expect("dir entry").file_name().into_string().expect("utf-8");
+            name.ends_with(".v").then_some(name)
+        })
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, BAD, "keep the BAD table in sync with examples/v-bad");
+}
+
+#[test]
+fn good_examples_check_clean() {
+    for &(name, _, _) in GOLDEN {
+        let report = vgl::Compiler::new().check(name, &example(name));
+        assert!(
+            report.ok() && report.diagnostics.is_empty(),
+            "{name}: expected a clean check, got {:?}",
+            report.rendered
+        );
+    }
+}
+
+/// The acceptance bar for error recovery: a file with five independent
+/// mistakes reports all five in one run.
+#[test]
+fn multi_error_reports_all_five() {
+    let src = std::fs::read_to_string(bad_example_dir().join("multi_error.v"))
+        .expect("multi_error.v");
+    let report = vgl::Compiler::new().check("multi_error.v", &src);
+    assert_eq!(
+        report.error_count(),
+        5,
+        "recovery lost errors: {:?}",
+        report.rendered
+    );
+}
