@@ -1,0 +1,101 @@
+//! CI bench-smoke for the parallel/cached back end: times the back half of
+//! the pipeline (normalize → optimize → lower → fuse) on the E9
+//! instance-fan-out workloads, writes the medians to `BENCH_compile.json`,
+//! and **fails (exit 1) unless the tuned configuration (jobs = 8, instance
+//! cache on) is at least 1.3× faster** than the seed baseline (jobs = 1,
+//! cache off) on the duplicate-instance workload. A jobs = 1/2/4/8 scaling
+//! curve (cache on) is recorded for EXPERIMENTS.md E9 but not gated — on a
+//! single-core runner the threads only add overhead and the win comes from
+//! the cache, which is exactly what the gate measures.
+//!
+//! Usage: `cargo run --release -p vgl-bench --bin bench_compile [out.json]`
+//! Sample count honors `VGL_BENCH_SAMPLES` (default 10).
+
+use std::process::ExitCode;
+use vgl_bench::{measure_backend, workloads, BackendMeasurement};
+use vgl_obs::json::Json;
+
+const GATE_SPEEDUP: f64 = 1.3;
+
+fn row_json(m: &BackendMeasurement) -> Json {
+    let mut o = Json::object();
+    o.set("workload", Json::Str(m.name.clone()));
+    o.set("jobs", Json::from(m.jobs));
+    o.set("cache", Json::Bool(m.cache));
+    o.set("time_us", Json::Num(m.time.as_secs_f64() * 1e6));
+    o.set("norm_hit_rate", Json::Num(m.norm_cache.hit_rate()));
+    o.set("opt_hit_rate", Json::Num(m.opt_cache.hit_rate()));
+    o
+}
+
+fn print_row(m: &BackendMeasurement, baseline: &BackendMeasurement) {
+    println!(
+        "{:<28} {:>4} {:>6} {:>12.1} {:>8.2}x {:>9.0}% {:>9.0}%",
+        m.name,
+        m.jobs,
+        if m.cache { "on" } else { "off" },
+        m.time.as_secs_f64() * 1e6,
+        baseline.time.as_secs_f64() / m.time.as_secs_f64().max(1e-9),
+        m.norm_cache.hit_rate() * 100.0,
+        m.opt_cache.hit_rate() * 100.0,
+    );
+}
+
+fn main() -> ExitCode {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_compile.json".to_string());
+    let samples = std::env::var("VGL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(10);
+    let dup = workloads::instance_fanout_dup(96);
+    let distinct = workloads::instance_fanout_distinct(96);
+
+    println!(
+        "{:<28} {:>4} {:>6} {:>12} {:>9} {:>10} {:>10}",
+        "workload", "jobs", "cache", "median (us)", "speedup", "norm hit%", "opt hit%"
+    );
+    let mut rows = Vec::new();
+
+    // The gate: seed baseline (jobs=1, no cache) vs tuned (jobs=8, cached)
+    // on the duplicate-instance workload.
+    let base = measure_backend("fanout_dup(96)", &dup, 1, false, samples);
+    let tuned = measure_backend("fanout_dup(96)", &dup, 8, true, samples);
+    print_row(&base, &base);
+    print_row(&tuned, &base);
+    rows.push(row_json(&base));
+    rows.push(row_json(&tuned));
+    let speedup = base.time.as_secs_f64() / tuned.time.as_secs_f64().max(1e-9);
+
+    // Scaling curve, cache on, both workloads — informational.
+    for (name, src) in [("fanout_dup(96)", &dup), ("fanout_distinct(96)", &distinct)] {
+        let curve_base = measure_backend(name, src, 1, true, samples);
+        print_row(&curve_base, &curve_base);
+        rows.push(row_json(&curve_base));
+        for jobs in [2, 4, 8] {
+            let m = measure_backend(name, src, jobs, true, samples);
+            print_row(&m, &curve_base);
+            rows.push(row_json(&m));
+        }
+    }
+
+    let mut root = Json::object();
+    root.set("samples", Json::from(samples));
+    root.set("gate_speedup", Json::Num(GATE_SPEEDUP));
+    root.set("measured_speedup", Json::Num(speedup));
+    root.set("rows", Json::Arr(rows));
+    if let Err(e) = std::fs::write(&out_path, format!("{root}\n")) {
+        eprintln!("bench_compile: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if speedup < GATE_SPEEDUP {
+        eprintln!(
+            "bench_compile: REGRESSION — jobs=8 + cache is only {speedup:.2}x over the \
+             jobs=1 uncached baseline (gate: {GATE_SPEEDUP}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

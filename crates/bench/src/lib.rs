@@ -139,6 +139,64 @@ pub fn measure_fusion(name: &str, source: &str, samples: usize) -> FusionMeasure
     }
 }
 
+/// One back-end configuration measured on one workload — the E9 data point.
+#[derive(Clone, Debug)]
+pub struct BackendMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// Thread count the back half ran with.
+    pub jobs: usize,
+    /// Whether the per-instance pass cache was on.
+    pub cache: bool,
+    /// Median wall-clock time of the back half (normalize → fuse).
+    pub time: Duration,
+    /// Normalize-pass instance-cache stats from the last sample.
+    pub norm_cache: vgl::CacheStats,
+    /// Optimize-pass instance-cache stats from the last sample.
+    pub opt_cache: vgl::CacheStats,
+}
+
+/// Times the back half of the pipeline (normalize → optimize → lower →
+/// fuse) at one `(jobs, cache)` configuration. The front end and
+/// monomorphization run outside the timer — they are identical across
+/// configurations, so including them would only dilute the comparison.
+/// Returns the median of `samples` timed runs.
+pub fn measure_backend(
+    name: &str,
+    source: &str,
+    jobs: usize,
+    cache: bool,
+    samples: usize,
+) -> BackendMeasurement {
+    let mut diags = vgl_syntax::Diagnostics::new();
+    let ast = vgl_syntax::parse_program(source, &mut diags);
+    assert!(!diags.has_errors(), "{name}: workload failed to parse");
+    let module = vgl_sema::analyze(&ast, &mut diags)
+        .unwrap_or_else(|| panic!("{name}: workload failed to analyze"));
+    let cfg = vgl_passes::BackendConfig { jobs, cache };
+    let mut times = Vec::with_capacity(samples);
+    let mut report = vgl::BackendReport::default();
+    for _ in 0..samples {
+        let (mut m, _) = vgl_passes::monomorphize(&module);
+        report = vgl::BackendReport { jobs, ..Default::default() };
+        let start = Instant::now();
+        vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
+        vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
+        let mut prog = vgl_vm::lower(&m);
+        vgl_vm::fuse_jobs(&mut prog, jobs, cache);
+        times.push(start.elapsed());
+    }
+    times.sort();
+    BackendMeasurement {
+        name: name.to_string(),
+        jobs,
+        cache,
+        time: times[(times.len() - 1) / 2],
+        norm_cache: report.norm_cache,
+        opt_cache: report.opt_cache,
+    }
+}
+
 /// Simple fixed-width table printer.
 pub struct Table {
     headers: Vec<String>,

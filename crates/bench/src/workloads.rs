@@ -213,6 +213,71 @@ def main() -> int {{
     )
 }
 
+/// E9 (cache-friendly): a generic worker whose body never mentions its type
+/// parameter, instantiated at `k` distinct phantom classes. Monomorphization
+/// produces `k` method instances whose post-mono bodies are identical, so
+/// the per-instance pass cache collapses them to one unit of normalize +
+/// optimize work — the best case for the back-end instance cache.
+pub fn instance_fanout_dup(k: usize) -> String {
+    let mut src = String::new();
+    for i in 0..k {
+        let _ = writeln!(src, "class C{i} {{}}");
+    }
+    src.push_str(
+        "def work<T>(n: int) -> int {\n\
+         \tvar s = 0;\n\
+         \tvar t = (0, 1, 2, 3);\n\
+         \tfor (i = 0; i < n; i = i + 1) {\n\
+         \t\tt = (t.3 + 1, t.0 + 2, t.1 + 3, t.2 + i);\n\
+         \t\ts = s + t.0 * 3 + t.1 * 5 + t.2 * 7 + t.3;\n\
+         \t\tif (s > 1000000) s = s - 999983;\n\
+         \t\tvar a = i + 1; var b = a * 2; var c = b - a; var d = c * c;\n\
+         \t\ts = s + d % 97 + (a + b) % 89 + (c + d) % 83;\n\
+         \t}\n\
+         \treturn s;\n\
+         }\n\
+         def main() -> int {\n\
+         \tvar total = 0;\n",
+    );
+    for i in 0..k {
+        let _ = writeln!(src, "\ttotal = total + work<C{i}>(8);");
+    }
+    src.push_str("\treturn total % 1000;\n}\n");
+    src
+}
+
+/// E9 (cache-hostile): the same shape, but the worker takes a value of its
+/// type parameter, so every instance's post-mono signature differs (each
+/// mentions its own class type) and the instance cache cannot deduplicate —
+/// the honest lower bound for the cache and the pure-parallelism case.
+pub fn instance_fanout_distinct(k: usize) -> String {
+    let mut src = String::new();
+    for i in 0..k {
+        let _ = writeln!(src, "class C{i} {{ var tag: int; new(tag) {{ }} }}");
+    }
+    src.push_str(
+        "def work<T>(x: T, n: int) -> int {\n\
+         \tvar s = 0;\n\
+         \tvar t = (0, 1, 2, 3);\n\
+         \tfor (i = 0; i < n; i = i + 1) {\n\
+         \t\tt = (t.3 + 1, t.0 + 2, t.1 + 3, t.2 + i);\n\
+         \t\ts = s + t.0 * 3 + t.1 * 5 + t.2 * 7 + t.3;\n\
+         \t\tif (s > 1000000) s = s - 999983;\n\
+         \t\tvar a = i + 1; var b = a * 2; var c = b - a; var d = c * c;\n\
+         \t\ts = s + d % 97 + (a + b) % 89 + (c + d) % 83;\n\
+         \t}\n\
+         \treturn s;\n\
+         }\n\
+         def main() -> int {\n\
+         \tvar total = 0;\n",
+    );
+    for i in 0..k {
+        let _ = writeln!(src, "\ttotal = total + work(C{i}.new({i}), 8);");
+    }
+    src.push_str("\treturn total % 1000;\n}\n");
+    src
+}
+
 /// E7: a larger synthetic program (k classes with methods + a generic
 /// library) for measuring compile throughput (§5: "compiles very fast").
 pub fn big_program(k: usize) -> String {

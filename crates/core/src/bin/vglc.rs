@@ -18,7 +18,7 @@
 //!                              emits one JSON object
 //! vglc fuzz [--seed N] [--cases N] [--dump]
 //!                              differential fuzzing: generate N programs,
-//!                              run them on six engine configurations, and
+//!                              run them on seven engine configurations, and
 //!                              shrink + report the first disagreement
 //! vglc fuzz --chaos [--seed N] [--cases N]
 //!                              crash fuzzing: corrupt generated programs
@@ -29,13 +29,21 @@
 //!
 //! `--fuse` / `--no-fuse` override the bytecode back-end optimizer (default:
 //! on in release builds, off in debug) for any compile-based subcommand.
+//!
+//! `--jobs N` sets the worker-thread count for the parallel back-end phases
+//! (default: the `VGL_JOBS` environment variable, else the machine's
+//! available parallelism). The jobs count never changes compiled output —
+//! `--jobs 1` and `--jobs 8` produce bit-identical bytecode. `--no-cache`
+//! disables the per-instance pass cache (also output-identical; it only
+//! recomputes what duplicate instances would have shared).
 
 use std::process::ExitCode;
 use vgl::Compiler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|disasm] [--fuse|--no-fuse] <file.v>\n\
+        "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|disasm] \
+         [--fuse|--no-fuse] [--jobs N] [--no-cache] <file.v>\n\
          \x20      vglc fuzz [--chaos] [--seed N] [--cases N] [--dump]"
     );
     ExitCode::from(2)
@@ -111,7 +119,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             eprintln!("// ---- seed {seed} ----\n{}", vgl::fuzz::emit(&prog));
         }
     }
-    println!("fuzzing: seed {}, {} cases, 6 engine configurations", cfg.seed, cfg.cases);
+    println!("fuzzing: seed {}, {} cases, 7 engine configurations", cfg.seed, cfg.cases);
     let report = vgl::fuzz::run_fuzz(&cfg, |i, v| {
         if (i + 1) % 50 == 0 {
             println!("  ... case {} ({})", i + 1, vgl::fuzz::describe(v));
@@ -136,6 +144,22 @@ fn main() -> ExitCode {
         return fuzz(&args[1..]);
     }
     let mut options = vgl::Options::default();
+    // `--jobs N` / `--jobs=N`: consume the flag and its value before the
+    // positional scan.
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" && i + 1 < args.len() {
+            let Ok(n) = args[i + 1].parse::<usize>() else { return usage() };
+            options.jobs = n;
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            let Ok(n) = v.parse::<usize>() else { return usage() };
+            options.jobs = n;
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
     args.retain(|a| match a.as_str() {
         "--fuse" => {
             options.fuse = true;
@@ -143,6 +167,10 @@ fn main() -> ExitCode {
         }
         "--no-fuse" => {
             options.fuse = false;
+            false
+        }
+        "--no-cache" => {
+            options.pass_cache = false;
             false
         }
         _ => true,
@@ -217,6 +245,23 @@ fn main() -> ExitCode {
             let (out, profile) = compilation.execute_profiled();
             println!("== compile phases ==");
             print!("{}", compilation.trace.render_table());
+            let b = &compilation.backend;
+            println!(
+                "backend: {} job(s); instance cache: norm {}/{} hits ({:.0}%), \
+                 opt {}/{} hits ({:.0}%)",
+                b.jobs,
+                b.norm_cache.hits,
+                b.norm_cache.lookups,
+                b.norm_cache.hit_rate() * 100.0,
+                b.opt_cache.hits,
+                b.opt_cache.lookups,
+                b.opt_cache.hit_rate() * 100.0
+            );
+            let workers = compilation.trace.render_workers();
+            if !workers.is_empty() {
+                println!("== workers ==");
+                print!("{workers}");
+            }
             let f = &compilation.fuse;
             if f.instrs_before > 0 {
                 println!(

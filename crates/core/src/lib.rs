@@ -41,7 +41,10 @@ use std::fmt;
 pub use vgl_interp::{Interp, InterpError, InterpStats};
 pub use vgl_ir::{Exception, Module, ModuleSize};
 pub use vgl_obs::{JsonLinesSink, PhaseTrace, Sink, TableSink, Tracer};
-pub use vgl_passes::{MonoStats, NormStats, OptStats, PassTimes, PipelineStats};
+pub use vgl_passes::{
+    module_fingerprint, BackendConfig, BackendReport, CacheStats, MonoStats, NormStats,
+    OptStats, PassTimes, PipelineStats,
+};
 pub use vgl_runtime::{AllocStats, GcInfo, HeapStats};
 pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap, Severity};
 pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
@@ -96,6 +99,18 @@ pub struct Options {
     /// tested baseline; flip explicitly with [`Compiler::with_fuse`] /
     /// [`Compiler::without_fuse`] or `vglc --fuse` / `--no-fuse`.
     pub fuse: bool,
+    /// Worker threads for the parallel back-end phases (optimize, fuse, and
+    /// instance fingerprinting). `0` (the default) means auto: the
+    /// `VGL_JOBS` environment variable if set, else the machine's available
+    /// parallelism. **The jobs count never changes compiled output** —
+    /// results are committed in stable function-index order, so `--jobs 1`
+    /// and `--jobs 8` produce bit-identical modules and bytecode.
+    pub jobs: usize,
+    /// Per-instance pass cache (default on): duplicate post-mono method
+    /// instances — content-identical up to their name — skip
+    /// normalize/optimize and copy their representative's result. Output
+    /// is identical either way; see [`BackendReport`] for hit rates.
+    pub pass_cache: bool,
 }
 
 impl Default for Options {
@@ -106,6 +121,8 @@ impl Default for Options {
             fuel: Some(1 << 32),
             validate_ir: cfg!(debug_assertions),
             fuse: cfg!(not(debug_assertions)),
+            jobs: 0,
+            pass_cache: true,
         }
     }
 }
@@ -142,6 +159,18 @@ impl Compiler {
     /// Forces the bytecode fusion pass off (ablation / unfused baseline).
     pub fn without_fuse(mut self) -> Compiler {
         self.options.fuse = false;
+        self
+    }
+
+    /// Sets the back-end worker count (`0` = auto; see [`Options::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Compiler {
+        self.options.jobs = jobs;
+        self
+    }
+
+    /// Disables the per-instance pass cache (ablation / cold baseline).
+    pub fn without_pass_cache(mut self) -> Compiler {
+        self.options.pass_cache = false;
         self
     }
 
@@ -213,21 +242,29 @@ impl Compiler {
                 render_violations(&violations)
             );
         }
+        // Back-end configuration: jobs resolved once per compile (explicit
+        // request → VGL_JOBS → available parallelism) and shared by
+        // normalize, optimize, and fuse. Neither knob changes output.
+        let backend_cfg = BackendConfig {
+            jobs: vgl_passes::sched::resolve_jobs(self.options.jobs),
+            cache: self.options.pass_cache,
+        };
+        let mut backend = BackendReport { jobs: backend_cfg.jobs, ..BackendReport::default() };
         let size_after_mono = vgl_ir::measure(&compiled);
         let norm = trace.time(
             "normalize",
             size_after_mono.expr_nodes,
-            || vgl_passes::normalize(&mut compiled),
+            || vgl_passes::normalize_cfg(&mut compiled, &backend_cfg, &mut backend),
             |_| 0,
         );
         let size_after_norm = vgl_ir::measure(&compiled);
-        trace.phases.last_mut().expect("norm sample").items_out = size_after_norm.expr_nodes;
+        trace.set_items_out("normalize", size_after_norm.expr_nodes);
         let opt = trace.time(
             "optimize",
             size_after_norm.expr_nodes,
             || {
                 if self.options.optimize {
-                    vgl_passes::optimize(&mut compiled)
+                    vgl_passes::optimize_cfg(&mut compiled, &backend_cfg, &mut backend)
                 } else {
                     OptStats::default()
                 }
@@ -243,7 +280,7 @@ impl Compiler {
             );
         }
         let size_after = vgl_ir::measure(&compiled);
-        trace.phases.last_mut().expect("opt sample").items_out = size_after.expr_nodes;
+        trace.set_items_out("optimize", size_after.expr_nodes);
         let mut program = trace.time(
             "lower",
             size_after.expr_nodes,
@@ -254,10 +291,14 @@ impl Compiler {
             let stats = trace.time(
                 "fuse",
                 program.code_size(),
-                || vgl_vm::fuse(&mut program),
+                || {
+                    let (stats, workers) = vgl_vm::fuse_jobs(&mut program, backend_cfg.jobs, backend_cfg.cache);
+                    backend.workers.extend(workers);
+                    stats
+                },
                 |_| 0,
             );
-            trace.phases.last_mut().expect("fuse sample").items_out = program.code_size();
+            trace.set_items_out("fuse", program.code_size());
             stats
         } else {
             vgl_vm::FuseStats::default()
@@ -280,6 +321,7 @@ impl Compiler {
         };
         let times =
             PassTimes { mono: dur("mono"), norm: dur("normalize"), opt: dur("optimize") };
+        trace.workers = backend.workers.clone();
         if tracer.enabled() {
             trace.emit(tracer);
         }
@@ -289,6 +331,7 @@ impl Compiler {
             compiled,
             program,
             fuse,
+            backend,
             stats: PipelineStats {
                 mono,
                 norm,
@@ -452,6 +495,10 @@ pub struct Compilation {
     pub program: VmProgram,
     /// What the bytecode back-end optimizer did (all zero when disabled).
     pub fuse: FuseStats,
+    /// Parallel/cached back-end report: effective jobs, per-pass instance
+    /// cache hit rates, and worker-attributed spans (also mirrored on
+    /// [`Compilation::trace`] as `workers`).
+    pub backend: BackendReport,
     /// Pipeline statistics.
     pub stats: PipelineStats,
     /// Per-phase wall-clock samples (lex through lower).

@@ -26,6 +26,7 @@ pub fn stats_json(
     root.set("pipeline", pipeline_json(c));
     root.set("bytecode_instrs", Json::from(c.code_size()));
     root.set("fuse", fuse_json(&c.fuse));
+    root.set("backend", backend_json(&c.backend));
     if let Some(run) = interp {
         let mut o = outcome_json(run);
         if let Some(s) = &run.interp_stats {
@@ -144,6 +145,37 @@ fn fuse_json(f: &crate::FuseStats) -> Json {
     o
 }
 
+fn cache_json(c: &crate::CacheStats) -> Json {
+    let mut o = Json::object();
+    o.set("lookups", Json::from(c.lookups));
+    o.set("hits", Json::from(c.hits));
+    o.set("unique", Json::from(c.unique));
+    o.set("hit_rate", Json::Num(c.hit_rate()));
+    o
+}
+
+/// The parallel/cached back-end report: effective jobs, per-pass instance
+/// cache effectiveness, and worker-attributed spans.
+fn backend_json(b: &crate::BackendReport) -> Json {
+    let mut o = Json::object();
+    o.set("jobs", Json::from(b.jobs));
+    o.set("norm_cache", cache_json(&b.norm_cache));
+    o.set("opt_cache", cache_json(&b.opt_cache));
+    let mut workers = Json::Arr(Vec::new());
+    if let Json::Arr(items) = &mut workers {
+        for w in &b.workers {
+            let mut wo = Json::object();
+            wo.set("phase", Json::Str(w.phase.to_string()));
+            wo.set("worker", Json::from(w.worker));
+            wo.set("items", Json::from(w.items));
+            wo.set("dur_us", Json::Num(w.duration.as_secs_f64() * 1e6));
+            items.push(wo);
+        }
+    }
+    o.set("workers", workers);
+    o
+}
+
 fn vm_stats_json(s: &VmStats) -> Json {
     let mut o = Json::object();
     o.set("instrs", Json::from(s.instrs));
@@ -201,6 +233,15 @@ mod tests {
             .and_then(|v| v.get("tuples"))
             .and_then(Json::as_u64);
         assert!(tuples.unwrap_or(0) > 0, "interp should box tuples: {tuples:?}");
+        let backend = back.get("backend").expect("backend object");
+        assert!(backend.get("jobs").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        assert!(
+            backend.get("opt_cache").and_then(|v| v.get("lookups")).and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0,
+            "optimize should have fingerprinted method instances"
+        );
+        assert!(backend.get("workers").and_then(Json::as_arr).is_some());
         let opcodes =
             back.get("vm").and_then(|v| v.get("profile")).and_then(|v| v.get("opcodes"));
         let retired: u64 = match opcodes {

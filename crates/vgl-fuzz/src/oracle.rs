@@ -1,7 +1,7 @@
 //! The differential oracle: one generated program, every execution strategy,
 //! identical observable behavior.
 //!
-//! A case is run on **six** engine configurations:
+//! A case is run on **seven** engine configurations:
 //!
 //! 1. the reference interpreter over the *source* module (runtime type
 //!    arguments, boxed tuples — the paper's §4.3 interpreter strategy);
@@ -13,9 +13,15 @@
 //!    optimizer ([`vgl_vm::fuse`]: copy propagation, dead-register
 //!    elimination, superinstruction fusion) — run with
 //!    [`vgl_vm::check_fused`] validating the fused code first, and the
-//!    §4.2 zero-tuple-box invariant asserted on its heap statistics after.
+//!    §4.2 zero-tuple-box invariant asserted on its heap statistics after;
+//! 7. `vm-fused-par`: the same fused configuration rebuilt with the back
+//!    end at **jobs = 8** (parallel normalize-fingerprinting, optimize,
+//!    and fuse with the per-instance pass cache). Before it runs, the
+//!    oracle asserts its disassembly is **byte-identical** to the serial
+//!    build — the parallel back end's determinism contract — and then
+//!    compares its observable behavior like any other engine.
 //!
-//! All six must agree on the result value, the printed output, and the trap
+//! All seven must agree on the result value, the printed output, and the trap
 //! (`!DivideByZeroException`, `!NullCheckException`, `!TypeCheckException`,
 //! ...). Fuel exhaustion is **never** conflated with a language exception:
 //! engines count steps differently, so an `OutOfFuel` anywhere makes the
@@ -188,7 +194,7 @@ fn strict_decl_tuple_violations(m: &Module) -> Vec<Violation> {
 }
 
 /// Compiles `src` through the front end and both pipeline variants, runs all
-/// six engine configurations, validates IR invariants between passes, and
+/// seven engine configurations, validates IR invariants between passes, and
 /// compares every observable.
 pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
     // Front end.
@@ -249,7 +255,28 @@ pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
         };
     }
 
-    // Six engine configurations.
+    // The seventh configuration rebuilds the same fused program with the
+    // back end at jobs = 8 (parallel passes + instance cache) and first
+    // asserts bit-for-bit determinism against the serial build.
+    let par_cfg = vgl_passes::BackendConfig { jobs: 8, cache: true };
+    let mut par_report = vgl_passes::BackendReport::default();
+    let (mut par_m, _) = vgl_passes::monomorphize(&module);
+    vgl_passes::normalize_cfg(&mut par_m, &par_cfg, &mut par_report);
+    vgl_passes::optimize_cfg(&mut par_m, &par_cfg, &mut par_report);
+    let mut par_prog = vgl_vm::lower(&par_m);
+    vgl_vm::fuse_jobs(&mut par_prog, par_cfg.jobs, par_cfg.cache);
+    if vgl_vm::disasm(&par_prog) != vgl_vm::disasm(&fused_prog) {
+        return Verdict::Invariant {
+            stage: "parallel back end (determinism)",
+            violations: vec![Violation {
+                location: "program".into(),
+                message: "jobs=8 compile produced different bytecode than jobs=1".into(),
+            }],
+        };
+    }
+    let (par_run, _) = run_vm_program("vm-fused-par", &par_prog, cfg);
+
+    // Seven engine configurations.
     let runs = vec![
         run_interp("interp-src", &module, cfg.interp_fuel),
         run_interp("interp-mono", &norm_m, cfg.interp_fuel),
@@ -257,6 +284,7 @@ pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
         run_interp("interp-opt", &opt_m, cfg.interp_fuel),
         run_vm("vm-opt", &opt_m, cfg),
         fused_run,
+        par_run,
     ];
 
     // OutOfFuel anywhere ⇒ inconclusive, and never comparable to a trap.

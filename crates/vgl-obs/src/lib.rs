@@ -355,11 +355,30 @@ pub struct PhaseSample {
     pub items_out: usize,
 }
 
+/// One worker's share of a parallel phase: which phase, which worker, how
+/// many items it claimed from the shared queue, and how long its claim loop
+/// ran. Worker attribution is telemetry only — it is explicitly *not* part
+/// of the determinism contract (the same compile at a different `--jobs`
+/// produces identical output but different worker spans).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSample {
+    /// Parallel phase name (`"optimize"`, `"fuse"`, `"hash"`, ...).
+    pub phase: &'static str,
+    /// Worker index within the pool (0-based; jobs=1 runs inline as worker 0).
+    pub worker: usize,
+    /// Items this worker claimed and processed.
+    pub items: usize,
+    /// Busy wall-clock time of this worker's claim loop.
+    pub duration: Duration,
+}
+
 /// An ordered collection of [`PhaseSample`]s for one compilation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseTrace {
     /// Samples in phase order.
     pub phases: Vec<PhaseSample>,
+    /// Worker-attributed spans from parallel phases, in commit order.
+    pub workers: Vec<WorkerSample>,
 }
 
 impl PhaseTrace {
@@ -391,6 +410,19 @@ impl PhaseTrace {
     /// Total wall-clock time across phases.
     pub fn total(&self) -> Duration {
         self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Updates `items_out` on the most recent sample *iff* it is named
+    /// `name`; a no-op when the trace is empty or the last phase is a
+    /// different one (e.g. the phase list was reordered or tracing is
+    /// disabled). Replaces the old `phases.last_mut().expect(...)` pattern,
+    /// which panicked instead of degrading.
+    pub fn set_items_out(&mut self, name: &'static str, items: usize) {
+        if let Some(p) = self.phases.last_mut() {
+            if p.name == name {
+                p.items_out = items;
+            }
+        }
     }
 
     /// Renders an aligned per-phase table.
@@ -432,6 +464,46 @@ impl PhaseTrace {
                 })
                 .collect(),
         )
+    }
+
+    /// JSON: an array of per-worker objects for the parallel phases.
+    pub fn workers_json(&self) -> json::Json {
+        json::Json::Arr(
+            self.workers
+                .iter()
+                .map(|w| {
+                    let mut o = json::Json::object();
+                    o.set("phase", json::Json::Str(w.phase.to_string()));
+                    o.set("worker", json::Json::from(w.worker as u64));
+                    o.set("items", json::Json::from(w.items as u64));
+                    o.set("dur_us", json::Json::Num(w.duration.as_secs_f64() * 1e6));
+                    o
+                })
+                .collect(),
+        )
+    }
+
+    /// Renders an aligned per-worker table for the parallel phases; empty
+    /// string when no parallel phase ran.
+    pub fn render_workers(&self) -> String {
+        if self.workers.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>8} {:>12}\n",
+            "phase", "worker", "items", "busy (us)"
+        ));
+        for w in &self.workers {
+            out.push_str(&format!(
+                "{:<10} {:>6} {:>8} {:>12.1}\n",
+                w.phase,
+                w.worker,
+                w.items,
+                w.duration.as_secs_f64() * 1e6
+            ));
+        }
+        out
     }
 
     /// Replays the trace into a tracer as spans (one per phase).

@@ -1,0 +1,207 @@
+//! The per-instance pass cache: content-based identity for post-mono
+//! method instances.
+//!
+//! Monomorphization copies a polymorphic method once per distinct
+//! type-argument assignment (§4.3). When a type parameter does not actually
+//! reach the method's signature, locals, or body — phantom parameters,
+//! dead-branch-only uses that mono already resolved, or plain duplicated
+//! helper bodies — the copies are **structurally identical**, and running
+//! normalize/optimize on each is wasted work. Instance identity here is
+//! content-based, not name-based: two methods are duplicates iff everything
+//! *except their name* (owner, kind, privacy, signature, locals, body,
+//! vtable slot) hashes equal under a 128-bit fingerprint.
+//!
+//! The fingerprint feeds the IR's `Debug` rendering through a
+//! non-allocating `fmt::Write` adapter into two independent 64-bit streams
+//! (FNV-1a and a 31-multiplier stream), so no intermediate strings are
+//! built. Types print as interned ids (`ty#N`), which is exactly right:
+//! the interner is deterministic, so structurally identical methods
+//! reference identical ids.
+
+use std::collections::HashMap;
+use std::fmt::{self, Write};
+use vgl_ir::{Method, Module};
+use vgl_obs::WorkerSample;
+
+use crate::sched;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Two independent 64-bit hash streams fed by `fmt::Write` — a 128-bit
+/// combined key makes accidental collision between distinct instances
+/// (which would silently merge their compiled bodies) a non-concern.
+struct FingerprintWriter {
+    a: u64,
+    b: u64,
+}
+
+impl FingerprintWriter {
+    fn new() -> FingerprintWriter {
+        FingerprintWriter { a: FNV_OFFSET, b: 0x9e37_79b9_7f4a_7c15 }
+    }
+}
+
+impl Write for FingerprintWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &byte in s.as_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = self.b.wrapping_mul(31).wrapping_add(u64::from(byte));
+        }
+        Ok(())
+    }
+}
+
+/// 128-bit content fingerprint of a post-mono method, **excluding its
+/// name**: two methods with equal fingerprints are interchangeable inputs
+/// to normalize and optimize.
+pub fn method_fingerprint(m: &Method) -> (u64, u64) {
+    let mut h = FingerprintWriter::new();
+    write!(
+        h,
+        "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}",
+        m.owner,
+        m.is_private,
+        m.kind,
+        m.type_params,
+        m.param_count,
+        m.locals,
+        m.ret,
+        m.body,
+        m.vtable_index
+    )
+    .expect("hash writer never fails");
+    (h.a, h.b)
+}
+
+/// A single 64-bit content hash of a whole module — classes, methods
+/// (names included this time), globals, and entry point. Used by the
+/// determinism suite to compare `--jobs 1` vs `--jobs 8` compiles beyond
+/// the disassembly text. The type interner itself is excluded (its map is
+/// unordered); every type the program can observe is reachable through the
+/// hashed items as interned ids.
+pub fn module_fingerprint(m: &Module) -> u64 {
+    let mut h = FingerprintWriter::new();
+    write!(h, "{:?}|{:?}|{:?}|{:?}", m.classes, m.methods, m.globals, m.main)
+        .expect("hash writer never fails");
+    h.a ^ h.b.rotate_left(32)
+}
+
+/// Cache effectiveness counters for one pass over one module.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Methods with bodies that were looked up.
+    pub lookups: usize,
+    /// Duplicates that skipped the pass (result copied from their
+    /// representative).
+    pub hits: usize,
+    /// Unique representatives that did the work.
+    pub unique: usize,
+}
+
+impl CacheStats {
+    /// Hits per lookup, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Accumulates another pass's counters.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.unique += other.unique;
+    }
+}
+
+/// The duplicate-instance map for one module: `rep[i]` is the index of the
+/// first method whose fingerprint equals method `i`'s (`rep[i] == i` for
+/// representatives and for methods without bodies).
+#[derive(Clone, Debug, Default)]
+pub struct DupMap {
+    /// Representative index per method.
+    pub rep: Vec<usize>,
+    /// Lookup/hit counters from building the map.
+    pub stats: CacheStats,
+}
+
+impl DupMap {
+    /// The identity map (cache disabled): every method represents itself.
+    pub fn identity(n: usize) -> DupMap {
+        DupMap { rep: (0..n).collect(), stats: CacheStats::default() }
+    }
+
+    /// True if `i` is a duplicate of an earlier method.
+    pub fn is_dup(&self, i: usize) -> bool {
+        self.rep[i] != i
+    }
+}
+
+/// Builds the duplicate map for `module`, fingerprinting method bodies on
+/// up to `jobs` workers (hashing is read-only and order-independent; the
+/// grouping itself is a deterministic first-seen scan in index order).
+pub fn dup_groups(module: &Module, jobs: usize) -> (DupMap, Vec<WorkerSample>) {
+    let (prints, workers) = sched::par_map_ctx(
+        jobs,
+        "hash",
+        &module.methods,
+        || (),
+        |_, _, m: &Method| m.body.as_ref().map(|_| method_fingerprint(m)),
+    );
+    let mut rep: Vec<usize> = (0..module.methods.len()).collect();
+    let mut stats = CacheStats::default();
+    let mut first: HashMap<(u64, u64), usize> = HashMap::new();
+    for (i, print) in prints.into_iter().enumerate() {
+        let Some(key) = print else { continue };
+        stats.lookups += 1;
+        match first.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                rep[i] = *e.get();
+                stats.hits += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+                stats.unique += 1;
+            }
+        }
+    }
+    (DupMap { rep, stats }, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_streams_are_independent_and_stable() {
+        let mut h1 = FingerprintWriter::new();
+        write!(h1, "abc").unwrap();
+        let mut h2 = FingerprintWriter::new();
+        write!(h2, "a").unwrap();
+        write!(h2, "bc").unwrap();
+        // Chunking must not matter.
+        assert_eq!((h1.a, h1.b), (h2.a, h2.b));
+        let mut h3 = FingerprintWriter::new();
+        write!(h3, "abd").unwrap();
+        assert_ne!((h1.a, h1.b), (h3.a, h3.b));
+    }
+
+    #[test]
+    fn identity_map_has_no_dups() {
+        let m = DupMap::identity(5);
+        for i in 0..5 {
+            assert!(!m.is_dup(i));
+        }
+        assert_eq!(m.stats.hits, 0);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats { lookups: 4, hits: 3, unique: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -17,17 +17,63 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 mod mono;
 mod normalize;
 mod optimize;
+pub mod sched;
 
+pub use cache::{module_fingerprint, CacheStats};
 pub use mono::{monomorphize, MonoStats};
-pub use normalize::{normalize, NormStats};
-pub use optimize::{optimize, OptStats};
+pub use normalize::{normalize, normalize_cfg, NormStats};
+pub use optimize::{optimize, optimize_cfg, OptStats};
 
 use std::time::Duration;
 use vgl_ir::Module;
-use vgl_obs::{FieldValue, PhaseTrace, Tracer};
+use vgl_obs::{FieldValue, PhaseTrace, Tracer, WorkerSample};
+
+/// Configuration for the parallel, cached back-end passes (normalize,
+/// optimize, fuse). `jobs` is the *effective* worker count — resolve a
+/// user request (0 = auto) through [`sched::resolve_jobs`] first.
+///
+/// Determinism contract: neither field changes compiled output. `jobs`
+/// moves work between threads; `cache` skips recomputation whose result is
+/// copied from a content-identical representative instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendConfig {
+    /// Worker threads for the parallel phases (>= 1).
+    pub jobs: usize,
+    /// Enable the per-instance pass cache.
+    pub cache: bool,
+}
+
+impl Default for BackendConfig {
+    fn default() -> BackendConfig {
+        BackendConfig { jobs: 1, cache: true }
+    }
+}
+
+/// What the back end did beyond the module itself: cache effectiveness per
+/// pass and worker-attributed spans for `vgl-obs`.
+#[derive(Clone, Debug, Default)]
+pub struct BackendReport {
+    /// Effective worker count the passes ran with.
+    pub jobs: usize,
+    /// Instance-cache counters from normalize.
+    pub norm_cache: CacheStats,
+    /// Instance-cache counters from optimize (per-pipeline, counted once at
+    /// grouping, not per fixpoint round).
+    pub opt_cache: CacheStats,
+    /// Per-worker spans from every parallel phase, in commit order.
+    pub workers: Vec<WorkerSample>,
+    /// The duplicate-instance map normalize discovered, handed forward so
+    /// optimize fingerprints the module at most once per pipeline.
+    /// Normalize copies each duplicate's flattened result from its
+    /// representative, so the grouping stays exact across the pass; methods
+    /// appended later (synthesized wrappers) are treated as unique. Only
+    /// valid for the module the same report was passed through.
+    pub dup_map: Option<cache::DupMap>,
+}
 
 /// Wall-clock durations of the three pipeline passes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -105,7 +151,7 @@ pub fn compile_pipeline_traced(
     let nodes_mono = stats.size_after_mono.expr_nodes;
     stats.norm = trace.time("normalize", nodes_mono, || normalize(&mut m), |_| 0);
     let nodes_norm = vgl_ir::measure(&m).expr_nodes;
-    trace.phases.last_mut().expect("norm sample").items_out = nodes_norm;
+    trace.set_items_out("normalize", nodes_norm);
     let violations = vgl_ir::check_normalized(&m);
     assert!(
         violations.is_empty(),
@@ -114,7 +160,7 @@ pub fn compile_pipeline_traced(
 
     stats.opt = trace.time("optimize", nodes_norm, || optimize(&mut m), |_| 0);
     stats.size_after = vgl_ir::measure(&m);
-    trace.phases.last_mut().expect("opt sample").items_out = stats.size_after.expr_nodes;
+    trace.set_items_out("optimize", stats.size_after.expr_nodes);
     let violations = vgl_ir::check_normalized(&m);
     assert!(
         violations.is_empty(),

@@ -29,6 +29,8 @@
 
 use std::collections::HashMap;
 
+use crate::cache::{self, DupMap};
+use crate::{BackendConfig, BackendReport};
 use vgl_ir::ops::Exception;
 use vgl_ir::{
     Body, Expr, ExprKind, FieldRef, GlobalId, Local, LocalId, Method, MethodId, MethodKind,
@@ -53,10 +55,45 @@ pub struct NormStats {
     pub wrappers_synthesized: usize,
 }
 
-/// Runs normalization in place.
+/// Runs normalization in place (serially, instance cache on — equivalent
+/// to [`normalize_cfg`] with the default [`BackendConfig`]).
 pub fn normalize(module: &mut Module) -> NormStats {
+    normalize_cfg(module, &BackendConfig::default(), &mut BackendReport::default())
+}
+
+/// [`normalize`] with the per-instance cache configurable.
+///
+/// Normalization itself stays serial — wrapper synthesis and the type map
+/// are order-sensitive shared state, and the pass is cheap next to
+/// optimize — but duplicate post-mono instances skip `flatten_method`
+/// entirely and copy their representative's flattened signature and body.
+/// This is output-identical to the uncached run: flattening is a pure
+/// function of the method's content plus module-level maps built up front,
+/// and wrapper ids are memoized by operator with reps preceding their dups,
+/// so the id assignment order is unchanged. Statistics count performed
+/// work; skips are reported in `report.norm_cache`. (`cfg.jobs` only
+/// parallelizes the fingerprinting.)
+pub fn normalize_cfg(
+    module: &mut Module,
+    cfg: &BackendConfig,
+    report: &mut BackendReport,
+) -> NormStats {
+    let dup = if cfg.cache {
+        let (dup, workers) = cache::dup_groups(module, cfg.jobs);
+        report.workers.extend(workers);
+        dup
+    } else {
+        DupMap::identity(module.methods.len())
+    };
+    report.norm_cache.merge(&dup.stats);
     let mut n = Norm::new(module);
+    n.dup = dup;
     n.run();
+    if cfg.cache {
+        // The grouping survives the pass verbatim (dups are copies of their
+        // reps again); let optimize reuse it instead of re-fingerprinting.
+        report.dup_map = Some(std::mem::take(&mut n.dup));
+    }
     n.stats
 }
 
@@ -77,10 +114,14 @@ struct Norm<'m> {
     old_rets: Vec<Type>,
     /// Old global initializers stashed during layout flattening.
     old_global_inits: Vec<(Option<Expr>, Vec<Local>)>,
+    /// Duplicate-instance map: dups skip `flatten_method` and copy their
+    /// representative's result.
+    dup: DupMap,
 }
 
 impl<'m> Norm<'m> {
     fn new(module: &'m mut Module) -> Norm<'m> {
+        let module_len = module.methods.len();
         let old_rets = module.methods.iter().map(|m| m.ret).collect();
         Norm {
             module,
@@ -92,6 +133,7 @@ impl<'m> Norm<'m> {
             pending_wrappers: Vec::new(),
             old_rets,
             old_global_inits: Vec::new(),
+            dup: DupMap::identity(module_len),
         }
     }
 
@@ -100,7 +142,26 @@ impl<'m> Norm<'m> {
         self.flatten_globals();
         let method_count = self.module.methods.len();
         for i in 0..method_count {
+            if self.dup.is_dup(i) {
+                continue;
+            }
             self.flatten_method(MethodId(i as u32));
+        }
+        // Duplicates copy their representative's flattened result (reps
+        // always precede their dups), keeping their own name.
+        for i in 0..method_count {
+            let r = self.dup.rep[i];
+            if r == i {
+                continue;
+            }
+            let src = &self.module.methods[r];
+            let (param_count, locals, ret, body) =
+                (src.param_count, src.locals.clone(), src.ret, src.body.clone());
+            let dst = &mut self.module.methods[i];
+            dst.param_count = param_count;
+            dst.locals = locals;
+            dst.ret = ret;
+            dst.body = body;
         }
         self.rebuild_global_inits();
         // Append all synthesized methods (wrappers, ginit helpers) at the

@@ -13,10 +13,13 @@
 //! pieces are effect-free, making identity-cast removal and branch folding
 //! sound without effect analysis.
 
+use crate::cache::{self, DupMap};
+use crate::{sched, BackendConfig, BackendReport};
 use vgl_ir::ops::{self, Exception};
 use vgl_ir::visit::rewrite_exprs;
-use vgl_ir::{Expr, ExprKind, MethodId, MethodKind, Module, Oper, Stmt};
-use vgl_types::{CastRelation, ClassId, TypeKind};
+use vgl_ir::{Expr, ExprKind, Method, MethodId, MethodKind, Module, Oper, Stmt};
+use vgl_obs::WorkerSample;
+use vgl_types::{CastRelation, ClassId, Hierarchy, TypeKind, TypeStore};
 
 /// Optimizer statistics (experiment E3 narrates these).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,12 +40,57 @@ pub struct OptStats {
     pub inlined: usize,
 }
 
-/// Runs the optimizer in place until a fixpoint (bounded).
+/// Runs the optimizer in place until a fixpoint (bounded), serially with
+/// the instance cache on. Equivalent to [`optimize_cfg`] with the default
+/// [`BackendConfig`] — the output is identical at any jobs count.
 pub fn optimize(module: &mut Module) -> OptStats {
+    optimize_cfg(module, &BackendConfig::default(), &mut BackendReport::default())
+}
+
+/// [`optimize`] with explicit parallelism and caching.
+///
+/// Each fixpoint round snapshots the devirt/inline tables, rewrites every
+/// *representative* method body on `cfg.jobs` workers (each with a private
+/// clone of the type store — interning is the only store mutation folding
+/// performs, and fold decisions never depend on ids interned mid-round),
+/// then commits results in method-index order and copies duplicates from
+/// their representatives. Statistics count work actually performed, so a
+/// cache hit reduces the counters; cache effectiveness is reported
+/// separately in `report.opt_cache`.
+pub fn optimize_cfg(
+    module: &mut Module,
+    cfg: &BackendConfig,
+    report: &mut BackendReport,
+) -> OptStats {
+    let dup = if cfg.cache {
+        match report.dup_map.take() {
+            // Normalize already grouped this module; extend the map over
+            // any methods appended since (synthesized wrappers, each
+            // unique) instead of re-fingerprinting everything.
+            Some(mut dup) if dup.rep.len() <= module.methods.len() => {
+                for i in dup.rep.len()..module.methods.len() {
+                    dup.rep.push(i);
+                    if module.methods[i].body.is_some() {
+                        dup.stats.lookups += 1;
+                        dup.stats.unique += 1;
+                    }
+                }
+                dup
+            }
+            _ => {
+                let (dup, hash_workers) = cache::dup_groups(module, cfg.jobs);
+                report.workers.extend(hash_workers);
+                dup
+            }
+        }
+    } else {
+        DupMap::identity(module.methods.len())
+    };
+    report.opt_cache.merge(&dup.stats);
     let mut stats = OptStats::default();
     for _ in 0..8 {
         let before = stats;
-        one_round(module, &mut stats);
+        one_round(module, cfg, &dup, &mut stats, &mut report.workers);
         if stats == before {
             break;
         }
@@ -50,52 +98,91 @@ pub fn optimize(module: &mut Module) -> OptStats {
     stats
 }
 
-fn one_round(module: &mut Module, stats: &mut OptStats) {
+/// Everything `fold_expr` needs from the module, split so parallel workers
+/// can fold against a shared read-only method/hierarchy view with a
+/// worker-private type store (the only part folding mutates, via
+/// `cast_relation` interning).
+struct FoldCx<'a> {
+    store: &'a mut TypeStore,
+    hier: &'a Hierarchy,
+    methods: &'a [Method],
+}
+
+fn add_stats(dst: &mut OptStats, s: &OptStats) {
+    dst.consts_folded += s.consts_folded;
+    dst.queries_folded += s.queries_folded;
+    dst.casts_folded += s.casts_folded;
+    dst.branches_folded += s.branches_folded;
+    dst.dead_stmts_removed += s.dead_stmts_removed;
+    dst.devirtualized += s.devirtualized;
+    dst.inlined += s.inlined;
+}
+
+fn one_round(
+    module: &mut Module,
+    cfg: &BackendConfig,
+    dup: &DupMap,
+    stats: &mut OptStats,
+    worker_log: &mut Vec<WorkerSample>,
+) {
     // Devirtualization table: (declared method slot) → unique target if any.
     let devirt = build_devirt_table(module);
     // Inline candidates: single-`Return(expr)` leaf bodies referencing only
     // their parameters ("only a call to the corresponding version remains,
     // which the compiler may then inline" — §3.3).
     let inline = build_inline_table(module);
-    let mut bodies: Vec<(usize, vgl_ir::Body, Vec<vgl_ir::Local>)> = Vec::new();
-    for (i, m) in module.methods.iter().enumerate() {
-        if let Some(b) = &m.body {
-            bodies.push((i, b.clone(), m.locals.clone()));
-        }
-    }
-    for (i, mut body, mut locals) in bodies {
-        let mut st = *stats;
-        {
-            let module_ref = &mut *module;
+    // Rewrite representative bodies only; duplicates are copied afterwards.
+    let items: Vec<usize> = (0..module.methods.len())
+        .filter(|&i| module.methods[i].body.is_some() && !dup.is_dup(i))
+        .collect();
+    let m_ref: &Module = module;
+    let (results, samples) = sched::par_map_ctx(
+        cfg.jobs,
+        "optimize",
+        &items,
+        || m_ref.store.clone(),
+        |store, _, &i| {
+            let m = &m_ref.methods[i];
+            let mut body = m.body.clone().expect("scheduled method has a body");
+            let mut locals = m.locals.clone();
+            let mut st = OptStats::default();
+            let mut cx = FoldCx { store, hier: &m_ref.hier, methods: &m_ref.methods };
             rewrite_exprs(&mut body, &mut |e| {
-                let e = fold_expr(module_ref, e, &devirt, &mut st);
+                let e = fold_expr(&mut cx, e, &devirt, &mut st);
                 inline_expr(e, MethodId(i as u32), &inline, &mut locals, &mut st)
             });
-        }
-        fold_stmts(&mut body.stmts, &mut st);
-        *stats = st;
-        module.methods[i].locals = locals;
+            fold_stmts(&mut body.stmts, &mut st);
+            (body, locals, st)
+        },
+    );
+    worker_log.extend(samples);
+    // Commit in stable method-index order (items is ascending).
+    for (&i, (body, locals, st)) in items.iter().zip(results) {
         module.methods[i].body = Some(body);
+        module.methods[i].locals = locals;
+        add_stats(stats, &st);
     }
-    // Globals' initializers too.
-    let mut inits: Vec<(usize, Expr)> = Vec::new();
-    for (i, g) in module.globals.iter().enumerate() {
-        if let Some(e) = &g.init {
-            inits.push((i, e.clone()));
+    // Duplicates take their representative's result (reps always precede
+    // their dups, so the source is already this round's output).
+    for i in 0..module.methods.len() {
+        let r = dup.rep[i];
+        if r != i {
+            let (body, locals) =
+                (module.methods[r].body.clone(), module.methods[r].locals.clone());
+            module.methods[i].body = body;
+            module.methods[i].locals = locals;
         }
     }
-    for (i, init) in inits {
+    // Globals' initializers too (serial: there are few, and they may read
+    // each other in declaration order anyway).
+    let Module { store, hier, methods, globals, .. } = &mut *module;
+    let mut cx = FoldCx { store, hier, methods };
+    for g in globals.iter_mut() {
+        let Some(init) = g.init.take() else { continue };
         let mut body = vgl_ir::Body { stmts: vec![Stmt::Expr(init)] };
-        let mut st = *stats;
-        {
-            let module_ref = &mut *module;
-            rewrite_exprs(&mut body, &mut |e| {
-                fold_expr(module_ref, e, &devirt, &mut st)
-            });
-        }
-        *stats = st;
+        rewrite_exprs(&mut body, &mut |e| fold_expr(&mut cx, e, &devirt, stats));
         let Some(Stmt::Expr(e)) = body.stmts.pop() else { unreachable!() };
-        module.globals[i].init = Some(e);
+        g.init = Some(e);
     }
 }
 
@@ -297,14 +384,14 @@ fn is_pure(e: &Expr) -> bool {
 }
 
 fn fold_expr(
-    module: &mut Module,
+    cx: &mut FoldCx<'_>,
     e: Expr,
     devirt: &[Option<MethodId>],
     stats: &mut OptStats,
 ) -> Expr {
     let ty = e.ty;
     match e.kind {
-        ExprKind::Apply(op, args) => fold_apply(module, op, args, ty, stats),
+        ExprKind::Apply(op, args) => fold_apply(cx, op, args, ty, stats),
         ExprKind::And(a, b) => match as_const_bool(&a) {
             Some(true) => {
                 stats.branches_folded += 1;
@@ -354,7 +441,7 @@ fn fold_expr(
         ExprKind::CallVirtual { method, type_args, recv, args } => {
             if let Some(target) = devirt[method.index()] {
                 stats.devirtualized += 1;
-                let checked = Expr::new(ExprKind::CheckNull(recv), ty_of(module, target));
+                let checked = Expr::new(ExprKind::CheckNull(recv), ty_of(cx, target));
                 let mut all = vec![checked];
                 all.extend(args);
                 Expr::new(
@@ -392,12 +479,12 @@ fn fold_expr(
     }
 }
 
-fn ty_of(module: &Module, m: MethodId) -> vgl_types::Type {
-    module.method(m).locals[0].ty
+fn ty_of(cx: &FoldCx<'_>, m: MethodId) -> vgl_types::Type {
+    cx.methods[m.index()].locals[0].ty
 }
 
 fn fold_apply(
-    module: &mut Module,
+    cx: &mut FoldCx<'_>,
     op: Oper,
     args: Vec<Expr>,
     ty: vgl_types::Type,
@@ -482,14 +569,14 @@ fn fold_apply(
             // The §3.3 folding: decide statically where possible. `null`
             // makes nullable sources undecidable-to-true, but `Unrelated`
             // is always false.
-            let rel = vgl_types::cast_relation(&mut module.store, &module.hier, from, to);
+            let rel = vgl_types::cast_relation(cx.store, cx.hier, from, to);
             match rel {
                 CastRelation::Unrelated => {
                     stats.queries_folded += 1;
                     return Expr::new(ExprKind::Bool(false), ty);
                 }
                 CastRelation::Subsumption => {
-                    if !module.store.is_nullable(from) {
+                    if !cx.store.is_nullable(from) {
                         stats.queries_folded += 1;
                         return Expr::new(ExprKind::Bool(true), ty);
                     }
@@ -508,7 +595,7 @@ fn fold_apply(
                 CastRelation::Checked => {
                     // Same-class-constructor queries with different args can
                     // still be decided when types are exactly equal.
-                    if from == to && !module.store.is_nullable(from) {
+                    if from == to && !cx.store.is_nullable(from) {
                         stats.queries_folded += 1;
                         return Expr::new(ExprKind::Bool(true), ty);
                     }
@@ -517,16 +604,16 @@ fn fold_apply(
                     let prim = |k: &TypeKind| {
                         matches!(k, TypeKind::Int | TypeKind::Byte | TypeKind::Bool | TypeKind::Void)
                     };
-                    let fk0 = module.store.kind(from).clone();
-                    let tk0 = module.store.kind(to).clone();
+                    let fk0 = cx.store.kind(from).clone();
+                    let tk0 = cx.store.kind(to).clone();
                     if prim(&fk0) && prim(&tk0) && from != to {
                         stats.queries_folded += 1;
                         return Expr::new(ExprKind::Bool(false), ty);
                     }
                     // Distinct instantiations of the same class never
                     // overlap (invariance): List<int> vs List<bool>.
-                    let fk = module.store.kind(from).clone();
-                    let tk = module.store.kind(to).clone();
+                    let fk = cx.store.kind(from).clone();
+                    let tk = cx.store.kind(to).clone();
                     if let (TypeKind::Class(c1, a1), TypeKind::Class(c2, a2)) = (fk, tk) {
                         if c1 == c2 && a1 != a2 {
                             stats.queries_folded += 1;
@@ -537,7 +624,7 @@ fn fold_apply(
             }
         }
         Cast { from, to } => {
-            let rel = vgl_types::cast_relation(&mut module.store, &module.hier, from, to);
+            let rel = vgl_types::cast_relation(cx.store, cx.hier, from, to);
             match rel {
                 CastRelation::Subsumption => {
                     stats.casts_folded += 1;
@@ -550,7 +637,7 @@ fn fold_apply(
                 }
                 CastRelation::Checked => {
                     // Constant byte/int conversions.
-                    match (&args[0].kind, module.store.kind(to).clone()) {
+                    match (&args[0].kind, cx.store.kind(to).clone()) {
                         (ExprKind::Int(i), TypeKind::Byte) => {
                             stats.casts_folded += 1;
                             return match ops::int_to_byte(*i) {

@@ -1,0 +1,177 @@
+//! A dependency-free work-stealing pool for per-function compiler work.
+//!
+//! Built on `std::thread::scope` — no external crates, no global state.
+//! Workers self-schedule by claiming item indices from a shared atomic
+//! counter, compute into worker-local buffers, and the results are merged
+//! back **in stable item-index order**. That ordering rule is the whole
+//! determinism story: the jobs count changes which thread computes an item
+//! and nothing else, so `--jobs 1` and `--jobs 8` produce bit-identical
+//! output. (jobs=1 runs inline on the caller's thread through the same
+//! worker body — there is no separate sequential algorithm to drift.)
+//!
+//! Each worker reports a [`WorkerSample`] (items claimed + busy time) for
+//! `vgl-obs`; those spans are telemetry, not part of the determinism
+//! contract.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use vgl_obs::WorkerSample;
+
+/// Upper bound on the pool size; beyond this, per-thread overhead dwarfs any
+/// conceivable win on per-function compiler work.
+pub const MAX_JOBS: usize = 64;
+
+/// Resolves a requested jobs count to an effective one: an explicit request
+/// (`n > 0`) wins, else the `VGL_JOBS` environment variable, else the
+/// machine's available parallelism, else 1. Always in `1..=MAX_JOBS`.
+///
+/// The environment is re-read on every call so tests (and CI's
+/// `VGL_JOBS=1` / `VGL_JOBS=8` lanes) can steer the default per-process.
+pub fn resolve_jobs(requested: usize) -> usize {
+    let n = if requested > 0 {
+        requested
+    } else if let Some(n) = std::env::var("VGL_JOBS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            n
+        } else {
+            1
+        }
+    } else {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    };
+    n.clamp(1, MAX_JOBS)
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, each with
+/// its own context from `mk_ctx`, and returns the results **in item order**
+/// plus one [`WorkerSample`] per worker that ran.
+///
+/// `f` receives the worker's context, the item's index, and the item; it
+/// must be a pure function of those (plus immutable captures) for the
+/// output to be jobs-invariant. With `jobs <= 1` (or fewer than two items)
+/// everything runs inline on the caller's thread as worker 0 — same code
+/// path, no spawn.
+pub fn par_map_ctx<T, C, R>(
+    jobs: usize,
+    phase: &'static str,
+    items: &[T],
+    mk_ctx: impl Fn() -> C + Sync,
+    f: impl Fn(&mut C, usize, &T) -> R + Sync,
+) -> (Vec<R>, Vec<WorkerSample>)
+where
+    T: Sync,
+    R: Send,
+{
+    let n = items.len();
+    let workers = jobs.clamp(1, MAX_JOBS).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    // The worker body: claim indices until the queue is dry. Identical for
+    // the inline and the threaded path.
+    let work = |worker: usize| -> (Vec<(usize, R)>, WorkerSample) {
+        let mut cx = mk_ctx();
+        let mut out = Vec::new();
+        let start = Instant::now();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            out.push((i, f(&mut cx, i, &items[i])));
+        }
+        let sample =
+            WorkerSample { phase, worker, items: out.len(), duration: start.elapsed() };
+        (out, sample)
+    };
+
+    let mut per_worker: Vec<(Vec<(usize, R)>, WorkerSample)> = if workers <= 1 || n < 2 {
+        vec![work(0)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..workers).map(|w| s.spawn(move || work(w))).collect();
+            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        })
+    };
+
+    // Merge in stable item-index order, independent of which worker
+    // computed what.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut samples = Vec::with_capacity(per_worker.len());
+    for (results, sample) in per_worker.drain(..) {
+        for (i, r) in results {
+            debug_assert!(slots[i].is_none(), "item {i} claimed twice");
+            slots[i] = Some(r);
+        }
+        samples.push(sample);
+    }
+    let results =
+        slots.into_iter().map(|r| r.expect("pool left an item unprocessed")).collect();
+    (results, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_at_any_jobs() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8] {
+            let (got, samples) =
+                par_map_ctx(jobs, "test", &items, || (), |_, _, &x| x * 3 + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+            assert_eq!(samples.iter().map(|s| s.items).sum::<usize>(), items.len());
+            assert!(samples.len() <= jobs);
+        }
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let items = vec!["a", "b", "c"];
+        let (got, _) = par_map_ctx(2, "test", &items, || (), |_, i, &s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn context_is_per_worker() {
+        // Each worker counts its own items in its context; totals must cover
+        // every item exactly once.
+        let items: Vec<u32> = (0..100).collect();
+        let (got, samples) = par_map_ctx(
+            4,
+            "test",
+            &items,
+            || 0usize,
+            |count, _, &x| {
+                *count += 1;
+                x
+            },
+        );
+        assert_eq!(got, items);
+        assert_eq!(samples.iter().map(|s| s.items).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn empty_and_single_item_inline() {
+        let (got, samples) = par_map_ctx(8, "test", &[] as &[u32], || (), |_, _, &x| x);
+        assert!(got.is_empty());
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].worker, 0);
+        let (got, samples) = par_map_ctx(8, "test", &[5u32], || (), |_, _, &x| x + 1);
+        assert_eq!(got, [6]);
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn resolve_jobs_explicit_wins_and_clamps() {
+        assert_eq!(resolve_jobs(3), 3);
+        assert_eq!(resolve_jobs(1), 1);
+        assert_eq!(resolve_jobs(10_000), MAX_JOBS);
+        // 0 = auto: whatever it resolves to, it is in range.
+        let auto = resolve_jobs(0);
+        assert!((1..=MAX_JOBS).contains(&auto));
+    }
+}

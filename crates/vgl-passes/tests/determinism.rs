@@ -1,0 +1,154 @@
+//! The parallel back end's determinism contract, locked down.
+//!
+//! `Options.jobs` may only change *how fast* the back half of the pipeline
+//! (normalize → optimize → lower → fuse) runs — never *what* it produces.
+//! These tests compile every example program and a few hundred seed-pinned
+//! fuzz programs at jobs = 1, 2, and 8 and assert the outputs are
+//! byte-identical: same post-optimize module fingerprint, same bytecode
+//! disassembly. The per-instance pass cache gets the same treatment: cache
+//! on vs cache off, and a warm re-run vs a cold one, must agree exactly.
+//!
+//! Override the fuzz-case count with `VGL_DET_CASES` (default 300).
+
+use vgl_fuzz::{emit, gen_program, GenConfig};
+
+/// Compiles `src` through the whole back half at the given configuration and
+/// returns the two observables the determinism contract is stated over: the
+/// fused bytecode disassembly and the post-optimize module content hash.
+fn compile_with(src: &str, jobs: usize, cache: bool) -> (String, u64) {
+    let mut diags = vgl_syntax::Diagnostics::new();
+    let ast = vgl_syntax::parse_program(src, &mut diags);
+    assert!(!diags.has_errors(), "frontend rejected test program:\n{src}");
+    let module = vgl_sema::analyze(&ast, &mut diags).expect("sema accepts test program");
+    let cfg = vgl_passes::BackendConfig { jobs, cache };
+    let mut report = vgl_passes::BackendReport::default();
+    let (mut m, _) = vgl_passes::monomorphize(&module);
+    vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
+    vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
+    let fingerprint = vgl_passes::module_fingerprint(&m);
+    let mut prog = vgl_vm::lower(&m);
+    vgl_vm::fuse_jobs(&mut prog, jobs, cache);
+    (vgl_vm::disasm(&prog), fingerprint)
+}
+
+fn example_sources() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/v");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/v exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("v") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            out.push((name, std::fs::read_to_string(&path).expect("readable example")));
+        }
+    }
+    out.sort();
+    assert!(!out.is_empty(), "no example programs found in {dir}");
+    out
+}
+
+fn det_cases() -> u64 {
+    std::env::var("VGL_DET_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(300)
+}
+
+/// Every checked-in example compiles to byte-identical bytecode at
+/// jobs = 1, 2, and 8.
+#[test]
+fn examples_identical_across_job_counts() {
+    for (name, src) in example_sources() {
+        let (d1, f1) = compile_with(&src, 1, true);
+        for jobs in [2, 8] {
+            let (dn, fn_) = compile_with(&src, jobs, true);
+            assert_eq!(f1, fn_, "{name}: module fingerprint differs at jobs={jobs}");
+            assert_eq!(d1, dn, "{name}: disassembly differs at jobs={jobs}");
+        }
+    }
+}
+
+/// Every checked-in example compiles identically with the instance cache
+/// disabled, and a warm second run agrees with the cold first one.
+#[test]
+fn examples_identical_with_and_without_cache() {
+    for (name, src) in example_sources() {
+        let cold = compile_with(&src, 8, true);
+        let warm = compile_with(&src, 8, true);
+        let uncached = compile_with(&src, 8, false);
+        assert_eq!(cold, warm, "{name}: warm re-run differs from cold run");
+        assert_eq!(cold, uncached, "{name}: cache changed the output");
+    }
+}
+
+/// Seed-pinned fuzz programs (default 300, `VGL_DET_CASES` overrides) agree
+/// between jobs = 1 and jobs = 8.
+#[test]
+fn fuzz_programs_identical_serial_vs_parallel() {
+    let cfg = GenConfig::default();
+    for case in 0..det_cases() {
+        let seed = 0xD473_0000 + case;
+        let src = emit(&gen_program(seed, &cfg));
+        let serial = compile_with(&src, 1, true);
+        let parallel = compile_with(&src, 8, true);
+        assert_eq!(
+            serial, parallel,
+            "seed {seed}: jobs=8 output differs from jobs=1 for:\n{src}"
+        );
+    }
+}
+
+/// A sample of the fuzz corpus also agrees with the cache switched off —
+/// the cache is an accelerator, never a semantic knob.
+#[test]
+fn fuzz_programs_identical_cached_vs_uncached() {
+    let cfg = GenConfig::default();
+    let cases = (det_cases() / 4).max(25);
+    for case in 0..cases {
+        let seed = 0xCAC4_E000 + case;
+        let src = emit(&gen_program(seed, &cfg));
+        let cached = compile_with(&src, 8, true);
+        let uncached = compile_with(&src, 8, false);
+        assert_eq!(cached, uncached, "seed {seed}: cache changed the output for:\n{src}");
+    }
+}
+
+/// A generic function instantiated at many phantom type arguments collapses
+/// to one unique fingerprint in the cache, and the deduplicated build is
+/// still byte-identical to the uncached one.
+#[test]
+fn instance_fanout_dedups_and_stays_identical() {
+    let mut src = String::new();
+    for i in 0..8 {
+        src.push_str(&format!("class C{i} {{}}\n"));
+    }
+    src.push_str(
+        "def work<T>(n: int) -> int {\n\
+         \tvar s = 0;\n\
+         \tfor (var i = 0; i < n; i = i + 1) { s = s + i * i; }\n\
+         \treturn s;\n\
+         }\n\
+         def main() -> int {\n\
+         \tvar t = 0;\n",
+    );
+    for i in 0..8 {
+        src.push_str(&format!("\tt = t + work<C{i}>(4);\n"));
+    }
+    src.push_str("\treturn t;\n}\n");
+
+    let mut diags = vgl_syntax::Diagnostics::new();
+    let ast = vgl_syntax::parse_program(&src, &mut diags);
+    assert!(!diags.has_errors(), "fan-out program should parse:\n{src}");
+    let module = vgl_sema::analyze(&ast, &mut diags).expect("fan-out program analyzes");
+    let cfg = vgl_passes::BackendConfig { jobs: 8, cache: true };
+    let mut report = vgl_passes::BackendReport::default();
+    let (mut m, _) = vgl_passes::monomorphize(&module);
+    vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
+    vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
+    assert!(
+        report.norm_cache.hits >= 7,
+        "8 phantom instances of work<T> should dedup to 1; norm cache: {:?}",
+        report.norm_cache
+    );
+    assert!(report.norm_cache.hit_rate() > 0.0);
+
+    let cached = compile_with(&src, 8, true);
+    let uncached = compile_with(&src, 1, false);
+    assert_eq!(cached, uncached, "deduplicated build must match the cold serial build");
+}

@@ -23,7 +23,7 @@ pub type Reg = u16;
 pub type FuncId = u32;
 
 /// Comparison/arithmetic kinds for [`Instr::Bin`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinKind {
     /// Wrapping add.
     Add,
@@ -56,7 +56,7 @@ pub enum BinKind {
 }
 
 /// One bytecode instruction.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Instr {
     /// dst ← signed scalar constant.
     ConstI(Reg, i64),

@@ -83,21 +83,108 @@ impl FuseStats {
 /// Debug-asserts that the multiset of allocating instructions is unchanged
 /// (the §4.2 no-implicit-allocation invariant).
 pub fn fuse(p: &mut VmProgram) -> FuseStats {
+    fuse_jobs(p, 1, true).0
+}
+
+/// [`fuse`] on up to `jobs` worker threads with an optional per-function
+/// dedup cache. Fusion is strictly function-local, so functions fan out
+/// across the pool and the rewritten code is committed back in
+/// function-index order — the result is bit-identical at any jobs count.
+///
+/// With `cache` on, functions whose `(param_count, reg_count, ret_count,
+/// code)` are equal to an earlier function's (duplicate post-mono instances
+/// survive lowering verbatim, names aside) are fused once: the
+/// representative's output is copied to each duplicate, which is exactly
+/// what re-running the deterministic pass on the identical input would
+/// produce. Grouping hashes candidates but deduplicates only on full
+/// equality, first-seen in index order, so the grouping itself is
+/// deterministic. The rewrite counters count performed work only;
+/// `instrs_before`/`instrs_after` describe the whole program, duplicates
+/// included. Also returns per-worker spans for `vgl-obs`.
+pub fn fuse_jobs(
+    p: &mut VmProgram,
+    jobs: usize,
+    cache: bool,
+) -> (FuseStats, Vec<vgl_obs::WorkerSample>) {
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+
     let mut stats = FuseStats::default();
-    for f in &mut p.funcs {
-        stats.instrs_before += f.code.len();
-        let allocs_before = count_allocs(&f.code);
-        fuse_func(f, &mut stats);
-        debug_assert_eq!(
-            allocs_before,
-            count_allocs(&f.code),
-            "fusion changed the allocating-instruction count in {}",
-            f.name
-        );
-        stats.instrs_after += f.code.len();
+    let funcs = std::mem::take(&mut p.funcs);
+    let n = funcs.len();
+    let mut rep: Vec<usize> = (0..n).collect();
+    if cache {
+        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        let same = |a: &VmFunc, b: &VmFunc| {
+            a.param_count == b.param_count
+                && a.reg_count == b.reg_count
+                && a.ret_count == b.ret_count
+                && a.code == b.code
+        };
+        for (i, f) in funcs.iter().enumerate() {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            (f.param_count, f.reg_count, f.ret_count).hash(&mut h);
+            f.code.hash(&mut h);
+            let candidates = groups.entry(h.finish()).or_default();
+            match candidates.iter().find(|&&j| same(&funcs[j], f)) {
+                Some(&j) => rep[i] = j,
+                None => candidates.push(i),
+            }
+        }
+    }
+    let items: Vec<usize> = (0..n).filter(|&i| rep[i] == i).collect();
+    let (results, workers) = vgl_passes::sched::par_map_ctx(
+        jobs,
+        "fuse",
+        &items,
+        || (),
+        |_, _, &i| {
+            let mut f = funcs[i].clone();
+            let mut st = FuseStats::default();
+            st.instrs_before += f.code.len();
+            let allocs_before = count_allocs(&f.code);
+            fuse_func(&mut f, &mut st);
+            debug_assert_eq!(
+                allocs_before,
+                count_allocs(&f.code),
+                "fusion changed the allocating-instruction count in {}",
+                f.name
+            );
+            st.instrs_after += f.code.len();
+            (f, st)
+        },
+    );
+    let mut fused: Vec<Option<VmFunc>> = (0..n).map(|_| None).collect();
+    for (&i, (f, st)) in items.iter().zip(results) {
+        stats.copies_propagated += st.copies_propagated;
+        stats.movs_coalesced += st.movs_coalesced;
+        stats.dead_removed += st.dead_removed;
+        stats.bin_imm_fused += st.bin_imm_fused;
+        stats.cmp_br_fused += st.cmp_br_fused;
+        stats.not_br_folded += st.not_br_folded;
+        stats.field_ret_fused += st.field_ret_fused;
+        stats.inc_local_fused += st.inc_local_fused;
+        stats.global_fused += st.global_fused;
+        stats.instrs_before += st.instrs_before;
+        stats.instrs_after += st.instrs_after;
+        fused[i] = Some(f);
+    }
+    p.funcs = Vec::with_capacity(n);
+    for (i, original) in funcs.into_iter().enumerate() {
+        let f = if rep[i] == i {
+            fused[i].take().expect("representative was fused")
+        } else {
+            // Representatives precede their duplicates, so the rep's fused
+            // form is already committed.
+            let r = &p.funcs[rep[i]];
+            stats.instrs_before += original.code.len();
+            stats.instrs_after += r.code.len();
+            VmFunc { name: original.name, ..r.clone() }
+        };
+        p.funcs.push(f);
     }
     p.max_frame_regs = p.funcs.iter().map(|f| f.reg_count).max().unwrap_or(0);
-    stats
+    (stats, workers)
 }
 
 fn count_allocs(code: &[Instr]) -> usize {

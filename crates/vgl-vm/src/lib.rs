@@ -35,7 +35,7 @@ pub use bytecode::{
     OPCODE_COUNT, OPCODE_NAMES,
 };
 pub use disasm::{disasm, disasm_instr, side_by_side};
-pub use fuse::{check_fused, fuse, FuseStats};
+pub use fuse::{check_fused, fuse, fuse_jobs, FuseStats};
 pub use lower::lower;
 pub use profile::{GcEvent, VmProfile};
 pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats, RET_INLINE};

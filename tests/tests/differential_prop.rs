@@ -7,7 +7,7 @@
 //! Program generation lives in `vgl-fuzz` (typed AST model over the full
 //! §2–§3 surface: class hierarchies, virtual/abstract dispatch, bound
 //! delegates, generics, tuples up to width 16, queries/casts, recursion,
-//! GC churn); these tests drive it through the six-engine oracle and the
+//! GC churn); these tests drive it through the seven-engine oracle and the
 //! `vgl::Compiler` facade. Every failure prints the seed; reproduce with
 //! `vglc fuzz --seed <seed> --cases 1`. Set `VGL_PROP_CASES` to raise the
 //! case count (default 48).
@@ -21,11 +21,12 @@ fn cases() -> u64 {
         .unwrap_or(48)
 }
 
-/// Every generated program agrees across all six engine configurations
+/// Every generated program agrees across all seven engine configurations
 /// (source interpreter, monomorphized interpreter, VM, both optimized
-/// variants, and the VM over fused bytecode) on result, output, and trap —
-/// checked by the vgl-fuzz oracle, which also validates the §4 IR
-/// invariants between passes.
+/// variants, the VM over fused bytecode, and the same fused build rebuilt
+/// at jobs = 8) on result, output, and trap — checked by the vgl-fuzz
+/// oracle, which also validates the §4 IR invariants between passes and
+/// asserts the parallel rebuild is byte-identical to the serial one.
 #[test]
 fn differential_three_way() {
     let gen = fuzz::GenConfig::default();
@@ -43,13 +44,16 @@ fn differential_three_way() {
     }
 }
 
-/// Pinned regression sweep for the bytecode back-end optimizer: 500 seeded
-/// cases (base seed 42) through the full six-engine oracle. The `vm-fused`
-/// configuration validates the fused bytecode with `check_fused` before
-/// running and asserts zero tuple boxes after, so a clean sweep here is the
-/// fusion/IC acceptance gate. Override the count with `VGL_FUZZ_CASES`.
+/// Pinned regression sweep for the bytecode back-end optimizer and the
+/// parallel back end: 500 seeded cases (base seed 42) through the full
+/// seven-engine oracle. The `vm-fused` configuration validates the fused
+/// bytecode with `check_fused` before running and asserts zero tuple boxes
+/// after; the `vm-fused-par` configuration rebuilds at jobs = 8 and asserts
+/// byte-identical bytecode before running, so a clean sweep here is both the
+/// fusion/IC acceptance gate and the parallel-determinism parity gate.
+/// Override the count with `VGL_FUZZ_CASES`.
 #[test]
-fn fuzz_regression_seed42_six_engines() {
+fn fuzz_regression_seed42_seven_engines() {
     let cfg = fuzz::FuzzConfig {
         seed: 42,
         cases: std::env::var("VGL_FUZZ_CASES")
