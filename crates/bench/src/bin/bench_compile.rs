@@ -3,10 +3,17 @@
 //! instance-fan-out workloads, writes the medians to `BENCH_compile.json`,
 //! and **fails (exit 1) unless the tuned configuration (jobs = 8, instance
 //! cache on) is at least 1.3× faster** than the seed baseline (jobs = 1,
-//! cache off) on the duplicate-instance workload. A jobs = 1/2/4/8 scaling
+//! cache off) on the duplicate-instance workload.
+//!
+//! Honesty rules: the seed baseline (jobs = 1, cache off) is measured and
+//! recorded for **every** workload — every row in the report can answer
+//! "faster than what?" against the same file. A jobs = 1/2/4/8 scaling
 //! curve (cache on) is recorded for EXPERIMENTS.md E9 but not gated — on a
 //! single-core runner the threads only add overhead and the win comes from
-//! the cache, which is exactly what the gate measures.
+//! the cache, which is exactly what the gate measures. When a jobs > 1
+//! configuration comes out *slower* than jobs = 1 on the same workload,
+//! that is printed as a visible warning and recorded in the report's
+//! `warnings` array rather than silently buried in the rows.
 //!
 //! Usage: `cargo run --release -p vgl-bench --bin bench_compile [out.json]`
 //! Sample count honors `VGL_BENCH_SAMPLES` (default 10).
@@ -57,33 +64,50 @@ fn main() -> ExitCode {
         "workload", "jobs", "cache", "median (us)", "speedup", "norm hit%", "opt hit%"
     );
     let mut rows = Vec::new();
+    let mut warnings: Vec<String> = Vec::new();
+    let mut gate_speedup = None;
 
-    // The gate: seed baseline (jobs=1, no cache) vs tuned (jobs=8, cached)
-    // on the duplicate-instance workload.
-    let base = measure_backend("fanout_dup(96)", &dup, 1, false, samples);
-    let tuned = measure_backend("fanout_dup(96)", &dup, 8, true, samples);
-    print_row(&base, &base);
-    print_row(&tuned, &base);
-    rows.push(row_json(&base));
-    rows.push(row_json(&tuned));
-    let speedup = base.time.as_secs_f64() / tuned.time.as_secs_f64().max(1e-9);
-
-    // Scaling curve, cache on, both workloads — informational.
     for (name, src) in [("fanout_dup(96)", &dup), ("fanout_distinct(96)", &distinct)] {
-        let curve_base = measure_backend(name, src, 1, true, samples);
-        print_row(&curve_base, &curve_base);
-        rows.push(row_json(&curve_base));
+        // The seed baseline is never skipped: jobs = 1, cache off, the
+        // configuration the repo shipped with before the parallel back end.
+        let seed = measure_backend(name, src, 1, false, samples);
+        print_row(&seed, &seed);
+        rows.push(row_json(&seed));
+
+        // Scaling curve, cache on, speedups reported against the seed.
+        let serial_cached = measure_backend(name, src, 1, true, samples);
+        print_row(&serial_cached, &seed);
+        rows.push(row_json(&serial_cached));
         for jobs in [2, 4, 8] {
             let m = measure_backend(name, src, jobs, true, samples);
-            print_row(&m, &curve_base);
+            print_row(&m, &seed);
+            if m.time > serial_cached.time {
+                warnings.push(format!(
+                    "{name}: jobs={jobs} (cache on) is {:.2}x slower than jobs=1 (cache on) \
+                     — the threads add overhead on this machine",
+                    m.time.as_secs_f64() / serial_cached.time.as_secs_f64().max(1e-9)
+                ));
+            }
+            if name == "fanout_dup(96)" && jobs == 8 {
+                // The gate compares the tuned configuration against the
+                // seed baseline of the same workload, same sample batch.
+                gate_speedup =
+                    Some(seed.time.as_secs_f64() / m.time.as_secs_f64().max(1e-9));
+            }
             rows.push(row_json(&m));
         }
+    }
+    let speedup = gate_speedup.expect("dup workload measured at jobs=8");
+
+    for w in &warnings {
+        eprintln!("bench_compile: warning: {w}");
     }
 
     let mut root = Json::object();
     root.set("samples", Json::from(samples));
     root.set("gate_speedup", Json::Num(GATE_SPEEDUP));
     root.set("measured_speedup", Json::Num(speedup));
+    root.set("warnings", Json::Arr(warnings.iter().map(|w| Json::Str(w.clone())).collect()));
     root.set("rows", Json::Arr(rows));
     if let Err(e) = std::fs::write(&out_path, format!("{root}\n")) {
         eprintln!("bench_compile: cannot write {out_path}: {e}");

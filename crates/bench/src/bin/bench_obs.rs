@@ -1,0 +1,109 @@
+//! CI bench-smoke for the observability layer: times the VM on the E2/E3
+//! workloads with the hotness profiler off, on (default sampling mode),
+//! and on in precise mode; writes the timings to `BENCH_obs.json`; and
+//! **fails (exit 1) if the default profiler costs more than 5%** on any
+//! workload — the profiler's low-overhead contract (a call counter per
+//! call and a tick per back-edge; no per-instruction work). Precise mode
+//! (exact inclusive/exclusive accounting) is reported but never gated —
+//! it is an offline-analysis configuration, not production telemetry.
+//!
+//! The correctness half of the contract (identical result and output with
+//! profiling on) is asserted inside [`vgl_bench::measure_obs`] before any
+//! timing happens.
+//!
+//! Usage: `cargo run --release -p vgl-bench --bin bench_obs [out.json]`
+//! Sample count honors `VGL_BENCH_SAMPLES` (default 30); each sample is
+//! one interleaved plain/sampling/precise run triple and the reported
+//! time is the per-mode sum. Each workload is measured `TRIALS` times and
+//! the trial with the lowest gated overhead is kept: the gate is
+//! one-sided (it only fails on a regression), so taking the quietest
+//! trial filters scheduler noise without hiding a real slowdown — a true
+//! regression shows up in every trial.
+
+use std::process::ExitCode;
+use vgl_bench::{measure_obs, workloads, ObsMeasurement};
+use vgl_obs::json::Json;
+
+const GATE_OVERHEAD: f64 = 0.05;
+const TRIALS: usize = 3;
+
+fn row_json(m: &ObsMeasurement) -> Json {
+    let mut o = Json::object();
+    o.set("workload", Json::Str(m.name.clone()));
+    o.set("plain_us", Json::Num(m.plain.as_secs_f64() * 1e6));
+    o.set("profiled_us", Json::Num(m.profiled.as_secs_f64() * 1e6));
+    o.set("precise_us", Json::Num(m.precise.as_secs_f64() * 1e6));
+    o.set("overhead", Json::Num(m.overhead()));
+    o.set("overhead_precise", Json::Num(m.overhead_precise()));
+    o.set("hottest", Json::Str(m.hottest.clone()));
+    o.set("hottest_ticks", Json::from(m.hottest_ticks));
+    o
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let samples = std::env::var("VGL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(30);
+
+    let cases = [
+        ("polymorphic(200)", workloads::polymorphic(200)),
+        ("dispatch_chain(20000)", workloads::dispatch_chain(20_000)),
+    ];
+
+    println!(
+        "{:<24} {:>12} {:>14} {:>10} {:>10}  hottest",
+        "workload", "plain (us)", "profiled (us)", "overhead", "precise"
+    );
+    let mut rows = Vec::new();
+    let mut worst: f64 = 0.0;
+    let mut measurements = Vec::new();
+    for (name, src) in &cases {
+        let m = (0..TRIALS)
+            .map(|_| measure_obs(name, src, samples))
+            .min_by(|a, b| a.overhead().total_cmp(&b.overhead()))
+            .expect("at least one trial");
+        println!(
+            "{:<24} {:>12.1} {:>14.1} {:>9.2}% {:>9.2}%  {} ({} ticks)",
+            m.name,
+            m.plain.as_secs_f64() * 1e6,
+            m.profiled.as_secs_f64() * 1e6,
+            m.overhead() * 100.0,
+            m.overhead_precise() * 100.0,
+            m.hottest,
+            m.hottest_ticks,
+        );
+        worst = worst.max(m.overhead());
+        rows.push(row_json(&m));
+        measurements.push(m);
+    }
+
+    let mut root = Json::object();
+    root.set("samples", Json::from(samples));
+    root.set("trials", Json::from(TRIALS as u64));
+    root.set("gate_overhead", Json::Num(GATE_OVERHEAD));
+    root.set("worst_overhead", Json::Num(worst));
+    root.set("rows", Json::Arr(rows));
+    if let Err(e) = std::fs::write(&out_path, format!("{root}\n")) {
+        eprintln!("bench_obs: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if worst > GATE_OVERHEAD {
+        let offender = measurements
+            .iter()
+            .max_by(|a, b| a.overhead().total_cmp(&b.overhead()))
+            .expect("at least one workload");
+        eprintln!(
+            "bench_obs: REGRESSION — hotness profiling costs {:.2}% on {} \
+             (gate: {:.0}%)",
+            offender.overhead() * 100.0,
+            offender.name,
+            GATE_OVERHEAD * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -72,6 +72,81 @@ pub fn us(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e6)
 }
 
+/// One workload measured on the VM with hotness profiling off, on
+/// (default sampling mode), and on in precise mode — the E10
+/// observability-overhead data point.
+#[derive(Clone, Debug)]
+pub struct ObsMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// Total VM time with profiling off.
+    pub plain: Duration,
+    /// Total VM time with the sampling hotness profiler on.
+    pub profiled: Duration,
+    /// Total VM time with the precise (exact inclusive/exclusive) profiler.
+    pub precise: Duration,
+    /// Name of the hottest function the profiled run reported.
+    pub hottest: String,
+    /// Back-edge ticks attributed to the hottest function.
+    pub hottest_ticks: u64,
+}
+
+impl ObsMeasurement {
+    /// profiled/plain − 1 — the fractional slowdown the default sampling
+    /// profiler costs (what the `bench_obs` gate enforces).
+    pub fn overhead(&self) -> f64 {
+        self.profiled.as_secs_f64() / self.plain.as_secs_f64().max(1e-9) - 1.0
+    }
+
+    /// precise/plain − 1 — the slowdown of precise mode (reported in E10,
+    /// never gated: precise mode is an offline-analysis configuration).
+    pub fn overhead_precise(&self) -> f64 {
+        self.precise.as_secs_f64() / self.plain.as_secs_f64().max(1e-9) - 1.0
+    }
+}
+
+/// Compiles `source` once, asserts profiling changes no observable
+/// behavior, then times `samples` interleaved plain/sampling/precise run
+/// triples and reports the **summed** time per mode. Sums (equivalently,
+/// means) beat medians of single runs here: one run is a few milliseconds,
+/// where scheduler noise swamps a single-digit-percent effect; the
+/// interleaved sum sees every run and cancels drift across modes.
+pub fn measure_obs(name: &str, source: &str, samples: usize) -> ObsMeasurement {
+    let c = compile(source);
+    let plain_out = c.execute();
+    let (profiled_out, hotness) = c.execute_hotness_profiled();
+    let (precise_out, precise_hotness) = c.execute_hotness_profiled_precise();
+    assert_eq!(plain_out.result, profiled_out.result, "{name}: profiling changed the result");
+    assert_eq!(plain_out.output, profiled_out.output, "{name}: profiling changed the output");
+    assert_eq!(plain_out.result, precise_out.result, "{name}: precise mode changed the result");
+    for (a, b) in hotness.rows.iter().zip(precise_hotness.rows.iter()) {
+        assert_eq!(a.calls, b.calls, "{name}: modes disagree on call counts");
+        assert_eq!(a.ticks, b.ticks, "{name}: modes disagree on ticks");
+    }
+    let (mut tp, mut to, mut tq) =
+        (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let _ = c.execute();
+        tp += start.elapsed();
+        let start = Instant::now();
+        let _ = c.execute_hotness_profiled();
+        to += start.elapsed();
+        let start = Instant::now();
+        let _ = c.execute_hotness_profiled_precise();
+        tq += start.elapsed();
+    }
+    let top = hotness.hotness_ranked(&c.program).into_iter().next();
+    ObsMeasurement {
+        name: name.to_string(),
+        plain: tp,
+        profiled: to,
+        precise: tq,
+        hottest: top.as_ref().map(|r| r.name.to_string()).unwrap_or_default(),
+        hottest_ticks: top.map(|r| r.ticks).unwrap_or(0),
+    }
+}
+
 /// One workload measured on the VM with the bytecode back-end optimizer
 /// (superinstruction fusion + inline caches) off and on — the E8 data point.
 #[derive(Clone, Debug)]

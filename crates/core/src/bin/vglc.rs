@@ -5,10 +5,18 @@
 //! vglc interp <file.v>         run on the reference interpreter
 //! vglc both <file.v>           run on both engines and compare
 //! vglc stats [--json] <file.v> print pipeline statistics; --json emits one
-//!                              JSON object (phases, pipeline, both engines)
+//!                              JSON object (phases, pipeline, both engines,
+//!                              and the unified `runtime` counters)
 //! vglc profile <file.v>        run on the VM with profiling: per-phase
 //!                              compile times, opcode histogram (with the
-//!                              superinstruction share), IC hit/miss, GC
+//!                              superinstruction share), the per-function
+//!                              hotness ranking, IC hit/miss, GC
+//! vglc trace [-o out] <file.v> compile and run with wall-clock tracing,
+//!                              writing a Chrome trace-event JSON file
+//!                              (default trace.json) that unifies compile
+//!                              phases, back-end worker lanes, VM function
+//!                              spans, and GC events — open it in
+//!                              chrome://tracing or Perfetto
 //! vglc disasm <file.v>         print the compiled bytecode; with fusion on
 //!                              (the default in release), unfused and fused
 //!                              code are shown side by side
@@ -36,14 +44,19 @@
 //! `--jobs 1` and `--jobs 8` produce bit-identical bytecode. `--no-cache`
 //! disables the per-instance pass cache (also output-identical; it only
 //! recomputes what duplicate instances would have shared).
+//!
+//! `--flight-record[=N]` (for `run`) keeps a ring of the last N runtime
+//! events (calls, IC misses, collections; default 64) and dumps it to
+//! stderr when the run ends in a trap or `System.error`.
 
 use std::process::ExitCode;
 use vgl::Compiler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|disasm] \
-         [--fuse|--no-fuse] [--jobs N] [--no-cache] <file.v>\n\
+        "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|disasm|\
+         trace [-o out.json]] \
+         [--fuse|--no-fuse] [--jobs N] [--no-cache] [--flight-record[=N]] <file.v>\n\
          \x20      vglc fuzz [--chaos] [--seed N] [--cases N] [--dump]"
     );
     ExitCode::from(2)
@@ -144,8 +157,10 @@ fn main() -> ExitCode {
         return fuzz(&args[1..]);
     }
     let mut options = vgl::Options::default();
-    // `--jobs N` / `--jobs=N`: consume the flag and its value before the
-    // positional scan.
+    let mut out_path: Option<String> = None;
+    let mut flight: Option<usize> = None;
+    // Valued flags (`--jobs N`, `-o out`, `--flight-record[=N]`): consume
+    // them before the positional scan.
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--jobs" && i + 1 < args.len() {
@@ -155,6 +170,16 @@ fn main() -> ExitCode {
         } else if let Some(v) = args[i].strip_prefix("--jobs=") {
             let Ok(n) = v.parse::<usize>() else { return usage() };
             options.jobs = n;
+            args.remove(i);
+        } else if args[i] == "-o" && i + 1 < args.len() {
+            out_path = Some(args[i + 1].clone());
+            args.drain(i..i + 2);
+        } else if args[i] == "--flight-record" {
+            flight = Some(64);
+            args.remove(i);
+        } else if let Some(v) = args[i].strip_prefix("--flight-record=") {
+            let Ok(n) = v.parse::<usize>() else { return usage() };
+            flight = Some(n.max(1));
             args.remove(i);
         } else {
             i += 1;
@@ -213,7 +238,43 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "run" => {
-            let out = compilation.execute();
+            if let Some(capacity) = flight {
+                let (out, dump) = compilation.execute_flight_recorded(capacity);
+                print!("{}", out.output);
+                if out.result.is_err() {
+                    if let Some(d) = dump {
+                        eprint!("{d}");
+                    }
+                }
+                finish(out.result)
+            } else {
+                let out = compilation.execute();
+                print!("{}", out.output);
+                finish(out.result)
+            }
+        }
+        "trace" => {
+            let (out, log) = compilation.execute_traced();
+            let trace = vgl::chrome::chrome_trace(&compilation, &out, &log);
+            let text = trace.render();
+            // Self-validate: the exporter's output must round-trip through
+            // the in-tree parser before it is allowed on disk.
+            if let Err(e) = vgl_obs::json::parse(&text) {
+                eprintln!("vglc: internal error: trace output is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+            let dest = out_path.unwrap_or_else(|| "trace.json".to_string());
+            if let Err(e) = std::fs::write(&dest, &text) {
+                eprintln!("vglc: cannot write {dest}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "vglc: wrote {dest}: {} events (compile {:.1}us, {} vm spans, {} gc)",
+                trace.len(),
+                compilation.trace.total().as_secs_f64() * 1e6,
+                log.span_count(),
+                log.gc.len()
+            );
             print!("{}", out.output);
             finish(out.result)
         }
@@ -236,13 +297,19 @@ fn main() -> ExitCode {
         }
         "stats" if json => {
             let i = compilation.interpret();
-            let (v, profile) = compilation.execute_profiled();
-            let report = vgl::report::stats_json(&compilation, Some(&i), Some(&v), Some(&profile));
+            let (v, profile, hotness) = compilation.execute_profiled_full();
+            let report = vgl::report::stats_json(
+                &compilation,
+                Some(&i),
+                Some(&v),
+                Some(&profile),
+                Some(&hotness),
+            );
             println!("{report}");
             ExitCode::SUCCESS
         }
         "profile" => {
-            let (out, profile) = compilation.execute_profiled();
+            let (out, profile, hotness) = compilation.execute_profiled_full();
             println!("== compile phases ==");
             print!("{}", compilation.trace.render_table());
             let b = &compilation.backend;
@@ -273,6 +340,8 @@ fn main() -> ExitCode {
             }
             println!("== vm profile ==");
             print!("{}", profile.render_table());
+            println!("== hotness ==");
+            print!("{}", hotness.render_table(&compilation.program));
             if let Some(s) = &out.vm_stats {
                 println!(
                     "ic: {} hits, {} misses ({:.1}% hit rate); ret spills: {}",

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod report;
 
 use std::fmt;
@@ -48,7 +49,11 @@ pub use vgl_passes::{
 pub use vgl_runtime::{AllocStats, GcInfo, HeapStats};
 pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap, Severity};
 pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
-pub use vgl_vm::{FuseStats, GcEvent, Vm, VmError, VmProfile, VmProgram, VmStats};
+pub use vgl_obs::trace::ChromeTrace;
+pub use vgl_vm::{
+    FlightRecorder, FuncSpan, FuseStats, GcEvent, GcInstant, HotFunc, RuntimeProfile, TraceLog,
+    Vm, VmError, VmProfile, VmProgram, VmStats,
+};
 
 pub use vgl_fuzz as fuzz;
 
@@ -575,6 +580,118 @@ impl Compilation {
         };
         let profile = vm.take_profile().unwrap_or_default();
         (outcome, profile)
+    }
+
+    /// [`Compilation::execute`] with **only** the hotness profiler enabled,
+    /// in its default sampling mode — the low-overhead production
+    /// configuration `bench_obs` gates: call counters plus back-edge ticks,
+    /// no per-return accounting, no per-opcode histogram.
+    pub fn execute_hotness_profiled(&self) -> (RunOutcome, RuntimeProfile) {
+        self.execute_hotness(false)
+    }
+
+    /// [`Compilation::execute_hotness_profiled`] in precise mode: exact
+    /// inclusive/exclusive retired-instruction accounting at every frame
+    /// exit. Costs more (`bench_obs` reports it ungated); `vglc stats` and
+    /// `vglc profile` use it for offline analysis.
+    pub fn execute_hotness_profiled_precise(&self) -> (RunOutcome, RuntimeProfile) {
+        self.execute_hotness(true)
+    }
+
+    fn execute_hotness(&self, precise: bool) -> (RunOutcome, RuntimeProfile) {
+        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if precise {
+            vm.enable_runtime_profiling_precise();
+        } else {
+            vm.enable_runtime_profiling();
+        }
+        if let Some(f) = self.options.fuel {
+            vm.set_fuel(f);
+        }
+        let result = match vm.run() {
+            Ok(words) => Ok(display_words(&words)),
+            Err(e) => Err(e.to_string()),
+        };
+        let outcome = RunOutcome {
+            result,
+            output: vm.output(),
+            interp_stats: None,
+            vm_stats: Some(vm.stats),
+        };
+        let hotness = vm.take_runtime_profile().unwrap_or_default();
+        (outcome, hotness)
+    }
+
+    /// [`Compilation::execute_profiled`] plus the deterministic per-function
+    /// hotness profile (calls, back-edge ticks, inclusive/exclusive retired
+    /// instructions) — everything `vglc profile` and `vglc stats --json`
+    /// report.
+    pub fn execute_profiled_full(&self) -> (RunOutcome, VmProfile, RuntimeProfile) {
+        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        vm.enable_profiling();
+        vm.enable_runtime_profiling_precise();
+        if let Some(f) = self.options.fuel {
+            vm.set_fuel(f);
+        }
+        let result = match vm.run() {
+            Ok(words) => Ok(display_words(&words)),
+            Err(e) => Err(e.to_string()),
+        };
+        let outcome = RunOutcome {
+            result,
+            output: vm.output(),
+            interp_stats: None,
+            vm_stats: Some(vm.stats),
+        };
+        let profile = vm.take_profile().unwrap_or_default();
+        let hotness = vm.take_runtime_profile().unwrap_or_default();
+        (outcome, profile, hotness)
+    }
+
+    /// [`Compilation::execute`] with the wall-clock trace log enabled: the
+    /// returned [`TraceLog`] carries per-function spans and GC instants,
+    /// ready for [`chrome::chrome_trace`](crate::chrome::chrome_trace).
+    pub fn execute_traced(&self) -> (RunOutcome, TraceLog) {
+        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        vm.enable_trace_log(1 << 18);
+        if let Some(f) = self.options.fuel {
+            vm.set_fuel(f);
+        }
+        let result = match vm.run() {
+            Ok(words) => Ok(display_words(&words)),
+            Err(e) => Err(e.to_string()),
+        };
+        let outcome = RunOutcome {
+            result,
+            output: vm.output(),
+            interp_stats: None,
+            vm_stats: Some(vm.stats),
+        };
+        let log = vm.take_trace_log().unwrap_or_else(|| TraceLog::new(1));
+        (outcome, log)
+    }
+
+    /// [`Compilation::execute`] with the crash flight recorder on
+    /// (`vglc run --flight-record`): returns the run plus the rendered dump
+    /// of the last `capacity` runtime events, when anything was recorded.
+    pub fn execute_flight_recorded(&self, capacity: usize) -> (RunOutcome, Option<String>) {
+        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        vm.enable_flight_recorder(capacity);
+        if let Some(f) = self.options.fuel {
+            vm.set_fuel(f);
+        }
+        let result = match vm.run() {
+            Ok(words) => Ok(display_words(&words)),
+            Err(e) => Err(e.to_string()),
+        };
+        let dump = vm.flight_dump();
+        let outcome = RunOutcome {
+            result,
+            output: vm.output(),
+            interp_stats: None,
+            vm_stats: Some(vm.stats),
+        };
+        (outcome, dump)
     }
 
     /// Code expansion ratio due to monomorphization (E4): IR nodes after

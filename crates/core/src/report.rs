@@ -7,19 +7,20 @@
 //! VM's counters plus, when profiled, the per-opcode histogram and GC event
 //! log. `crates/bench` consumes this shape for the paper tables.
 
-use crate::{Compilation, InterpStats, RunOutcome, VmProfile, VmStats};
+use crate::{Compilation, InterpStats, RunOutcome, RuntimeProfile, VmProfile, VmStats};
 use vgl_obs::json::Json;
 
 /// Builds the full report for one compiled program.
 ///
 /// `interp` and `vm` are outcomes from the respective engines (either may be
-/// omitted); `profile` is the VM profile from
-/// [`Compilation::execute_profiled`].
+/// omitted); `profile` and `hotness` are the VM profiles from
+/// [`Compilation::execute_profiled_full`].
 pub fn stats_json(
     c: &Compilation,
     interp: Option<&RunOutcome>,
     vm: Option<&RunOutcome>,
     profile: Option<&VmProfile>,
+    hotness: Option<&RuntimeProfile>,
 ) -> Json {
     let mut root = Json::object();
     root.set("phases", c.trace.to_json());
@@ -44,7 +45,52 @@ pub fn stats_json(
         }
         root.set("vm", o);
     }
+    root.set("runtime", runtime_json(c, interp, vm, hotness));
     root
+}
+
+/// The unified `runtime` object: one schema for every dynamic-cost counter
+/// the E-series scripts read, regardless of engine. The paper's headline
+/// comparison — the interpreter boxes tuples and pays §4.1 call-site
+/// checks, the VM structurally cannot — reads off the two `tuple_boxes`
+/// fields, and the VM's inline-cache counters live under `vm.ic` instead of
+/// being flattened into the stats bag.
+fn runtime_json(
+    c: &Compilation,
+    interp: Option<&RunOutcome>,
+    vm: Option<&RunOutcome>,
+    hotness: Option<&RuntimeProfile>,
+) -> Json {
+    let mut rt = Json::object();
+    if let Some(s) = interp.and_then(|r| r.interp_stats.as_ref()) {
+        let mut o = Json::object();
+        o.set("steps", Json::from(s.steps));
+        o.set("tuple_boxes", Json::from(s.allocs.tuples));
+        o.set("callsite_checks", Json::from(s.callsite_checks));
+        o.set("callsite_adaptations", Json::from(s.callsite_adaptations));
+        o.set("type_substitutions", Json::from(s.type_substitutions));
+        o.set("env_lookups", Json::from(s.env_lookups));
+        rt.set("interp", o);
+    }
+    if let Some(s) = vm.and_then(|r| r.vm_stats.as_ref()) {
+        let mut o = Json::object();
+        o.set("instrs", Json::from(s.instrs));
+        o.set("tuple_boxes", Json::from(s.heap.tuple_boxes));
+        o.set("calls", Json::from(s.calls));
+        o.set("virtual_calls", Json::from(s.virtual_calls));
+        o.set("closure_calls", Json::from(s.closure_calls));
+        let mut ic = Json::object();
+        ic.set("hits", Json::from(s.ic_hits));
+        ic.set("misses", Json::from(s.ic_misses));
+        ic.set("hit_rate", Json::Num(s.ic_hit_rate()));
+        o.set("ic", ic);
+        o.set("gc_collections", Json::from(s.heap.collections));
+        if let Some(h) = hotness {
+            o.set("hotness", h.to_json(&c.program));
+        }
+        rt.set("vm", o);
+    }
+    rt
 }
 
 fn pipeline_json(c: &Compilation) -> Json {
@@ -168,6 +214,7 @@ fn backend_json(b: &crate::BackendReport) -> Json {
             wo.set("phase", Json::Str(w.phase.to_string()));
             wo.set("worker", Json::from(w.worker));
             wo.set("items", Json::from(w.items));
+            wo.set("start_us", Json::Num(w.start.as_secs_f64() * 1e6));
             wo.set("dur_us", Json::Num(w.duration.as_secs_f64() * 1e6));
             items.push(wo);
         }
@@ -212,8 +259,8 @@ mod tests {
             )
             .expect("compiles");
         let i = c.interpret();
-        let (v, prof) = c.execute_profiled();
-        let j = stats_json(&c, Some(&i), Some(&v), Some(&prof));
+        let (v, prof, hot) = c.execute_profiled_full();
+        let j = stats_json(&c, Some(&i), Some(&v), Some(&prof), Some(&hot));
         let text = j.render();
         let back = vgl_obs::json::parse(&text).expect("valid json");
         assert_eq!(back.get("vm").and_then(|v| v.get("result")).and_then(Json::as_str), Some("42"));
@@ -249,5 +296,23 @@ mod tests {
             _ => 0,
         };
         assert!(retired > 0, "profile should retire instructions");
+
+        // The unified `runtime` object: one schema across both engines,
+        // with tuple boxing at the same key on each side.
+        let rt = back.get("runtime").expect("runtime object");
+        let rt_tuples = |engine: &str| {
+            rt.get(engine).and_then(|v| v.get("tuple_boxes")).and_then(Json::as_u64)
+        };
+        assert!(rt_tuples("interp").unwrap_or(0) > 0, "interp boxes tuples");
+        assert_eq!(rt_tuples("vm"), Some(0), "the VM structurally cannot box tuples");
+        let ic = rt.get("vm").and_then(|v| v.get("ic")).expect("ic counters");
+        assert!(ic.get("hit_rate").and_then(Json::as_f64).is_some());
+        let hotness = rt
+            .get("vm")
+            .and_then(|v| v.get("hotness"))
+            .and_then(Json::as_arr)
+            .expect("hotness ranking");
+        assert!(!hotness.is_empty());
+        assert!(hotness[0].get("excl_instrs").and_then(Json::as_u64).is_some());
     }
 }

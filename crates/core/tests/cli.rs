@@ -48,9 +48,19 @@ fn stats_json_is_valid_and_complete_for_every_example() {
         let text = String::from_utf8(out.stdout).expect("utf8");
         let json = vgl_obs::json::parse(text.trim())
             .unwrap_or_else(|e| panic!("{p}: invalid JSON: {e:?}\n{text}"));
-        for key in ["phases", "pipeline", "bytecode_instrs", "interp", "vm"] {
+        for key in ["phases", "pipeline", "bytecode_instrs", "interp", "vm", "runtime"] {
             assert!(json.get(key).is_some(), "{p}: missing key {key:?}");
         }
+        // The unified runtime object carries both engines' counters.
+        let rt = json.get("runtime").unwrap();
+        assert!(
+            rt.get("vm").and_then(|v| v.get("ic")).is_some(),
+            "{p}: runtime.vm.ic missing"
+        );
+        assert!(
+            rt.get("interp").and_then(|v| v.get("tuple_boxes")).is_some(),
+            "{p}: runtime.interp.tuple_boxes missing"
+        );
         // Both engines embedded in one report must agree on the result.
         let interp = json.get("interp").and_then(|o| o.get("result"));
         let vm = json.get("vm").and_then(|o| o.get("result"));
@@ -74,10 +84,76 @@ fn profile_prints_phase_and_opcode_tables() {
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("== compile phases =="), "missing phase table:\n{text}");
     assert!(text.contains("== vm profile =="), "missing vm table:\n{text}");
+    assert!(text.contains("== hotness =="), "missing hotness table:\n{text}");
     for phase in ["lex", "parse", "sema", "mono", "normalize", "optimize", "lower"] {
         assert!(text.contains(phase), "missing phase {phase}:\n{text}");
     }
     assert!(text.contains("gc:"), "missing gc summary:\n{text}");
+}
+
+#[test]
+fn trace_writes_a_valid_chrome_trace_for_every_example() {
+    let dir = std::env::temp_dir().join(format!("vglc-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for path in examples() {
+        let p = path.to_str().expect("utf8 path");
+        let dest = dir.join(format!(
+            "{}.json",
+            path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace")
+        ));
+        let out = vglc(&["trace", "--jobs", "8", "-o", dest.to_str().unwrap(), p]);
+        assert!(out.status.success(), "{p}: trace failed: {out:?}");
+        let text = std::fs::read_to_string(&dest)
+            .unwrap_or_else(|e| panic!("{p}: trace file missing: {e}"));
+        let json = vgl_obs::json::parse(&text)
+            .unwrap_or_else(|e| panic!("{p}: invalid trace JSON: {e:?}"));
+        let events = json
+            .get("traceEvents")
+            .and_then(vgl_obs::json::Json::as_arr)
+            .unwrap_or_else(|| panic!("{p}: no traceEvents array"));
+        // Compile-phase spans and at least one VM function span, always.
+        let has = |want_ph: &str, want_pid: f64, name_pred: &dyn Fn(&str) -> bool| {
+            events.iter().any(|e| {
+                e.get("ph").and_then(vgl_obs::json::Json::as_str) == Some(want_ph)
+                    && e.get("pid").and_then(vgl_obs::json::Json::as_f64) == Some(want_pid)
+                    && e.get("name")
+                        .and_then(vgl_obs::json::Json::as_str)
+                        .map(name_pred)
+                        .unwrap_or(false)
+            })
+        };
+        assert!(has("X", 1.0, &|n| n == "mono"), "{p}: no compile spans");
+        assert!(has("X", 2.0, &|n| n.contains("main")), "{p}: no VM span for main");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flight_record_dumps_only_on_traps() {
+    let dir = std::env::temp_dir().join(format!("vglc-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let trap = dir.join("trap.v");
+    std::fs::write(
+        &trap,
+        "class A { var x: int; new(x) { } }\n\
+         def get(a: A) -> int { return a.x; }\n\
+         def main() -> int { var a: A; return get(a); }",
+    )
+    .expect("write");
+    let out = vglc(&["run", "--flight-record", trap.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("--- flight recorder"), "missing dump:\n{err}");
+    assert!(err.contains("!NullCheckException in"), "trap line missing:\n{err}");
+    assert!(err.contains("runtime error: !NullCheckException"), "{err}");
+
+    // A clean run stays quiet even with the recorder on.
+    let clean = examples().remove(0);
+    let out = vglc(&["run", "--flight-record=16", clean.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(!err.contains("flight recorder"), "dump on success:\n{err}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

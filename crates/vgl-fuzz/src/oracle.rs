@@ -27,6 +27,13 @@
 //! engines count steps differently, so an `OutOfFuel` anywhere makes the
 //! case [`Verdict::Inconclusive`] rather than a mismatch.
 //!
+//! Every VM run carries a [flight recorder](vgl_vm::FlightRecorder): the
+//! last 64 events (calls, inline-cache misses, GC, the trap) leading into
+//! the end of the run. When engines disagree, the dump from the first
+//! diverging VM engine is attached to the [`Verdict::Mismatch`]
+//! description, so a shrunk repro ships with the trace that led into the
+//! divergence or trap.
+//!
 //! Between passes the oracle also validates the §4 IR invariants with
 //! [`vgl_ir::validate`]: [`vgl_ir::check_monomorphic`] after
 //! monomorphization, [`vgl_ir::check_normalized`] after normalization and
@@ -76,6 +83,9 @@ pub struct EngineRun {
     pub outcome: Outcome,
     /// Everything printed via `System.*`.
     pub output: String,
+    /// Flight-recorder dump of the run's final moments (VM engines only;
+    /// the interpreters carry `None`). Never part of the agreement check.
+    pub flight: Option<String>,
 }
 
 /// The oracle's judgement of one generated program.
@@ -143,10 +153,29 @@ pub fn describe(v: &Verdict) -> String {
                     r.engine, r.outcome, r.output
                 ));
             }
+            // Attach the flight dump of the first VM engine that diverges
+            // from the reference (falling back to any recorded run), so the
+            // repro ships with the trace that led into the failure.
+            let reference = &runs[0];
+            let diverged = runs.iter().find(|r| {
+                r.flight.is_some()
+                    && (r.outcome != reference.outcome || r.output != reference.output)
+            });
+            if let Some(r) = diverged.or_else(|| runs.iter().find(|r| r.flight.is_some())) {
+                s.push_str(&format!(
+                    "\nflight recorder ({}):\n{}",
+                    r.engine,
+                    r.flight.as_deref().unwrap()
+                ));
+            }
             s
         }
     }
 }
+
+/// Ring capacity for the per-run flight recorder — enough tail to see the
+/// calls and GC leading into a divergence without bloating reports.
+const FLIGHT_CAPACITY: usize = 64;
 
 fn run_interp(engine: &'static str, m: &Module, fuel: u64) -> EngineRun {
     let mut i = vgl_interp::Interp::new(m);
@@ -156,7 +185,7 @@ fn run_interp(engine: &'static str, m: &Module, fuel: u64) -> EngineRun {
         Err(vgl_interp::InterpError::OutOfFuel) => Outcome::OutOfFuel,
         Err(e) => Outcome::Trap(e.to_string()),
     };
-    EngineRun { engine, outcome, output: i.output() }
+    EngineRun { engine, outcome, output: i.output(), flight: None }
 }
 
 fn run_vm(engine: &'static str, m: &Module, cfg: &OracleConfig) -> EngineRun {
@@ -172,6 +201,7 @@ fn run_vm_program(
 ) -> (EngineRun, usize) {
     let mut vm = vgl_vm::Vm::with_heap(prog, cfg.heap_slots);
     vm.set_fuel(cfg.vm_fuel);
+    vm.enable_flight_recorder(FLIGHT_CAPACITY);
     let outcome = match vm.run() {
         Ok(words) => match vgl_vm::ret_as_int(&words) {
             Some(v) => Outcome::Value(v.to_string()),
@@ -181,7 +211,8 @@ fn run_vm_program(
         Err(e) => Outcome::Trap(e.to_string()),
     };
     let tuple_boxes = vm.stats.heap.tuple_boxes;
-    (EngineRun { engine, outcome, output: vm.output() }, tuple_boxes)
+    let flight = vm.flight_dump();
+    (EngineRun { engine, outcome, output: vm.output(), flight }, tuple_boxes)
 }
 
 /// Strict tuple-freedom for declarations: class fields and globals admit no
@@ -197,6 +228,19 @@ fn strict_decl_tuple_violations(m: &Module) -> Vec<Violation> {
 /// seven engine configurations, validates IR invariants between passes, and
 /// compares every observable.
 pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
+    check_source_tampered(src, cfg, |_| {})
+}
+
+/// [`check_source`] with a bytecode tamper hook: `tamper` is applied to the
+/// fused program (after structural validation) and identically to its
+/// parallel rebuild. The identity closure is the production path; tests
+/// inject deterministic miscompiles here to prove the oracle catches them
+/// and attaches the flight-recorder dump to the resulting mismatch.
+pub fn check_source_tampered(
+    src: &str,
+    cfg: &OracleConfig,
+    tamper: impl Fn(&mut vgl_vm::VmProgram),
+) -> Verdict {
     // Front end.
     let mut diags = vgl_syntax::Diagnostics::new();
     let ast = vgl_syntax::parse_program(src, &mut diags);
@@ -241,6 +285,7 @@ pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
     if !violations.is_empty() {
         return Verdict::Invariant { stage: "fuse", violations };
     }
+    tamper(&mut fused_prog);
     let (fused_run, fused_tuple_boxes) = run_vm_program("vm-fused", &fused_prog, cfg);
     if fused_tuple_boxes != 0 {
         return Verdict::Invariant {
@@ -265,6 +310,7 @@ pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
     vgl_passes::optimize_cfg(&mut par_m, &par_cfg, &mut par_report);
     let mut par_prog = vgl_vm::lower(&par_m);
     vgl_vm::fuse_jobs(&mut par_prog, par_cfg.jobs, par_cfg.cache);
+    tamper(&mut par_prog);
     if vgl_vm::disasm(&par_prog) != vgl_vm::disasm(&fused_prog) {
         return Verdict::Invariant {
             stage: "parallel back end (determinism)",
@@ -353,5 +399,79 @@ mod tests {
         let v = check_source("def main() -> int { return q; }", &OracleConfig::default());
         assert!(matches!(v, Verdict::Frontend { .. }));
         assert!(v.is_failure());
+    }
+
+    /// Rewrites every immediate equal to `from` so it reads `to` instead —
+    /// in plain `ConstI` loads and in the fused immediate superinstructions
+    /// (`BinI`, `CmpBrI`). Same code length, so jump offsets stay valid.
+    fn swap_imm(prog: &mut vgl_vm::VmProgram, from: i64, to: i64) {
+        for f in &mut prog.funcs {
+            for i in &mut f.code {
+                match i {
+                    vgl_vm::Instr::ConstI(_, v) if *v == from => *v = to,
+                    vgl_vm::Instr::BinI { imm, .. } | vgl_vm::Instr::CmpBrI { imm, .. }
+                        if i64::from(*imm) == from =>
+                    {
+                        *imm = to as i32;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_value_bug_is_caught_with_flight_context() {
+        // Miscompile the fused build only: the printed constant 7 becomes 8,
+        // so the fused engines' output diverges from the reference.
+        let v = check_source_tampered(
+            "def main() -> int { System.puti(7); return 0; }",
+            &OracleConfig::default(),
+            |p| swap_imm(p, 7, 8),
+        );
+        let Verdict::Mismatch { runs } = &v else { panic!("expected mismatch: {}", describe(&v)) };
+        assert!(runs.iter().any(|r| r.engine == "vm-fused" && r.output.contains('8')));
+        assert!(runs.iter().all(|r| r.engine.starts_with("interp") == r.flight.is_none()));
+        let report = describe(&v);
+        assert!(report.contains("engines disagree"), "{report}");
+        assert!(report.contains("flight recorder (vm-fused"), "{report}");
+        assert!(report.contains("--- flight recorder"), "{report}");
+        assert!(report.contains("main"), "dump names the entry frame:\n{report}");
+    }
+
+    #[test]
+    fn injected_trap_bug_attaches_the_trap_flight_dump() {
+        // Zero the loop bound in the fused build: the divisor stays 0, the
+        // fused engines trap on the division, everything else returns 4.
+        let v = check_source_tampered(
+            "def main() -> int {\n\
+                 var z = 0;\n\
+                 for (i = 0; i < 9; i = i + 1) z = z + 1;\n\
+                 return 36 / z;\n\
+             }",
+            &OracleConfig::default(),
+            |p| swap_imm(p, 9, 0),
+        );
+        let Verdict::Mismatch { runs } = &v else { panic!("expected mismatch: {}", describe(&v)) };
+        assert_eq!(runs[0].outcome, Outcome::Value("4".into()));
+        let fused = runs.iter().find(|r| r.engine == "vm-fused").unwrap();
+        assert_eq!(fused.outcome, Outcome::Trap("!DivideByZeroException".into()));
+        let report = describe(&v);
+        assert!(
+            report.contains("!DivideByZeroException in"),
+            "the dump's trap line rides along with the repro:\n{report}"
+        );
+    }
+
+    #[test]
+    fn untampered_path_is_the_production_path() {
+        // The identity tamper must behave exactly like check_source,
+        // including the parallel-determinism comparison.
+        let v = check_source_tampered(
+            "def main() -> int { return 40 + 2; }",
+            &OracleConfig::default(),
+            |_| {},
+        );
+        assert!(matches!(v, Verdict::Pass { trapped: false }), "{}", describe(&v));
     }
 }

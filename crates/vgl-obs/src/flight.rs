@@ -1,0 +1,162 @@
+//! A fixed-capacity ring buffer — the storage behind the runtime flight
+//! recorder.
+//!
+//! The VM records its last-moments event stream (calls, traps, GC, inline
+//! cache misses) into a [`Ring`]; when a trap or `System.error` ends the
+//! run, the ring is dumped oldest-first so a crash report ships with the
+//! final moments attached. The ring never allocates after construction:
+//! pushing into a full ring overwrites the oldest entry in place.
+
+/// A fixed-capacity ring buffer that keeps the **most recent** `capacity`
+/// values pushed into it. Oldest entries are overwritten silently; the
+/// total push count is retained so a dump can say how many were dropped.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index the next push writes to, once the buffer has filled.
+    next: usize,
+    /// Pushes ever performed (`dropped()` = `total - len`).
+    total: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` entries (clamped to at least 1).
+    /// The backing storage is allocated once, here.
+    pub fn new(capacity: usize) -> Ring<T> {
+        let cap = capacity.max(1);
+        Ring { buf: Vec::with_capacity(cap), cap, next: 0, total: 0 }
+    }
+
+    /// Appends a value, overwriting the oldest entry when full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Entries currently held (`min(total pushes, capacity)`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has ever been pushed (or after [`Ring::clear`]).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total values ever pushed, including overwritten ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Values lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Iterates the retained entries **oldest first** — the order a flight
+    /// dump prints them in.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (older, newer) = self.buf.split_at(self.next.min(self.buf.len()));
+        newer.iter().chain(older.iter())
+    }
+
+    /// Drops every entry and resets the counters; capacity is kept.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_keeps_insertion_order() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 0);
+        let got: Vec<i32> = r.iter().copied().collect();
+        assert_eq!(got, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_keeps_last_capacity_entries_oldest_first() {
+        let mut r = Ring::new(4);
+        for i in 0..11 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 11);
+        assert_eq!(r.dropped(), 7);
+        let got: Vec<i32> = r.iter().copied().collect();
+        assert_eq!(got, [7, 8, 9, 10]);
+        // Exactly at a multiple of the capacity too.
+        let mut r = Ring::new(4);
+        for i in 0..8 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), [4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn capacity_one_holds_only_the_newest() {
+        let mut r = Ring::new(1);
+        assert_eq!(r.capacity(), 1);
+        r.push("a");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), ["a"]);
+        r.push("b");
+        r.push("c");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), ["c"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = Ring::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(9);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), [9]);
+    }
+
+    #[test]
+    fn empty_ring_dumps_nothing() {
+        let r: Ring<u32> = Ring::new(16);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut r = Ring::new(3);
+        for i in 0..7 {
+            r.push(i);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.capacity(), 3);
+        r.push(42);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), [42]);
+    }
+}

@@ -293,34 +293,88 @@ impl<'a> Parser<'a> {
                         Some(b'b') => s.push('\u{8}'),
                         Some(b'f') => s.push('\u{c}'),
                         Some(b'u') => {
-                            if self.pos + 5 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
+                            let code = self.hex_escape()?;
+                            match code {
+                                // High surrogate: must be followed by a low
+                                // surrogate escape; the pair recombines into
+                                // one supplementary-plane scalar.
+                                0xD800..=0xDBFF => {
+                                    let lo = if self.bytes[self.pos + 1..].starts_with(b"\\u")
+                                    {
+                                        self.pos += 2;
+                                        Some(self.hex_escape()?)
+                                    } else {
+                                        None
+                                    };
+                                    match lo {
+                                        Some(lo @ 0xDC00..=0xDFFF) => {
+                                            let c = 0x10000
+                                                + ((code - 0xD800) << 10)
+                                                + (lo - 0xDC00);
+                                            s.push(
+                                                char::from_u32(c).unwrap_or('\u{fffd}'),
+                                            );
+                                        }
+                                        // Lone or mismatched surrogate: no
+                                        // scalar exists; degrade to U+FFFD
+                                        // (plus the second escape's value when
+                                        // it was consumed but not a low
+                                        // surrogate).
+                                        Some(other) => {
+                                            s.push('\u{fffd}');
+                                            s.push(
+                                                char::from_u32(other)
+                                                    .unwrap_or('\u{fffd}'),
+                                            );
+                                        }
+                                        None => s.push('\u{fffd}'),
+                                    }
+                                }
+                                // Lone low surrogate: not a scalar value.
+                                0xDC00..=0xDFFF => s.push('\u{fffd}'),
+                                c => s.push(char::from_u32(c).unwrap_or('\u{fffd}')),
                             }
-                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogates are not recombined; the writer never
-                            // emits them.
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
                         }
                         _ => return Err(self.err("bad escape")),
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
+                    // Consume the whole unescaped run at once. Validating
+                    // per character (`from_utf8` on the full remainder for
+                    // every byte) made parsing quadratic — a 4 MB trace
+                    // file effectively never finished.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = text.chars().next().expect("non-empty");
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    s.push_str(chunk);
                 }
             }
         }
+    }
+
+    /// Parses the four hex digits of a `\uXXXX` escape. On entry `pos` is at
+    /// the `u`; on success `pos` is at the last hex digit (the caller's
+    /// shared `pos += 1` then steps past it).
+    fn hex_escape(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 5 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = &self.bytes[self.pos + 1..self.pos + 5];
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(self.err("bad \\u escape"));
+        }
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -466,5 +520,82 @@ mod tests {
         let s = Json::Str("tab\there \\ and \u{1} control".into());
         let back = parse(&s.render()).expect("parses");
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn every_control_character_round_trips() {
+        let all: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let s = Json::Str(all);
+        let back = parse(&s.render()).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn non_bmp_code_points_round_trip() {
+        // Raw UTF-8 supplementary-plane characters in the writer's output.
+        let s = Json::Str("emoji \u{1F600} and math \u{1D54A} mixed with ascii".into());
+        let back = parse(&s.render()).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_recombine() {
+        // "\uD83D\uDE00" is U+1F600 written the JSON-escape way.
+        let v = parse("\"\\uD83D\\uDE00\"").expect("parses");
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Lowercase hex too.
+        let v = parse("\"\\ud835\\udd4a\"").expect("parses");
+        assert_eq!(v.as_str(), Some("\u{1D54A}"));
+        // Pair in the middle of other text.
+        let v = parse("\"a\\uD83D\\uDE00b\"").expect("parses");
+        assert_eq!(v.as_str(), Some("a\u{1F600}b"));
+    }
+
+    #[test]
+    fn lone_surrogates_degrade_to_replacement() {
+        // High surrogate with no continuation.
+        assert_eq!(parse("\"\\uD83D\"").unwrap().as_str(), Some("\u{fffd}"));
+        // High surrogate followed by ordinary text.
+        assert_eq!(parse("\"\\uD83Dxy\"").unwrap().as_str(), Some("\u{fffd}xy"));
+        // High surrogate followed by a non-surrogate escape keeps both.
+        assert_eq!(parse("\"\\uD83D\\u0041\"").unwrap().as_str(), Some("\u{fffd}A"));
+        // Lone low surrogate.
+        assert_eq!(parse("\"\\uDE00ok\"").unwrap().as_str(), Some("\u{fffd}ok"));
+        // Two high surrogates in a row.
+        assert_eq!(
+            parse("\"\\uD83D\\uD83D\"").unwrap().as_str(),
+            Some("\u{fffd}\u{fffd}")
+        );
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // Regression test for quadratic string scanning: the old parser
+        // re-validated the entire remaining input per character, so this
+        // megabyte-scale document (the size of a real `vglc trace` export)
+        // effectively never finished. It must parse in well under a second.
+        let long = "x".repeat(500_000);
+        let mut events = Vec::new();
+        for i in 0..20_000 {
+            let mut o = Json::object();
+            o.set("name", Json::Str(format!("span-{i} with \u{1F600} and \"quotes\"")));
+            o.set("ts", Json::from(i as u64));
+            events.push(o);
+        }
+        let mut doc = Json::object();
+        doc.set("big", Json::Str(long));
+        doc.set("traceEvents", Json::Arr(events));
+        let text = doc.render();
+        assert!(text.len() > 1_000_000);
+        let back = parse(&text).expect("parses");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn bad_hex_escapes_are_rejected() {
+        assert!(parse("\"\\u12\"").is_err());
+        assert!(parse("\"\\uZZZZ\"").is_err());
+        assert!(parse("\"\\u+12f\"").is_err());
+        assert!(parse("\"\\uD83D\\uZZ00\"").is_err());
     }
 }

@@ -43,7 +43,9 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
+pub mod trace;
 
 use std::time::{Duration, Instant};
 
@@ -368,6 +370,9 @@ pub struct WorkerSample {
     pub worker: usize,
     /// Items this worker claimed and processed.
     pub items: usize,
+    /// Offset of this worker's first claim relative to the start of the
+    /// parallel phase — places the lane on a shared timeline.
+    pub start: Duration,
     /// Busy wall-clock time of this worker's claim loop.
     pub duration: Duration,
 }
@@ -476,6 +481,7 @@ impl PhaseTrace {
                     o.set("phase", json::Json::Str(w.phase.to_string()));
                     o.set("worker", json::Json::from(w.worker as u64));
                     o.set("items", json::Json::from(w.items as u64));
+                    o.set("start_us", json::Json::Num(w.start.as_secs_f64() * 1e6));
                     o.set("dur_us", json::Json::Num(w.duration.as_secs_f64() * 1e6));
                     o
                 })

@@ -1,0 +1,211 @@
+//! Chrome trace-event JSON builder.
+//!
+//! Renders the [trace-event format] consumed by `chrome://tracing` and
+//! Perfetto's legacy importer: a single JSON object with a `traceEvents`
+//! array of `X` (complete), `i` (instant), `C` (counter), and `M`
+//! (metadata) events. Everything is hand-rolled on [`crate::json`] — no
+//! serde, no new dependencies — so `vglc trace` output round-trips through
+//! the in-tree parser and can be validated in CI with nothing but this
+//! crate.
+//!
+//! Timestamps (`ts`) and durations (`dur`) are microseconds, as the format
+//! requires. Lanes are addressed by `(pid, tid)` pairs; use
+//! [`ChromeTrace::name_process`] / [`ChromeTrace::name_thread`] so viewers
+//! show meaningful labels instead of raw numbers.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::Json;
+
+/// An accumulating Chrome trace. Events render in insertion order, which
+/// viewers accept regardless of timestamp order.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+}
+
+/// Extra `args` entries for an event: key/value pairs shown in the viewer's
+/// detail panel when the event is selected.
+pub type Args<'a> = &'a [(&'a str, Json)];
+
+fn base(name: &str, ph: &str, pid: u64, tid: u64, ts_us: f64) -> Json {
+    let mut o = Json::object();
+    o.set("name", Json::Str(name.to_string()));
+    o.set("ph", Json::Str(ph.to_string()));
+    o.set("ts", Json::Num(ts_us));
+    o.set("pid", Json::from(pid));
+    o.set("tid", Json::from(tid));
+    o
+}
+
+fn with_args(mut o: Json, args: Args<'_>) -> Json {
+    if !args.is_empty() {
+        let mut a = Json::object();
+        for (k, v) in args {
+            a.set(k, v.clone());
+        }
+        o.set("args", a);
+    }
+    o
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Labels a process lane (`M`/`process_name` metadata event).
+    pub fn name_process(&mut self, pid: u64, name: &str) {
+        let mut o = base("process_name", "M", pid, 0, 0.0);
+        let mut a = Json::object();
+        a.set("name", Json::Str(name.to_string()));
+        o.set("args", a);
+        self.events.push(o);
+    }
+
+    /// Labels a thread lane (`M`/`thread_name` metadata event).
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        let mut o = base("thread_name", "M", pid, tid, 0.0);
+        let mut a = Json::object();
+        a.set("name", Json::Str(name.to_string()));
+        o.set("args", a);
+        self.events.push(o);
+    }
+
+    /// A complete (`X`) event: a span from `ts_us` lasting `dur_us`.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+        args: Args<'_>,
+    ) {
+        let mut o = base(name, "X", pid, tid, ts_us);
+        o.set("dur", Json::Num(dur_us));
+        self.events.push(with_args(o, args));
+    }
+
+    /// An instant (`i`) event with thread scope — a vertical tick on the
+    /// lane at `ts_us`.
+    pub fn instant(&mut self, name: &str, pid: u64, tid: u64, ts_us: f64, args: Args<'_>) {
+        let mut o = base(name, "i", pid, tid, ts_us);
+        o.set("s", Json::Str("t".to_string()));
+        self.events.push(with_args(o, args));
+    }
+
+    /// A counter (`C`) event: each `(series, value)` pair becomes one
+    /// stacked series in the viewer's counter track. Used for the
+    /// heap-occupancy curve.
+    pub fn counter(&mut self, name: &str, pid: u64, ts_us: f64, series: &[(&str, f64)]) {
+        let mut o = base(name, "C", pid, 0, ts_us);
+        let mut a = Json::object();
+        for (k, v) in series {
+            a.set(k, Json::Num(*v));
+        }
+        o.set("args", a);
+        self.events.push(o);
+    }
+
+    /// The whole trace as a JSON value: `{"traceEvents": [...],
+    /// "displayTimeUnit": "ms"}`.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set("traceEvents", Json::Arr(self.events.clone()));
+        root.set("displayTimeUnit", Json::Str("ms".to_string()));
+        root
+    }
+
+    /// Renders the trace to its on-disk JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn trace_round_trips_through_the_parser() {
+        let mut t = ChromeTrace::new();
+        t.name_process(1, "compile");
+        t.name_thread(1, 3, "worker 3");
+        t.complete("mono", 1, 0, 10.0, 250.5, &[("instances", Json::from(7u64))]);
+        t.instant("gc", 2, 0, 400.0, &[("live_slots", Json::from(128u64))]);
+        t.counter("heap", 2, 400.0, &[("occupancy", 0.42)]);
+        assert_eq!(t.len(), 5);
+
+        let parsed = parse(&t.render()).expect("valid trace JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(parsed.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+
+        let span = &events[2];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("name").unwrap().as_str(), Some("mono"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(250.5));
+        assert_eq!(
+            span.get("args").unwrap().get("instances").unwrap().as_f64(),
+            Some(7.0)
+        );
+
+        let inst = &events[3];
+        assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+
+        let ctr = &events[4];
+        assert_eq!(ctr.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            ctr.get("args").unwrap().get("occupancy").unwrap().as_f64(),
+            Some(0.42)
+        );
+    }
+
+    #[test]
+    fn metadata_events_carry_lane_names() {
+        let mut t = ChromeTrace::new();
+        t.name_thread(7, 2, "vm");
+        let parsed = parse(&t.render()).unwrap();
+        let e = &parsed.get("traceEvents").unwrap().as_arr().unwrap()[0];
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(e.get("name").unwrap().as_str(), Some("thread_name"));
+        assert_eq!(e.get("pid").unwrap().as_f64(), Some(7.0));
+        assert_eq!(e.get("tid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(e.get("args").unwrap().get("name").unwrap().as_str(), Some("vm"));
+    }
+
+    #[test]
+    fn names_with_control_and_non_bmp_characters_survive() {
+        // Trace names can come from fuzz-generated source: exercise the
+        // escaping fix end to end.
+        let hostile = "fn\u{0}\u{1F}\u{1F600}name";
+        let mut t = ChromeTrace::new();
+        t.complete(hostile, 1, 1, 0.0, 1.0, &[]);
+        let parsed = parse(&t.render()).expect("valid despite hostile name");
+        let e = &parsed.get("traceEvents").unwrap().as_arr().unwrap()[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let t = ChromeTrace::new();
+        assert!(t.is_empty());
+        let parsed = parse(&t.render()).expect("valid");
+        assert_eq!(parsed.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

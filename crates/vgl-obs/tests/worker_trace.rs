@@ -43,6 +43,7 @@ fn jobs1_worker_trace_round_trips() {
         phase: "optimize",
         worker: 0,
         items: 17,
+        start: Duration::from_micros(5),
         duration: Duration::from_micros(250),
     });
     let parsed = roundtrip(&trace.workers_json());
@@ -51,6 +52,7 @@ fn jobs1_worker_trace_round_trips() {
     assert_eq!(arr[0].get("phase").unwrap().as_str(), Some("optimize"));
     assert_eq!(arr[0].get("worker").unwrap().as_f64(), Some(0.0));
     assert_eq!(arr[0].get("items").unwrap().as_f64(), Some(17.0));
+    assert_eq!(arr[0].get("start_us").unwrap().as_f64(), Some(5.0));
     assert_eq!(arr[0].get("dur_us").unwrap().as_f64(), Some(250.0));
 }
 
@@ -64,6 +66,7 @@ fn multi_worker_trace_round_trips() {
             phase,
             worker,
             items,
+            start: Duration::from_micros(worker as u64),
             duration: Duration::from_micros(100 + worker as u64),
         });
     }

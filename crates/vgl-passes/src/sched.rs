@@ -66,6 +66,7 @@ where
     let n = items.len();
     let workers = jobs.clamp(1, MAX_JOBS).min(n.max(1));
     let next = AtomicUsize::new(0);
+    let pool_start = Instant::now();
     // The worker body: claim indices until the queue is dry. Identical for
     // the inline and the threaded path.
     let work = |worker: usize| -> (Vec<(usize, R)>, WorkerSample) {
@@ -79,8 +80,13 @@ where
             }
             out.push((i, f(&mut cx, i, &items[i])));
         }
-        let sample =
-            WorkerSample { phase, worker, items: out.len(), duration: start.elapsed() };
+        let sample = WorkerSample {
+            phase,
+            worker,
+            items: out.len(),
+            start: start.duration_since(pool_start),
+            duration: start.elapsed(),
+        };
         (out, sample)
     };
 

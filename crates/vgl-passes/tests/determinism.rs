@@ -109,6 +109,42 @@ fn fuzz_programs_identical_cached_vs_uncached() {
     }
 }
 
+/// The runtime profiler is observational: with hotness profiling enabled
+/// (precise mode — the superset), every example produces byte-identical
+/// output across job counts, and the profile itself is byte-identical both
+/// across job counts and across repeated runs of the same program.
+#[test]
+fn profiled_execution_identical_across_job_counts() {
+    let program_with = |src: &str, jobs: usize| {
+        let mut diags = vgl_syntax::Diagnostics::new();
+        let ast = vgl_syntax::parse_program(src, &mut diags);
+        assert!(!diags.has_errors());
+        let module = vgl_sema::analyze(&ast, &mut diags).expect("sema accepts example");
+        let cfg = vgl_passes::BackendConfig { jobs, cache: true };
+        let mut report = vgl_passes::BackendReport::default();
+        let (mut m, _) = vgl_passes::monomorphize(&module);
+        vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
+        vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
+        let mut prog = vgl_vm::lower(&m);
+        vgl_vm::fuse_jobs(&mut prog, jobs, cfg.cache);
+        prog
+    };
+    let profiled_run = |prog: &vgl_vm::VmProgram| {
+        let mut vm = vgl_vm::Vm::with_heap(prog, 1 << 20);
+        vm.enable_runtime_profiling_precise();
+        let result = vm.run().expect("example runs");
+        let profile = vm.take_runtime_profile().expect("enabled");
+        (result, vm.output(), profile.to_json(prog).render())
+    };
+    for (name, src) in example_sources() {
+        let serial = profiled_run(&program_with(&src, 1));
+        let parallel = profiled_run(&program_with(&src, 8));
+        let again = profiled_run(&program_with(&src, 8));
+        assert_eq!(serial, parallel, "{name}: profiled run differs at jobs=8");
+        assert_eq!(parallel, again, "{name}: profile is not deterministic run to run");
+    }
+}
+
 /// A generic function instantiated at many phantom type arguments collapses
 /// to one unique fingerprint in the cache, and the deduplicated build is
 /// still byte-identical to the uncached one.

@@ -21,8 +21,13 @@
 //! slots (32 bits). During collection the header is replaced by a forwarding
 //! reference.
 
+use std::time::{Duration, Instant};
+
 /// Tagged VM value.
 pub type Word = u64;
+
+/// Bytes per heap slot (tagged 64-bit words).
+pub const SLOT_BYTES: usize = 8;
 
 /// The tagged `null` reference.
 pub const NULL: Word = 1;
@@ -135,6 +140,41 @@ pub struct GcInfo {
     pub capacity_slots: usize,
 }
 
+/// One collection in the heap's telemetry timeline: when enabled, every
+/// [`Heap::collect`] appends a record with its wall-clock pause and the
+/// live/freed accounting needed to draw a heap-occupancy curve.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GcRecord {
+    /// Wall-clock duration of the collection (root rewrite + scan + copy).
+    pub pause: Duration,
+    /// Slots in use when the collection started.
+    pub used_before: usize,
+    /// Slots live (surviving) after the collection.
+    pub live_slots: usize,
+    /// Slots reclaimed (`used_before - live - reserved slot 0`).
+    pub freed_slots: usize,
+    /// Semispace capacity at collection time.
+    pub capacity_slots: usize,
+}
+
+impl GcRecord {
+    /// Post-collection occupancy in `[0, 1]` — one point on the
+    /// heap-occupancy curve.
+    pub fn occupancy(&self) -> f64 {
+        self.live_slots as f64 / self.capacity_slots.max(1) as f64
+    }
+
+    /// Bytes surviving the collection.
+    pub fn live_bytes(&self) -> usize {
+        self.live_slots * SLOT_BYTES
+    }
+
+    /// Bytes reclaimed by the collection.
+    pub fn freed_bytes(&self) -> usize {
+        self.freed_slots * SLOT_BYTES
+    }
+}
+
 /// A semispace heap.
 #[derive(Debug)]
 pub struct Heap {
@@ -143,6 +183,9 @@ pub struct Heap {
     top: usize,
     /// Statistics.
     pub stats: HeapStats,
+    /// Per-collection telemetry; `None` (the default) costs nothing — not
+    /// even a clock read — per collection.
+    timeline: Option<Vec<GcRecord>>,
 }
 
 /// Returned when an allocation cannot proceed before a collection.
@@ -159,7 +202,26 @@ impl Heap {
             // Slot 0 is reserved so that index 0 can mean null.
             top: 1,
             stats: HeapStats::default(),
+            timeline: None,
         }
+    }
+
+    /// Turns on per-collection telemetry; subsequent [`Heap::collect`] calls
+    /// append a [`GcRecord`] each.
+    pub fn enable_timeline(&mut self) {
+        if self.timeline.is_none() {
+            self.timeline = Some(Vec::new());
+        }
+    }
+
+    /// The telemetry timeline so far; empty slice when disabled.
+    pub fn timeline(&self) -> &[GcRecord] {
+        self.timeline.as_deref().unwrap_or(&[])
+    }
+
+    /// Consumes the telemetry timeline, disabling further recording.
+    pub fn take_timeline(&mut self) -> Vec<GcRecord> {
+        self.timeline.take().unwrap_or_default()
     }
 
     /// Slots currently in use.
@@ -242,6 +304,8 @@ impl Heap {
     /// other semispace and rewrites the roots in place. Returns what the
     /// collection did (live/copied slot counts) for observability.
     pub fn collect(&mut self, roots: &mut [&mut [Word]]) -> GcInfo {
+        let pause_start = self.timeline.is_some().then(Instant::now);
+        let used_before = self.top;
         self.stats.collections += 1;
         std::mem::swap(&mut self.space, &mut self.alt);
         // `alt` is now the from-space; `space` is the to-space.
@@ -274,6 +338,15 @@ impl Heap {
         }
         let copied = self.top - 1;
         self.stats.copied_slots += copied;
+        if let Some(timeline) = &mut self.timeline {
+            timeline.push(GcRecord {
+                pause: pause_start.map(|t| t.elapsed()).unwrap_or_default(),
+                used_before,
+                live_slots: copied,
+                freed_slots: used_before.saturating_sub(self.top),
+                capacity_slots: self.space.len(),
+            });
+        }
         GcInfo {
             live_slots: copied,
             copied_slots: copied,
@@ -430,6 +503,35 @@ mod tests {
         assert_eq!(last, Err(NeedsGc));
         h.grow(64);
         assert!(h.try_alloc(CellKind::Array, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn timeline_is_off_by_default_and_records_when_enabled() {
+        let mut h = Heap::new(64);
+        let a = h.try_alloc(CellKind::Object, 0, 2).expect("fits");
+        let mut roots = [a];
+        h.collect(&mut [&mut roots]);
+        assert!(h.timeline().is_empty(), "disabled timeline records nothing");
+
+        h.enable_timeline();
+        while h.try_alloc(CellKind::Array, 0, 4).is_ok() {}
+        let used_before = h.used();
+        h.collect(&mut [&mut roots]);
+        let tl = h.timeline();
+        assert_eq!(tl.len(), 1);
+        let rec = tl[0];
+        assert_eq!(rec.used_before, used_before);
+        assert_eq!(rec.live_slots, 3, "only the rooted object survives");
+        assert_eq!(rec.freed_slots, used_before - 1 - rec.live_slots);
+        assert_eq!(rec.capacity_slots, h.capacity());
+        assert!(rec.occupancy() > 0.0 && rec.occupancy() <= 1.0);
+        assert_eq!(rec.live_bytes(), rec.live_slots * SLOT_BYTES);
+        assert_eq!(rec.freed_bytes(), rec.freed_slots * SLOT_BYTES);
+
+        let taken = h.take_timeline();
+        assert_eq!(taken.len(), 1);
+        h.collect(&mut [&mut roots]);
+        assert!(h.timeline().is_empty(), "take_timeline disables recording");
     }
 
     #[test]

@@ -13,5 +13,5 @@
 pub mod heap;
 pub mod value;
 
-pub use heap::{CellKind, GcInfo, Heap, HeapStats, NeedsGc, Word, NULL};
+pub use heap::{CellKind, GcInfo, GcRecord, Heap, HeapStats, NeedsGc, Word, NULL, SLOT_BYTES};
 pub use value::{AllocStats, ArrData, Closure, ObjData, Value};

@@ -25,6 +25,7 @@
 
 mod bytecode;
 mod disasm;
+mod flight;
 pub mod fuse;
 mod lower;
 mod profile;
@@ -35,7 +36,8 @@ pub use bytecode::{
     OPCODE_COUNT, OPCODE_NAMES,
 };
 pub use disasm::{disasm, disasm_instr, side_by_side};
+pub use flight::{CallKind, FlightEvent, FlightKind, FlightRecorder};
 pub use fuse::{check_fused, fuse, fuse_jobs, FuseStats};
 pub use lower::lower;
-pub use profile::{GcEvent, VmProfile};
+pub use profile::{FuncSpan, GcEvent, GcInstant, HotFunc, RuntimeProfile, TraceLog, VmProfile};
 pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats, RET_INLINE};

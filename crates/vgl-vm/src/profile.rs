@@ -6,8 +6,8 @@
 //! `profiling_disabled_is_free` differential check in the VM tests). Enable
 //! it with [`crate::Vm::enable_profiling`].
 
-use crate::bytecode::{FIRST_SUPER_OPCODE, OPCODE_COUNT, OPCODE_NAMES};
-use std::time::Duration;
+use crate::bytecode::{FuncId, VmProgram, FIRST_SUPER_OPCODE, OPCODE_COUNT, OPCODE_NAMES};
+use std::time::{Duration, Instant};
 use vgl_obs::json::Json;
 use vgl_obs::{FieldValue, Tracer};
 
@@ -155,6 +155,250 @@ impl VmProfile {
                     ("at_instr", FieldValue::UInt(e.at_instr)),
                 ],
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-function hotness (the tier-up substrate)
+// ---------------------------------------------------------------------------
+
+/// Per-function hotness counters accumulated by the VM's runtime profiler.
+///
+/// All counters are **deterministic**: they count calls, loop back-edges,
+/// and retired instructions — never wall-clock — so the same program
+/// produces the same profile on every run (the property the determinism
+/// suite checks with profiling enabled). The default (sampling) mode hooks
+/// only calls and back-edges (the existing fuel-check points) — that
+/// configuration is what the `bench_obs` 5% overhead gate measures.
+/// Precise mode additionally maintains exact inclusive/exclusive
+/// retired-instruction counts at every frame exit; it costs more and is
+/// meant for offline analysis (`vglc stats`, `vglc profile`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeProfile {
+    /// One counter row per function, indexed by function id. Empty when
+    /// profiling is off: the VM holds this inline (no `Option`, no box) and
+    /// gates every hook on `rows.get_mut(func)`, so the disabled case is a
+    /// single always-failing bounds check and the enabled case touches one
+    /// cache line per event.
+    pub rows: Vec<FuncHotness>,
+}
+
+/// One function's hotness counters, packed so a call or return updates a
+/// single row.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FuncHotness {
+    /// Times the function was entered (any dispatch kind).
+    pub calls: u64,
+    /// Loop back-edges taken inside the function — the loop-hotness signal
+    /// tier-up keys on.
+    pub ticks: u64,
+    /// Instructions retired *including* callees (accumulated at frame
+    /// exit; frames still live when a run traps are not closed). Only
+    /// maintained in precise mode
+    /// ([`crate::Vm::enable_runtime_profiling_precise`]) — zero under the
+    /// default tick sampling.
+    pub incl_instrs: u64,
+    /// Instructions retired *excluding* callees. Precise mode only.
+    pub excl_instrs: u64,
+}
+
+/// One row of [`RuntimeProfile::hotness_ranked`]: a function with its
+/// counters, hottest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotFunc<'p> {
+    /// Function id in the program.
+    pub func: FuncId,
+    /// Function name.
+    pub name: &'p str,
+    /// Entries.
+    pub calls: u64,
+    /// Back-edges taken.
+    pub ticks: u64,
+    /// Inclusive retired instructions.
+    pub incl_instrs: u64,
+    /// Exclusive retired instructions.
+    pub excl_instrs: u64,
+}
+
+impl RuntimeProfile {
+    /// An empty profile sized for `func_count` functions.
+    pub fn new(func_count: usize) -> RuntimeProfile {
+        RuntimeProfile { rows: vec![FuncHotness::default(); func_count] }
+    }
+
+    /// Every function that ran, ranked hottest first: by back-edge ticks,
+    /// then exclusive instructions, then call count (function id breaks
+    /// remaining ties, keeping the ranking deterministic).
+    pub fn hotness_ranked<'p>(&self, program: &'p VmProgram) -> Vec<HotFunc<'p>> {
+        let mut rows: Vec<HotFunc<'p>> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.calls > 0)
+            .map(|(i, r)| HotFunc {
+                func: i as FuncId,
+                name: program.funcs.get(i).map(|f| f.name.as_str()).unwrap_or("<unknown>"),
+                calls: r.calls,
+                ticks: r.ticks,
+                incl_instrs: r.incl_instrs,
+                excl_instrs: r.excl_instrs,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.ticks
+                .cmp(&a.ticks)
+                .then(b.excl_instrs.cmp(&a.excl_instrs))
+                .then(b.calls.cmp(&a.calls))
+                .then(a.func.cmp(&b.func))
+        });
+        rows
+    }
+
+    /// Renders the hotness ranking as an aligned table.
+    pub fn render_table(&self, program: &VmProgram) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>10} {:>12} {:>12}\n",
+            "function", "calls", "ticks", "incl instrs", "excl instrs"
+        ));
+        for row in self.hotness_ranked(program) {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>10} {:>12} {:>12}\n",
+                row.name, row.calls, row.ticks, row.incl_instrs, row.excl_instrs
+            ));
+        }
+        out
+    }
+
+    /// JSON: an array of per-function objects, hottest first.
+    pub fn to_json(&self, program: &VmProgram) -> Json {
+        Json::Arr(
+            self.hotness_ranked(program)
+                .iter()
+                .map(|row| {
+                    let mut o = Json::object();
+                    o.set("func", Json::from(row.func as u64));
+                    o.set("name", Json::Str(row.name.to_string()));
+                    o.set("calls", Json::from(row.calls));
+                    o.set("ticks", Json::from(row.ticks));
+                    o.set("incl_instrs", Json::from(row.incl_instrs));
+                    o.set("excl_instrs", Json::from(row.excl_instrs));
+                    o
+                })
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock trace log (vglc trace)
+// ---------------------------------------------------------------------------
+
+/// One function execution as a wall-clock span, for Chrome-trace export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuncSpan {
+    /// The function that ran.
+    pub func: FuncId,
+    /// Start offset from the log's origin.
+    pub start: Duration,
+    /// Wall-clock duration (to the matching return, or to the unwind point
+    /// when the run trapped).
+    pub dur: Duration,
+    /// Call depth at entry (0 = outermost).
+    pub depth: u32,
+}
+
+/// One collection as a wall-clock instant, for Chrome-trace export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcInstant {
+    /// Offset from the log's origin.
+    pub at: Duration,
+    /// Collection pause.
+    pub pause: Duration,
+    /// Slots surviving.
+    pub live_slots: usize,
+    /// Semispace capacity.
+    pub capacity_slots: usize,
+}
+
+/// A wall-clock log of VM function spans and GC instants, recorded only in
+/// explicit `vglc trace` runs (it reads the clock twice per call, which is
+/// exactly the overhead the deterministic [`RuntimeProfile`] avoids).
+///
+/// Span storage is a fixed ring of `max_spans` entries: a long run keeps
+/// its *last* `max_spans` completed spans — the tail of execution plus the
+/// outermost frames, which close last — and the overflow is counted in
+/// [`TraceLog::spans_dropped`] so the exporter reports the truncation
+/// rather than hiding it.
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    origin: Instant,
+    open: Vec<(FuncId, Instant)>,
+    spans: vgl_obs::flight::Ring<FuncSpan>,
+    /// Collections, in order.
+    pub gc: Vec<GcInstant>,
+}
+
+impl TraceLog {
+    /// A log keeping the last `max_spans` completed spans (clamped to ≥ 1).
+    pub fn new(max_spans: usize) -> TraceLog {
+        TraceLog {
+            origin: Instant::now(),
+            open: Vec::with_capacity(64),
+            spans: vgl_obs::flight::Ring::new(max_spans),
+            gc: Vec::new(),
+        }
+    }
+
+    /// Marks entry into `func`.
+    #[inline]
+    pub fn enter(&mut self, func: FuncId) {
+        self.open.push((func, Instant::now()));
+    }
+
+    /// Marks exit from the innermost open function.
+    #[inline]
+    pub fn exit(&mut self) {
+        let Some((func, entered)) = self.open.pop() else { return };
+        self.spans.push(FuncSpan {
+            func,
+            start: entered.duration_since(self.origin),
+            dur: entered.elapsed(),
+            depth: self.open.len() as u32,
+        });
+    }
+
+    /// Retained spans, oldest first (completion order).
+    pub fn spans(&self) -> impl Iterator<Item = &FuncSpan> {
+        self.spans.iter()
+    }
+
+    /// Spans currently retained.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Spans overwritten because the ring filled up.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// Records a collection.
+    pub fn record_gc(&mut self, pause: Duration, live_slots: usize, capacity_slots: usize) {
+        self.gc.push(GcInstant {
+            at: self.origin.elapsed(),
+            pause,
+            live_slots,
+            capacity_slots,
+        });
+    }
+
+    /// Closes every open span at the current instant — called when a run
+    /// unwinds through a trap, so the trace still shows where time went.
+    pub fn close_all(&mut self) {
+        while !self.open.is_empty() {
+            self.exit();
         }
     }
 }

@@ -18,8 +18,10 @@
 //! vtable load on a hit. Hit/miss counts are in [`VmStats`].
 
 use crate::bytecode::*;
-use crate::profile::{GcEvent, VmProfile};
+use crate::flight::{CallKind, FlightKind, FlightRecorder};
+use crate::profile::{GcEvent, RuntimeProfile, TraceLog, VmProfile};
 use std::time::Instant;
+use vgl_runtime::heap::GcRecord;
 use vgl_ir::ops::{self, Exception};
 use vgl_ir::Builtin;
 use vgl_runtime::heap::{
@@ -137,6 +139,13 @@ struct FrameInfo {
     pc: usize,
     base: usize,
     rets: RetSlots,
+    /// `stats.instrs` at frame entry — the runtime profiler derives
+    /// inclusive instruction counts from this at frame exit.
+    entry_instr: u64,
+    /// Instructions retired by completed callees of this frame; the
+    /// profiler subtracts it from the inclusive total at frame exit to
+    /// get the exclusive share without any bookkeeping at call time.
+    child_instrs: u64,
 }
 
 /// The virtual machine.
@@ -156,6 +165,25 @@ pub struct Vm<'p> {
     /// Boxed so the disabled case costs the dispatch loop nothing: the loop
     /// is monomorphized over a `PROFILE` const and picked once per run.
     profile: Option<Box<VmProfile>>,
+    /// Per-function hotness counters (calls, back-edge ticks, incl/excl
+    /// retired instructions). Held inline with empty rows when disabled:
+    /// every hook gates on `rows.get_mut(func)`, so the disabled case is
+    /// one always-failing bounds check and the enabled case touches one
+    /// packed row — checked only at calls, returns, and back-edges, never
+    /// per instruction, which keeps it inside the `bench_obs` 5% gate.
+    hotness: RuntimeProfile,
+    /// When true, the runtime profiler also maintains exact
+    /// inclusive/exclusive retired-instruction counts at every frame exit
+    /// (precise mode — costs more than the default tick sampling).
+    hot_precise: bool,
+    /// `stats.instrs` at the last call/return boundary. The profiler
+    /// attributes the instructions retired since the previous boundary to
+    /// the function that was running — exclusive counts without touching
+    /// the caller's frame on every return.
+    /// Wall-clock function spans + GC instants for `vglc trace`.
+    tracelog: Option<Box<TraceLog>>,
+    /// Crash flight recorder (`--flight-record`).
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl<'p> Vm<'p> {
@@ -187,6 +215,10 @@ impl<'p> Vm<'p> {
             stats: VmStats::default(),
             fuel_limit: u64::MAX,
             profile: None,
+            hotness: RuntimeProfile::default(),
+            hot_precise: false,
+            tracelog: None,
+            flight: None,
         }
     }
 
@@ -215,6 +247,91 @@ impl<'p> Vm<'p> {
         self.profile.take().map(|b| *b)
     }
 
+    /// Turns on the per-function runtime (hotness) profiler: call counts
+    /// plus coarse cost sampling — one tick per loop back-edge, attributed
+    /// to the running function at the existing fuel-check points. This is
+    /// the low-overhead production configuration tier-up will consume;
+    /// read the result via [`Vm::runtime_profile`]. Fully deterministic —
+    /// no clocks — so output stays byte-identical.
+    pub fn enable_runtime_profiling(&mut self) {
+        if self.hotness.rows.is_empty() {
+            self.hotness = RuntimeProfile::new(self.program.funcs.len());
+        }
+    }
+
+    /// [`Vm::enable_runtime_profiling`] plus exact inclusive/exclusive
+    /// retired-instruction accounting at every frame exit. Still
+    /// deterministic, but the extra per-return work costs more than the
+    /// default tick sampling — use for offline analysis (`vglc stats`,
+    /// `vglc profile`), not for always-on telemetry.
+    pub fn enable_runtime_profiling_precise(&mut self) {
+        self.enable_runtime_profiling();
+        self.hot_precise = true;
+    }
+
+    /// The runtime profile collected so far, when enabled.
+    pub fn runtime_profile(&self) -> Option<&RuntimeProfile> {
+        if self.hotness.rows.is_empty() {
+            None
+        } else {
+            Some(&self.hotness)
+        }
+    }
+
+    /// Consumes the collected runtime profile.
+    pub fn take_runtime_profile(&mut self) -> Option<RuntimeProfile> {
+        if self.hotness.rows.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.hotness))
+        }
+    }
+
+    /// Turns on the wall-clock trace log for Chrome-trace export: one span
+    /// per function execution (capped at `max_spans`) plus GC instants.
+    pub fn enable_trace_log(&mut self, max_spans: usize) {
+        if self.tracelog.is_none() {
+            self.tracelog = Some(Box::new(TraceLog::new(max_spans)));
+        }
+    }
+
+    /// Consumes the collected trace log.
+    pub fn take_trace_log(&mut self) -> Option<TraceLog> {
+        self.tracelog.take().map(|b| *b)
+    }
+
+    /// Turns on the crash flight recorder, keeping the last `capacity`
+    /// runtime events (calls, IC misses, GC, traps).
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        if self.flight.is_none() {
+            self.flight = Some(Box::new(FlightRecorder::new(capacity)));
+        }
+    }
+
+    /// The flight recorder, when enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_deref()
+    }
+
+    /// Renders the flight recorder's dump (oldest event first), when
+    /// enabled and non-empty.
+    pub fn flight_dump(&self) -> Option<String> {
+        match self.flight.as_deref() {
+            Some(fr) if !fr.is_empty() => Some(fr.dump(self.program)),
+            _ => None,
+        }
+    }
+
+    /// Turns on the heap's per-collection telemetry timeline.
+    pub fn enable_gc_timeline(&mut self) {
+        self.heap.enable_timeline();
+    }
+
+    /// The heap's telemetry timeline (empty when not enabled).
+    pub fn gc_timeline(&self) -> &[GcRecord] {
+        self.heap.timeline()
+    }
+
     /// Captured output.
     pub fn output(&self) -> String {
         String::from_utf8_lossy(&self.out).into_owned()
@@ -240,19 +357,41 @@ impl<'p> Vm<'p> {
         self.stack.resize(base + f.reg_count, 0);
         self.stack[base..base + args.len()].copy_from_slice(args);
         let ret_count = f.ret_count;
+        if let Some(h) = self.hotness.rows.get_mut(func as usize) {
+            h.calls += 1;
+        }
+        if let Some(t) = self.tracelog.as_deref_mut() {
+            t.enter(func);
+        }
+        if let Some(fr) = self.flight.as_deref_mut() {
+            fr.record(self.stats.instrs, FlightKind::Call { kind: CallKind::Static, func });
+        }
         self.frames.push(FrameInfo {
             func,
             pc: 0,
             base,
             rets: RetSlots::Inline { len: 0, regs: [0; RET_INLINE] },
+            entry_instr: self.stats.instrs,
+            child_instrs: 0,
         });
         let depth = self.frames.len();
-        // Monomorphize the dispatch loop over profiling once per run, so the
-        // disabled case pays nothing per instruction.
-        let r = if self.profile.is_some() {
-            self.interp_until::<true>(depth - 1)
-        } else {
-            self.interp_until::<false>(depth - 1)
+        // Monomorphize the dispatch loop over the profilers once per run:
+        // the disabled cases pay nothing per instruction or per call, and
+        // the enabled hooks compile to straight-line counter updates.
+        // HOT: 0 = off, 1 = sampling (calls + back-edge ticks), 2 = precise
+        // (sampling plus exact inclusive/exclusive accounting per return).
+        let hot = match (self.hotness.rows.is_empty(), self.hot_precise) {
+            (true, _) => 0,
+            (false, false) => 1,
+            (false, true) => 2,
+        };
+        let r = match (self.profile.is_some(), hot) {
+            (false, 0) => self.interp_until::<false, 0>(depth - 1),
+            (false, 1) => self.interp_until::<false, 1>(depth - 1),
+            (false, _) => self.interp_until::<false, 2>(depth - 1),
+            (true, 0) => self.interp_until::<true, 0>(depth - 1),
+            (true, 1) => self.interp_until::<true, 1>(depth - 1),
+            (true, _) => self.interp_until::<true, 2>(depth - 1),
         };
         match r {
             Ok(values) => {
@@ -260,6 +399,19 @@ impl<'p> Vm<'p> {
                 Ok(values)
             }
             Err(e) => {
+                // Record the trap before unwinding: the deepest frame is
+                // still on the stack and names the faulting function.
+                if let Some(fr) = self.flight.as_deref_mut() {
+                    let (tf, tpc) =
+                        self.frames.last().map(|f| (f.func, f.pc)).unwrap_or((func, 0));
+                    fr.record(
+                        self.stats.instrs,
+                        FlightKind::Trap { error: e, func: tf, pc: tpc },
+                    );
+                }
+                if let Some(t) = self.tracelog.as_deref_mut() {
+                    t.close_all();
+                }
                 self.frames.truncate(depth - 1);
                 self.stack.truncate(base);
                 Err(e)
@@ -269,7 +421,10 @@ impl<'p> Vm<'p> {
 
     /// Runs frames until the frame stack drops back to `floor`, returning
     /// the popped frame's return values.
-    fn interp_until<const PROFILE: bool>(&mut self, floor: usize) -> Result<Vec<Word>, VmError> {
+    fn interp_until<const PROFILE: bool, const HOT: u8>(
+        &mut self,
+        floor: usize,
+    ) -> Result<Vec<Word>, VmError> {
         loop {
             self.stats.instrs += 1;
             let fi = self.frames.len() - 1;
@@ -295,8 +450,16 @@ impl<'p> Vm<'p> {
             macro_rules! jump {
                 ($off:expr) => {{
                     let off = $off;
-                    if off < 0 && self.stats.instrs >= self.fuel_limit {
-                        return Err(VmError::OutOfFuel);
+                    if off < 0 {
+                        if self.stats.instrs >= self.fuel_limit {
+                            return Err(VmError::OutOfFuel);
+                        }
+                        // Back-edge tick: the loop-hotness signal. Rides the
+                        // existing fuel-check point so straight-line code
+                        // never sees the profiler.
+                        if HOT != 0 {
+                            self.hotness.rows[func as usize].ticks += 1;
+                        }
                     }
                     self.frames[fi].pc = (pc as i64 + off as i64) as usize;
                 }};
@@ -364,7 +527,8 @@ impl<'p> Vm<'p> {
                     self.stats.calls += 1;
                     check_fuel!();
                     let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
-                    self.push_frame_args(*callee, base, None, args, rets);
+                    self.note_call::<HOT>(*callee);
+                    self.push_frame_args(*callee, CallKind::Static, base, None, args, rets);
                 }
                 Instr::CallVirt { slot, site, args, rets } => {
                     self.stats.calls += 1;
@@ -385,10 +549,17 @@ impl<'p> Vm<'p> {
                         self.stats.ic_misses += 1;
                         let f = self.program.classes[class as usize].vtable[*slot as usize];
                         self.ic[*site as usize] = IcEntry { class, func: f };
+                        if let Some(fr) = self.flight.as_deref_mut() {
+                            fr.record(
+                                self.stats.instrs,
+                                FlightKind::IcMiss { site: *site, class, func: f },
+                            );
+                        }
                         f
                     };
                     let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
-                    self.push_frame_args(callee, base, None, args, rets);
+                    self.note_call::<HOT>(callee);
+                    self.push_frame_args(callee, CallKind::Virtual, base, None, args, rets);
                 }
                 Instr::CallClos { clos, args, rets } => {
                     self.stats.calls += 1;
@@ -404,7 +575,8 @@ impl<'p> Vm<'p> {
                     // statically exact after normalization (§4.1/§4.2).
                     let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
                     let prepend = (recv != NULL).then_some(recv);
-                    self.push_frame_args(fnid, base, prepend, args, rets);
+                    self.note_call::<HOT>(fnid);
+                    self.push_frame_args(fnid, CallKind::Closure, base, prepend, args, rets);
                 }
                 Instr::CallBuiltin { b, args, rets } => {
                     debug_assert!(args.len() <= 2, "builtin arity");
@@ -594,6 +766,7 @@ impl<'p> Vm<'p> {
                 }
                 Instr::Ret(regs) => {
                     let frame = self.frames.pop().expect("frame present");
+                    self.note_return::<HOT>(&frame);
                     if self.frames.len() == floor {
                         // Boundary of this `call_function`: the only
                         // allocation on the return path, once per entry.
@@ -662,6 +835,7 @@ impl<'p> Vm<'p> {
                     }
                     let v = self.heap.get(o, *slot as usize);
                     let frame = self.frames.pop().expect("frame present");
+                    self.note_return::<HOT>(&frame);
                     self.stack.truncate(frame.base);
                     if self.frames.len() == floor {
                         return Ok(vec![v]);
@@ -675,6 +849,40 @@ impl<'p> Vm<'p> {
         }
     }
 
+
+
+    /// Records a call in the runtime profile — a single counter bump; all
+    /// cost attribution happens at frame exit. Kept out of
+    /// [`Vm::push_frame_args`] so the frame-push fast path stays small.
+    #[inline]
+    fn note_call<const HOT: u8>(&mut self, callee: FuncId) {
+        if HOT != 0 {
+            self.hotness.rows[callee as usize].calls += 1;
+        }
+    }
+
+    /// Closes a popped frame's telemetry: the inclusive total is the
+    /// instructions retired since entry, the exclusive share is that minus
+    /// the completed callees accumulated in `child_instrs`, and the caller
+    /// inherits the inclusive total as its own child cost. One profile row
+    /// and the (cache-hot) caller frame per return — nothing is tracked
+    /// between boundaries. Also ends the frame's trace-log span.
+    #[inline]
+    fn note_return<const HOT: u8>(&mut self, frame: &FrameInfo) {
+        if HOT == 2 {
+            let inc = self.stats.instrs - frame.entry_instr;
+            let h = &mut self.hotness.rows[frame.func as usize];
+            h.incl_instrs += inc;
+            h.excl_instrs += inc - frame.child_instrs;
+            if let Some(parent) = self.frames.last_mut() {
+                parent.child_instrs += inc;
+            }
+        }
+        if let Some(t) = self.tracelog.as_deref_mut() {
+            t.exit();
+        }
+    }
+
     /// Pushes a callee frame, copying `prepend` (a bound receiver) and then
     /// the caller registers `args` directly into the new frame — no
     /// temporary argument vector.
@@ -682,6 +890,7 @@ impl<'p> Vm<'p> {
     fn push_frame_args(
         &mut self,
         callee: FuncId,
+        kind: CallKind,
         caller_base: usize,
         prepend: Option<Word>,
         args: &[Reg],
@@ -694,6 +903,12 @@ impl<'p> Vm<'p> {
             "arity calling {}",
             f.name
         );
+        if let Some(t) = self.tracelog.as_deref_mut() {
+            t.enter(callee);
+        }
+        if let Some(fr) = self.flight.as_deref_mut() {
+            fr.record(self.stats.instrs, FlightKind::Call { kind, func: callee });
+        }
         let base = self.stack.len();
         self.stack.resize(base + f.reg_count, 0);
         let mut at = base;
@@ -705,7 +920,14 @@ impl<'p> Vm<'p> {
             self.stack[at] = self.stack[caller_base + r as usize];
             at += 1;
         }
-        self.frames.push(FrameInfo { func: callee, pc: 0, base, rets });
+        self.frames.push(FrameInfo {
+            func: callee,
+            pc: 0,
+            base,
+            rets,
+            entry_instr: self.stats.instrs,
+            child_instrs: 0,
+        });
     }
 
     fn alloc(&mut self, kind: CellKind, meta: u32, len: usize) -> Result<Word, VmError> {
@@ -718,16 +940,30 @@ impl<'p> Vm<'p> {
                 let sp = self.stack.len();
                 let mut stack = std::mem::take(&mut self.stack);
                 let mut globals = std::mem::take(&mut self.globals);
-                let pause_start = self.profile.is_some().then(Instant::now);
+                let pause_start = (self.profile.is_some() || self.tracelog.is_some())
+                    .then(Instant::now);
                 let info = self.heap.collect(&mut [&mut stack[..sp], &mut globals[..]]);
-                if let (Some(p), Some(t0)) = (self.profile.as_deref_mut(), pause_start) {
+                let pause = pause_start.map(|t| t.elapsed()).unwrap_or_default();
+                if let Some(p) = self.profile.as_deref_mut() {
                     p.gc_events.push(GcEvent {
-                        pause: t0.elapsed(),
+                        pause,
                         live_slots: info.live_slots,
                         copied_slots: info.copied_slots,
                         capacity_slots: info.capacity_slots,
                         at_instr: self.stats.instrs,
                     });
+                }
+                if let Some(t) = self.tracelog.as_deref_mut() {
+                    t.record_gc(pause, info.live_slots, info.capacity_slots);
+                }
+                if let Some(fr) = self.flight.as_deref_mut() {
+                    fr.record(
+                        self.stats.instrs,
+                        FlightKind::Gc {
+                            live_slots: info.live_slots,
+                            capacity_slots: info.capacity_slots,
+                        },
+                    );
                 }
                 self.stack = stack;
                 self.globals = globals;

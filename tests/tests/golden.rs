@@ -62,12 +62,13 @@ fn examples_produce_valid_stats_reports() {
     for &(name, result, _) in GOLDEN {
         let c = vgl::Compiler::new().compile(&example(name)).expect("compiles");
         let i = c.interpret();
-        let (v, profile) = c.execute_profiled();
-        let report = vgl::report::stats_json(&c, Some(&i), Some(&v), Some(&profile));
+        let (v, profile, hotness) = c.execute_profiled_full();
+        let report =
+            vgl::report::stats_json(&c, Some(&i), Some(&v), Some(&profile), Some(&hotness));
         let text = report.render();
         let back = vgl_obs::json::parse(&text)
             .unwrap_or_else(|e| panic!("{name}: report is not valid JSON: {e:?}"));
-        for key in ["phases", "pipeline", "bytecode_instrs", "interp", "vm"] {
+        for key in ["phases", "pipeline", "bytecode_instrs", "interp", "vm", "runtime"] {
             assert!(back.get(key).is_some(), "{name}: report missing {key:?}");
         }
         let vm_result = back
