@@ -223,7 +223,8 @@ pub struct BackendMeasurement {
     pub jobs: usize,
     /// Whether the per-instance pass cache was on.
     pub cache: bool,
-    /// Median wall-clock time of the back half (normalize → fuse).
+    /// Best (min-of-N after warmup) wall-clock time of the back half
+    /// (mono → fuse).
     pub time: Duration,
     /// Normalize-pass instance-cache stats from the last sample.
     pub norm_cache: vgl::CacheStats,
@@ -231,11 +232,19 @@ pub struct BackendMeasurement {
     pub opt_cache: vgl::CacheStats,
 }
 
-/// Times the back half of the pipeline (normalize → optimize → lower →
-/// fuse) at one `(jobs, cache)` configuration. The front end and
-/// monomorphization run outside the timer — they are identical across
-/// configurations, so including them would only dilute the comparison.
-/// Returns the median of `samples` timed runs.
+/// Times the back half of the pipeline (mono → normalize → optimize →
+/// joined lower+fuse) at one `(jobs, cache)` configuration. The front end
+/// runs outside the timer — it is identical across configurations — but
+/// monomorphization is timed: with the cache on it streams instances to
+/// hash workers ([`vgl_passes::monomorphize_cfg`]), and hiding that overlap
+/// from the clock would overstate the cache rows.
+///
+/// One untimed warmup run precedes the samples: the first run pays thread
+/// spawn, allocator growth, and cold icache for every configuration alike,
+/// and a scaling comparison should not be decided by who went first.
+/// Returns the **minimum** of `samples` timed runs — for a deterministic
+/// CPU-bound workload the minimum is the run with the least scheduler
+/// interference, which is the quantity the scaling claim is about.
 pub fn measure_backend(
     name: &str,
     source: &str,
@@ -248,25 +257,26 @@ pub fn measure_backend(
     assert!(!diags.has_errors(), "{name}: workload failed to parse");
     let module = vgl_sema::analyze(&ast, &mut diags)
         .unwrap_or_else(|| panic!("{name}: workload failed to analyze"));
-    let cfg = vgl_passes::BackendConfig { jobs, cache };
-    let mut times = Vec::with_capacity(samples);
+    let cfg = vgl_passes::BackendConfig { jobs, cache, chunking: true };
+    let mut best: Option<Duration> = None;
     let mut report = vgl::BackendReport::default();
-    for _ in 0..samples {
-        let (mut m, _) = vgl_passes::monomorphize(&module);
+    for sample in 0..=samples {
         report = vgl::BackendReport { jobs, ..Default::default() };
         let start = Instant::now();
+        let (mut m, _) = vgl_passes::monomorphize_cfg(&module, &cfg, &mut report);
         vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
         vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
-        let mut prog = vgl_vm::lower(&m);
-        vgl_vm::fuse_jobs(&mut prog, jobs, cache);
-        times.push(start.elapsed());
+        let (_prog, _, _) = vgl_vm::lower_fuse(&m, &cfg);
+        let elapsed = start.elapsed();
+        if sample > 0 {
+            best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
+        }
     }
-    times.sort();
     BackendMeasurement {
         name: name.to_string(),
         jobs,
         cache,
-        time: times[(times.len() - 1) / 2],
+        time: best.expect("at least one timed sample"),
         norm_cache: report.norm_cache,
         opt_cache: report.opt_cache,
     }

@@ -231,12 +231,24 @@ impl Compiler {
         let Some(module) = analyzed else {
             return Err(render(source, diags));
         };
-        // Pipeline: mono → norm → (opt).
+        // Back-end configuration: jobs resolved once per compile (explicit
+        // request → VGL_JOBS → available parallelism) and shared by mono's
+        // streamed hashing, normalize, optimize, and fuse. No knob changes
+        // output.
+        let backend_cfg = BackendConfig {
+            jobs: vgl_passes::sched::resolve_jobs(self.options.jobs),
+            cache: self.options.pass_cache,
+            chunking: true,
+        };
+        let mut backend = BackendReport { jobs: backend_cfg.jobs, ..BackendReport::default() };
+        // Pipeline: mono → norm → (opt). With the cache on, mono streams
+        // finished instances to hash workers so the duplicate map is ready
+        // for normalize the moment it returns.
         let size_before = vgl_ir::measure(&module);
         let (mut compiled, mono) = trace.time(
             "mono",
             size_before.expr_nodes,
-            || vgl_passes::monomorphize(&module),
+            || vgl_passes::monomorphize_cfg(&module, &backend_cfg, &mut backend),
             |(m, _)| vgl_ir::measure(m).expr_nodes,
         );
         if self.options.validate_ir {
@@ -247,14 +259,6 @@ impl Compiler {
                 render_violations(&violations)
             );
         }
-        // Back-end configuration: jobs resolved once per compile (explicit
-        // request → VGL_JOBS → available parallelism) and shared by
-        // normalize, optimize, and fuse. Neither knob changes output.
-        let backend_cfg = BackendConfig {
-            jobs: vgl_passes::sched::resolve_jobs(self.options.jobs),
-            cache: self.options.pass_cache,
-        };
-        let mut backend = BackendReport { jobs: backend_cfg.jobs, ..BackendReport::default() };
         let size_after_mono = vgl_ir::measure(&compiled);
         let norm = trace.time(
             "normalize",
@@ -297,7 +301,7 @@ impl Compiler {
                 "fuse",
                 program.code_size(),
                 || {
-                    let (stats, workers) = vgl_vm::fuse_jobs(&mut program, backend_cfg.jobs, backend_cfg.cache);
+                    let (stats, workers) = vgl_vm::fuse_cfg(&mut program, &backend_cfg);
                     backend.workers.extend(workers);
                     stats
                 },

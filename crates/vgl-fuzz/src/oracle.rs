@@ -303,7 +303,7 @@ pub fn check_source_tampered(
     // The seventh configuration rebuilds the same fused program with the
     // back end at jobs = 8 (parallel passes + instance cache) and first
     // asserts bit-for-bit determinism against the serial build.
-    let par_cfg = vgl_passes::BackendConfig { jobs: 8, cache: true };
+    let par_cfg = vgl_passes::BackendConfig { jobs: 8, cache: true, chunking: true };
     let mut par_report = vgl_passes::BackendReport::default();
     let (mut par_m, _) = vgl_passes::monomorphize(&module);
     vgl_passes::normalize_cfg(&mut par_m, &par_cfg, &mut par_report);

@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 use std::fmt::{self, Write};
+use std::sync::Mutex;
 use vgl_ir::{Method, Module};
 use vgl_obs::WorkerSample;
 
@@ -140,32 +141,111 @@ impl DupMap {
     }
 }
 
-/// Builds the duplicate map for `module`, fingerprinting method bodies on
-/// up to `jobs` workers (hashing is read-only and order-independent; the
-/// grouping itself is a deterministic first-seen scan in index order).
+/// Upper bound on the number of lock stripes in a [`ShardedIndex`]. More
+/// stripes than this buys nothing: the pool is capped well below the point
+/// where 16 mutexes see meaningful collision.
+pub const MAX_SHARDS: usize = 16;
+
+/// A lock-striped fingerprint → first-index map shared across pool workers.
+///
+/// The pre-sharding design funneled every fingerprint through one mutex,
+/// which serialized the hash phase exactly when jobs was high. Keys are
+/// spread over `min(16, jobs)` independent [`Mutex`]-guarded shards by the
+/// fingerprint's **high byte** — the FNV stream diffuses content into the
+/// high bits as well as the low ones, and taking bits the in-shard
+/// `HashMap` doesn't also consume keeps the two levels independent.
+///
+/// Determinism does not come from locking order — it comes from
+/// [`ShardedIndex::insert_min`]'s *minimum-index-wins* rule, which makes
+/// the final map a pure function of the inserted set: whatever order
+/// threads arrive in, each key ends up mapped to the smallest index ever
+/// inserted for it, exactly what a serial first-seen scan in index order
+/// would produce.
+pub struct ShardedIndex {
+    shards: Vec<Mutex<HashMap<(u64, u64), usize>>>,
+}
+
+impl ShardedIndex {
+    /// Creates an index striped over `min(16, jobs)` shards (at least 1).
+    pub fn new(jobs: usize) -> ShardedIndex {
+        let n = jobs.clamp(1, MAX_SHARDS);
+        ShardedIndex { shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: (u64, u64)) -> usize {
+        ((key.0 >> 56) as usize) % self.shards.len()
+    }
+
+    /// Records that method `index` has fingerprint `key`, keeping the
+    /// **minimum** index seen for the key, and returns that minimum.
+    /// Commutative and idempotent, so concurrent insertion from any number
+    /// of threads converges to the same map as a serial index-order scan.
+    pub fn insert_min(&self, key: (u64, u64), index: usize) -> usize {
+        let mut shard =
+            self.shards[self.shard_of(key)].lock().expect("cache shard poisoned");
+        let slot = shard.entry(key).or_insert(index);
+        if index < *slot {
+            *slot = index;
+        }
+        *slot
+    }
+
+    /// The representative (minimum inserted) index for `key`, if any.
+    pub fn get(&self, key: (u64, u64)) -> Option<usize> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .copied()
+    }
+
+    /// Total number of distinct keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// True when no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds the duplicate map for `module`: workers fingerprint method bodies
+/// and publish `(fingerprint, index)` into a [`ShardedIndex`] concurrently;
+/// a serial scan then resolves every method to its group's minimum index.
+/// Both halves are order-independent (hashing is read-only, `insert_min`
+/// is commutative), so the map is identical at every jobs count.
 pub fn dup_groups(module: &Module, jobs: usize) -> (DupMap, Vec<WorkerSample>) {
+    let index = ShardedIndex::new(jobs);
     let (prints, workers) = sched::par_map_ctx(
         jobs,
         "hash",
         &module.methods,
         || (),
-        |_, _, m: &Method| m.body.as_ref().map(|_| method_fingerprint(m)),
+        |_, i, m: &Method| {
+            m.body.as_ref().map(|_| {
+                let key = method_fingerprint(m);
+                index.insert_min(key, i);
+                key
+            })
+        },
     );
     let mut rep: Vec<usize> = (0..module.methods.len()).collect();
     let mut stats = CacheStats::default();
-    let mut first: HashMap<(u64, u64), usize> = HashMap::new();
     for (i, print) in prints.into_iter().enumerate() {
         let Some(key) = print else { continue };
         stats.lookups += 1;
-        match first.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                rep[i] = *e.get();
-                stats.hits += 1;
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(i);
-                stats.unique += 1;
-            }
+        let r = index.get(key).expect("fingerprint published during hashing");
+        rep[i] = r;
+        if r == i {
+            stats.unique += 1;
+        } else {
+            stats.hits += 1;
         }
     }
     (DupMap { rep, stats }, workers)
@@ -203,5 +283,86 @@ mod tests {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         let s = CacheStats { lookups: 4, hits: 3, unique: 1 };
         assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_index_shard_counts() {
+        assert_eq!(ShardedIndex::new(0).shard_count(), 1);
+        assert_eq!(ShardedIndex::new(1).shard_count(), 1);
+        assert_eq!(ShardedIndex::new(8).shard_count(), 8);
+        assert_eq!(ShardedIndex::new(64).shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn insert_min_keeps_minimum_in_any_order() {
+        let idx = ShardedIndex::new(4);
+        let key = (0xAB00_0000_0000_0001, 7);
+        assert_eq!(idx.insert_min(key, 9), 9);
+        assert_eq!(idx.insert_min(key, 3), 3);
+        assert_eq!(idx.insert_min(key, 5), 3);
+        assert_eq!(idx.get(key), Some(3));
+        assert_eq!(idx.get((0, 0)), None);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+    }
+
+    /// Deterministic op stream for the stress test: `(key, index)` pairs
+    /// drawn from a small key pool whose fingerprints all share one high
+    /// byte, so every operation lands on the **same shard** — the worst
+    /// case for stripe contention.
+    fn stress_op(thread: u64, step: u64) -> ((u64, u64), usize) {
+        // xorshift-style mix, pure function of (thread, step).
+        let mut x = thread.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ step;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // 64 distinct keys, identical top byte 0xCC → one shard for all.
+        let key = (0xCC00_0000_0000_0000 | (x % 64), 0x5EED ^ (x % 64));
+        (key, (x >> 8) as usize % 10_000)
+    }
+
+    #[test]
+    fn sharded_index_stress_matches_serial_replay() {
+        const THREADS: u64 = 8;
+        const OPS: u64 = 10_000;
+        let idx = ShardedIndex::new(8);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let idx = &idx;
+                s.spawn(move || {
+                    for step in 0..OPS {
+                        let (key, i) = stress_op(t, step);
+                        if step % 3 == 2 {
+                            // Mixed lookup: whatever is present must never
+                            // exceed any index this thread already
+                            // inserted for the key (minimum only falls).
+                            if let Some(r) = idx.get(key) {
+                                assert!(r < 10_000);
+                            }
+                        } else {
+                            let r = idx.insert_min(key, i);
+                            assert!(r <= i, "returned rep above inserted index");
+                        }
+                    }
+                });
+            }
+        });
+        // Serial replay: the final map must equal the plain min over every
+        // inserted pair — no lost inserts, no stale minima.
+        let mut expect: HashMap<(u64, u64), usize> = HashMap::new();
+        for t in 0..THREADS {
+            for step in 0..OPS {
+                if step % 3 == 2 {
+                    continue;
+                }
+                let (key, i) = stress_op(t, step);
+                let slot = expect.entry(key).or_insert(i);
+                *slot = (*slot).min(i);
+            }
+        }
+        assert_eq!(idx.len(), expect.len());
+        for (key, min) in expect {
+            assert_eq!(idx.get(key), Some(min), "lost or wrong insert for {key:?}");
+        }
     }
 }

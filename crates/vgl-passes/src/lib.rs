@@ -24,7 +24,7 @@ mod optimize;
 pub mod sched;
 
 pub use cache::{module_fingerprint, CacheStats};
-pub use mono::{monomorphize, MonoStats};
+pub use mono::{monomorphize, monomorphize_streamed, MonoStats};
 pub use normalize::{normalize, normalize_cfg, NormStats};
 pub use optimize::{optimize, optimize_cfg, OptStats};
 
@@ -36,20 +36,25 @@ use vgl_obs::{FieldValue, PhaseTrace, Tracer, WorkerSample};
 /// optimize, fuse). `jobs` is the *effective* worker count — resolve a
 /// user request (0 = auto) through [`sched::resolve_jobs`] first.
 ///
-/// Determinism contract: neither field changes compiled output. `jobs`
-/// moves work between threads; `cache` skips recomputation whose result is
-/// copied from a content-identical representative instead.
+/// Determinism contract: no field changes compiled output. `jobs` moves
+/// work between threads; `cache` skips recomputation whose result is
+/// copied from a content-identical representative instead; `chunking`
+/// switches the pool between per-item claiming and cost-balanced
+/// chunk-granular claiming (same items, same merge order).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BackendConfig {
     /// Worker threads for the parallel phases (>= 1).
     pub jobs: usize,
     /// Enable the per-instance pass cache.
     pub cache: bool,
+    /// Schedule parallel phases in cost-balanced chunks
+    /// ([`sched::plan_chunks`]) instead of one atomic claim per item.
+    pub chunking: bool,
 }
 
 impl Default for BackendConfig {
     fn default() -> BackendConfig {
-        BackendConfig { jobs: 1, cache: true }
+        BackendConfig { jobs: 1, cache: true, chunking: true }
     }
 }
 
@@ -110,6 +115,30 @@ pub struct PipelineStats {
     pub size_after: vgl_ir::ModuleSize,
     /// Per-pass wall-clock durations.
     pub times: PassTimes,
+}
+
+/// [`monomorphize`] under a [`BackendConfig`]: with the cache enabled,
+/// instance expansion streams each finished method to hash workers over a
+/// bounded channel ([`monomorphize_streamed`]), so the duplicate-instance
+/// map normalize needs is ready the moment mono returns — it lands in
+/// `report.dup_map` and [`normalize_cfg`] picks it up instead of
+/// re-fingerprinting. Output module and map are identical at every jobs
+/// count and to the unstreamed path.
+pub fn monomorphize_cfg(
+    module: &Module,
+    cfg: &BackendConfig,
+    report: &mut BackendReport,
+) -> (Module, MonoStats) {
+    if cfg.cache {
+        let (m, stats, dup, workers) = monomorphize_streamed(module, cfg.jobs);
+        report.workers.extend(workers);
+        // The stats ride with the map; normalize_cfg counts them into
+        // `norm_cache` when it consumes it (no double count here).
+        report.dup_map = Some(dup);
+        (m, stats)
+    } else {
+        monomorphize(module)
+    }
 }
 
 /// Runs the full static pipeline (mono → norm → opt), verifying the §4

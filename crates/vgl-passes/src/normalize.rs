@@ -79,9 +79,18 @@ pub fn normalize_cfg(
     report: &mut BackendReport,
 ) -> NormStats {
     let dup = if cfg.cache {
-        let (dup, workers) = cache::dup_groups(module, cfg.jobs);
-        report.workers.extend(workers);
-        dup
+        // Prefer the map mono's streamed hashing already built (identical
+        // to `dup_groups` on this module by construction); fall back to
+        // fingerprinting here when mono ran without streaming or the
+        // module was produced some other way.
+        match report.dup_map.take() {
+            Some(dup) if dup.rep.len() == module.methods.len() => dup,
+            _ => {
+                let (dup, workers) = cache::dup_groups(module, cfg.jobs);
+                report.workers.extend(workers);
+                dup
+            }
+        }
     } else {
         DupMap::identity(module.methods.len())
     };

@@ -136,25 +136,33 @@ fn one_round(
         .filter(|&i| module.methods[i].body.is_some() && !dup.is_dup(i))
         .collect();
     let m_ref: &Module = module;
-    let (results, samples) = sched::par_map_ctx(
-        cfg.jobs,
-        "optimize",
-        &items,
-        || m_ref.store.clone(),
-        |store, _, &i| {
-            let m = &m_ref.methods[i];
-            let mut body = m.body.clone().expect("scheduled method has a body");
-            let mut locals = m.locals.clone();
-            let mut st = OptStats::default();
-            let mut cx = FoldCx { store, hier: &m_ref.hier, methods: &m_ref.methods };
-            rewrite_exprs(&mut body, &mut |e| {
-                let e = fold_expr(&mut cx, e, &devirt, &mut st);
-                inline_expr(e, MethodId(i as u32), &inline, &mut locals, &mut st)
-            });
-            fold_stmts(&mut body.stmts, &mut st);
-            (body, locals, st)
-        },
-    );
+    let run_item = |store: &mut TypeStore, _: usize, &i: &usize| {
+        let m = &m_ref.methods[i];
+        let mut body = m.body.clone().expect("scheduled method has a body");
+        let mut locals = m.locals.clone();
+        let mut st = OptStats::default();
+        let mut cx = FoldCx { store, hier: &m_ref.hier, methods: &m_ref.methods };
+        rewrite_exprs(&mut body, &mut |e| {
+            let e = fold_expr(&mut cx, e, &devirt, &mut st);
+            inline_expr(e, MethodId(i as u32), &inline, &mut locals, &mut st)
+        });
+        fold_stmts(&mut body.stmts, &mut st);
+        (body, locals, st)
+    };
+    let mk_ctx = || m_ref.store.clone();
+    let (results, samples) = if cfg.chunking {
+        let costs: Vec<u64> = items
+            .iter()
+            .map(|&i| {
+                vgl_ir::method_cost(&m_ref.methods[i])
+                    * vgl_ir::metrics::pass_weight::OPTIMIZE
+            })
+            .collect();
+        let plan = sched::plan_chunks(&costs, cfg.jobs);
+        sched::par_map_chunks(cfg.jobs, "optimize", &items, &plan, mk_ctx, run_item)
+    } else {
+        sched::par_map_ctx(cfg.jobs, "optimize", &items, mk_ctx, run_item)
+    };
     worker_log.extend(samples);
     // Commit in stable method-index order (items is ascending).
     for (&i, (body, locals, st)) in items.iter().zip(results) {

@@ -1,13 +1,26 @@
 //! A dependency-free work-stealing pool for per-function compiler work.
 //!
 //! Built on `std::thread::scope` — no external crates, no global state.
-//! Workers self-schedule by claiming item indices from a shared atomic
-//! counter, compute into worker-local buffers, and the results are merged
-//! back **in stable item-index order**. That ordering rule is the whole
-//! determinism story: the jobs count changes which thread computes an item
-//! and nothing else, so `--jobs 1` and `--jobs 8` produce bit-identical
-//! output. (jobs=1 runs inline on the caller's thread through the same
-//! worker body — there is no separate sequential algorithm to drift.)
+//! Two granularities share one merge rule:
+//!
+//! * [`par_map_ctx`] — workers claim **single item indices** from an atomic
+//!   counter. Fine for coarse items; on per-function compiler work the
+//!   claim traffic itself dominates (BENCH_compile.json's pre-chunking rows
+//!   showed jobs=8 *losing* to jobs=1 on a 96-instance fan-out).
+//! * [`plan_chunks`] + [`par_map_chunks`] — items are packed up front into
+//!   contiguous, cost-balanced chunks (targeting `total/(CHUNKS_PER_JOB ×
+//!   jobs)` estimated cost each, from `vgl_ir::metrics::method_cost`-style
+//!   estimates) and workers steal **whole chunks**. One atomic claim
+//!   amortizes over a chunk's worth of work, and chunk boundaries are a
+//!   pure integer function of the cost vector — identical on every
+//!   platform, every run, every thread count.
+//!
+//! In both modes results are merged back **in stable item-index order**.
+//! That ordering rule is the whole determinism story: the jobs count (and
+//! the chunking mode) changes which thread computes an item and nothing
+//! else, so `--jobs 1` and `--jobs 8` produce bit-identical output.
+//! (jobs=1 runs inline on the caller's thread through the same worker body
+//! — there is no separate sequential algorithm to drift.)
 //!
 //! Each worker reports a [`WorkerSample`] (items claimed + busy time) for
 //! `vgl-obs`; those spans are telemetry, not part of the determinism
@@ -117,6 +130,157 @@ where
     (results, samples)
 }
 
+/// How many chunks the planner aims to produce per worker. More chunks
+/// means better load balance when cost estimates are off; fewer means less
+/// claim traffic. 4 keeps the worst-case idle tail under ~1/4 of a worker's
+/// share while leaving chunks coarse enough that the atomic claim is noise.
+pub const CHUNKS_PER_JOB: u64 = 4;
+
+/// A deterministic, cost-balanced partition of `n` work items into
+/// contiguous index ranges. Produced by [`plan_chunks`], consumed by
+/// [`par_map_chunks`] — and pinned by the golden chunk-map regression test,
+/// so the plan is part of the scheduler's stable contract: it depends only
+/// on the cost vector and the jobs count, never on the platform, the run,
+/// or which threads execute it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Half-open `[start, end)` item-index ranges, in order, covering
+    /// `0..n` exactly. Empty iff there are no items.
+    pub ranges: Vec<(usize, usize)>,
+    /// Sum of all (clamped-to-1) item costs.
+    pub total_cost: u64,
+    /// The per-chunk cost target the planner packed toward.
+    pub target_cost: u64,
+}
+
+impl ChunkPlan {
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the plan covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Packs items into contiguous chunks of roughly `total/(CHUNKS_PER_JOB ×
+/// jobs)` estimated cost each: walk items in index order, accumulate until
+/// the running cost reaches the target, cut. Contiguity keeps the stable
+/// commit a range copy and preserves whatever locality the item order has;
+/// greedy accumulation is the unique deterministic answer once the target
+/// is fixed. Zero costs are clamped to 1 so no chunk is unbounded.
+pub fn plan_chunks(costs: &[u64], jobs: usize) -> ChunkPlan {
+    let jobs = jobs.clamp(1, MAX_JOBS) as u64;
+    let total_cost: u64 = costs.iter().map(|&c| c.max(1)).sum();
+    let target_cost = (total_cost / (CHUNKS_PER_JOB * jobs)).max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c.max(1);
+        if acc >= target_cost {
+            ranges.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < costs.len() {
+        ranges.push((start, costs.len()));
+    }
+    ChunkPlan { ranges, total_cost, target_cost }
+}
+
+/// [`par_map_ctx`] with chunk-granular stealing: workers claim whole
+/// [`ChunkPlan`] ranges from the shared counter and process each range's
+/// items in index order. Results are merged back in item order, so the
+/// output is identical to `par_map_ctx` (and to a serial loop) — the plan
+/// only changes how claim traffic amortizes.
+///
+/// # Panics
+/// Debug-asserts that `plan` covers `items` exactly.
+pub fn par_map_chunks<T, C, R>(
+    jobs: usize,
+    phase: &'static str,
+    items: &[T],
+    plan: &ChunkPlan,
+    mk_ctx: impl Fn() -> C + Sync,
+    f: impl Fn(&mut C, usize, &T) -> R + Sync,
+) -> (Vec<R>, Vec<WorkerSample>)
+where
+    T: Sync,
+    R: Send,
+{
+    let n = items.len();
+    debug_assert_eq!(
+        plan.ranges.iter().map(|&(s, e)| e - s).sum::<usize>(),
+        n,
+        "chunk plan does not cover the item slice"
+    );
+    let n_chunks = plan.ranges.len();
+    let workers = jobs.clamp(1, MAX_JOBS).min(n_chunks.max(1));
+    let next = AtomicUsize::new(0);
+    let pool_start = Instant::now();
+    let work = |worker: usize| -> (Vec<(usize, Vec<R>)>, WorkerSample) {
+        let mut cx = mk_ctx();
+        let mut out = Vec::new();
+        let mut claimed = 0usize;
+        let start = Instant::now();
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let (lo, hi) = plan.ranges[c];
+            let mut results = Vec::with_capacity(hi - lo);
+            for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
+                results.push(f(&mut cx, i, item));
+            }
+            claimed += hi - lo;
+            out.push((lo, results));
+        }
+        let sample = WorkerSample {
+            phase,
+            worker,
+            items: claimed,
+            start: start.duration_since(pool_start),
+            duration: start.elapsed(),
+        };
+        (out, sample)
+    };
+
+    // One worker's output: result blocks keyed by chunk start, plus a span.
+    type WorkerOut<R> = (Vec<(usize, Vec<R>)>, WorkerSample);
+    let mut per_worker: Vec<WorkerOut<R>> =
+        if workers <= 1 || n_chunks < 2 {
+            vec![work(0)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    (0..workers).map(|w| s.spawn(move || work(w))).collect();
+                handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+            })
+        };
+
+    // Merge chunk result blocks back in item order.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut samples = Vec::with_capacity(per_worker.len());
+    for (blocks, sample) in per_worker.drain(..) {
+        for (lo, results) in blocks {
+            for (off, r) in results.into_iter().enumerate() {
+                debug_assert!(slots[lo + off].is_none(), "item {} claimed twice", lo + off);
+                slots[lo + off] = Some(r);
+            }
+        }
+        samples.push(sample);
+    }
+    let results =
+        slots.into_iter().map(|r| r.expect("pool left an item unprocessed")).collect();
+    (results, samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +333,90 @@ mod tests {
         let (got, samples) = par_map_ctx(8, "test", &[5u32], || (), |_, _, &x| x + 1);
         assert_eq!(got, [6]);
         assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn plan_covers_all_items_in_order() {
+        for n in [0usize, 1, 7, 256, 1000] {
+            for jobs in [1usize, 2, 8, 64] {
+                let costs: Vec<u64> = (0..n as u64).map(|i| (i * 7) % 23).collect();
+                let plan = plan_chunks(&costs, jobs);
+                let mut expect = 0;
+                for &(s, e) in &plan.ranges {
+                    assert_eq!(s, expect, "n={n} jobs={jobs}");
+                    assert!(e > s, "empty chunk at n={n} jobs={jobs}");
+                    expect = e;
+                }
+                assert_eq!(expect, n, "n={n} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_cost_balanced() {
+        // Uniform costs: every chunk except possibly the last lands within
+        // one item of the target.
+        let costs = vec![10u64; 320];
+        let plan = plan_chunks(&costs, 8);
+        // target = 3200 / 32 = 100 → 10 items per chunk, 32 chunks.
+        assert_eq!(plan.target_cost, 100);
+        assert_eq!(plan.len(), 32);
+        for &(s, e) in &plan.ranges {
+            assert_eq!(e - s, 10);
+        }
+        // One huge item gets its own chunk; neighbors are not dragged in.
+        let mut costs = vec![1u64; 64];
+        costs[10] = 1_000_000;
+        let plan = plan_chunks(&costs, 8);
+        let big = plan.ranges.iter().find(|&&(s, e)| (s..e).contains(&10)).unwrap();
+        assert!(big.1 - big.0 <= 11, "big item chunk is {big:?}");
+    }
+
+    #[test]
+    fn plan_is_jobs_dependent_but_platform_pure() {
+        let costs: Vec<u64> = (0..100).map(|i| 1 + (i % 5) as u64).collect();
+        let p1 = plan_chunks(&costs, 1);
+        let p8 = plan_chunks(&costs, 8);
+        assert!(p8.len() >= p1.len());
+        // Re-planning is bit-identical (pure function of inputs).
+        assert_eq!(p1, plan_chunks(&costs, 1));
+        assert_eq!(p8, plan_chunks(&costs, 8));
+    }
+
+    #[test]
+    fn chunked_map_matches_item_map_at_any_jobs() {
+        let items: Vec<usize> = (0..257).collect();
+        let costs: Vec<u64> = items.iter().map(|&x| 1 + (x % 9) as u64).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 16] {
+            let plan = plan_chunks(&costs, jobs);
+            let (got, samples) =
+                par_map_chunks(jobs, "test", &items, &plan, || (), |_, _, &x| x * 3 + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+            assert_eq!(samples.iter().map(|s| s.items).sum::<usize>(), items.len());
+            assert!(samples.len() <= jobs);
+        }
+    }
+
+    #[test]
+    fn chunked_map_empty_and_single() {
+        let plan = plan_chunks(&[], 8);
+        assert!(plan.is_empty());
+        let (got, _) =
+            par_map_chunks(8, "test", &[] as &[u32], &plan, || (), |_, _, &x| x);
+        assert!(got.is_empty());
+        let plan = plan_chunks(&[5], 8);
+        let (got, _) = par_map_chunks(8, "test", &[5u32], &plan, || (), |_, _, &x| x + 1);
+        assert_eq!(got, [6]);
+    }
+
+    #[test]
+    fn chunked_map_passes_global_item_index() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let plan = plan_chunks(&[1, 1, 1, 1, 1], 2);
+        let (got, _) =
+            par_map_chunks(2, "test", &items, &plan, || (), |_, i, &s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c", "3:d", "4:e"]);
     }
 
     #[test]

@@ -1,33 +1,65 @@
 //! The parallel back end's determinism contract, locked down.
 //!
-//! `Options.jobs` may only change *how fast* the back half of the pipeline
-//! (normalize → optimize → lower → fuse) runs — never *what* it produces.
-//! These tests compile every example program and a few hundred seed-pinned
-//! fuzz programs at jobs = 1, 2, and 8 and assert the outputs are
-//! byte-identical: same post-optimize module fingerprint, same bytecode
-//! disassembly. The per-instance pass cache gets the same treatment: cache
-//! on vs cache off, and a warm re-run vs a cold one, must agree exactly.
+//! `Options.jobs`, the per-instance pass cache, and cost-chunked scheduling
+//! may only change *how fast* the back half of the pipeline
+//! (mono → normalize → optimize → lower → fuse) runs — never *what* it
+//! produces. These tests compile every example program and a few hundred
+//! seed-pinned fuzz programs across the full configuration matrix
+//!
+//!   jobs ∈ {1, 2, 8, 16} × cache ∈ {on, off} × chunking ∈ {on, off}
+//!
+//! and assert the outputs are byte-identical: same post-optimize module
+//! fingerprint, same bytecode disassembly. The joined lower+fuse path gets
+//! the same treatment against the split one, the streamed monomorphizer
+//! against the serial re-scan, and profiled execution against itself across
+//! job counts and repeated runs.
 //!
 //! Override the fuzz-case count with `VGL_DET_CASES` (default 300).
 
 use vgl_fuzz::{emit, gen_program, GenConfig};
 
-/// Compiles `src` through the whole back half at the given configuration and
-/// returns the two observables the determinism contract is stated over: the
-/// fused bytecode disassembly and the post-optimize module content hash.
-fn compile_with(src: &str, jobs: usize, cache: bool) -> (String, u64) {
+/// Every configuration axis the scheduler exposes. The baseline is the
+/// serial, fully-featured corner; every other corner must agree with it.
+const JOBS_MATRIX: [usize; 4] = [1, 2, 8, 16];
+
+fn analyze(src: &str) -> vgl_ir::Module {
     let mut diags = vgl_syntax::Diagnostics::new();
     let ast = vgl_syntax::parse_program(src, &mut diags);
     assert!(!diags.has_errors(), "frontend rejected test program:\n{src}");
-    let module = vgl_sema::analyze(&ast, &mut diags).expect("sema accepts test program");
-    let cfg = vgl_passes::BackendConfig { jobs, cache };
+    vgl_sema::analyze(&ast, &mut diags).expect("sema accepts test program")
+}
+
+/// Compiles `src` through the whole back half at the given configuration and
+/// returns the two observables the determinism contract is stated over: the
+/// fused bytecode disassembly and the post-optimize module content hash.
+///
+/// With the cache enabled this runs the *streamed* monomorphizer
+/// ([`vgl_passes::monomorphize_cfg`]), so the matrix exercises the bounded
+/// channel + sharded-index path, not just the serial re-scan.
+fn compile_with(src: &str, jobs: usize, cache: bool, chunking: bool) -> (String, u64) {
+    let module = analyze(src);
+    let cfg = vgl_passes::BackendConfig { jobs, cache, chunking };
     let mut report = vgl_passes::BackendReport::default();
-    let (mut m, _) = vgl_passes::monomorphize(&module);
+    let (mut m, _) = vgl_passes::monomorphize_cfg(&module, &cfg, &mut report);
     vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
     vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
     let fingerprint = vgl_passes::module_fingerprint(&m);
     let mut prog = vgl_vm::lower(&m);
-    vgl_vm::fuse_jobs(&mut prog, jobs, cache);
+    vgl_vm::fuse_cfg(&mut prog, &cfg);
+    (vgl_vm::disasm(&prog), fingerprint)
+}
+
+/// Same pipeline, but lowering and fusion joined into the streaming
+/// [`vgl_vm::lower_fuse`] driver instead of the split lower-then-fuse pair.
+fn compile_joined(src: &str, jobs: usize, cache: bool, chunking: bool) -> (String, u64) {
+    let module = analyze(src);
+    let cfg = vgl_passes::BackendConfig { jobs, cache, chunking };
+    let mut report = vgl_passes::BackendReport::default();
+    let (mut m, _) = vgl_passes::monomorphize_cfg(&module, &cfg, &mut report);
+    vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
+    vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
+    let fingerprint = vgl_passes::module_fingerprint(&m);
+    let (prog, _, _) = vgl_vm::lower_fuse(&m, &cfg);
     (vgl_vm::disasm(&prog), fingerprint)
 }
 
@@ -50,30 +82,111 @@ fn det_cases() -> u64 {
     std::env::var("VGL_DET_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(300)
 }
 
-/// Every checked-in example compiles to byte-identical bytecode at
-/// jobs = 1, 2, and 8.
+/// A 16-instance cache-hostile fan-out: every instance survives dedup, so
+/// chunk planning, streamed hashing, and the joined driver all see real work.
+fn fanout_source() -> String {
+    let mut src = String::new();
+    for i in 0..16 {
+        src.push_str(&format!("class C{i} {{ var tag: int; new(tag) {{ }} }}\n"));
+    }
+    src.push_str(
+        "def work<T>(x: T, n: int) -> int {\n\
+         \tvar s = 0;\n\
+         \tfor (i = 0; i < n; i = i + 1) { s = s + i * i + n; }\n\
+         \treturn s;\n\
+         }\n\
+         def main() -> int {\n\
+         \tvar t = 0;\n",
+    );
+    for i in 0..16 {
+        src.push_str(&format!("\tt = t + work(C{i}.new({i}), 4);\n"));
+    }
+    src.push_str("\treturn t;\n}\n");
+    src
+}
+
+/// Every checked-in example compiles to byte-identical bytecode across the
+/// full jobs × cache × chunking matrix (16 corners, baseline included).
 #[test]
-fn examples_identical_across_job_counts() {
+fn examples_identical_across_full_matrix() {
     for (name, src) in example_sources() {
-        let (d1, f1) = compile_with(&src, 1, true);
-        for jobs in [2, 8] {
-            let (dn, fn_) = compile_with(&src, jobs, true);
-            assert_eq!(f1, fn_, "{name}: module fingerprint differs at jobs={jobs}");
-            assert_eq!(d1, dn, "{name}: disassembly differs at jobs={jobs}");
+        let baseline = compile_with(&src, 1, true, true);
+        for jobs in JOBS_MATRIX {
+            for cache in [true, false] {
+                for chunking in [true, false] {
+                    let got = compile_with(&src, jobs, cache, chunking);
+                    assert_eq!(
+                        baseline, got,
+                        "{name}: output differs at jobs={jobs} cache={cache} chunking={chunking}"
+                    );
+                }
+            }
         }
     }
 }
 
-/// Every checked-in example compiles identically with the instance cache
-/// disabled, and a warm second run agrees with the cold first one.
+/// A warm second run agrees with the cold first one at the most parallel
+/// corner of the matrix.
 #[test]
-fn examples_identical_with_and_without_cache() {
+fn examples_warm_rerun_matches_cold() {
     for (name, src) in example_sources() {
-        let cold = compile_with(&src, 8, true);
-        let warm = compile_with(&src, 8, true);
-        let uncached = compile_with(&src, 8, false);
+        let cold = compile_with(&src, 16, true, true);
+        let warm = compile_with(&src, 16, true, true);
         assert_eq!(cold, warm, "{name}: warm re-run differs from cold run");
-        assert_eq!(cold, uncached, "{name}: cache changed the output");
+    }
+}
+
+/// The joined lower+fuse driver ([`vgl_vm::lower_fuse`]) produces bytecode
+/// byte-identical to the split lower-then-fuse path on every example and on
+/// the fan-out workload, at every parallelism/chunking corner.
+#[test]
+fn joined_lower_fuse_matches_split() {
+    let mut sources = example_sources();
+    sources.push(("fanout_distinct_16".into(), fanout_source()));
+    for (name, src) in sources {
+        let split = compile_with(&src, 1, true, true);
+        for jobs in [1, 8] {
+            for chunking in [true, false] {
+                let joined = compile_joined(&src, jobs, true, chunking);
+                assert_eq!(
+                    split, joined,
+                    "{name}: lower_fuse differs from split lower+fuse at \
+                     jobs={jobs} chunking={chunking}"
+                );
+                let joined_uncached = compile_joined(&src, jobs, false, chunking);
+                assert_eq!(
+                    split, joined_uncached,
+                    "{name}: uncached lower_fuse differs at jobs={jobs} chunking={chunking}"
+                );
+            }
+        }
+    }
+}
+
+/// The streamed monomorphizer returns the same module and the same
+/// duplicate-instance map as the serial monomorphize + re-scan pair: the
+/// bounded channel and sharded min-wins index are pure scheduling.
+#[test]
+fn streamed_mono_matches_serial_rescan() {
+    let mut sources = example_sources();
+    sources.push(("fanout_distinct_16".into(), fanout_source()));
+    for (name, src) in sources {
+        let module = analyze(&src);
+        let (serial_m, serial_stats) = vgl_passes::monomorphize(&module);
+        let (serial_dup, _) = vgl_passes::cache::dup_groups(&serial_m, 1);
+        for jobs in [2, 8, 16] {
+            let (m, stats, dup, _) = vgl_passes::monomorphize_streamed(&module, jobs);
+            assert_eq!(
+                vgl_passes::module_fingerprint(&serial_m),
+                vgl_passes::module_fingerprint(&m),
+                "{name}: streamed mono module differs at jobs={jobs}"
+            );
+            assert_eq!(serial_stats, stats, "{name}: mono stats differ at jobs={jobs}");
+            assert_eq!(
+                serial_dup.rep, dup.rep,
+                "{name}: streamed dup map differs from serial re-scan at jobs={jobs}"
+            );
+        }
     }
 }
 
@@ -85,8 +198,8 @@ fn fuzz_programs_identical_serial_vs_parallel() {
     for case in 0..det_cases() {
         let seed = 0xD473_0000 + case;
         let src = emit(&gen_program(seed, &cfg));
-        let serial = compile_with(&src, 1, true);
-        let parallel = compile_with(&src, 8, true);
+        let serial = compile_with(&src, 1, true, true);
+        let parallel = compile_with(&src, 8, true, true);
         assert_eq!(
             serial, parallel,
             "seed {seed}: jobs=8 output differs from jobs=1 for:\n{src}"
@@ -94,39 +207,46 @@ fn fuzz_programs_identical_serial_vs_parallel() {
     }
 }
 
-/// A sample of the fuzz corpus also agrees with the cache switched off —
-/// the cache is an accelerator, never a semantic knob.
+/// A sample of the fuzz corpus sweeps the remaining corners: oversubscribed
+/// jobs = 16, chunking off, cache off, and the joined lower+fuse driver.
 #[test]
-fn fuzz_programs_identical_cached_vs_uncached() {
+fn fuzz_programs_identical_across_matrix_corners() {
     let cfg = GenConfig::default();
     let cases = (det_cases() / 4).max(25);
     for case in 0..cases {
         let seed = 0xCAC4_E000 + case;
         let src = emit(&gen_program(seed, &cfg));
-        let cached = compile_with(&src, 8, true);
-        let uncached = compile_with(&src, 8, false);
-        assert_eq!(cached, uncached, "seed {seed}: cache changed the output for:\n{src}");
+        let baseline = compile_with(&src, 1, true, true);
+        for (jobs, cache, chunking) in
+            [(8, false, true), (16, true, true), (16, true, false), (8, true, false)]
+        {
+            let got = compile_with(&src, jobs, cache, chunking);
+            assert_eq!(
+                baseline, got,
+                "seed {seed}: output differs at jobs={jobs} cache={cache} \
+                 chunking={chunking} for:\n{src}"
+            );
+        }
+        let joined = compile_joined(&src, 8, true, true);
+        assert_eq!(baseline, joined, "seed {seed}: lower_fuse output differs for:\n{src}");
     }
 }
 
 /// The runtime profiler is observational: with hotness profiling enabled
 /// (precise mode — the superset), every example produces byte-identical
-/// output across job counts, and the profile itself is byte-identical both
-/// across job counts and across repeated runs of the same program.
+/// output across job counts (including oversubscribed jobs = 16), and the
+/// profile itself is byte-identical both across job counts and across
+/// repeated runs of the same program.
 #[test]
 fn profiled_execution_identical_across_job_counts() {
     let program_with = |src: &str, jobs: usize| {
-        let mut diags = vgl_syntax::Diagnostics::new();
-        let ast = vgl_syntax::parse_program(src, &mut diags);
-        assert!(!diags.has_errors());
-        let module = vgl_sema::analyze(&ast, &mut diags).expect("sema accepts example");
-        let cfg = vgl_passes::BackendConfig { jobs, cache: true };
+        let module = analyze(src);
+        let cfg = vgl_passes::BackendConfig { jobs, cache: true, chunking: true };
         let mut report = vgl_passes::BackendReport::default();
-        let (mut m, _) = vgl_passes::monomorphize(&module);
+        let (mut m, _) = vgl_passes::monomorphize_cfg(&module, &cfg, &mut report);
         vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
         vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
-        let mut prog = vgl_vm::lower(&m);
-        vgl_vm::fuse_jobs(&mut prog, jobs, cfg.cache);
+        let (prog, _, _) = vgl_vm::lower_fuse(&m, &cfg);
         prog
     };
     let profiled_run = |prog: &vgl_vm::VmProgram| {
@@ -138,10 +258,12 @@ fn profiled_execution_identical_across_job_counts() {
     };
     for (name, src) in example_sources() {
         let serial = profiled_run(&program_with(&src, 1));
-        let parallel = profiled_run(&program_with(&src, 8));
+        for jobs in [8, 16] {
+            let parallel = profiled_run(&program_with(&src, jobs));
+            assert_eq!(serial, parallel, "{name}: profiled run differs at jobs={jobs}");
+        }
         let again = profiled_run(&program_with(&src, 8));
-        assert_eq!(serial, parallel, "{name}: profiled run differs at jobs=8");
-        assert_eq!(parallel, again, "{name}: profile is not deterministic run to run");
+        assert_eq!(serial, again, "{name}: profile is not deterministic run to run");
     }
 }
 
@@ -168,13 +290,10 @@ fn instance_fanout_dedups_and_stays_identical() {
     }
     src.push_str("\treturn t;\n}\n");
 
-    let mut diags = vgl_syntax::Diagnostics::new();
-    let ast = vgl_syntax::parse_program(&src, &mut diags);
-    assert!(!diags.has_errors(), "fan-out program should parse:\n{src}");
-    let module = vgl_sema::analyze(&ast, &mut diags).expect("fan-out program analyzes");
-    let cfg = vgl_passes::BackendConfig { jobs: 8, cache: true };
+    let module = analyze(&src);
+    let cfg = vgl_passes::BackendConfig { jobs: 8, cache: true, chunking: true };
     let mut report = vgl_passes::BackendReport::default();
-    let (mut m, _) = vgl_passes::monomorphize(&module);
+    let (mut m, _) = vgl_passes::monomorphize_cfg(&module, &cfg, &mut report);
     vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
     vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
     assert!(
@@ -184,7 +303,7 @@ fn instance_fanout_dedups_and_stays_identical() {
     );
     assert!(report.norm_cache.hit_rate() > 0.0);
 
-    let cached = compile_with(&src, 8, true);
-    let uncached = compile_with(&src, 1, false);
+    let cached = compile_with(&src, 8, true, true);
+    let uncached = compile_with(&src, 1, false, false);
     assert_eq!(cached, uncached, "deduplicated build must match the cold serial build");
 }

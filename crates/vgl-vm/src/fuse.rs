@@ -74,6 +74,21 @@ impl FuseStats {
             + self.inc_local_fused
             + self.global_fused
     }
+
+    /// Accumulates another run's counters (every field, instrs included).
+    pub(crate) fn absorb(&mut self, st: &FuseStats) {
+        self.copies_propagated += st.copies_propagated;
+        self.movs_coalesced += st.movs_coalesced;
+        self.dead_removed += st.dead_removed;
+        self.bin_imm_fused += st.bin_imm_fused;
+        self.cmp_br_fused += st.cmp_br_fused;
+        self.not_br_folded += st.not_br_folded;
+        self.field_ret_fused += st.field_ret_fused;
+        self.inc_local_fused += st.inc_local_fused;
+        self.global_fused += st.global_fused;
+        self.instrs_before += st.instrs_before;
+        self.instrs_after += st.instrs_after;
+    }
 }
 
 /// Runs the optimizer over every function in place and refreshes the static
@@ -86,25 +101,43 @@ pub fn fuse(p: &mut VmProgram) -> FuseStats {
     fuse_jobs(p, 1, true).0
 }
 
-/// [`fuse`] on up to `jobs` worker threads with an optional per-function
-/// dedup cache. Fusion is strictly function-local, so functions fan out
-/// across the pool and the rewritten code is committed back in
-/// function-index order — the result is bit-identical at any jobs count.
-///
-/// With `cache` on, functions whose `(param_count, reg_count, ret_count,
-/// code)` are equal to an earlier function's (duplicate post-mono instances
-/// survive lowering verbatim, names aside) are fused once: the
-/// representative's output is copied to each duplicate, which is exactly
-/// what re-running the deterministic pass on the identical input would
-/// produce. Grouping hashes candidates but deduplicates only on full
-/// equality, first-seen in index order, so the grouping itself is
-/// deterministic. The rewrite counters count performed work only;
-/// `instrs_before`/`instrs_after` describe the whole program, duplicates
-/// included. Also returns per-worker spans for `vgl-obs`.
+/// [`fuse_cfg`] at `(jobs, cache)` with chunked scheduling on.
 pub fn fuse_jobs(
     p: &mut VmProgram,
     jobs: usize,
     cache: bool,
+) -> (FuseStats, Vec<vgl_obs::WorkerSample>) {
+    fuse_cfg(p, &vgl_passes::BackendConfig { jobs, cache, chunking: true })
+}
+
+/// Estimated fusion cost of one function, in the scheduler's abstract op
+/// units: bytecode length dominates every sub-pass (liveness, peephole
+/// scans), weighted by [`vgl_ir::metrics::pass_weight::FUSE`].
+fn fuse_cost(f: &VmFunc) -> u64 {
+    (1 + f.code.len() as u64) * vgl_ir::metrics::pass_weight::FUSE
+}
+
+/// [`fuse`] under a [`vgl_passes::BackendConfig`]: up to `cfg.jobs` worker
+/// threads with an optional per-function dedup cache, scheduled in
+/// cost-balanced chunks when `cfg.chunking` is set (one atomic claim per
+/// [`vgl_passes::sched::plan_chunks`] chunk instead of per function).
+/// Fusion is strictly function-local, so functions fan out across the pool
+/// and the rewritten code is committed back in function-index order — the
+/// result is bit-identical at any jobs count and either chunking mode.
+///
+/// With `cfg.cache` on, functions whose `(param_count, reg_count,
+/// ret_count, code)` are equal to an earlier function's (duplicate
+/// post-mono instances survive lowering verbatim, names aside) are fused
+/// once: the representative's output is copied to each duplicate, which is
+/// exactly what re-running the deterministic pass on the identical input
+/// would produce. Grouping hashes candidates but deduplicates only on full
+/// equality, first-seen in index order, so the grouping itself is
+/// deterministic. The rewrite counters count performed work only;
+/// `instrs_before`/`instrs_after` describe the whole program, duplicates
+/// included. Also returns per-worker spans for `vgl-obs`.
+pub fn fuse_cfg(
+    p: &mut VmProgram,
+    cfg: &vgl_passes::BackendConfig,
 ) -> (FuseStats, Vec<vgl_obs::WorkerSample>) {
     use std::collections::HashMap;
     use std::hash::{Hash, Hasher};
@@ -113,7 +146,7 @@ pub fn fuse_jobs(
     let funcs = std::mem::take(&mut p.funcs);
     let n = funcs.len();
     let mut rep: Vec<usize> = (0..n).collect();
-    if cache {
+    if cfg.cache {
         let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
         let same = |a: &VmFunc, b: &VmFunc| {
             a.param_count == b.param_count
@@ -133,40 +166,31 @@ pub fn fuse_jobs(
         }
     }
     let items: Vec<usize> = (0..n).filter(|&i| rep[i] == i).collect();
-    let (results, workers) = vgl_passes::sched::par_map_ctx(
-        jobs,
-        "fuse",
-        &items,
-        || (),
-        |_, _, &i| {
-            let mut f = funcs[i].clone();
-            let mut st = FuseStats::default();
-            st.instrs_before += f.code.len();
-            let allocs_before = count_allocs(&f.code);
-            fuse_func(&mut f, &mut st);
-            debug_assert_eq!(
-                allocs_before,
-                count_allocs(&f.code),
-                "fusion changed the allocating-instruction count in {}",
-                f.name
-            );
-            st.instrs_after += f.code.len();
-            (f, st)
-        },
-    );
+    let run_item = |_: &mut (), _: usize, &i: &usize| {
+        let mut f = funcs[i].clone();
+        let mut st = FuseStats::default();
+        st.instrs_before += f.code.len();
+        let allocs_before = count_allocs(&f.code);
+        fuse_func(&mut f, &mut st);
+        debug_assert_eq!(
+            allocs_before,
+            count_allocs(&f.code),
+            "fusion changed the allocating-instruction count in {}",
+            f.name
+        );
+        st.instrs_after += f.code.len();
+        (f, st)
+    };
+    let (results, workers) = if cfg.chunking {
+        let costs: Vec<u64> = items.iter().map(|&i| fuse_cost(&funcs[i])).collect();
+        let plan = vgl_passes::sched::plan_chunks(&costs, cfg.jobs);
+        vgl_passes::sched::par_map_chunks(cfg.jobs, "fuse", &items, &plan, || (), run_item)
+    } else {
+        vgl_passes::sched::par_map_ctx(cfg.jobs, "fuse", &items, || (), run_item)
+    };
     let mut fused: Vec<Option<VmFunc>> = (0..n).map(|_| None).collect();
     for (&i, (f, st)) in items.iter().zip(results) {
-        stats.copies_propagated += st.copies_propagated;
-        stats.movs_coalesced += st.movs_coalesced;
-        stats.dead_removed += st.dead_removed;
-        stats.bin_imm_fused += st.bin_imm_fused;
-        stats.cmp_br_fused += st.cmp_br_fused;
-        stats.not_br_folded += st.not_br_folded;
-        stats.field_ret_fused += st.field_ret_fused;
-        stats.inc_local_fused += st.inc_local_fused;
-        stats.global_fused += st.global_fused;
-        stats.instrs_before += st.instrs_before;
-        stats.instrs_after += st.instrs_after;
+        stats.absorb(&st);
         fused[i] = Some(f);
     }
     p.funcs = Vec::with_capacity(n);
@@ -187,11 +211,11 @@ pub fn fuse_jobs(
     (stats, workers)
 }
 
-fn count_allocs(code: &[Instr]) -> usize {
+pub(crate) fn count_allocs(code: &[Instr]) -> usize {
     code.iter().filter(|i| i.allocates()).count()
 }
 
-fn fuse_func(f: &mut VmFunc, stats: &mut FuseStats) {
+pub(crate) fn fuse_func(f: &mut VmFunc, stats: &mut FuseStats) {
     copy_propagate(f, stats);
     // Iterate cleanup + fusion to a fixpoint: coalescing exposes dead
     // writes, `BinI` fusion exposes `CmpBrI`/`IncLocal` fusion, and so on.

@@ -37,7 +37,7 @@ pub use bytecode::{
 };
 pub use disasm::{disasm, disasm_instr, side_by_side};
 pub use flight::{CallKind, FlightEvent, FlightKind, FlightRecorder};
-pub use fuse::{check_fused, fuse, fuse_jobs, FuseStats};
-pub use lower::lower;
+pub use fuse::{check_fused, fuse, fuse_cfg, fuse_jobs, FuseStats};
+pub use lower::{lower, lower_fuse};
 pub use profile::{FuncSpan, GcEvent, GcInstant, HotFunc, RuntimeProfile, TraceLog, VmProfile};
 pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats, RET_INLINE};

@@ -23,6 +23,251 @@ pub fn lower(module: &Module) -> VmProgram {
     lw.program
 }
 
+/// Batch capacity of the lower → fuse channel: enough buffered chunks that
+/// lowering rarely blocks, few enough that a stalled fuse pool applies
+/// backpressure instead of buffering the whole program.
+const FUSE_STREAM_BATCHES: usize = 8;
+
+/// Lowering and fusion joined into one chunked schedule: instead of fusing
+/// only after the whole program is lowered, the (serial, order-sensitive)
+/// lowering thread streams each function the moment it is final — reserved
+/// method slots right after `compile_method`, synthesized wrappers as they
+/// are appended, global initializers after `finalize` — in cost-balanced
+/// batches over a bounded channel to `cfg.jobs` fuse workers. Duplicate
+/// detection (`cfg.cache`) runs on the lowering thread in stream order, so
+/// duplicates never cross the channel at all.
+///
+/// Output is **bit-identical** to `lower` followed by
+/// [`crate::fuse::fuse_cfg`] at any jobs count: fusion is function-local
+/// and deterministic, results commit in function-index order, and a
+/// duplicate's fused form is the same whichever content-equal
+/// representative it copies. The determinism suite pins that equivalence.
+pub fn lower_fuse(
+    module: &Module,
+    cfg: &vgl_passes::BackendConfig,
+) -> (VmProgram, crate::fuse::FuseStats, Vec<vgl_obs::WorkerSample>) {
+    use crate::fuse::{count_allocs, fuse_func, FuseStats};
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    use std::sync::mpsc::SyncSender;
+    use std::time::Instant;
+    use vgl_ir::metrics::pass_weight;
+    use vgl_obs::WorkerSample;
+    use vgl_passes::sched;
+
+    if cfg.jobs <= 1 {
+        let mut p = lower(module);
+        let (stats, workers) = crate::fuse::fuse_cfg(&mut p, cfg);
+        return (p, stats, workers);
+    }
+    let jobs = cfg.jobs.min(sched::MAX_JOBS);
+    // The chunk target comes from the same pure IR estimator the optimizer
+    // plans by (bytecode lengths are unknown until lowered); without
+    // chunking every function becomes its own batch.
+    let target_cost = if cfg.chunking {
+        let total: u64 = module
+            .methods
+            .iter()
+            .map(|m| vgl_ir::method_cost(m) * pass_weight::FUSE)
+            .sum();
+        (total / (sched::CHUNKS_PER_JOB * jobs as u64)).max(1)
+    } else {
+        1
+    };
+
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<(usize, VmFunc)>>(FUSE_STREAM_BATCHES);
+    let rx = std::sync::Mutex::new(rx);
+    let pool_start = Instant::now();
+
+    /// Stream-order duplicate detection + batching. Returns without
+    /// sending when `i` is a duplicate of an earlier-streamed function.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        funcs: &[VmFunc],
+        i: usize,
+        cost: u64,
+        cache: bool,
+        rep: &mut Vec<usize>,
+        groups: &mut HashMap<u64, Vec<usize>>,
+        batch: &mut Vec<(usize, VmFunc)>,
+        batch_cost: &mut u64,
+        target_cost: u64,
+        tx: &SyncSender<Vec<(usize, VmFunc)>>,
+    ) {
+        while rep.len() <= i {
+            rep.push(rep.len());
+        }
+        let f = &funcs[i];
+        if cache {
+            let same = |a: &VmFunc, b: &VmFunc| {
+                a.param_count == b.param_count
+                    && a.reg_count == b.reg_count
+                    && a.ret_count == b.ret_count
+                    && a.code == b.code
+            };
+            let mut h = DefaultHasher::new();
+            (f.param_count, f.reg_count, f.ret_count).hash(&mut h);
+            f.code.hash(&mut h);
+            let candidates = groups.entry(h.finish()).or_default();
+            if let Some(&j) = candidates.iter().find(|&&j| same(&funcs[j], f)) {
+                rep[i] = j;
+                return;
+            }
+            candidates.push(i);
+        }
+        batch.push((i, f.clone()));
+        *batch_cost += cost.max(1);
+        if *batch_cost >= target_cost {
+            // A send fails only if every fuse worker died — their panic
+            // resurfaces at join.
+            let _ = tx.send(std::mem::take(batch));
+            *batch_cost = 0;
+        }
+    }
+
+    let (program, rep, results, samples) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let rx = &rx;
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let mut out: Vec<(usize, VmFunc, FuseStats)> = Vec::new();
+                    loop {
+                        let msg = rx.lock().expect("fuse receiver poisoned").recv();
+                        let Ok(chunk) = msg else { break };
+                        for (i, mut f) in chunk {
+                            let mut st = FuseStats::default();
+                            st.instrs_before += f.code.len();
+                            let allocs_before = count_allocs(&f.code);
+                            fuse_func(&mut f, &mut st);
+                            debug_assert_eq!(
+                                allocs_before,
+                                count_allocs(&f.code),
+                                "fusion changed the allocating-instruction count in {}",
+                                f.name
+                            );
+                            st.instrs_after += f.code.len();
+                            out.push((i, f, st));
+                        }
+                    }
+                    let sample = WorkerSample {
+                        phase: "fuse",
+                        worker: w,
+                        items: out.len(),
+                        start: start.duration_since(pool_start),
+                        duration: start.elapsed(),
+                    };
+                    (out, sample)
+                })
+            })
+            .collect();
+
+        let tx = tx; // moved in so dropping it below hangs up the channel
+        let mut lw = Lower::new(module);
+        lw.prepare();
+        let n_methods = module.methods.len();
+        let mut rep: Vec<usize> = Vec::new();
+        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut batch: Vec<(usize, VmFunc)> = Vec::new();
+        let mut batch_cost = 0u64;
+        let mut appended = n_methods;
+        for i in 0..n_methods {
+            lw.compile_method(i);
+            let cost = vgl_ir::method_cost(&module.methods[i]) * pass_weight::FUSE;
+            enqueue(
+                &lw.program.funcs,
+                i,
+                cost,
+                cfg.cache,
+                &mut rep,
+                &mut groups,
+                &mut batch,
+                &mut batch_cost,
+                target_cost,
+                &tx,
+            );
+            while appended < lw.program.funcs.len() {
+                let cost =
+                    (1 + lw.program.funcs[appended].code.len() as u64) * pass_weight::FUSE;
+                enqueue(
+                    &lw.program.funcs,
+                    appended,
+                    cost,
+                    cfg.cache,
+                    &mut rep,
+                    &mut groups,
+                    &mut batch,
+                    &mut batch_cost,
+                    target_cost,
+                    &tx,
+                );
+                appended += 1;
+            }
+        }
+        lw.finalize();
+        while appended < lw.program.funcs.len() {
+            let cost = (1 + lw.program.funcs[appended].code.len() as u64) * pass_weight::FUSE;
+            enqueue(
+                &lw.program.funcs,
+                appended,
+                cost,
+                cfg.cache,
+                &mut rep,
+                &mut groups,
+                &mut batch,
+                &mut batch_cost,
+                target_cost,
+                &tx,
+            );
+            appended += 1;
+        }
+        if !batch.is_empty() {
+            let _ = tx.send(std::mem::take(&mut batch));
+        }
+        drop(tx);
+
+        let mut results: Vec<(usize, VmFunc, FuseStats)> = Vec::new();
+        let mut samples = Vec::new();
+        for h in handles {
+            let (out, sample) = h.join().expect("fuse worker panicked");
+            results.extend(out);
+            samples.push(sample);
+        }
+        (lw.program, rep, results, samples)
+    });
+
+    // Commit in function-index order. Duplicates copy their
+    // representative's fused form (keeping their own name); because the
+    // stream dedups in discovery order a representative can have a
+    // *higher* index than its duplicate, so copies come from the fused
+    // result table, not the committed vector.
+    let mut program = program;
+    let n = program.funcs.len();
+    debug_assert_eq!(rep.len(), n, "every lowered function was streamed");
+    let mut fused: Vec<Option<(VmFunc, FuseStats)>> = (0..n).map(|_| None).collect();
+    for (i, f, st) in results {
+        fused[i] = Some((f, st));
+    }
+    let originals = std::mem::take(&mut program.funcs);
+    let mut stats = FuseStats::default();
+    program.funcs = Vec::with_capacity(n);
+    for (i, original) in originals.into_iter().enumerate() {
+        let f = if rep[i] == i {
+            let (f, st) = fused[i].as_ref().expect("representative was fused");
+            stats.absorb(st);
+            f.clone()
+        } else {
+            let (rf, _) = fused[rep[i]].as_ref().expect("representative was fused");
+            stats.instrs_before += original.code.len();
+            stats.instrs_after += rf.code.len();
+            VmFunc { name: original.name, ..rf.clone() }
+        };
+        program.funcs.push(f);
+    }
+    program.max_frame_regs = program.funcs.iter().map(|f| f.reg_count).max().unwrap_or(0);
+    (program, stats, samples)
+}
+
 struct Lower<'m> {
     module: &'m Module,
     store: TypeStore,
@@ -56,8 +301,17 @@ impl<'m> Lower<'m> {
     }
 
     fn run(&mut self) {
+        self.prepare();
+        for i in 0..self.module.methods.len() {
+            self.compile_method(i);
+        }
+        self.finalize();
+    }
+
+    /// Everything before body compilation: class layout and one reserved
+    /// function per method, in order, so MethodId == FuncId.
+    fn prepare(&mut self) {
         self.assign_class_ranges();
-        // Reserve one function per method, in order, so MethodId == FuncId.
         for m in &self.module.methods {
             let ret_count = self.store.flatten(m.ret).len();
             let params: Vec<Type> = m.locals[..m.param_count].iter().map(|l| l.ty).collect();
@@ -85,16 +339,27 @@ impl<'m> Lower<'m> {
             self.program.classes[i].field_nullable = mask;
             self.program.classes[i].vtable = c.vtable.iter().map(|m| m.0).collect();
         }
-        // Compile bodies.
-        for (i, m) in self.module.methods.iter().enumerate() {
-            if let Some(body) = &m.body {
-                let f = self.compile_body(m, body);
-                self.program.funcs[i] = f;
-            } else if m.kind == MethodKind::Abstract {
-                // Keep the trap body.
-            }
+    }
+
+    /// Compiles method `i`'s body into its reserved slot. Must be called
+    /// for every method index in ascending order (the wrapper caches are
+    /// order-sensitive). Afterwards `program.funcs[i]` is final, as is any
+    /// wrapper this call appended past the reserved range — the joined
+    /// lower+fuse driver streams them out on exactly that contract.
+    fn compile_method(&mut self, i: usize) {
+        let module = self.module;
+        let m = &module.methods[i];
+        if let Some(body) = &m.body {
+            let f = self.compile_body(m, body);
+            self.program.funcs[i] = f;
+        } else if m.kind == MethodKind::Abstract {
+            // Keep the trap body.
         }
-        // Globals.
+    }
+
+    /// Everything after body compilation: global slots and initializer
+    /// functions, entry point, inline-cache site count, frame analysis.
+    fn finalize(&mut self) {
         self.program.global_count = self.module.globals.len();
         self.program.global_nullable = self
             .module
