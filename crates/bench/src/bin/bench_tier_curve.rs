@@ -1,0 +1,38 @@
+//! The E11 warmup-knee curve: tiered-vs-static-fusion speedup on the
+//! polymorphic-then-monomorphic workload as the monomorphic phase grows.
+//! Short runs pay the baseline tier and the re-fusions without amortizing
+//! them (speedup < 1); past the knee the inlined guard site dominates and
+//! the curve settles at the steady-state win the `bench_vm` gate enforces.
+//!
+//! Usage: `cargo run --release -p vgl-bench --bin bench_tier_curve`
+//! Sample count honors `VGL_BENCH_SAMPLES` (default 10).
+
+use vgl_bench::{measure_tiered, workloads};
+
+fn main() {
+    let samples = std::env::var("VGL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(10);
+    println!(
+        "{:>10} {:>14} {:>14} {:>9} {:>9} {:>9}",
+        "mono iters", "fused (us)", "tiered (us)", "speedup", "tier-ups", "inlined"
+    );
+    for n in [50, 200, 1000, 5000, 20000, 60000] {
+        let m = measure_tiered(
+            &format!("poly_then_mono({n})"),
+            &workloads::polymorphic_then_monomorphic(n),
+            samples,
+        );
+        println!(
+            "{:>10} {:>14.1} {:>14.1} {:>8.2}x {:>9} {:>9}",
+            n,
+            m.fused.as_secs_f64() * 1e6,
+            m.tiered.as_secs_f64() * 1e6,
+            m.speedup(),
+            m.tier_ups,
+            m.inlined_calls,
+        );
+    }
+}

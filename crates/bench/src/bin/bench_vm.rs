@@ -1,16 +1,24 @@
 //! CI bench-smoke for the bytecode back-end optimizer: runs the E2
 //! (polymorphic) and E3 (dispatch chain) workloads on the VM with fusion
-//! off and on, writes the medians to `BENCH_vm.json`, and **fails (exit 1)
-//! if the fused configuration is more than 10% slower** than unfused on any
-//! workload — the regression gate for superinstruction fusion and inline
-//! caches.
+//! off and on, plus the E11 polymorphic-then-monomorphic workload with
+//! static fusion vs runtime tiering, writes the warmed min-of-N timings to
+//! `BENCH_vm.json`, and fails (exit 1) if either gate trips:
+//!
+//! * **fusion gate** — the fused configuration is more than 10% slower
+//!   than unfused on any workload;
+//! * **tiering gate** — the tiered VM is less than 1.5x faster than static
+//!   fusion on the polymorphic-then-monomorphic workload (the speculation
+//!   win profile-guided re-fusion exists to deliver).
 //!
 //! Usage: `cargo run --release -p vgl-bench --bin bench_vm [out.json]`
 //! Sample count honors `VGL_BENCH_SAMPLES` (default 10).
 
 use std::process::ExitCode;
-use vgl_bench::{measure_fusion, workloads};
+use vgl_bench::{measure_fusion, measure_tiered, workloads};
 use vgl_obs::json::Json;
+
+/// Minimum tiered-over-static-fusion speedup the gate accepts.
+const TIER_GATE: f64 = 1.5;
 
 fn main() -> ExitCode {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_vm.json".to_string());
@@ -58,9 +66,50 @@ fn main() -> ExitCode {
         o.set("instrs_after", Json::from(m.instrs_after));
         rows.push(o);
     }
+    let tiered_cases =
+        [("E11 poly_then_mono(20000)", workloads::polymorphic_then_monomorphic(20_000))];
+    let mut tiered_rows = Vec::new();
+    println!();
+    println!(
+        "{:<28} {:>14} {:>14} {:>9} {:>9} {:>7} {:>9} {:>9}",
+        "workload", "fused (us)", "tiered (us)", "speedup", "tier-ups", "deopts", "guarded", "inlined"
+    );
+    for (name, src) in &tiered_cases {
+        let m = measure_tiered(name, src, samples);
+        let speedup = m.speedup();
+        println!(
+            "{:<28} {:>14.1} {:>14.1} {:>8.2}x {:>9} {:>7} {:>9} {:>9}",
+            m.name,
+            m.fused.as_secs_f64() * 1e6,
+            m.tiered.as_secs_f64() * 1e6,
+            speedup,
+            m.tier_ups,
+            m.deopts,
+            m.guarded_calls,
+            m.inlined_calls,
+        );
+        if speedup < TIER_GATE {
+            eprintln!(
+                "bench_vm: REGRESSION — {} tiered is only {:.2}x over static fusion (< {TIER_GATE}x)",
+                m.name, speedup
+            );
+            slow = true;
+        }
+        let mut o = Json::object();
+        o.set("workload", Json::Str(m.name.clone()));
+        o.set("fused_us", Json::Num(m.fused.as_secs_f64() * 1e6));
+        o.set("tiered_us", Json::Num(m.tiered.as_secs_f64() * 1e6));
+        o.set("speedup", Json::Num(speedup));
+        o.set("tier_ups", Json::from(m.tier_ups));
+        o.set("deopts", Json::from(m.deopts));
+        o.set("guarded_calls", Json::from(m.guarded_calls));
+        o.set("inlined_calls", Json::from(m.inlined_calls));
+        tiered_rows.push(o);
+    }
     let mut root = Json::object();
     root.set("samples", Json::from(samples));
     root.set("workloads", Json::Arr(rows));
+    root.set("tiered", Json::Arr(tiered_rows));
     if let Err(e) = std::fs::write(&out_path, format!("{root}\n")) {
         eprintln!("bench_vm: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;

@@ -153,9 +153,9 @@ pub fn measure_obs(name: &str, source: &str, samples: usize) -> ObsMeasurement {
 pub struct FusionMeasurement {
     /// Workload label.
     pub name: String,
-    /// Median VM time without fusion.
+    /// Best (min-of-N after warmup) VM time without fusion.
     pub unfused: Duration,
-    /// Median VM time with fusion.
+    /// Best (min-of-N after warmup) VM time with fusion.
     pub fused: Duration,
     /// Static instruction count before the fusion pass.
     pub instrs_before: usize,
@@ -175,8 +175,12 @@ impl FusionMeasurement {
 }
 
 /// Compiles `source` twice (fusion off/on), asserts both programs behave
-/// identically, and reports interleaved median timings plus the fused run's
-/// IC and superinstruction attribution. `samples` timed runs per engine.
+/// identically, and reports interleaved timings plus the fused run's IC and
+/// superinstruction attribution. Like [`measure_backend`], one untimed
+/// warmup pair precedes `samples` timed pairs and the **minimum** per
+/// engine is reported: for a deterministic CPU-bound run the minimum is
+/// the sample with the least scheduler interference, and interleaving
+/// makes clock drift and cache warmth hit both engines equally.
 pub fn measure_fusion(name: &str, source: &str, samples: usize) -> FusionMeasurement {
     let unfused = match Compiler::new().without_fuse().compile(source) {
         Ok(c) => c,
@@ -192,25 +196,96 @@ pub fn measure_fusion(name: &str, source: &str, samples: usize) -> FusionMeasure
     assert_eq!(a.output, b.output, "{name}: fusion changed the output");
     let stats = b.vm_stats.as_ref().expect("vm stats");
     assert_eq!(stats.heap.tuple_boxes, 0, "{name}: fused run boxed a tuple");
-    // Interleave samples so clock drift and cache warmth hit both equally.
-    let (mut tu, mut tf) = (Vec::with_capacity(samples), Vec::with_capacity(samples));
-    for _ in 0..samples {
-        tu.push(measure_vm(&unfused).time);
-        tf.push(measure_vm(&fused).time);
+    // Interleave samples so clock drift and cache warmth hit both equally;
+    // sample 0 is the untimed warmup.
+    let (mut tu, mut tf): (Option<Duration>, Option<Duration>) = (None, None);
+    for sample in 0..=samples {
+        let u = measure_vm(&unfused).time;
+        let f = measure_vm(&fused).time;
+        if sample > 0 {
+            tu = Some(tu.map_or(u, |b| b.min(u)));
+            tf = Some(tf.map_or(f, |b| b.min(f)));
+        }
     }
-    let median = |mut v: Vec<Duration>| {
-        v.sort();
-        v[(v.len() - 1) / 2]
-    };
     let (_, profile) = fused.execute_profiled();
     FusionMeasurement {
         name: name.to_string(),
-        unfused: median(tu),
-        fused: median(tf),
+        unfused: tu.expect("at least one timed sample"),
+        fused: tf.expect("at least one timed sample"),
         instrs_before: fused.fuse.instrs_before,
         instrs_after: fused.fuse.instrs_after,
         ic_hit_rate: stats.ic_hit_rate(),
         super_share: profile.super_share(),
+    }
+}
+
+/// One workload measured with static whole-program fusion vs the tiered
+/// back end (unfused start, hot functions re-fuse themselves with their own
+/// runtime profile and inline-cache feedback) — the E11 data point.
+#[derive(Clone, Debug)]
+pub struct TieredMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// Best (min-of-N after warmup) VM time with static fusion.
+    pub fused: Duration,
+    /// Best (min-of-N after warmup) VM time with runtime tiering.
+    pub tiered: Duration,
+    /// Functions tiered up (re-fusions, including re-tiers) in one run.
+    pub tier_ups: u64,
+    /// Guard-failure deoptimizations in one run.
+    pub deopts: u64,
+    /// Virtual calls that went through a speculated class guard.
+    pub guarded_calls: u64,
+    /// Guarded calls whose callee was inlined to a micro-op (no frame).
+    pub inlined_calls: u64,
+}
+
+impl TieredMeasurement {
+    /// fused/tiered — above 1.0 means the tiered back end beats static
+    /// fusion (the warmup knee is inside the tiered measurement).
+    pub fn speedup(&self) -> f64 {
+        self.fused.as_secs_f64() / self.tiered.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Compiles `source` twice — static fusion vs tiering (which starts from
+/// the unfused baseline and re-fuses at runtime) — asserts both behave
+/// identically, and reports interleaved warmup + min-of-N timings plus the
+/// tiered run's speculation counters. Every tiered sample re-warms from the
+/// cold tier, so the warmup knee is honestly inside the measurement.
+pub fn measure_tiered(name: &str, source: &str, samples: usize) -> TieredMeasurement {
+    let fused = match Compiler::new().with_fuse().compile(source) {
+        Ok(c) => c,
+        Err(e) => panic!("workload failed to compile:\n{e}"),
+    };
+    let tiered = match Compiler::new().with_tiering().compile(source) {
+        Ok(c) => c,
+        Err(e) => panic!("workload failed to compile:\n{e}"),
+    };
+    let a = fused.execute();
+    let b = tiered.execute();
+    assert_eq!(a.result, b.result, "{name}: tiering changed the result");
+    assert_eq!(a.output, b.output, "{name}: tiering changed the output");
+    let stats = b.vm_stats.as_ref().expect("vm stats");
+    assert_eq!(stats.heap.tuple_boxes, 0, "{name}: tiered run boxed a tuple");
+    assert!(stats.tier_ups > 0, "{name}: workload never tiered up");
+    let (mut tf, mut tt): (Option<Duration>, Option<Duration>) = (None, None);
+    for sample in 0..=samples {
+        let f = measure_vm(&fused).time;
+        let t = measure_vm(&tiered).time;
+        if sample > 0 {
+            tf = Some(tf.map_or(f, |b| b.min(f)));
+            tt = Some(tt.map_or(t, |b| b.min(t)));
+        }
+    }
+    TieredMeasurement {
+        name: name.to_string(),
+        fused: tf.expect("at least one timed sample"),
+        tiered: tt.expect("at least one timed sample"),
+        tier_ups: stats.tier_ups,
+        deopts: stats.deopts,
+        guarded_calls: stats.guarded_calls,
+        inlined_calls: stats.inlined_calls,
     }
 }
 

@@ -278,6 +278,57 @@ pub fn instance_fanout_distinct(k: usize) -> String {
     src
 }
 
+/// E11: a polymorphic-then-monomorphic dispatch workload for the tiered
+/// back end. One walker function's virtual-call site first sees three
+/// receiver classes (a short mixed chain, few enough misses to stay below
+/// the speculation cap), then settles on a single class for `n` hot
+/// iterations over a 64-node chain. Static fusion cannot speculate the
+/// site; the tiered VM re-fuses the walker with its own inline-cache
+/// feedback and inlines the one-instruction `Inc.apply` behind a receiver
+/// guard — the warmup-knee-then-win curve E11 plots.
+pub fn polymorphic_then_monomorphic(n: usize) -> String {
+    format!(
+        r#"
+class Op {{
+    def apply(x: int) -> int {{ return x; }}
+}}
+class Inc extends Op {{
+    def apply(x: int) -> int {{ return x + 1; }}
+}}
+class Dbl extends Op {{
+    def apply(x: int) -> int {{ return x + x; }}
+}}
+class Mask extends Op {{
+    def apply(x: int) -> int {{ return x % 8191; }}
+}}
+class Node {{
+    var op: Op;
+    var next: Node;
+    new(op, next) {{ }}
+}}
+def walk(chain: Node, x0: int) -> int {{
+    var x = x0;
+    for (n = chain; n != null; n = n.next) x = n.op.apply(x);
+    return x;
+}}
+def main() -> int {{
+    var none: Node;
+    // Polymorphic phase: two walks of a mixed 3-class chain (6 cache
+    // misses — below the speculation cap, so the site can still be
+    // speculated once it settles).
+    var mixed = Node.new(Inc.new(), Node.new(Dbl.new(), Node.new(Mask.new(), none)));
+    var acc = 0;
+    for (i = 0; i < 2; i = i + 1) acc = (acc + walk(mixed, i)) % 8191;
+    // Monomorphic phase: the same site sees only Inc from here on.
+    var mono: Node;
+    for (k = 0; k < 64; k = k + 1) mono = Node.new(Inc.new(), mono);
+    for (i = 0; i < {n}; i = i + 1) acc = (acc + walk(mono, i)) % 8191;
+    return acc;
+}}
+"#
+    )
+}
+
 /// E7: a larger synthetic program (k classes with methods + a generic
 /// library) for measuring compile throughput (§5: "compiles very fast").
 pub fn big_program(k: usize) -> String {

@@ -26,7 +26,7 @@
 //!                              emits one JSON object
 //! vglc fuzz [--seed N] [--cases N] [--dump]
 //!                              differential fuzzing: generate N programs,
-//!                              run them on seven engine configurations, and
+//!                              run them on eight engine configurations, and
 //!                              shrink + report the first disagreement
 //! vglc fuzz --chaos [--seed N] [--cases N]
 //!                              crash fuzzing: corrupt generated programs
@@ -46,17 +46,27 @@
 //! recomputes what duplicate instances would have shared).
 //!
 //! `--flight-record[=N]` (for `run`) keeps a ring of the last N runtime
-//! events (calls, IC misses, collections; default 64) and dumps it to
-//! stderr when the run ends in a trap or `System.error`.
+//! events (calls, IC misses, collections, tier-ups, deopts; default 64) and
+//! dumps it to stderr when the run ends in a trap or `System.error`.
+//!
+//! Tiered execution: `run` and `trace` tier by default — functions start
+//! unfused and re-fuse themselves with their own runtime profile once hot.
+//! `--no-tier` restores the static pipeline; `--tier` forces tiering for
+//! any compile-based subcommand; `--tier-threshold N` (or the
+//! `VGL_TIER_THRESHOLD` environment variable) sets the hotness weight at
+//! which a function tiers up. `disasm --tiered` runs the program and shows
+//! each tiered function's baseline and hot-tier bodies side by side with
+//! guard sites annotated.
 
 use std::process::ExitCode;
 use vgl::Compiler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|disasm|\
-         trace [-o out.json]] \
-         [--fuse|--no-fuse] [--jobs N] [--no-cache] [--flight-record[=N]] <file.v>\n\
+        "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|\
+         disasm [--tiered]|trace [-o out.json]] \
+         [--fuse|--no-fuse] [--tier|--no-tier] [--tier-threshold N] [--jobs N] \
+         [--no-cache] [--flight-record[=N]] <file.v>\n\
          \x20      vglc fuzz [--chaos] [--seed N] [--cases N] [--dump]"
     );
     ExitCode::from(2)
@@ -132,7 +142,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             eprintln!("// ---- seed {seed} ----\n{}", vgl::fuzz::emit(&prog));
         }
     }
-    println!("fuzzing: seed {}, {} cases, 7 engine configurations", cfg.seed, cfg.cases);
+    println!("fuzzing: seed {}, {} cases, 8 engine configurations", cfg.seed, cfg.cases);
     let report = vgl::fuzz::run_fuzz(&cfg, |i, v| {
         if (i + 1) % 50 == 0 {
             println!("  ... case {} ({})", i + 1, vgl::fuzz::describe(v));
@@ -159,6 +169,9 @@ fn main() -> ExitCode {
     let mut options = vgl::Options::default();
     let mut out_path: Option<String> = None;
     let mut flight: Option<usize> = None;
+    let mut tier_flag: Option<bool> = None;
+    let mut tier_threshold: Option<u64> = None;
+    let mut tiered_view = false;
     // Valued flags (`--jobs N`, `-o out`, `--flight-record[=N]`): consume
     // them before the positional scan.
     let mut i = 0;
@@ -174,6 +187,14 @@ fn main() -> ExitCode {
         } else if args[i] == "-o" && i + 1 < args.len() {
             out_path = Some(args[i + 1].clone());
             args.drain(i..i + 2);
+        } else if args[i] == "--tier-threshold" && i + 1 < args.len() {
+            let Ok(n) = args[i + 1].parse::<u64>() else { return usage() };
+            tier_threshold = Some(n);
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--tier-threshold=") {
+            let Ok(n) = v.parse::<u64>() else { return usage() };
+            tier_threshold = Some(n);
+            args.remove(i);
         } else if args[i] == "--flight-record" {
             flight = Some(64);
             args.remove(i);
@@ -198,6 +219,18 @@ fn main() -> ExitCode {
             options.pass_cache = false;
             false
         }
+        "--tier" => {
+            tier_flag = Some(true);
+            false
+        }
+        "--no-tier" => {
+            tier_flag = Some(false);
+            false
+        }
+        "--tiered" => {
+            tiered_view = true;
+            false
+        }
         _ => true,
     });
     let (cmd, json, path) = match args.as_slice() {
@@ -219,11 +252,25 @@ fn main() -> ExitCode {
     if cmd == "check" {
         return check(&path, &source, json);
     }
+    // Tier policy: `run` and `trace` tier by default (the production
+    // configuration); everything else opts in via `--tier` or an explicit
+    // `--tier-threshold`. `VGL_TIER_THRESHOLD` overrides the threshold.
+    let env_threshold = std::env::var("VGL_TIER_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    if let Some(t) = tier_threshold.or(env_threshold) {
+        options.tier_threshold = t;
+    }
+    options.tier = match tier_flag {
+        Some(v) => v,
+        None => tier_threshold.is_some() || matches!(cmd.as_str(), "run" | "trace"),
+    };
     // `disasm` always compiles unfused so the side-by-side view can show the
     // fusion pass's before and after on the same baseline.
     let fuse_requested = options.fuse;
     if cmd == "disasm" {
         options.fuse = false;
+        options.tier = false;
     }
     let compilation = match Compiler::with_options(options).compile(&source) {
         Ok(c) => c,
@@ -350,6 +397,12 @@ fn main() -> ExitCode {
                     s.ic_hit_rate() * 100.0,
                     s.ret_spills
                 );
+                if s.tier_ups > 0 || s.deopts > 0 {
+                    println!(
+                        "tier: {} tier-ups, {} deopts; {} guarded calls, {} inlined calls",
+                        s.tier_ups, s.deopts, s.guarded_calls, s.inlined_calls
+                    );
+                }
             }
             if !out.output.is_empty() {
                 println!("== program output ==");
@@ -412,7 +465,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "disasm" => {
-            if fuse_requested {
+            if tiered_view {
+                // Run the program with tiering forced on, then show each
+                // tiered function pre/post tier-up with guard sites.
+                let (out, view) = compilation.execute_tiered_disasm();
+                print!("{view}");
+                if let Err(e) = out.result {
+                    eprintln!("runtime error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else if fuse_requested {
                 let mut fused = compilation.program.clone();
                 vgl_vm::fuse(&mut fused);
                 print!("{}", vgl_vm::side_by_side(&compilation.program, &fused));

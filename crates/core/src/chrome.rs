@@ -140,6 +140,26 @@ pub fn chrome_trace(c: &Compilation, run: &RunOutcome, log: &TraceLog) -> Chrome
         run_end = run_end.max(ts);
     }
 
+    // Tier transitions: tier-up / deopt instants on the runtime lane, so
+    // the warmup knee is visible right next to the function spans.
+    for ti in &log.tier {
+        let ts = at(ti.at);
+        let name = c
+            .program
+            .funcs
+            .get(ti.func as usize)
+            .map(|f| f.name.as_str())
+            .unwrap_or("<unknown>");
+        t.instant(
+            if ti.deopt { "deopt" } else { "tier-up" },
+            RUNTIME_PID,
+            0,
+            ts,
+            &[("func", Json::Str(name.to_string()))],
+        );
+        run_end = run_end.max(ts);
+    }
+
     if log.spans_dropped() > 0 {
         t.instant(
             "vm-spans-truncated",

@@ -116,6 +116,17 @@ pub struct Options {
     /// normalize/optimize and copy their representative's result. Output
     /// is identical either way; see [`BackendReport`] for hit rates.
     pub pass_cache: bool,
+    /// Tiered profile-guided execution (default off in the library; `vglc`
+    /// turns it on): functions start in the cheap unfused tier and re-fuse
+    /// themselves with their own runtime profile once hot — IC-feedback
+    /// devirtualization behind receiver-class guards, profile-selected
+    /// superinstructions, and deoptimization on guard failure. When set,
+    /// the static whole-program fuse pass is skipped: the baseline tier
+    /// *is* the unfused code.
+    pub tier: bool,
+    /// Hotness weight (calls + back-edge ticks) at which a function tiers
+    /// up. `vglc --tier-threshold` / `VGL_TIER_THRESHOLD` override it.
+    pub tier_threshold: u64,
 }
 
 impl Default for Options {
@@ -128,6 +139,8 @@ impl Default for Options {
             fuse: cfg!(not(debug_assertions)),
             jobs: 0,
             pass_cache: true,
+            tier: false,
+            tier_threshold: vgl_vm::DEFAULT_TIER_THRESHOLD,
         }
     }
 }
@@ -176,6 +189,25 @@ impl Compiler {
     /// Disables the per-instance pass cache (ablation / cold baseline).
     pub fn without_pass_cache(mut self) -> Compiler {
         self.options.pass_cache = false;
+        self
+    }
+
+    /// Enables tiered profile-guided execution (see [`Options::tier`]).
+    pub fn with_tiering(mut self) -> Compiler {
+        self.options.tier = true;
+        self
+    }
+
+    /// Enables tiering with an explicit tier-up threshold.
+    pub fn with_tier_threshold(mut self, threshold: u64) -> Compiler {
+        self.options.tier = true;
+        self.options.tier_threshold = threshold;
+        self
+    }
+
+    /// Disables tiered execution (the static-pipeline default).
+    pub fn without_tiering(mut self) -> Compiler {
+        self.options.tier = false;
         self
     }
 
@@ -296,7 +328,10 @@ impl Compiler {
             || vgl_vm::lower(&compiled),
             vgl_vm::VmProgram::code_size,
         );
-        let fuse = if self.options.fuse {
+        // Under tiering the baseline tier *is* the unfused code — hot
+        // functions re-fuse themselves at run time from their own profile,
+        // so the static whole-program pass would only blur the comparison.
+        let fuse = if self.options.fuse && !self.options.tier {
             let stats = trace.time(
                 "fuse",
                 program.code_size(),
@@ -549,6 +584,9 @@ impl Compilation {
     /// scalar calling convention and the semispace collector.
     pub fn execute(&self) -> RunOutcome {
         let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if self.options.tier {
+            vm.enable_tiering(self.options.tier_threshold);
+        }
         if let Some(f) = self.options.fuel {
             vm.set_fuel(f);
         }
@@ -568,6 +606,9 @@ impl Compilation {
     /// per-opcode retired-instruction histogram and the GC event log.
     pub fn execute_profiled(&self) -> (RunOutcome, VmProfile) {
         let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if self.options.tier {
+            vm.enable_tiering(self.options.tier_threshold);
+        }
         vm.enable_profiling();
         if let Some(f) = self.options.fuel {
             vm.set_fuel(f);
@@ -604,6 +645,9 @@ impl Compilation {
 
     fn execute_hotness(&self, precise: bool) -> (RunOutcome, RuntimeProfile) {
         let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if self.options.tier {
+            vm.enable_tiering(self.options.tier_threshold);
+        }
         if precise {
             vm.enable_runtime_profiling_precise();
         } else {
@@ -632,6 +676,9 @@ impl Compilation {
     /// report.
     pub fn execute_profiled_full(&self) -> (RunOutcome, VmProfile, RuntimeProfile) {
         let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if self.options.tier {
+            vm.enable_tiering(self.options.tier_threshold);
+        }
         vm.enable_profiling();
         vm.enable_runtime_profiling_precise();
         if let Some(f) = self.options.fuel {
@@ -657,6 +704,9 @@ impl Compilation {
     /// ready for [`chrome::chrome_trace`](crate::chrome::chrome_trace).
     pub fn execute_traced(&self) -> (RunOutcome, TraceLog) {
         let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if self.options.tier {
+            vm.enable_tiering(self.options.tier_threshold);
+        }
         vm.enable_trace_log(1 << 18);
         if let Some(f) = self.options.fuel {
             vm.set_fuel(f);
@@ -680,6 +730,9 @@ impl Compilation {
     /// of the last `capacity` runtime events, when anything was recorded.
     pub fn execute_flight_recorded(&self, capacity: usize) -> (RunOutcome, Option<String>) {
         let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        if self.options.tier {
+            vm.enable_tiering(self.options.tier_threshold);
+        }
         vm.enable_flight_recorder(capacity);
         if let Some(f) = self.options.fuel {
             vm.set_fuel(f);
@@ -696,6 +749,33 @@ impl Compilation {
             vm_stats: Some(vm.stats),
         };
         (outcome, dump)
+    }
+
+    /// Runs the program with tiering **forced on** (regardless of
+    /// [`Options::tier`]) and renders the `vglc disasm --tiered` view:
+    /// every function that tiered up, baseline and hot-tier bodies side by
+    /// side, guard sites annotated, megamorphic sites listed.
+    pub fn execute_tiered_disasm(&self) -> (RunOutcome, String) {
+        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        vm.enable_tiering(self.options.tier_threshold);
+        if let Some(f) = self.options.fuel {
+            vm.set_fuel(f);
+        }
+        let result = match vm.run() {
+            Ok(words) => Ok(display_words(&words)),
+            Err(e) => Err(e.to_string()),
+        };
+        let view = vm
+            .tier_state()
+            .map(|t| vgl_vm::tiered_view(&self.program, t))
+            .unwrap_or_default();
+        let outcome = RunOutcome {
+            result,
+            output: vm.output(),
+            interp_stats: None,
+            vm_stats: Some(vm.stats),
+        };
+        (outcome, view)
     }
 
     /// Code expansion ratio due to monomorphization (E4): IR nodes after

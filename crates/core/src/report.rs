@@ -84,6 +84,12 @@ fn runtime_json(
         ic.set("misses", Json::from(s.ic_misses));
         ic.set("hit_rate", Json::Num(s.ic_hit_rate()));
         o.set("ic", ic);
+        let mut tier = Json::object();
+        tier.set("tier_ups", Json::from(s.tier_ups));
+        tier.set("deopts", Json::from(s.deopts));
+        tier.set("guarded_calls", Json::from(s.guarded_calls));
+        tier.set("inlined_calls", Json::from(s.inlined_calls));
+        o.set("tier", tier);
         o.set("gc_collections", Json::from(s.heap.collections));
         if let Some(h) = hotness {
             o.set("hotness", h.to_json(&c.program));
@@ -232,6 +238,10 @@ fn vm_stats_json(s: &VmStats) -> Json {
     o.set("ic_hits", Json::from(s.ic_hits));
     o.set("ic_misses", Json::from(s.ic_misses));
     o.set("ic_hit_rate", Json::Num(s.ic_hit_rate()));
+    o.set("tier_ups", Json::from(s.tier_ups));
+    o.set("deopts", Json::from(s.deopts));
+    o.set("guarded_calls", Json::from(s.guarded_calls));
+    o.set("inlined_calls", Json::from(s.inlined_calls));
     o.set("ret_spills", Json::from(s.ret_spills));
     let mut h = Json::object();
     h.set("objects", Json::from(s.heap.objects));

@@ -165,6 +165,35 @@ fn plain_stats_still_prints_pass_times() {
     assert!(text.contains("pass times:"), "missing pass times:\n{text}");
 }
 
+/// The golden shape of `disasm --tiered` on the dispatch-chain example:
+/// a side-by-side baseline/tiered view where the mixed-chain walker stays
+/// a plain virtual call, the monomorphic walker's site is speculated (the
+/// one-expression `Inc.apply` inlines behind its class guard), and guard
+/// sites carry their deopt target.
+#[test]
+fn disasm_tiered_shows_guarded_and_inlined_sites() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/v/dispatch_chain.v");
+    let p = path.to_str().expect("utf8 path");
+    let out = vglc(&["disasm", "--tiered", p]);
+    assert!(out.status.success(), "disasm --tiered failed: {out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("functions tiered (threshold"), "missing header:\n{text}");
+    assert!(text.contains("-- baseline --"), "missing baseline column:\n{text}");
+    assert!(text.contains("-- tiered --"), "missing tiered column:\n{text}");
+    // The monomorphic walker speculates and inlines `x + 1`.
+    let runinc = text.split("runinc").nth(1).expect("runinc section");
+    let runinc = runinc.split("\n\n").next().expect("runinc block");
+    assert!(runinc.contains("call_inline"), "mono site should inline:\n{runinc}");
+    assert!(runinc.contains("!deopt@"), "guard sites carry a deopt target:\n{runinc}");
+    // The mixed-chain walker's site stays an unspeculated virtual call.
+    let run = text.split("\nf").find(|s| s.contains(" run (")).expect("run section");
+    let run = run.split("\n\n").next().expect("run block");
+    assert!(run.contains("call_virt"), "polymorphic site stays virtual:\n{run}");
+    assert!(!run.contains("call_guard") && !run.contains("call_inline"), "{run}");
+    // Both columns show the per-function tier counters.
+    assert!(text.contains("tier-ups="), "missing per-function counters:\n{text}");
+}
+
 #[test]
 fn bad_usage_exits_2() {
     let out = vglc(&[]);

@@ -10,7 +10,7 @@
 //!   spanning class hierarchies with virtual and abstract methods, first-class
 //!   functions and bound delegates, generics, tuples up to width 16, type
 //!   queries/casts, recursion, and GC-pressure loops;
-//! - [`oracle`] runs each program on seven engine configurations (source
+//! - [`oracle`] runs each program on eight engine configurations (source
 //!   interpreter, monomorphized interpreter, VM, both post-optimizer
 //!   variants, and the VM over bytecode rewritten by the back-end
 //!   superinstruction fuser), validates the §4 IR invariants between passes,

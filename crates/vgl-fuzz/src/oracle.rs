@@ -1,7 +1,7 @@
 //! The differential oracle: one generated program, every execution strategy,
 //! identical observable behavior.
 //!
-//! A case is run on **seven** engine configurations:
+//! A case is run on **eight** engine configurations:
 //!
 //! 1. the reference interpreter over the *source* module (runtime type
 //!    arguments, boxed tuples — the paper's §4.3 interpreter strategy);
@@ -19,9 +19,16 @@
 //!    and fuse with the per-instance pass cache). Before it runs, the
 //!    oracle asserts its disassembly is **byte-identical** to the serial
 //!    build — the parallel back end's determinism contract — and then
-//!    compares its observable behavior like any other engine.
+//!    compares its observable behavior like any other engine;
+//! 8. `vm-tiered`: the fused program again under **tiered profile-guided
+//!    execution** — functions re-fuse themselves mid-run from their own
+//!    runtime profile, speculating on monomorphic call sites behind
+//!    receiver-class guards and deoptimizing on guard failure. The hotness
+//!    threshold comes from `VGL_TIER_THRESHOLD` (CI's forced-deopt lane
+//!    sets it to 1 so effectively every call tiers up); tier-up, guard
+//!    hits, and deopts must all be behaviourally invisible.
 //!
-//! All seven must agree on the result value, the printed output, and the trap
+//! All eight must agree on the result value, the printed output, and the trap
 //! (`!DivideByZeroException`, `!NullCheckException`, `!TypeCheckException`,
 //! ...). Fuel exhaustion is **never** conflated with a language exception:
 //! engines count steps differently, so an `OutOfFuel` anywhere makes the
@@ -199,9 +206,23 @@ fn run_vm_program(
     prog: &vgl_vm::VmProgram,
     cfg: &OracleConfig,
 ) -> (EngineRun, usize) {
+    run_vm_program_tiered(engine, prog, cfg, None)
+}
+
+/// [`run_vm_program`] with optional tiered execution (the eighth engine
+/// configuration): `tier` is the hotness threshold to tier up at.
+fn run_vm_program_tiered(
+    engine: &'static str,
+    prog: &vgl_vm::VmProgram,
+    cfg: &OracleConfig,
+    tier: Option<u64>,
+) -> (EngineRun, usize) {
     let mut vm = vgl_vm::Vm::with_heap(prog, cfg.heap_slots);
     vm.set_fuel(cfg.vm_fuel);
     vm.enable_flight_recorder(FLIGHT_CAPACITY);
+    if let Some(threshold) = tier {
+        vm.enable_tiering(threshold);
+    }
     let outcome = match vm.run() {
         Ok(words) => match vgl_vm::ret_as_int(&words) {
             Some(v) => Outcome::Value(v.to_string()),
@@ -225,7 +246,7 @@ fn strict_decl_tuple_violations(m: &Module) -> Vec<Violation> {
 }
 
 /// Compiles `src` through the front end and both pipeline variants, runs all
-/// seven engine configurations, validates IR invariants between passes, and
+/// eight engine configurations, validates IR invariants between passes, and
 /// compares every observable.
 pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
     check_source_tampered(src, cfg, |_| {})
@@ -322,7 +343,32 @@ pub fn check_source_tampered(
     }
     let (par_run, _) = run_vm_program("vm-fused-par", &par_prog, cfg);
 
-    // Seven engine configurations.
+    // The eighth configuration re-runs the (tampered) fused program under
+    // tiered execution: functions cross the hotness threshold mid-run and
+    // re-fuse themselves from their own profile, speculating on monomorphic
+    // sites and deoptimizing on guard failure — all of which must be
+    // behaviourally invisible. `VGL_TIER_THRESHOLD` feeds the CI
+    // forced-deopt lane (threshold 1 ⇒ tier-up on effectively every call).
+    let tier_threshold = std::env::var("VGL_TIER_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(vgl_vm::DEFAULT_TIER_THRESHOLD);
+    let (tiered_run, tiered_tuple_boxes) =
+        run_vm_program_tiered("vm-tiered", &fused_prog, cfg, Some(tier_threshold));
+    if tiered_tuple_boxes != 0 {
+        return Verdict::Invariant {
+            stage: "tier (execution)",
+            violations: vec![Violation {
+                location: "heap".into(),
+                message: format!(
+                    "tiered execution allocated {tiered_tuple_boxes} tuple boxes; §4.2 \
+                     requires exactly 0"
+                ),
+            }],
+        };
+    }
+
+    // Eight engine configurations.
     let runs = vec![
         run_interp("interp-src", &module, cfg.interp_fuel),
         run_interp("interp-mono", &norm_m, cfg.interp_fuel),
@@ -331,6 +377,7 @@ pub fn check_source_tampered(
         run_vm("vm-opt", &opt_m, cfg),
         fused_run,
         par_run,
+        tiered_run,
     ];
 
     // OutOfFuel anywhere ⇒ inconclusive, and never comparable to a trap.

@@ -372,11 +372,73 @@ pub enum Instr {
         /// Right operand.
         b: Reg,
     },
+
+    // ---- speculative superinstructions (emitted only by the tiered
+    // ---- re-fuse pass, never by lowering or the static fuse pass) -------
+    /// Guarded direct call: a `CallVirt` whose inline cache stayed
+    /// monomorphic, devirtualized by the tier-up pass. When `args[0]`'s
+    /// class equals `class` the call proceeds directly to `func`; otherwise
+    /// the frame **deoptimizes** — transfers to the unfused baseline body at
+    /// `deopt_pc` (the pc of the original `CallVirt`, which re-executes and
+    /// carries the vtable slot) and marks `site` megamorphic.
+    CallGuard {
+        /// Expected receiver class (the IC snapshot at tier-up).
+        class: u32,
+        /// Devirtualized callee (what the vtable resolved to for `class`).
+        func: FuncId,
+        /// The baseline `CallVirt`'s inline-cache site index.
+        site: u32,
+        /// Baseline-body pc to resume at on guard failure.
+        deopt_pc: u32,
+        /// Argument registers; `args[0]` is the receiver (null-checked).
+        args: Vec<Reg>,
+        /// Destinations.
+        rets: Vec<Reg>,
+    },
+    /// Guarded speculative inlining of a one-instruction callee body: the
+    /// receiver-class guard of [`Instr::CallGuard`] plus the callee's entire
+    /// effect as an [`InlOp`] micro-op, eliding the frame push/pop. Same
+    /// deopt protocol as `CallGuard`.
+    CallInline {
+        /// Expected receiver class.
+        class: u32,
+        /// The baseline `CallVirt`'s inline-cache site index.
+        site: u32,
+        /// Baseline-body pc to resume at on guard failure.
+        deopt_pc: u32,
+        /// The inlined callee body.
+        op: InlOp,
+        /// Argument registers; `args[0]` is the receiver (null-checked).
+        args: Vec<Reg>,
+        /// Destinations (zero or one).
+        rets: Vec<Reg>,
+    },
+}
+
+/// The inlined body of a [`Instr::CallInline`]: a one-instruction callee
+/// reduced to a micro-op over the call's argument registers. Operand bytes
+/// index into `args` (parameter positions), not frame registers — the
+/// callee frame is never materialized. Only non-allocating, non-trapping
+/// shapes are eligible (`Div`/`Mod` by a register operand and `BinI` with a
+/// zero immediate are excluded so the inlined op cannot raise an arithmetic
+/// trap the guard did not anticipate; the field load keeps its null check).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InlOp {
+    /// Return the `i`-th argument unchanged (identity/getter-of-self).
+    Arg(u8),
+    /// Return a scalar constant.
+    Const(i32),
+    /// Return `args[a] ⊕ args[b]`.
+    Bin(BinKind, u8, u8),
+    /// Return `args[a] ⊕ imm`.
+    BinI(BinKind, u8, i32),
+    /// Return `args[o].slot` (null-checked field accessor).
+    Field(u16, u8),
 }
 
 /// Number of distinct opcodes — the length of [`OPCODE_NAMES`] and of the
 /// profiler's retired-instruction histogram.
-pub const OPCODE_COUNT: usize = 46;
+pub const OPCODE_COUNT: usize = 48;
 
 /// Index of the first superinstruction opcode: opcodes in
 /// `FIRST_SUPER_OPCODE..OPCODE_COUNT` are only ever emitted by the fusion
@@ -431,6 +493,8 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "field_get_ret",
     "global_bin",
     "global_accum",
+    "call_guard",
+    "call_inline",
 ];
 
 impl Instr {
@@ -484,6 +548,8 @@ impl Instr {
             Instr::FieldGetRet { .. } => 43,
             Instr::GlobalBin { .. } => 44,
             Instr::GlobalAccum { .. } => 45,
+            Instr::CallGuard { .. } => 46,
+            Instr::CallInline { .. } => 47,
         }
     }
 

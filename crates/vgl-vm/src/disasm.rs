@@ -95,6 +95,28 @@ pub fn disasm_instr(i: &Instr) -> String {
         FieldGetRet { obj, slot } => format!("ret r{obj}.{slot}"),
         GlobalBin { k, dst, g, b } => format!("r{dst} <- g{g} {} r{b}", bin_op(*k)),
         GlobalAccum { k, g, b } => format!("g{g} <- g{g} {} r{b}", bin_op(*k)),
+        CallGuard { class, func, site, deopt_pc, args, rets } => format!(
+            "call_guard class#{class} f{func} ic#{site} {} -> {} !deopt@{deopt_pc}",
+            regs(args),
+            regs(rets)
+        ),
+        CallInline { class, site, deopt_pc, op, args, rets } => format!(
+            "call_inline class#{class} ic#{site} {} {} -> {} !deopt@{deopt_pc}",
+            inl_op(op),
+            regs(args),
+            regs(rets)
+        ),
+    }
+}
+
+fn inl_op(op: &crate::bytecode::InlOp) -> String {
+    use crate::bytecode::InlOp;
+    match op {
+        InlOp::Arg(p) => format!("arg{p}"),
+        InlOp::Const(c) => format!("const {c}"),
+        InlOp::Bin(k, a, b) => format!("arg{a} {} arg{b}", bin_op(*k)),
+        InlOp::BinI(k, a, imm) => format!("arg{a} {} #{imm}", bin_op(*k)),
+        InlOp::Field(slot, obj) => format!("arg{obj}.{slot}"),
     }
 }
 
@@ -173,6 +195,52 @@ pub fn side_by_side(before: &VmProgram, after: &VmProgram) -> String {
     out
 }
 
+/// Renders every currently-tiered function as a baseline | hot-tier
+/// two-column view with guard sites annotated — `vglc disasm --tiered`.
+/// `p` must be the program the [`crate::TierState`] was collected against
+/// (the baseline bodies the deopt pcs refer to).
+pub fn tiered_view(p: &VmProgram, tier: &crate::TierState) -> String {
+    const COL: usize = 38;
+    let mut out = String::new();
+    let tiered: Vec<_> = tier.tiered().collect();
+    let _ = writeln!(
+        out,
+        "; {} of {} functions tiered (threshold {})",
+        tiered.len(),
+        p.funcs.len(),
+        tier.threshold()
+    );
+    let mega = tier.mega_sites();
+    if !mega.is_empty() {
+        let sites: Vec<String> = mega.iter().map(|s| format!("ic#{s}")).collect();
+        let _ = writeln!(out, "; megamorphic (never re-speculated): {}", sites.join(", "));
+    }
+    for (func, body, tier_ups) in tiered {
+        let f = &p.funcs[func as usize];
+        let _ = writeln!(
+            out,
+            "\nf{func} {} (tier-ups={tier_ups}, guards={}, inlines={}, fused={}):",
+            f.name, body.guards, body.inlines, body.fused
+        );
+        let _ = writeln!(out, "  {:<COL$} | -- tiered --", "-- baseline --");
+        let rows = f.code.len().max(body.code.len());
+        for pc in 0..rows {
+            let left = f
+                .code
+                .get(pc)
+                .map(|x| format!("{pc:4}  {}", disasm_instr(x)))
+                .unwrap_or_default();
+            let right = body
+                .code
+                .get(pc)
+                .map(|x| format!("{pc:4}  {}", disasm_instr(x)))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  {left:<COL$} | {right}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +295,24 @@ mod tests {
             EqBr { a: 0, b: 1, off: 1, expect: true },
             NullBr { v: 0, off: 1, expect: false },
             FieldGetRet { obj: 0, slot: 1 },
+            GlobalBin { k: BinKind::Add, dst: 0, g: 1, b: 2 },
+            GlobalAccum { k: BinKind::Add, g: 0, b: 1 },
+            CallGuard {
+                class: 2,
+                func: 1,
+                site: 0,
+                deopt_pc: 4,
+                args: vec![1],
+                rets: vec![2],
+            },
+            CallInline {
+                class: 2,
+                site: 0,
+                deopt_pc: 4,
+                op: crate::bytecode::InlOp::Field(1, 0),
+                args: vec![1],
+                rets: vec![2],
+            },
         ];
         for i in &instrs {
             assert!(!disasm_instr(i).is_empty());

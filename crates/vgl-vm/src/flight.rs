@@ -60,6 +60,22 @@ pub enum FlightKind {
         /// Semispace capacity at collection time.
         capacity_slots: usize,
     },
+    /// A function crossed its hotness threshold and installed a hot-tier
+    /// body re-fused from its own runtime profile.
+    TierUp {
+        /// The function that tiered up.
+        func: FuncId,
+    },
+    /// A speculation guard failed: the frame fell back to the baseline body
+    /// and the site was marked megamorphic.
+    Deopt {
+        /// The guarded call site.
+        site: u32,
+        /// The receiver class that broke the guard (`u32::MAX` for null).
+        class: u32,
+        /// The function whose tiered body deoptimized.
+        func: FuncId,
+    },
     /// Execution ended abnormally (language trap, `System.error`, or fuel).
     Trap {
         /// Why execution stopped.
@@ -159,6 +175,18 @@ impl FlightRecorder {
                 }
                 FlightKind::Gc { live_slots, capacity_slots } => {
                     out.push_str(&format!("gc       live {live_slots}/{capacity_slots} slots\n"));
+                }
+                FlightKind::TierUp { func } => {
+                    out.push_str(&format!(
+                        "tier-up  {}\n",
+                        FlightRecorder::func_name(program, func)
+                    ));
+                }
+                FlightKind::Deopt { site, class, func } => {
+                    out.push_str(&format!(
+                        "deopt    site {site} class {class} in {}\n",
+                        FlightRecorder::func_name(program, func)
+                    ));
                 }
                 FlightKind::Trap { error, func, pc } => {
                     out.push_str(&format!(

@@ -279,6 +279,7 @@ fn for_each_use(i: &Instr, g: &mut impl FnMut(Reg)) {
         ClosCast { clos, .. } => g(*clos),
         CheckNull(r) => g(*r),
         Ret(rs) => rs.iter().for_each(|&r| g(r)),
+        CallGuard { args, .. } | CallInline { args, .. } => args.iter().for_each(|&r| g(r)),
         BinI { a, .. } => g(*a),
         IncLocal { r, .. } => g(*r),
         CmpBr { a, b, .. } => {
@@ -345,6 +346,9 @@ fn map_uses(i: &mut Instr, g: &mut impl FnMut(Reg) -> Reg) {
         ClosQuery { clos, .. } | ClosCast { clos, .. } => *clos = g(*clos),
         CheckNull(r) => *r = g(*r),
         Ret(rs) => rs.iter_mut().for_each(|r| *r = g(*r)),
+        CallGuard { args, .. } | CallInline { args, .. } => {
+            args.iter_mut().for_each(|r| *r = g(*r))
+        }
         BinI { a, .. } => *a = g(*a),
         IncLocal { r, .. } => *r = g(*r),
         CmpBr { a, b, .. } | EqBr { a, b, .. } => {
@@ -366,7 +370,9 @@ fn for_each_def(i: &Instr, g: &mut impl FnMut(Reg)) {
         | EqRR(d, ..) | EqClos(d, ..) | IsNull(d, _) => g(*d),
         Bin(_, d, ..) => g(*d),
         Call { rets, .. } | CallVirt { rets, .. } | CallClos { rets, .. }
-        | CallBuiltin { rets, .. } => rets.iter().for_each(|&r| g(r)),
+        | CallBuiltin { rets, .. } | CallGuard { rets, .. } | CallInline { rets, .. } => {
+            rets.iter().for_each(|&r| g(r))
+        }
         MakeClos { dst, .. } | MakeClosVirt { dst, .. } | NewObject { dst, .. }
         | NewArray { dst, .. } | ArrayLit { dst, .. } | ArrayLen { dst, .. }
         | ArrayGet { dst, .. } | FieldGet { dst, .. } | GlobalGet { dst, .. }
@@ -617,7 +623,10 @@ enum Action {
 /// Applies `plan`, recomputing every branch offset. Branches into a removed
 /// pure instruction fall through to the next kept one; branches into the
 /// second element of a fused pair are the planner's responsibility to avoid.
-fn rebuild(f: &mut VmFunc, plan: &[Action]) {
+/// Returns the new→old pc map (each new pc's originating old pc) — the
+/// tiered re-fuse pass composes these across rounds into the deopt-pc map
+/// its guards carry.
+fn rebuild(f: &mut VmFunc, plan: &[Action]) -> Vec<usize> {
     let n = f.code.len();
     let mut new_code: Vec<Instr> = Vec::with_capacity(n);
     let mut old_of_new: Vec<usize> = Vec::with_capacity(n);
@@ -663,6 +672,7 @@ fn rebuild(f: &mut VmFunc, plan: &[Action]) {
         }
     }
     f.code = new_code;
+    old_of_new
 }
 
 // ---- dead-register elimination --------------------------------------------
@@ -719,6 +729,19 @@ fn commutes(k: BinKind) -> bool {
 /// One left-to-right scan fusing adjacent pairs. Returns whether anything
 /// changed.
 fn fuse_pairs(f: &mut VmFunc, stats: &mut FuseStats) -> bool {
+    fuse_pairs_gated(f, stats, &|_, _| true).is_some()
+}
+
+/// [`fuse_pairs`] with a pattern gate: a rewrite is attempted only when
+/// `gate` accepts the constituent instruction(s) — the tiered pass feeds the
+/// function's own dynamic opcode histogram here so only patterns whose
+/// opcodes are actually hot get fused. Returns the new→old pc map when
+/// anything changed.
+fn fuse_pairs_gated(
+    f: &mut VmFunc,
+    stats: &mut FuseStats,
+    gate: &dyn Fn(&Instr, &Instr) -> bool,
+) -> Option<Vec<usize>> {
     let targets = jump_targets(&f.code);
     let live = Liveness::compute(f);
     // Fusing deletes the first instruction's definition of the temp `r`;
@@ -737,7 +760,7 @@ fn fuse_pairs(f: &mut VmFunc, stats: &mut FuseStats) -> bool {
     while pc < n {
         // Single-instruction rewrite: BinI(Add, r, r, imm) → IncLocal.
         if let Instr::BinI { k: BinKind::Add, dst, a, imm } = f.code[pc] {
-            if dst == a {
+            if dst == a && gate(&f.code[pc], &f.code[pc]) {
                 plan[pc] = Action::Replace(Instr::IncLocal { r: dst, imm });
                 stats.inc_local_fused += 1;
                 changed = true;
@@ -750,6 +773,10 @@ fn fuse_pairs(f: &mut VmFunc, stats: &mut FuseStats) -> bool {
             continue;
         }
         let (first, second) = (&f.code[pc], &f.code[pc + 1]);
+        if !gate(first, second) {
+            pc += 1;
+            continue;
+        }
         // Branch offsets are relative to the branch (the second element);
         // the fused instruction sits at the first element's pc.
         let refit = |off: i32| off + 1;
@@ -899,9 +926,154 @@ fn fuse_pairs(f: &mut VmFunc, stats: &mut FuseStats) -> bool {
         }
     }
     if changed {
-        rebuild(f, &plan);
+        Some(rebuild(f, &plan))
+    } else {
+        None
     }
-    changed
+}
+
+// ---- tiered re-fuse (profile-parameterized) --------------------------------
+
+/// The runtime feedback that parameterizes one function's tiered re-fuse:
+/// the VM snapshots its inline caches and the function's own dynamic opcode
+/// histogram at tier-up and hands them here.
+pub struct TierFeedback<'a> {
+    /// Per-site speculation decision: `Some((expected class, callee))` when
+    /// the site's cache stayed monomorphic and stable enough to
+    /// devirtualize; `None` keeps the `CallVirt`.
+    pub spec: &'a dyn Fn(u32) -> Option<(u32, FuncId)>,
+    /// This function's dynamic per-opcode retired counts.
+    pub hist: &'a [u32; OPCODE_COUNT],
+    /// A fusion pattern is applied only when every constituent opcode
+    /// retired at least this many times in this function.
+    pub hot_min: u32,
+}
+
+/// One function's hot-tier body: profile-selected superinstructions plus
+/// IC-feedback devirtualization, with the deopt-pc map back to the baseline
+/// body the guards transfer to on failure.
+#[derive(Clone, Debug)]
+pub struct TieredBody {
+    /// The re-fused code, executed in place of the baseline body.
+    pub code: Vec<Instr>,
+    /// `orig_of[pc]`: the baseline-body pc each tiered instruction
+    /// originates from (the first of a fused pair).
+    pub orig_of: Vec<u32>,
+    /// Speculative [`Instr::CallGuard`] sites emitted.
+    pub guards: usize,
+    /// Speculative [`Instr::CallInline`] sites emitted.
+    pub inlines: usize,
+    /// Pair fusions performed (profile-gated).
+    pub fused: usize,
+}
+
+/// Re-fuses one function using its own runtime profile — the tier-up pass.
+///
+/// Deliberately *narrower* than the static `fuse_func` pipeline: it runs
+/// only the pair-fusion scan (profile-gated), never copy propagation or
+/// dead-code elimination. Pair fusion elides exactly one register write per
+/// rewrite, and only when that register is dead after the pair — so at
+/// every surviving instruction boundary the tiered frame holds values
+/// identical to the baseline frame for every register the baseline may
+/// still read. That is the invariant that makes deoptimization a plain pc
+/// transfer: a failing guard resumes the *unfused* body at
+/// [`TieredBody::orig_of`]`[pc]` with the frame as-is.
+pub fn tier_fuse_func(p: &VmProgram, func: FuncId, fb: &TierFeedback<'_>) -> TieredBody {
+    let mut f = p.funcs[func as usize].clone();
+    let mut orig_of: Vec<u32> = (0..f.code.len() as u32).collect();
+    let mut stats = FuseStats::default();
+    // Superinstructions only exist here because a previous gated round
+    // built them from hot constituents, so they stay eligible — otherwise
+    // chained patterns (e.g. Bin+Const → BinI, then BinI+Br → CmpBrI) would
+    // never form: fusion-produced opcodes have no baseline histogram entry.
+    let hot = |i: &Instr| i.is_super() || fb.hist[i.opcode()] >= fb.hot_min;
+    let gate = |a: &Instr, b: &Instr| hot(a) && hot(b);
+    while let Some(old_of_new) = fuse_pairs_gated(&mut f, &mut stats, &gate) {
+        orig_of = old_of_new.iter().map(|&o| orig_of[o]).collect();
+    }
+    let mut guards = 0;
+    let mut inlines = 0;
+    for (pc, i) in f.code.iter_mut().enumerate() {
+        let Instr::CallVirt { site, args, rets, .. } = i else { continue };
+        let Some((class, callee)) = (fb.spec)(*site) else { continue };
+        let deopt_pc = orig_of[pc];
+        let (site, args, rets) = (*site, std::mem::take(args), std::mem::take(rets));
+        *i = match inline_op(p, callee, args.len()) {
+            Some(op) => {
+                inlines += 1;
+                Instr::CallInline { class, site, deopt_pc, op, args, rets }
+            }
+            None => {
+                guards += 1;
+                Instr::CallGuard { class, func: callee, site, deopt_pc, args, rets }
+            }
+        };
+    }
+    TieredBody { code: f.code, orig_of, guards, inlines, fused: stats.fused_total() }
+}
+
+/// Whether `callee`'s body is a one-instruction leaf reducible to an
+/// [`InlOp`] at a call site with `argc` arguments. Parameters occupy
+/// registers `0..param_count`, so operand registers below `param_count`
+/// name argument positions directly. Trapping arithmetic (`Div`/`Mod`) is
+/// never inlined; the field accessor keeps its null check at execution.
+fn inline_op(p: &VmProgram, callee: FuncId, argc: usize) -> Option<InlOp> {
+    let f = p.funcs.get(callee as usize)?;
+    if f.ret_count != 1 || f.param_count != argc || f.param_count > u8::MAX as usize {
+        return None;
+    }
+    let param = |r: Reg| (r as usize) < f.param_count;
+    // Lowered bodies end with an unreachable `Trap` backstop; it never
+    // executes, so strip it before shape-matching.
+    let code = match f.code.as_slice() {
+        [rest @ .., Instr::Trap(_)] => rest,
+        all => all,
+    };
+    match code {
+        [Instr::Ret(rs)] if rs.len() == 1 && param(rs[0]) => Some(InlOp::Arg(rs[0] as u8)),
+        [Instr::ConstI(d, v), Instr::Ret(rs)] if rs.len() == 1 && rs[0] == *d => {
+            i32::try_from(*v).ok().map(InlOp::Const)
+        }
+        [Instr::Bin(k, d, a, b), Instr::Ret(rs)]
+            if rs.len() == 1
+                && rs[0] == *d
+                && param(*a)
+                && param(*b)
+                && !matches!(k, BinKind::Div | BinKind::Mod) =>
+        {
+            Some(InlOp::Bin(*k, *a as u8, *b as u8))
+        }
+        [Instr::BinI { k, dst, a, imm }, Instr::Ret(rs)]
+            if rs.len() == 1
+                && rs[0] == *dst
+                && param(*a)
+                && !matches!(k, BinKind::Div | BinKind::Mod) =>
+        {
+            Some(InlOp::BinI(*k, *a as u8, *imm))
+        }
+        [Instr::FieldGet { dst, obj, slot }, Instr::Ret(rs)]
+            if rs.len() == 1 && rs[0] == *dst && param(*obj) && *slot <= u16::MAX as u32 =>
+        {
+            Some(InlOp::Field(*slot as u16, *obj as u8))
+        }
+        [Instr::FieldGetRet { obj, slot }] if param(*obj) && *slot <= u16::MAX as u32 => {
+            Some(InlOp::Field(*slot as u16, *obj as u8))
+        }
+        // The unfused form of `param op constant`: a constant load feeding a
+        // binary op whose other operand is a parameter. The tiered caller
+        // runs this whether or not the callee itself ever got fused.
+        [Instr::ConstI(c, v), Instr::Bin(k, d, a, b), Instr::Ret(rs)]
+            if rs.len() == 1
+                && rs[0] == *d
+                && param(*a)
+                && b == c
+                && !param(*c)
+                && !matches!(k, BinKind::Div | BinKind::Mod) =>
+        {
+            i32::try_from(*v).ok().map(|imm| InlOp::BinI(*k, *a as u8, imm))
+        }
+        _ => None,
+    }
 }
 
 // ---- validation ------------------------------------------------------------
@@ -991,7 +1163,10 @@ pub fn check_fused(p: &VmProgram) -> Vec<Violation> {
                     message: "superinstruction allocates (§4.2 invariant broken)".into(),
                 });
             }
-            if let Instr::CallVirt { site, .. } = i {
+            if let Instr::CallVirt { site, .. }
+            | Instr::CallGuard { site, .. }
+            | Instr::CallInline { site, .. } = i
+            {
                 match sites_seen.get_mut(*site as usize) {
                     Some(seen) => *seen = true,
                     None => out.push(Violation {

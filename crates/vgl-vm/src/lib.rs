@@ -29,15 +29,23 @@ mod flight;
 pub mod fuse;
 mod lower;
 mod profile;
+mod tier;
 mod vm;
 
 pub use bytecode::{
-    BinKind, ClosTest, FuncId, Instr, Reg, VmClass, VmFunc, VmProgram, FIRST_SUPER_OPCODE,
-    OPCODE_COUNT, OPCODE_NAMES,
+    BinKind, ClosTest, FuncId, InlOp, Instr, Reg, VmClass, VmFunc, VmProgram,
+    FIRST_SUPER_OPCODE, OPCODE_COUNT, OPCODE_NAMES,
 };
-pub use disasm::{disasm, disasm_instr, side_by_side};
+pub use disasm::{disasm, disasm_instr, side_by_side, tiered_view};
 pub use flight::{CallKind, FlightEvent, FlightKind, FlightRecorder};
-pub use fuse::{check_fused, fuse, fuse_cfg, fuse_jobs, FuseStats};
+pub use fuse::{
+    check_fused, fuse, fuse_cfg, fuse_jobs, tier_fuse_func, FuseStats, TierFeedback, TieredBody,
+};
 pub use lower::{lower, lower_fuse};
-pub use profile::{FuncSpan, GcEvent, GcInstant, HotFunc, RuntimeProfile, TraceLog, VmProfile};
+pub use profile::{
+    FuncSpan, GcEvent, GcInstant, HotFunc, RuntimeProfile, TierInstant, TraceLog, VmProfile,
+};
+pub use tier::{
+    site_speculation, Speculation, TierState, DEFAULT_TIER_THRESHOLD, SPEC_MISS_CAP,
+};
 pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats, RET_INLINE};

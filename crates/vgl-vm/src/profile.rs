@@ -322,6 +322,17 @@ pub struct GcInstant {
     pub capacity_slots: usize,
 }
 
+/// One tier transition as a wall-clock instant, for Chrome-trace export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierInstant {
+    /// Offset from the log's origin.
+    pub at: Duration,
+    /// The function that changed tier.
+    pub func: FuncId,
+    /// `false` = tier-up (hot body installed), `true` = deoptimization.
+    pub deopt: bool,
+}
+
 /// A wall-clock log of VM function spans and GC instants, recorded only in
 /// explicit `vglc trace` runs (it reads the clock twice per call, which is
 /// exactly the overhead the deterministic [`RuntimeProfile`] avoids).
@@ -338,6 +349,8 @@ pub struct TraceLog {
     spans: vgl_obs::flight::Ring<FuncSpan>,
     /// Collections, in order.
     pub gc: Vec<GcInstant>,
+    /// Tier-ups and deoptimizations, in order.
+    pub tier: Vec<TierInstant>,
 }
 
 impl TraceLog {
@@ -348,6 +361,7 @@ impl TraceLog {
             open: Vec::with_capacity(64),
             spans: vgl_obs::flight::Ring::new(max_spans),
             gc: Vec::new(),
+            tier: Vec::new(),
         }
     }
 
@@ -392,6 +406,11 @@ impl TraceLog {
             live_slots,
             capacity_slots,
         });
+    }
+
+    /// Records a tier transition (`deopt: false` = tier-up, `true` = deopt).
+    pub fn record_tier(&mut self, func: FuncId, deopt: bool) {
+        self.tier.push(TierInstant { at: self.origin.elapsed(), func, deopt });
     }
 
     /// Closes every open span at the current instant — called when a run

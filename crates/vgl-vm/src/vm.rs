@@ -19,7 +19,10 @@
 
 use crate::bytecode::*;
 use crate::flight::{CallKind, FlightKind, FlightRecorder};
+use crate::fuse::{tier_fuse_func, TierFeedback, TieredBody};
 use crate::profile::{GcEvent, RuntimeProfile, TraceLog, VmProfile};
+use crate::tier::{site_speculation, Speculation, TierState};
+use std::rc::Rc;
 use std::time::Instant;
 use vgl_runtime::heap::GcRecord;
 use vgl_ir::ops::{self, Exception};
@@ -74,6 +77,16 @@ pub struct VmStats {
     /// returns more than [`RET_INLINE`] values. Zero for all-scalar code —
     /// the steady-state dispatch loop performs **no Rust-side allocation**.
     pub ret_spills: u64,
+    /// Functions promoted to the hot tier (counting re-tiers).
+    pub tier_ups: u64,
+    /// Guard failures that deoptimized a frame back to its baseline body.
+    pub deopts: u64,
+    /// Devirtualized virtual calls dispatched through a passing
+    /// `CallGuard` receiver-class guard.
+    pub guarded_calls: u64,
+    /// Virtual calls whose one-instruction callee ran inline via
+    /// `CallInline` — no frame was pushed.
+    pub inlined_calls: u64,
     /// Heap statistics (tuple_boxes is always 0 — E1's compiled side).
     pub heap: HeapStats,
 }
@@ -146,6 +159,13 @@ struct FrameInfo {
     /// profiler subtracts it from the inclusive total at frame exit to
     /// get the exclusive share without any bookkeeping at call time.
     child_instrs: u64,
+    /// The hot-tier body this frame executes, pinned at frame push — `None`
+    /// runs the baseline body. The `Rc` keeps the code alive even if the
+    /// function re-tiers or deoptimizes while this frame is live; tier
+    /// transitions only affect *future* frame pushes (no on-stack
+    /// replacement), except that a failing guard clears this frame's own
+    /// handle as it transfers to the baseline body.
+    code: Option<Rc<TieredBody>>,
 }
 
 /// The virtual machine.
@@ -184,6 +204,15 @@ pub struct Vm<'p> {
     tracelog: Option<Box<TraceLog>>,
     /// Crash flight recorder (`--flight-record`).
     flight: Option<Box<FlightRecorder>>,
+    /// Tiered-execution state ([`Vm::enable_tiering`]): per-function
+    /// hot-tier bodies, re-tier schedule, and speculation bookkeeping.
+    /// Boxed like the profilers; the dispatch loop is monomorphized over a
+    /// `TIER` const so the disabled case costs nothing.
+    tier: Option<Box<TierState>>,
+    /// Bumped on every frame push, pop, and deopt. The dispatch loop keys
+    /// its cached tier-body handle on this, so the per-instruction cost of
+    /// tiering is one compare instead of an `Rc` clone.
+    code_gen: u64,
 }
 
 impl<'p> Vm<'p> {
@@ -219,6 +248,8 @@ impl<'p> Vm<'p> {
             hot_precise: false,
             tracelog: None,
             flight: None,
+            tier: None,
+            code_gen: 0,
         }
     }
 
@@ -285,6 +316,27 @@ impl<'p> Vm<'p> {
         } else {
             Some(std::mem::take(&mut self.hotness))
         }
+    }
+
+    /// Turns on tiered execution: every function starts in the cheap
+    /// unfused (baseline) tier, and when its sampled hotness — calls plus
+    /// back-edge ticks — crosses `threshold` (clamped to ≥ 1) the VM
+    /// re-fuses it using its own runtime profile: IC-feedback
+    /// devirtualization behind receiver-class guards, profile-selected
+    /// superinstructions, and deoptimization back to the baseline body on
+    /// guard failure. Implies [`Vm::enable_runtime_profiling`] (tiering
+    /// consumes the sampling rows).
+    pub fn enable_tiering(&mut self, threshold: u64) {
+        self.enable_runtime_profiling();
+        if self.tier.is_none() {
+            self.tier = Some(Box::new(TierState::new(self.program, threshold)));
+        }
+    }
+
+    /// The tiering state, when enabled — `vglc disasm --tiered` and the
+    /// tier tests read hot-tier bodies and megamorphic marks through this.
+    pub fn tier_state(&self) -> Option<&TierState> {
+        self.tier.as_deref()
     }
 
     /// Turns on the wall-clock trace log for Chrome-trace export: one span
@@ -366,6 +418,7 @@ impl<'p> Vm<'p> {
         if let Some(fr) = self.flight.as_deref_mut() {
             fr.record(self.stats.instrs, FlightKind::Call { kind: CallKind::Static, func });
         }
+        self.code_gen = self.code_gen.wrapping_add(1);
         self.frames.push(FrameInfo {
             func,
             pc: 0,
@@ -373,6 +426,10 @@ impl<'p> Vm<'p> {
             rets: RetSlots::Inline { len: 0, regs: [0; RET_INLINE] },
             entry_instr: self.stats.instrs,
             child_instrs: 0,
+            code: self
+                .tier
+                .as_deref()
+                .and_then(|t| t.slots[func as usize].body.clone()),
         });
         let depth = self.frames.len();
         // Monomorphize the dispatch loop over the profilers once per run:
@@ -380,18 +437,24 @@ impl<'p> Vm<'p> {
         // the enabled hooks compile to straight-line counter updates.
         // HOT: 0 = off, 1 = sampling (calls + back-edge ticks), 2 = precise
         // (sampling plus exact inclusive/exclusive accounting per return).
+        // TIER requires the sampling rows, so it never combines with HOT=0.
         let hot = match (self.hotness.rows.is_empty(), self.hot_precise) {
             (true, _) => 0,
             (false, false) => 1,
             (false, true) => 2,
         };
-        let r = match (self.profile.is_some(), hot) {
-            (false, 0) => self.interp_until::<false, 0>(depth - 1),
-            (false, 1) => self.interp_until::<false, 1>(depth - 1),
-            (false, _) => self.interp_until::<false, 2>(depth - 1),
-            (true, 0) => self.interp_until::<true, 0>(depth - 1),
-            (true, 1) => self.interp_until::<true, 1>(depth - 1),
-            (true, _) => self.interp_until::<true, 2>(depth - 1),
+        let tier = self.tier.is_some();
+        let r = match (self.profile.is_some(), hot, tier) {
+            (false, 0, _) => self.interp_until::<false, 0, false>(depth - 1),
+            (false, 1, false) => self.interp_until::<false, 1, false>(depth - 1),
+            (false, 1, true) => self.interp_until::<false, 1, true>(depth - 1),
+            (false, _, false) => self.interp_until::<false, 2, false>(depth - 1),
+            (false, _, true) => self.interp_until::<false, 2, true>(depth - 1),
+            (true, 0, _) => self.interp_until::<true, 0, false>(depth - 1),
+            (true, 1, false) => self.interp_until::<true, 1, false>(depth - 1),
+            (true, 1, true) => self.interp_until::<true, 1, true>(depth - 1),
+            (true, _, false) => self.interp_until::<true, 2, false>(depth - 1),
+            (true, _, true) => self.interp_until::<true, 2, true>(depth - 1),
         };
         match r {
             Ok(values) => {
@@ -421,10 +484,18 @@ impl<'p> Vm<'p> {
 
     /// Runs frames until the frame stack drops back to `floor`, returning
     /// the popped frame's return values.
-    fn interp_until<const PROFILE: bool, const HOT: u8>(
+    fn interp_until<const PROFILE: bool, const HOT: u8, const TIER: bool>(
         &mut self,
         floor: usize,
     ) -> Result<Vec<Word>, VmError> {
+        let program: &'p VmProgram = self.program;
+        // The top frame's pinned tier body. Holding a clone of the frame's
+        // `Rc` handle keeps the instruction borrow independent of `self`,
+        // so deopt can swap the frame's handle mid-arm; keying the cache on
+        // `code_gen` (bumped at every frame push, pop, and deopt) makes the
+        // per-instruction cost one compare instead of an `Rc` clone.
+        let mut tier_code: Option<Rc<TieredBody>> = None;
+        let mut tier_gen: u64 = u64::MAX;
         loop {
             self.stats.instrs += 1;
             let fi = self.frames.len() - 1;
@@ -434,7 +505,26 @@ impl<'p> Vm<'p> {
             };
             // Default: advance to the next instruction.
             self.frames[fi].pc = pc + 1;
-            let instr = &self.program.funcs[func as usize].code[pc];
+            if TIER && tier_gen != self.code_gen {
+                tier_gen = self.code_gen;
+                tier_code = self.frames[fi].code.clone();
+            }
+            let instr = match if TIER { tier_code.as_deref() } else { None } {
+                Some(t) => &t.code[pc],
+                None => {
+                    let i = &program.funcs[func as usize].code[pc];
+                    if TIER {
+                        // Histogram only while in the baseline tier: this
+                        // is the profile that picks the hot tier's fusion
+                        // patterns, and the hot tier itself stays free of
+                        // per-instruction bookkeeping.
+                        if let Some(t) = self.tier.as_deref_mut() {
+                            t.hist[func as usize][i.opcode()] += 1;
+                        }
+                    }
+                    i
+                }
+            };
             if PROFILE {
                 if let Some(p) = self.profile.as_deref_mut() {
                     p.opcodes[instr.opcode()] += 1;
@@ -459,6 +549,9 @@ impl<'p> Vm<'p> {
                         // never sees the profiler.
                         if HOT != 0 {
                             self.hotness.rows[func as usize].ticks += 1;
+                            if TIER {
+                                self.check_tier_up(func);
+                            }
                         }
                     }
                     self.frames[fi].pc = (pc as i64 + off as i64) as usize;
@@ -527,8 +620,8 @@ impl<'p> Vm<'p> {
                     self.stats.calls += 1;
                     check_fuel!();
                     let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
-                    self.note_call::<HOT>(*callee);
-                    self.push_frame_args(*callee, CallKind::Static, base, None, args, rets);
+                    self.note_call::<HOT, TIER>(*callee);
+                    self.push_frame_args::<TIER>(*callee, CallKind::Static, base, None, args, rets);
                 }
                 Instr::CallVirt { slot, site, args, rets } => {
                     self.stats.calls += 1;
@@ -549,6 +642,13 @@ impl<'p> Vm<'p> {
                         self.stats.ic_misses += 1;
                         let f = self.program.classes[class as usize].vtable[*slot as usize];
                         self.ic[*site as usize] = IcEntry { class, func: f };
+                        if TIER {
+                            // Stability signal for speculation: a site that
+                            // keeps missing is never devirtualized.
+                            if let Some(t) = self.tier.as_deref_mut() {
+                                t.site_miss[*site as usize] += 1;
+                            }
+                        }
                         if let Some(fr) = self.flight.as_deref_mut() {
                             fr.record(
                                 self.stats.instrs,
@@ -558,8 +658,75 @@ impl<'p> Vm<'p> {
                         f
                     };
                     let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
-                    self.note_call::<HOT>(callee);
-                    self.push_frame_args(callee, CallKind::Virtual, base, None, args, rets);
+                    self.note_call::<HOT, TIER>(callee);
+                    self.push_frame_args::<TIER>(callee, CallKind::Virtual, base, None, args, rets);
+                }
+                Instr::CallGuard { class, func: callee, site, deopt_pc, args, rets } => {
+                    // Speculative devirtualization (tier-only): one class
+                    // compare replaces IC probe + vtable walk. A mismatching
+                    // (or null) receiver deoptimizes this frame to the
+                    // baseline body, which re-executes the site as a plain
+                    // `CallVirt` — identical observable behaviour, including
+                    // the null-check trap.
+                    debug_assert!(TIER, "CallGuard outside tiered body");
+                    let recv = reg!(args[0]);
+                    let seen = if recv == NULL { IC_EMPTY } else { self.heap.meta(recv) };
+                    if seen == *class {
+                        self.stats.calls += 1;
+                        self.stats.virtual_calls += 1;
+                        self.stats.guarded_calls += 1;
+                        check_fuel!();
+                        let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
+                        self.note_call::<HOT, TIER>(*callee);
+                        self.push_frame_args::<TIER>(
+                            *callee,
+                            CallKind::Virtual,
+                            base,
+                            None,
+                            args,
+                            rets,
+                        );
+                    } else {
+                        self.deopt(fi, func, *site, *deopt_pc, seen);
+                    }
+                }
+                Instr::CallInline { class, site, deopt_pc, op, args, rets } => {
+                    // Speculatively inlined one-instruction leaf callee: the
+                    // whole call collapses to the callee's single operation,
+                    // with no frame push at all.
+                    debug_assert!(TIER, "CallInline outside tiered body");
+                    let recv = reg!(args[0]);
+                    let seen = if recv == NULL { IC_EMPTY } else { self.heap.meta(recv) };
+                    if seen == *class {
+                        self.stats.calls += 1;
+                        self.stats.virtual_calls += 1;
+                        self.stats.inlined_calls += 1;
+                        let v = match *op {
+                            InlOp::Arg(p) => reg!(args[p as usize]),
+                            InlOp::Const(c) => heap::scalar(c as i64),
+                            InlOp::Bin(k, a, b) => {
+                                let x = as_i32(reg!(args[a as usize]));
+                                let y = as_i32(reg!(args[b as usize]));
+                                bin_value(k, x, y)?
+                            }
+                            InlOp::BinI(k, a, imm) => {
+                                let x = as_i32(reg!(args[a as usize]));
+                                bin_value(k, x, imm)?
+                            }
+                            InlOp::Field(slot, obj) => {
+                                let o = reg!(args[obj as usize]);
+                                if o == NULL {
+                                    return Err(VmError::Exception(Exception::NullCheck));
+                                }
+                                self.heap.get(o, slot as usize)
+                            }
+                        };
+                        if let Some(&dst) = rets.first() {
+                            reg!(dst) = v;
+                        }
+                    } else {
+                        self.deopt(fi, func, *site, *deopt_pc, seen);
+                    }
                 }
                 Instr::CallClos { clos, args, rets } => {
                     self.stats.calls += 1;
@@ -575,8 +742,8 @@ impl<'p> Vm<'p> {
                     // statically exact after normalization (§4.1/§4.2).
                     let rets = RetSlots::new(rets, &mut self.stats.ret_spills);
                     let prepend = (recv != NULL).then_some(recv);
-                    self.note_call::<HOT>(fnid);
-                    self.push_frame_args(fnid, CallKind::Closure, base, prepend, args, rets);
+                    self.note_call::<HOT, TIER>(fnid);
+                    self.push_frame_args::<TIER>(fnid, CallKind::Closure, base, prepend, args, rets);
                 }
                 Instr::CallBuiltin { b, args, rets } => {
                     debug_assert!(args.len() <= 2, "builtin arity");
@@ -765,6 +932,7 @@ impl<'p> Vm<'p> {
                     reg!(*d) = heap::scalar(i64::from(n));
                 }
                 Instr::Ret(regs) => {
+                    self.code_gen = self.code_gen.wrapping_add(1);
                     let frame = self.frames.pop().expect("frame present");
                     self.note_return::<HOT>(&frame);
                     if self.frames.len() == floor {
@@ -834,6 +1002,7 @@ impl<'p> Vm<'p> {
                         return Err(VmError::Exception(Exception::NullCheck));
                     }
                     let v = self.heap.get(o, *slot as usize);
+                    self.code_gen = self.code_gen.wrapping_add(1);
                     let frame = self.frames.pop().expect("frame present");
                     self.note_return::<HOT>(&frame);
                     self.stack.truncate(frame.base);
@@ -855,9 +1024,95 @@ impl<'p> Vm<'p> {
     /// cost attribution happens at frame exit. Kept out of
     /// [`Vm::push_frame_args`] so the frame-push fast path stays small.
     #[inline]
-    fn note_call<const HOT: u8>(&mut self, callee: FuncId) {
+    fn note_call<const HOT: u8, const TIER: bool>(&mut self, callee: FuncId) {
         if HOT != 0 {
             self.hotness.rows[callee as usize].calls += 1;
+            if TIER {
+                // Checked before the frame push reads the tier slot, so the
+                // threshold-crossing call itself already runs the hot tier.
+                self.check_tier_up(callee);
+            }
+        }
+    }
+
+    /// Tier-up trigger, checked at the fuel-check points (calls and loop
+    /// back-edges). A function (re-)tiers once its hotness weight — calls
+    /// plus back-edge ticks — reaches its slot's `next_at`.
+    #[inline]
+    fn check_tier_up(&mut self, func: FuncId) {
+        let Some(t) = self.tier.as_deref() else { return };
+        let row = &self.hotness.rows[func as usize];
+        let w = row.calls + row.ticks;
+        if w >= t.slots[func as usize].next_at {
+            self.tier_up(func, w);
+        }
+    }
+
+    /// Re-runs fusion on one function using its own runtime profile and
+    /// installs the result as the function's hot-tier body. Frames already
+    /// running the old body keep their pinned `Rc` — there is no OSR; the
+    /// new body applies to future pushes only.
+    #[cold]
+    fn tier_up(&mut self, func: FuncId, weight: u64) {
+        let body = {
+            let t = self.tier.as_deref().expect("tiering enabled");
+            let ic = &self.ic;
+            // Speculate only on sites the IC history says are monomorphic
+            // and stable, and that never deopted (sticky mega mark).
+            let spec = |site: u32| {
+                let e = ic[site as usize];
+                let cached = (e.class != IC_EMPTY).then_some((e.class, e.func));
+                match site_speculation(cached, t.site_miss[site as usize], t.mega[site as usize])
+                {
+                    Speculation::Speculate { class, func } => Some((class, func)),
+                    _ => None,
+                }
+            };
+            let fb = TierFeedback {
+                spec: &spec,
+                hist: &t.hist[func as usize],
+                hot_min: t.hot_min,
+            };
+            tier_fuse_func(self.program, func, &fb)
+        };
+        let t = self.tier.as_deref_mut().expect("tiering enabled");
+        let threshold = t.threshold;
+        let slot = &mut t.slots[func as usize];
+        slot.body = Some(Rc::new(body));
+        slot.tier_ups += 1;
+        // Doubling schedule bounds re-fuse churn on functions that stay hot.
+        slot.next_at = weight.max(threshold).saturating_mul(2);
+        self.stats.tier_ups += 1;
+        if let Some(fr) = self.flight.as_deref_mut() {
+            fr.record(self.stats.instrs, FlightKind::TierUp { func });
+        }
+        if let Some(tl) = self.tracelog.as_deref_mut() {
+            tl.record_tier(func, false);
+        }
+    }
+
+    /// Guard failure: transfer the current frame back to the baseline body
+    /// at the pc the failed site originated from, and mark the site
+    /// megamorphic so no future tier-up re-speculates it. The tier pipeline
+    /// only performs transformations that keep every baseline-live register
+    /// valid at guard points, so the transfer is a plain pc swap.
+    #[cold]
+    fn deopt(&mut self, fi: usize, func: FuncId, site: u32, deopt_pc: u32, seen: u32) {
+        self.stats.deopts += 1;
+        let t = self.tier.as_deref_mut().expect("tiering enabled");
+        t.mega[site as usize] = true;
+        t.slots[func as usize].body = None;
+        // Re-tier at the next trigger point: the replacement body has the
+        // failed site de-speculated but keeps everything else.
+        t.slots[func as usize].next_at = 0;
+        self.frames[fi].code = None;
+        self.frames[fi].pc = deopt_pc as usize;
+        self.code_gen = self.code_gen.wrapping_add(1);
+        if let Some(fr) = self.flight.as_deref_mut() {
+            fr.record(self.stats.instrs, FlightKind::Deopt { site, class: seen, func });
+        }
+        if let Some(tl) = self.tracelog.as_deref_mut() {
+            tl.record_tier(func, true);
         }
     }
 
@@ -887,7 +1142,7 @@ impl<'p> Vm<'p> {
     /// the caller registers `args` directly into the new frame — no
     /// temporary argument vector.
     #[inline]
-    fn push_frame_args(
+    fn push_frame_args<const TIER: bool>(
         &mut self,
         callee: FuncId,
         kind: CallKind,
@@ -920,6 +1175,7 @@ impl<'p> Vm<'p> {
             self.stack[at] = self.stack[caller_base + r as usize];
             at += 1;
         }
+        self.code_gen = self.code_gen.wrapping_add(1);
         self.frames.push(FrameInfo {
             func: callee,
             pc: 0,
@@ -927,6 +1183,11 @@ impl<'p> Vm<'p> {
             rets,
             entry_instr: self.stats.instrs,
             child_instrs: 0,
+            code: if TIER {
+                self.tier.as_deref().and_then(|t| t.slots[callee as usize].body.clone())
+            } else {
+                None
+            },
         });
     }
 

@@ -25,14 +25,26 @@ def run(chain: Node, x0: int) -> int {
     for (n = chain; n != null; n = n.next) x = n.op.apply(x);
     return x;
 }
+// A second walker kept separate from `run` on purpose: its apply site only
+// ever sees `Inc`, so once it tiers up the site is speculated into a
+// class-guarded inlined `x + 1` — `vglc disasm --tiered` shows the
+// `call_inline` where `run`'s mixed-chain site stays a plain virtual call.
+def runinc(chain: Node, x0: int) -> int {
+    var x = x0;
+    for (n = chain; n != null; n = n.next) x = n.op.apply(x);
+    return x;
+}
 def main() -> int {
     var none: Node;
     var chain = Node.new(Dbl.new(), Node.new(Mask.new(), none));
     // A mostly-monomorphic prefix: the apply site sees Inc six times per
     // walk, so its inline cache hits on five of them.
     for (j = 0; j < 6; j = j + 1) chain = Node.new(Inc.new(), chain);
+    var mono: Node;
+    for (k = 0; k < 8; k = k + 1) mono = Node.new(Inc.new(), mono);
     var acc = 0;
     for (i = 0; i < 64; i = i + 1) acc = (acc + run(chain, i)) % 9973;
+    for (i = 0; i < 64; i = i + 1) acc = (acc + runinc(mono, i)) % 9973;
     System.puti(acc);
     System.ln();
     return acc;

@@ -22,7 +22,7 @@ const GOLDEN: &[(&str, &str, &str)] = &[
     ("delegates.v", "177", "177 10\n"),
     ("wide_tuples.v", "180", "9 9 72\n108\n"),
     ("gc.v", "39564", "39564\n"),
-    ("dispatch_chain.v", "4800", "4800\n"),
+    ("dispatch_chain.v", "7328", "7328\n"),
 ];
 
 #[test]
