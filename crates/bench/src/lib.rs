@@ -289,6 +289,128 @@ pub fn measure_tiered(name: &str, source: &str, samples: usize) -> TieredMeasure
     }
 }
 
+/// One server workload measured under the pure semispace collector vs the
+/// generational collector at equal heap capacity — the E12 data point.
+#[derive(Clone, Debug)]
+pub struct GcMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// p99 GC pause under the semispace collector (nursery disabled),
+    /// pooled over every collection in every sample run.
+    pub semi_p99: Duration,
+    /// p99 GC pause under the generational collector, pooled likewise over
+    /// minor *and* major pauses — majors are not allowed to hide.
+    pub gen_p99: Duration,
+    /// Best (min-of-N after warmup) wall-clock VM time, semispace.
+    pub semi_time: Duration,
+    /// Best (min-of-N after warmup) wall-clock VM time, generational.
+    pub gen_time: Duration,
+    /// Collections per run under the semispace collector (all majors).
+    pub semi_collections: u64,
+    /// Minor collections per run under the generational collector.
+    pub gen_minors: u64,
+    /// Major collections per run under the generational collector.
+    pub gen_majors: u64,
+}
+
+impl GcMeasurement {
+    /// gen_p99 / semi_p99 — below 1.0 means the generational collector
+    /// pauses shorter at the tail (the `bench_gc` gate wants ≤ 0.5 on the
+    /// steady-state server workload).
+    pub fn pause_ratio(&self) -> f64 {
+        self.gen_p99.as_secs_f64() / self.semi_p99.as_secs_f64().max(1e-9)
+    }
+
+    /// semi_time / gen_time — at or above 1.0 means the nursery costs no
+    /// throughput ("equal throughput" in the gate allows a small tolerance
+    /// for the write-barrier tax).
+    pub fn throughput_ratio(&self) -> f64 {
+        self.semi_time.as_secs_f64() / self.gen_time.as_secs_f64().max(1e-9)
+    }
+}
+
+/// p99 by rank over the pooled pauses: the value below which 99% of pauses
+/// fall. Zero when nothing collected.
+fn pause_p99(pauses: &mut [Duration]) -> Duration {
+    if pauses.is_empty() {
+        return Duration::ZERO;
+    }
+    pauses.sort();
+    let idx = ((pauses.len() as f64 - 1.0) * 0.99).ceil() as usize;
+    pauses[idx.min(pauses.len() - 1)]
+}
+
+/// Compiles `source` twice — nursery disabled (pure semispace) vs a
+/// `nursery_slots` young generation, both at `heap_slots` total capacity —
+/// asserts the collector choice changes no observable behavior, then runs
+/// `samples` interleaved pairs. Pauses are pooled across all profiled
+/// sample runs before taking p99 (a single run rarely collects often
+/// enough for a stable tail); wall-clock is min-of-N from untimed-warmup
+/// interleaved pairs, like every other timing in this harness.
+pub fn measure_gc(
+    name: &str,
+    source: &str,
+    heap_slots: usize,
+    nursery_slots: usize,
+    samples: usize,
+) -> GcMeasurement {
+    let compile_with = |nursery: usize| {
+        let options = vgl::Options {
+            heap_slots,
+            nursery_slots: nursery,
+            ..Default::default()
+        };
+        match Compiler::with_options(options).compile(source) {
+            Ok(c) => c,
+            Err(e) => panic!("workload failed to compile:\n{e}"),
+        }
+    };
+    let semi = compile_with(0);
+    let generational = compile_with(nursery_slots);
+    let a = semi.execute();
+    let b = generational.execute();
+    assert_eq!(a.result, b.result, "{name}: the nursery changed the result");
+    assert_eq!(a.output, b.output, "{name}: the nursery changed the output");
+    let gen_stats = b.vm_stats.as_ref().expect("vm stats");
+    assert_eq!(gen_stats.heap.tuple_boxes, 0, "{name}: generational run boxed a tuple");
+
+    let mut semi_pauses: Vec<Duration> = Vec::new();
+    let mut gen_pauses: Vec<Duration> = Vec::new();
+    let (mut ts, mut tg): (Option<Duration>, Option<Duration>) = (None, None);
+    let (mut semi_collections, mut gen_minors, mut gen_majors) = (0u64, 0u64, 0u64);
+    for sample in 0..=samples {
+        let start = Instant::now();
+        let (_, sp) = semi.execute_profiled();
+        let s = start.elapsed();
+        let start = Instant::now();
+        let (_, gp) = generational.execute_profiled();
+        let g = start.elapsed();
+        if sample > 0 {
+            ts = Some(ts.map_or(s, |b| b.min(s)));
+            tg = Some(tg.map_or(g, |b| b.min(g)));
+            semi_pauses.extend(sp.gc_events.iter().map(|e| e.pause));
+            gen_pauses.extend(gp.gc_events.iter().map(|e| e.pause));
+            semi_collections = sp.gc_events.len() as u64;
+            gen_minors = gp
+                .gc_events
+                .iter()
+                .filter(|e| e.kind == vgl::GcKind::Minor)
+                .count() as u64;
+            gen_majors = gp.gc_events.len() as u64 - gen_minors;
+        }
+    }
+    GcMeasurement {
+        name: name.to_string(),
+        semi_p99: pause_p99(&mut semi_pauses),
+        gen_p99: pause_p99(&mut gen_pauses),
+        semi_time: ts.expect("at least one timed sample"),
+        gen_time: tg.expect("at least one timed sample"),
+        semi_collections,
+        gen_minors,
+        gen_majors,
+    }
+}
+
 /// One back-end configuration measured on one workload — the E9 data point.
 #[derive(Clone, Debug)]
 pub struct BackendMeasurement {
@@ -439,6 +561,9 @@ mod tests {
             workloads::tuple_width(4, 20),
             workloads::callsite_checks(20),
             workloads::mixed_app(5),
+            workloads::server_churn(200),
+            workloads::server_cache(200),
+            workloads::server_steady(200),
         ] {
             let c = compile(&src);
             let (i, v) = measure_both(&c);

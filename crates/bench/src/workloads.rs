@@ -329,6 +329,146 @@ def main() -> int {{
     )
 }
 
+/// E12 (churn): a long-running "server" loop where every request allocates
+/// a short-lived request/response pair that dies before the next iteration.
+/// Nearly everything dies in the nursery, so the generational collector's
+/// minor pauses touch almost nothing while the semispace collector still
+/// copies whatever happens to be in flight.
+pub fn server_churn(requests: usize) -> String {
+    format!(
+        r#"
+class Request {{ var id: int; var payload: Array<int>; new(id, payload) {{ }} }}
+class Response {{ var id: int; var status: int; var body: Array<int>; new(id, status, body) {{ }} }}
+def handle(r: Request) -> Response {{
+    var body = Array<int>.new(4);
+    for (i = 0; i < body.length; i = i + 1) {{
+        body[i] = r.payload[i % r.payload.length] * 3 + r.id;
+    }}
+    return Response.new(r.id, 200, body);
+}}
+def main() -> int {{
+    var check = 0;
+    for (req = 0; req < {requests}; req = req + 1) {{
+        var payload = Array<int>.new(6);
+        for (i = 0; i < payload.length; i = i + 1) payload[i] = req + i;
+        var resp = handle(Request.new(req, payload));
+        check = (check + resp.body[req & 3] + resp.status) % 1000000;
+    }}
+    return check;
+}}
+"#
+    )
+}
+
+/// E12 (cache): request churn against a fixed-size lookup cache with
+/// eviction. Hits touch only long-lived entries; misses evict a slot and
+/// allocate a replacement entry that survives into the old generation — a
+/// moderate, steady promotion rate on top of the nursery churn.
+pub fn server_cache(requests: usize) -> String {
+    format!(
+        r#"
+class Entry {{
+    var key: int;
+    var val: Array<int>;
+    var hits: int;
+    new(key, val) {{ hits = 0; }}
+}}
+class Request {{ var id: int; var payload: Array<int>; new(id, payload) {{ }} }}
+class Response {{ var id: int; var status: int; var body: Array<int>; new(id, status, body) {{ }} }}
+def handle(r: Request, cache: Array<Entry>) -> Response {{
+    var slot = r.id % cache.length;
+    var e = cache[slot];
+    if (e == null || e.key != r.id) {{
+        // Miss: evict whatever held the slot and promote a fresh entry.
+        var val = Array<int>.new(8);
+        for (i = 0; i < val.length; i = i + 1) {{
+            val[i] = r.payload[i % r.payload.length] * 2 + i;
+        }}
+        e = Entry.new(r.id, val);
+        cache[slot] = e;
+    }}
+    e.hits = e.hits + 1;
+    var body = Array<int>.new(4);
+    for (i = 0; i < body.length; i = i + 1) body[i] = e.val[i] + r.id;
+    return Response.new(r.id, 200, body);
+}}
+def main() -> int {{
+    var cache = Array<Entry>.new(64);
+    var check = 0;
+    for (req = 0; req < {requests}; req = req + 1) {{
+        var payload = Array<int>.new(6);
+        for (i = 0; i < payload.length; i = i + 1) payload[i] = req + i;
+        // 68 live keys over 64 slots: mostly hits, a steady trickle of
+        // evictions keeping the promotion path honest.
+        var resp = handle(Request.new(req % 68, payload), cache);
+        check = (check + resp.body[req & 3] + resp.status) % 1000000;
+    }}
+    return check;
+}}
+"#
+    )
+}
+
+/// E12 (steady state): the cache workload on top of a large long-lived
+/// store allocated once at startup. The semispace collector re-copies the
+/// whole store on every collection; the generational collector promotes it
+/// once and then pays only for nursery survivors — the configuration the
+/// `bench_gc` pause-p99 gate measures.
+pub fn server_steady(requests: usize) -> String {
+    format!(
+        r#"
+class Entry {{
+    var key: int;
+    var val: Array<int>;
+    var hits: int;
+    new(key, val) {{ hits = 0; }}
+}}
+class Request {{ var id: int; var payload: Array<int>; new(id, payload) {{ }} }}
+class Response {{ var id: int; var status: int; var body: Array<int>; new(id, status, body) {{ }} }}
+def handle(r: Request, cache: Array<Entry>) -> Response {{
+    var slot = r.id % cache.length;
+    var e = cache[slot];
+    if (e == null || e.key != r.id) {{
+        var val = Array<int>.new(8);
+        for (i = 0; i < val.length; i = i + 1) {{
+            val[i] = r.payload[i % r.payload.length] * 2 + i;
+        }}
+        e = Entry.new(r.id, val);
+        cache[slot] = e;
+    }}
+    e.hits = e.hits + 1;
+    var body = Array<int>.new(4);
+    for (i = 0; i < body.length; i = i + 1) body[i] = e.val[i] + r.id;
+    return Response.new(r.id, 200, body);
+}}
+def main() -> int {{
+    // The steady-state heap: a startup-time store the server keeps alive
+    // for its whole run (think loaded config + session tables).
+    var store = Array<Array<int>>.new(64);
+    for (i = 0; i < store.length; i = i + 1) {{
+        var chunk = Array<int>.new(64);
+        for (j = 0; j < chunk.length; j = j + 1) chunk[j] = i * 64 + j;
+        store[i] = chunk;
+    }}
+    var cache = Array<Entry>.new(64);
+    var check = 0;
+    for (req = 0; req < {requests}; req = req + 1) {{
+        var payload = Array<int>.new(6);
+        for (i = 0; i < payload.length; i = i + 1) {{
+            payload[i] = store[req % store.length][i] + req;
+        }}
+        // 64 keys over 64 slots: the cache warms up once and then serves
+        // hits, so the long-lived set is genuinely steady (eviction churn
+        // is server_cache's job).
+        var resp = handle(Request.new(req % 64, payload), cache);
+        check = (check + resp.body[req & 3] + resp.status) % 1000000;
+    }}
+    return check + store[63][63];
+}}
+"#
+    )
+}
+
 /// E7: a larger synthetic program (k classes with methods + a generic
 /// library) for measuring compile throughput (§5: "compiles very fast").
 pub fn big_program(k: usize) -> String {

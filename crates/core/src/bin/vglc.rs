@@ -26,7 +26,7 @@
 //!                              emits one JSON object
 //! vglc fuzz [--seed N] [--cases N] [--dump]
 //!                              differential fuzzing: generate N programs,
-//!                              run them on eight engine configurations, and
+//!                              run them on nine engine configurations, and
 //!                              shrink + report the first disagreement
 //! vglc fuzz --chaos [--seed N] [--cases N]
 //!                              crash fuzzing: corrupt generated programs
@@ -44,6 +44,12 @@
 //! `--jobs 1` and `--jobs 8` produce bit-identical bytecode. `--no-cache`
 //! disables the per-instance pass cache (also output-identical; it only
 //! recomputes what duplicate instances would have shared).
+//!
+//! `--heap-slots N` sets the VM heap size in 8-byte slots (default 2^20);
+//! `--nursery-slots N` sets the generational collector's nursery size
+//! (default 2^14, clamped to half the heap). `--nursery-slots 0` disables
+//! the nursery and falls back to the pure semispace collector — every
+//! collection is then a major.
 //!
 //! `--flight-record[=N]` (for `run`) keeps a ring of the last N runtime
 //! events (calls, IC misses, collections, tier-ups, deopts; default 64) and
@@ -66,7 +72,7 @@ fn usage() -> ExitCode {
         "usage: vglc [run|interp|both|check [--json]|stats [--json]|profile|\
          disasm [--tiered]|trace [-o out.json]] \
          [--fuse|--no-fuse] [--tier|--no-tier] [--tier-threshold N] [--jobs N] \
-         [--no-cache] [--flight-record[=N]] <file.v>\n\
+         [--heap-slots N] [--nursery-slots N] [--no-cache] [--flight-record[=N]] <file.v>\n\
          \x20      vglc fuzz [--chaos] [--seed N] [--cases N] [--dump]"
     );
     ExitCode::from(2)
@@ -142,7 +148,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             eprintln!("// ---- seed {seed} ----\n{}", vgl::fuzz::emit(&prog));
         }
     }
-    println!("fuzzing: seed {}, {} cases, 8 engine configurations", cfg.seed, cfg.cases);
+    println!("fuzzing: seed {}, {} cases, 9 engine configurations", cfg.seed, cfg.cases);
     let report = vgl::fuzz::run_fuzz(&cfg, |i, v| {
         if (i + 1) % 50 == 0 {
             println!("  ... case {} ({})", i + 1, vgl::fuzz::describe(v));
@@ -183,6 +189,22 @@ fn main() -> ExitCode {
         } else if let Some(v) = args[i].strip_prefix("--jobs=") {
             let Ok(n) = v.parse::<usize>() else { return usage() };
             options.jobs = n;
+            args.remove(i);
+        } else if args[i] == "--heap-slots" && i + 1 < args.len() {
+            let Ok(n) = args[i + 1].parse::<usize>() else { return usage() };
+            options.heap_slots = n;
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--heap-slots=") {
+            let Ok(n) = v.parse::<usize>() else { return usage() };
+            options.heap_slots = n;
+            args.remove(i);
+        } else if args[i] == "--nursery-slots" && i + 1 < args.len() {
+            let Ok(n) = args[i + 1].parse::<usize>() else { return usage() };
+            options.nursery_slots = n;
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--nursery-slots=") {
+            let Ok(n) = v.parse::<usize>() else { return usage() };
+            options.nursery_slots = n;
             args.remove(i);
         } else if args[i] == "-o" && i + 1 < args.len() {
             out_path = Some(args[i + 1].clone());

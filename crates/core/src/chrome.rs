@@ -113,16 +113,21 @@ pub fn chrome_trace(c: &Compilation, run: &RunOutcome, log: &TraceLog) -> Chrome
         run_end = run_end.max(at(span.start) + span.dur.as_secs_f64() * 1e6);
     }
 
-    // GC: an instant tick per collection plus the occupancy curve. The
-    // `live`/`free` series stack to the semispace capacity in the viewer.
+    // GC: an instant tick per collection (named by generation, so minor
+    // and major pauses are visually distinct) plus the occupancy curve.
+    // The `live`/`free` series stack to the heap capacity in the viewer.
     for g in &log.gc {
         let ts = at(g.at);
         t.instant(
-            "gc",
+            match g.kind {
+                vgl_vm::GcKind::Minor => "gc-minor",
+                vgl_vm::GcKind::Major => "gc-major",
+            },
             RUNTIME_PID,
             0,
             ts,
             &[
+                ("kind", Json::Str(g.kind.label().into())),
                 ("pause_us", Json::Num(g.pause.as_secs_f64() * 1e6)),
                 ("live_slots", Json::from(g.live_slots as u64)),
                 ("capacity_slots", Json::from(g.capacity_slots as u64)),
@@ -230,7 +235,9 @@ mod tests {
             "missing VM span for main"
         );
         // GC instants and the occupancy counter for an allocating program.
-        assert!(events.iter().any(|e| phase(e) == "i" && name(e) == "gc"));
+        assert!(events
+            .iter()
+            .any(|e| phase(e) == "i" && (name(e) == "gc-minor" || name(e) == "gc-major")));
         assert!(events.iter().any(|e| phase(e) == "C" && name(e) == "heap"));
         // Lanes are labeled.
         assert!(events.iter().any(|e| phase(e) == "M" && name(e) == "process_name"));

@@ -14,7 +14,7 @@
 //! * the **static pipeline** (`vgl-passes`) monomorphizes (§4.3), normalizes
 //!   tuples away (§4.2), and optimizes (§3.3's query folding);
 //! * the **VM** (`vgl-vm`) runs the compiled form with a scalar calling
-//!   convention, vtables, constant-time type tests, and a semispace GC.
+//!   convention, vtables, constant-time type tests, and a generational GC.
 //!
 //! ## Quickstart
 //!
@@ -51,8 +51,8 @@ pub use vgl_syntax::{Diagnostic, Diagnostics, LineMap, Severity};
 pub use vgl_types::{constructor_summary, ConstructorRow, Variance};
 pub use vgl_obs::trace::ChromeTrace;
 pub use vgl_vm::{
-    FlightRecorder, FuncSpan, FuseStats, GcEvent, GcInstant, HotFunc, RuntimeProfile, TraceLog,
-    Vm, VmError, VmProfile, VmProgram, VmStats,
+    FlightRecorder, FuncSpan, FuseStats, GcEvent, GcInstant, GcKind, HotFunc, RuntimeProfile,
+    TraceLog, Vm, VmError, VmProfile, VmProgram, VmStats,
 };
 
 pub use vgl_fuzz as fuzz;
@@ -86,8 +86,13 @@ pub struct Options {
     /// Run the optimizer after normalization (default true). Turning it off
     /// isolates the effect of §3.3 query folding in ablation benchmarks.
     pub optimize: bool,
-    /// Semispace size (slots) for VMs created by [`Compilation::execute`].
+    /// Heap size (slots) for VMs created by [`Compilation::execute`].
     pub heap_slots: usize,
+    /// Nursery size (slots) carved out of the heap for the generational
+    /// collector's young generation. `0` disables the nursery and falls
+    /// back to the pure semispace collector — every collection is a major.
+    /// `vglc --nursery-slots` overrides it.
+    pub nursery_slots: usize,
     /// Fuel (steps/instructions) for the convenience runners; `None` means
     /// unbounded.
     pub fuel: Option<u64>,
@@ -134,6 +139,7 @@ impl Default for Options {
         Options {
             optimize: true,
             heap_slots: 1 << 20,
+            nursery_slots: vgl_vm::DEFAULT_NURSERY_SLOTS,
             fuel: Some(1 << 32),
             validate_ir: cfg!(debug_assertions),
             fuse: cfg!(not(debug_assertions)),
@@ -581,9 +587,13 @@ impl Compilation {
     }
 
     /// Runs the compiled program on the VM — the "native target" with the
-    /// scalar calling convention and the semispace collector.
+    /// scalar calling convention and the generational collector.
     pub fn execute(&self) -> RunOutcome {
-        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        let mut vm = Vm::with_heap_config(
+            &self.program,
+            self.options.heap_slots,
+            self.options.nursery_slots,
+        );
         if self.options.tier {
             vm.enable_tiering(self.options.tier_threshold);
         }
@@ -605,7 +615,11 @@ impl Compilation {
     /// [`Compilation::execute`] with VM profiling enabled: also returns the
     /// per-opcode retired-instruction histogram and the GC event log.
     pub fn execute_profiled(&self) -> (RunOutcome, VmProfile) {
-        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        let mut vm = Vm::with_heap_config(
+            &self.program,
+            self.options.heap_slots,
+            self.options.nursery_slots,
+        );
         if self.options.tier {
             vm.enable_tiering(self.options.tier_threshold);
         }
@@ -644,7 +658,11 @@ impl Compilation {
     }
 
     fn execute_hotness(&self, precise: bool) -> (RunOutcome, RuntimeProfile) {
-        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        let mut vm = Vm::with_heap_config(
+            &self.program,
+            self.options.heap_slots,
+            self.options.nursery_slots,
+        );
         if self.options.tier {
             vm.enable_tiering(self.options.tier_threshold);
         }
@@ -675,7 +693,11 @@ impl Compilation {
     /// instructions) — everything `vglc profile` and `vglc stats --json`
     /// report.
     pub fn execute_profiled_full(&self) -> (RunOutcome, VmProfile, RuntimeProfile) {
-        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        let mut vm = Vm::with_heap_config(
+            &self.program,
+            self.options.heap_slots,
+            self.options.nursery_slots,
+        );
         if self.options.tier {
             vm.enable_tiering(self.options.tier_threshold);
         }
@@ -703,7 +725,11 @@ impl Compilation {
     /// returned [`TraceLog`] carries per-function spans and GC instants,
     /// ready for [`chrome::chrome_trace`](crate::chrome::chrome_trace).
     pub fn execute_traced(&self) -> (RunOutcome, TraceLog) {
-        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        let mut vm = Vm::with_heap_config(
+            &self.program,
+            self.options.heap_slots,
+            self.options.nursery_slots,
+        );
         if self.options.tier {
             vm.enable_tiering(self.options.tier_threshold);
         }
@@ -729,7 +755,11 @@ impl Compilation {
     /// (`vglc run --flight-record`): returns the run plus the rendered dump
     /// of the last `capacity` runtime events, when anything was recorded.
     pub fn execute_flight_recorded(&self, capacity: usize) -> (RunOutcome, Option<String>) {
-        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        let mut vm = Vm::with_heap_config(
+            &self.program,
+            self.options.heap_slots,
+            self.options.nursery_slots,
+        );
         if self.options.tier {
             vm.enable_tiering(self.options.tier_threshold);
         }
@@ -756,7 +786,11 @@ impl Compilation {
     /// every function that tiered up, baseline and hot-tier bodies side by
     /// side, guard sites annotated, megamorphic sites listed.
     pub fn execute_tiered_disasm(&self) -> (RunOutcome, String) {
-        let mut vm = Vm::with_heap(&self.program, self.options.heap_slots);
+        let mut vm = Vm::with_heap_config(
+            &self.program,
+            self.options.heap_slots,
+            self.options.nursery_slots,
+        );
         vm.enable_tiering(self.options.tier_threshold);
         if let Some(f) = self.options.fuel {
             vm.set_fuel(f);

@@ -91,6 +91,8 @@ fn runtime_json(
         tier.set("inlined_calls", Json::from(s.inlined_calls));
         o.set("tier", tier);
         o.set("gc_collections", Json::from(s.heap.collections));
+        o.set("gc_minor", Json::from(s.heap.minor_collections));
+        o.set("gc_major", Json::from(s.heap.major_collections));
         if let Some(h) = hotness {
             o.set("hotness", h.to_json(&c.program));
         }
@@ -249,7 +251,10 @@ fn vm_stats_json(s: &VmStats) -> Json {
     h.set("closures", Json::from(s.heap.closures));
     h.set("tuple_boxes", Json::from(s.heap.tuple_boxes));
     h.set("collections", Json::from(s.heap.collections));
+    h.set("minor_collections", Json::from(s.heap.minor_collections));
+    h.set("major_collections", Json::from(s.heap.major_collections));
     h.set("copied_slots", Json::from(s.heap.copied_slots));
+    h.set("promoted_slots", Json::from(s.heap.promoted_slots));
     h.set("allocated_slots", Json::from(s.heap.allocated_slots));
     o.set("heap", h);
     o

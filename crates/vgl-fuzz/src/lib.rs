@@ -10,7 +10,7 @@
 //!   spanning class hierarchies with virtual and abstract methods, first-class
 //!   functions and bound delegates, generics, tuples up to width 16, type
 //!   queries/casts, recursion, and GC-pressure loops;
-//! - [`oracle`] runs each program on eight engine configurations (source
+//! - [`oracle`] runs each program on nine engine configurations (source
 //!   interpreter, monomorphized interpreter, VM, both post-optimizer
 //!   variants, and the VM over bytecode rewritten by the back-end
 //!   superinstruction fuser), validates the §4 IR invariants between passes,
@@ -127,7 +127,13 @@ pub fn run_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(u64, &Verdict)) -> Fu
         let seed = cfg.seed.wrapping_add(i);
         let prog = gen_program(seed, &cfg.gen);
         let src = emit(&prog);
-        let verdict = check_source(&src, &cfg.oracle);
+        // Randomize the generational lane's heap limits from the case seed
+        // (deterministic, so `--seed N --cases 1` reproduces the exact
+        // collector schedule): heap 4K–32K slots, nursery 1/4–1/16 of it.
+        let mut oracle = cfg.oracle;
+        oracle.gen_heap_slots = 1 << (12 + seed % 4);
+        oracle.gen_nursery_slots = oracle.gen_heap_slots >> (2 + (seed / 4) % 3);
+        let verdict = check_source(&src, &oracle);
         report.cases += 1;
         progress(i, &verdict);
         match &verdict {
@@ -136,7 +142,7 @@ pub fn run_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(u64, &Verdict)) -> Fu
             Verdict::Inconclusive { .. } => report.inconclusive += 1,
             failing => {
                 let kind = fail_kind(failing).expect("non-pass verdict is a failure");
-                let reduced = shrink(&prog, kind, &cfg.oracle, cfg.shrink_budget);
+                let reduced = shrink(&prog, kind, &oracle, cfg.shrink_budget);
                 let shrunk = emit(&reduced);
                 report.failure = Some(FuzzFailure {
                     seed,

@@ -1,7 +1,7 @@
 //! The differential oracle: one generated program, every execution strategy,
 //! identical observable behavior.
 //!
-//! A case is run on **eight** engine configurations:
+//! A case is run on **nine** engine configurations:
 //!
 //! 1. the reference interpreter over the *source* module (runtime type
 //!    arguments, boxed tuples — the paper's §4.3 interpreter strategy);
@@ -26,9 +26,25 @@
 //!    receiver-class guards and deoptimizing on guard failure. The hotness
 //!    threshold comes from `VGL_TIER_THRESHOLD` (CI's forced-deopt lane
 //!    sets it to 1 so effectively every call tiers up); tier-up, guard
-//!    hits, and deopts must all be behaviourally invisible.
+//!    hits, and deopts must all be behaviourally invisible;
+//! 9. `vm-fused-gen`: the fused program once more on a **generational
+//!    heap** — a bump-allocated nursery with write-barrier-fed minor
+//!    collections in front of the mature space — at the
+//!    [`OracleConfig::gen_heap_slots`]/[`OracleConfig::gen_nursery_slots`]
+//!    limits. The fuzz driver randomizes both per case from the case seed
+//!    (see [`crate::run_fuzz`]), so collector scheduling — minors, majors,
+//!    promotion, heap growth — varies across cases while staying exactly
+//!    reproducible from `vglc fuzz --seed N --cases 1`. The §4.2
+//!    zero-tuple-box invariant is asserted on this lane's heap too.
 //!
-//! All eight must agree on the result value, the printed output, and the trap
+//! Before any fused lane runs, [`vgl_vm::check_fused`] validates the fused
+//! code structurally and [`vgl_vm::check_fused_against`] compares it
+//! against the unfused lowering: fusion must preserve both the
+//! allocating-instruction count and the barrier-carrying store count per
+//! function, so the optimizer can never fuse away a write barrier the
+//! generational lane depends on.
+//!
+//! All nine must agree on the result value, the printed output, and the trap
 //! (`!DivideByZeroException`, `!NullCheckException`, `!TypeCheckException`,
 //! ...). Fuel exhaustion is **never** conflated with a language exception:
 //! engines count steps differently, so an `OutOfFuel` anywhere makes the
@@ -60,11 +76,23 @@ pub struct OracleConfig {
     /// VM semispace size in slots (kept small so allocation-heavy programs
     /// exercise the collector).
     pub heap_slots: usize,
+    /// Total heap size for the `vm-fused-gen` lane. The fuzz driver
+    /// randomizes this per case from the case seed.
+    pub gen_heap_slots: usize,
+    /// Nursery size for the `vm-fused-gen` lane (clamped by the heap to
+    /// half its capacity); randomized alongside [`Self::gen_heap_slots`].
+    pub gen_nursery_slots: usize,
 }
 
 impl Default for OracleConfig {
     fn default() -> OracleConfig {
-        OracleConfig { interp_fuel: 4_000_000, vm_fuel: 40_000_000, heap_slots: 1 << 14 }
+        OracleConfig {
+            interp_fuel: 4_000_000,
+            vm_fuel: 40_000_000,
+            heap_slots: 1 << 14,
+            gen_heap_slots: 1 << 14,
+            gen_nursery_slots: 1 << 11,
+        }
     }
 }
 
@@ -84,7 +112,7 @@ pub enum Outcome {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineRun {
     /// Engine label (`interp-src`, `interp-mono`, `vm-noopt`, `interp-opt`,
-    /// `vm-opt`, `vm-fused`).
+    /// `vm-opt`, `vm-fused`, `vm-fused-par`, `vm-tiered`, `vm-fused-gen`).
     pub engine: &'static str,
     /// How the run ended.
     pub outcome: Outcome,
@@ -206,19 +234,22 @@ fn run_vm_program(
     prog: &vgl_vm::VmProgram,
     cfg: &OracleConfig,
 ) -> (EngineRun, usize) {
-    run_vm_program_tiered(engine, prog, cfg, None)
+    run_vm_program_full(engine, prog, cfg.heap_slots, 0, cfg.vm_fuel, None)
 }
 
-/// [`run_vm_program`] with optional tiered execution (the eighth engine
-/// configuration): `tier` is the hotness threshold to tier up at.
-fn run_vm_program_tiered(
+/// The fully general VM lane: `nursery_slots` > 0 runs the generational
+/// collector (the ninth configuration); `tier` is the hotness threshold
+/// for tiered execution (the eighth).
+fn run_vm_program_full(
     engine: &'static str,
     prog: &vgl_vm::VmProgram,
-    cfg: &OracleConfig,
+    heap_slots: usize,
+    nursery_slots: usize,
+    vm_fuel: u64,
     tier: Option<u64>,
 ) -> (EngineRun, usize) {
-    let mut vm = vgl_vm::Vm::with_heap(prog, cfg.heap_slots);
-    vm.set_fuel(cfg.vm_fuel);
+    let mut vm = vgl_vm::Vm::with_heap_config(prog, heap_slots, nursery_slots);
+    vm.set_fuel(vm_fuel);
     vm.enable_flight_recorder(FLIGHT_CAPACITY);
     if let Some(threshold) = tier {
         vm.enable_tiering(threshold);
@@ -246,7 +277,7 @@ fn strict_decl_tuple_violations(m: &Module) -> Vec<Violation> {
 }
 
 /// Compiles `src` through the front end and both pipeline variants, runs all
-/// eight engine configurations, validates IR invariants between passes, and
+/// nine engine configurations, validates IR invariants between passes, and
 /// compares every observable.
 pub fn check_source(src: &str, cfg: &OracleConfig) -> Verdict {
     check_source_tampered(src, cfg, |_| {})
@@ -299,10 +330,15 @@ pub fn check_source_tampered(
     }
 
     // The sixth configuration runs the bytecode back-end optimizer over the
-    // optimized lowering; its structural validator gates execution.
-    let mut fused_prog = vgl_vm::lower(&opt_m);
+    // optimized lowering; its structural validator gates execution, and the
+    // fused program must preserve the unfused baseline's per-function
+    // allocation and write-barrier counts (the generational lane's safety
+    // rests on every ref-store keeping its barrier through fusion).
+    let baseline_prog = vgl_vm::lower(&opt_m);
+    let mut fused_prog = baseline_prog.clone();
     vgl_vm::fuse(&mut fused_prog);
-    let violations = vgl_vm::check_fused(&fused_prog);
+    let mut violations = vgl_vm::check_fused(&fused_prog);
+    violations.extend(vgl_vm::check_fused_against(&baseline_prog, &fused_prog));
     if !violations.is_empty() {
         return Verdict::Invariant { stage: "fuse", violations };
     }
@@ -353,8 +389,14 @@ pub fn check_source_tampered(
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(vgl_vm::DEFAULT_TIER_THRESHOLD);
-    let (tiered_run, tiered_tuple_boxes) =
-        run_vm_program_tiered("vm-tiered", &fused_prog, cfg, Some(tier_threshold));
+    let (tiered_run, tiered_tuple_boxes) = run_vm_program_full(
+        "vm-tiered",
+        &fused_prog,
+        cfg.heap_slots,
+        0,
+        cfg.vm_fuel,
+        Some(tier_threshold),
+    );
     if tiered_tuple_boxes != 0 {
         return Verdict::Invariant {
             stage: "tier (execution)",
@@ -368,7 +410,32 @@ pub fn check_source_tampered(
         };
     }
 
-    // Eight engine configurations.
+    // The ninth configuration runs the fused program on the generational
+    // heap at the (seed-randomized) nursery/heap limits: minors, promotion,
+    // write-barrier traffic, and heap growth must all be behaviourally
+    // invisible, and the §4.2 invariant holds on this heap too.
+    let (gen_run, gen_tuple_boxes) = run_vm_program_full(
+        "vm-fused-gen",
+        &fused_prog,
+        cfg.gen_heap_slots,
+        cfg.gen_nursery_slots,
+        cfg.vm_fuel,
+        None,
+    );
+    if gen_tuple_boxes != 0 {
+        return Verdict::Invariant {
+            stage: "generational heap (execution)",
+            violations: vec![Violation {
+                location: "heap".into(),
+                message: format!(
+                    "generational execution allocated {gen_tuple_boxes} tuple boxes; §4.2 \
+                     requires exactly 0"
+                ),
+            }],
+        };
+    }
+
+    // Nine engine configurations.
     let runs = vec![
         run_interp("interp-src", &module, cfg.interp_fuel),
         run_interp("interp-mono", &norm_m, cfg.interp_fuel),
@@ -378,6 +445,7 @@ pub fn check_source_tampered(
         fused_run,
         par_run,
         tiered_run,
+        gen_run,
     ];
 
     // OutOfFuel anywhere ⇒ inconclusive, and never comparable to a trap.

@@ -178,13 +178,26 @@ pub enum Instr {
         /// Index.
         idx: Reg,
     },
-    /// `arr[idx]` ← val.
+    /// `arr[idx]` ← val (statically scalar-typed; no write barrier).
     ArraySet {
         /// Array.
         arr: Reg,
         /// Index.
         idx: Reg,
         /// Value.
+        val: Reg,
+    },
+    /// `arr[idx]` ← val where `val` is statically **reference-typed**: the
+    /// store goes through the generational write barrier so a nursery
+    /// reference stored into a mature array lands in the remembered set.
+    /// Lowering picks this (vs. [`Instr::ArraySet`]) from the element's
+    /// static type; fusion must preserve the choice.
+    ArraySetRef {
+        /// Array.
+        arr: Reg,
+        /// Index.
+        idx: Reg,
+        /// Value (reference-typed).
         val: Reg,
     },
     /// dst ← obj.slot (null-checked).
@@ -196,13 +209,24 @@ pub enum Instr {
         /// Field slot.
         slot: u32,
     },
-    /// obj.slot ← val (null-checked).
+    /// obj.slot ← val (null-checked; statically scalar-typed, no barrier).
     FieldSet {
         /// Object.
         obj: Reg,
         /// Field slot.
         slot: u32,
         /// Value.
+        val: Reg,
+    },
+    /// obj.slot ← val (null-checked) where `val` is statically
+    /// **reference-typed**: the store goes through the generational write
+    /// barrier (see [`Instr::ArraySetRef`]).
+    FieldSetRef {
+        /// Object.
+        obj: Reg,
+        /// Field slot.
+        slot: u32,
+        /// Value (reference-typed).
         val: Reg,
     },
     /// dst ← global.
@@ -438,12 +462,12 @@ pub enum InlOp {
 
 /// Number of distinct opcodes — the length of [`OPCODE_NAMES`] and of the
 /// profiler's retired-instruction histogram.
-pub const OPCODE_COUNT: usize = 48;
+pub const OPCODE_COUNT: usize = 50;
 
 /// Index of the first superinstruction opcode: opcodes in
 /// `FIRST_SUPER_OPCODE..OPCODE_COUNT` are only ever emitted by the fusion
 /// pass (`vgl_vm::fuse`), never by lowering.
-pub const FIRST_SUPER_OPCODE: usize = 37;
+pub const FIRST_SUPER_OPCODE: usize = 39;
 
 /// Opcode mnemonics, indexed by [`Instr::opcode`].
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
@@ -471,8 +495,10 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "array_len",
     "array_get",
     "array_set",
+    "array_set_ref",
     "field_get",
     "field_set",
+    "field_set_ref",
     "global_get",
     "global_set",
     "class_query",
@@ -526,30 +552,32 @@ impl Instr {
             Instr::ArrayLen { .. } => 21,
             Instr::ArrayGet { .. } => 22,
             Instr::ArraySet { .. } => 23,
-            Instr::FieldGet { .. } => 24,
-            Instr::FieldSet { .. } => 25,
-            Instr::GlobalGet { .. } => 26,
-            Instr::GlobalSet { .. } => 27,
-            Instr::ClassQuery { .. } => 28,
-            Instr::ClassCast { .. } => 29,
-            Instr::ClosQuery { .. } => 30,
-            Instr::ClosCast { .. } => 31,
-            Instr::IntToByte { .. } => 32,
-            Instr::CheckNull(..) => 33,
-            Instr::IsNull(..) => 34,
-            Instr::Ret(..) => 35,
-            Instr::Trap(..) => 36,
-            Instr::BinI { .. } => 37,
-            Instr::IncLocal { .. } => 38,
-            Instr::CmpBr { .. } => 39,
-            Instr::CmpBrI { .. } => 40,
-            Instr::EqBr { .. } => 41,
-            Instr::NullBr { .. } => 42,
-            Instr::FieldGetRet { .. } => 43,
-            Instr::GlobalBin { .. } => 44,
-            Instr::GlobalAccum { .. } => 45,
-            Instr::CallGuard { .. } => 46,
-            Instr::CallInline { .. } => 47,
+            Instr::ArraySetRef { .. } => 24,
+            Instr::FieldGet { .. } => 25,
+            Instr::FieldSet { .. } => 26,
+            Instr::FieldSetRef { .. } => 27,
+            Instr::GlobalGet { .. } => 28,
+            Instr::GlobalSet { .. } => 29,
+            Instr::ClassQuery { .. } => 30,
+            Instr::ClassCast { .. } => 31,
+            Instr::ClosQuery { .. } => 32,
+            Instr::ClosCast { .. } => 33,
+            Instr::IntToByte { .. } => 34,
+            Instr::CheckNull(..) => 35,
+            Instr::IsNull(..) => 36,
+            Instr::Ret(..) => 37,
+            Instr::Trap(..) => 38,
+            Instr::BinI { .. } => 39,
+            Instr::IncLocal { .. } => 40,
+            Instr::CmpBr { .. } => 41,
+            Instr::CmpBrI { .. } => 42,
+            Instr::EqBr { .. } => 43,
+            Instr::NullBr { .. } => 44,
+            Instr::FieldGetRet { .. } => 45,
+            Instr::GlobalBin { .. } => 46,
+            Instr::GlobalAccum { .. } => 47,
+            Instr::CallGuard { .. } => 48,
+            Instr::CallInline { .. } => 49,
         }
     }
 
@@ -572,6 +600,15 @@ impl Instr {
                 | Instr::NewArray { .. }
                 | Instr::ArrayLit { .. }
         )
+    }
+
+    /// Whether this instruction stores a statically reference-typed value
+    /// into a heap cell and therefore carries the generational write
+    /// barrier. Fusion must keep the multiset of barrier-carrying stores
+    /// intact — dropping one can silently lose an object at the next minor
+    /// collection — and its validator checks exactly this set.
+    pub fn is_ref_store(&self) -> bool {
+        matches!(self, Instr::ArraySetRef { .. } | Instr::FieldSetRef { .. })
     }
 
     /// The mnemonic for this instruction's opcode.

@@ -69,8 +69,10 @@ pub fn disasm_instr(i: &Instr) -> String {
         ArrayLen { dst, arr } => format!("r{dst} <- len r{arr}"),
         ArrayGet { dst, arr, idx } => format!("r{dst} <- r{arr}[r{idx}]"),
         ArraySet { arr, idx, val } => format!("r{arr}[r{idx}] <- r{val}"),
+        ArraySetRef { arr, idx, val } => format!("r{arr}[r{idx}] <- r{val} !barrier"),
         FieldGet { dst, obj, slot } => format!("r{dst} <- r{obj}.{slot}"),
         FieldSet { obj, slot, val } => format!("r{obj}.{slot} <- r{val}"),
+        FieldSetRef { obj, slot, val } => format!("r{obj}.{slot} <- r{val} !barrier"),
         GlobalGet { dst, g } => format!("r{dst} <- g{g}"),
         GlobalSet { g, src } => format!("g{g} <- r{src}"),
         ClassQuery { dst, obj, lo, hi } => format!("r{dst} <- r{obj} instanceof [{lo}..{hi}]"),

@@ -12,6 +12,7 @@
 use crate::bytecode::{FuncId, VmProgram};
 use crate::vm::VmError;
 use vgl_obs::flight::Ring;
+use vgl_runtime::heap::GcKind;
 
 /// How a recorded call was dispatched.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,9 +56,11 @@ pub enum FlightKind {
     },
     /// A garbage collection ran.
     Gc {
+        /// Minor (nursery) or major (full-heap) collection.
+        kind: GcKind,
         /// Slots surviving the collection.
         live_slots: usize,
-        /// Semispace capacity at collection time.
+        /// Heap capacity at collection time.
         capacity_slots: usize,
     },
     /// A function crossed its hotness threshold and installed a hot-tier
@@ -173,8 +176,11 @@ impl FlightRecorder {
                         FlightRecorder::func_name(program, func)
                     ));
                 }
-                FlightKind::Gc { live_slots, capacity_slots } => {
-                    out.push_str(&format!("gc       live {live_slots}/{capacity_slots} slots\n"));
+                FlightKind::Gc { kind, live_slots, capacity_slots } => {
+                    out.push_str(&format!(
+                        "gc-{}: live {live_slots}/{capacity_slots} slots\n",
+                        kind.label()
+                    ));
                 }
                 FlightKind::TierUp { func } => {
                     out.push_str(&format!(

@@ -171,11 +171,18 @@ pub fn fuse_cfg(
         let mut st = FuseStats::default();
         st.instrs_before += f.code.len();
         let allocs_before = count_allocs(&f.code);
+        let ref_stores_before = count_ref_stores(&f.code);
         fuse_func(&mut f, &mut st);
         debug_assert_eq!(
             allocs_before,
             count_allocs(&f.code),
             "fusion changed the allocating-instruction count in {}",
+            f.name
+        );
+        debug_assert_eq!(
+            ref_stores_before,
+            count_ref_stores(&f.code),
+            "fusion changed the barrier-carrying store count in {}",
             f.name
         );
         st.instrs_after += f.code.len();
@@ -213,6 +220,10 @@ pub fn fuse_cfg(
 
 pub(crate) fn count_allocs(code: &[Instr]) -> usize {
     code.iter().filter(|i| i.allocates()).count()
+}
+
+pub(crate) fn count_ref_stores(code: &[Instr]) -> usize {
+    code.iter().filter(|i| i.is_ref_store()).count()
 }
 
 pub(crate) fn fuse_func(f: &mut VmFunc, stats: &mut FuseStats) {
@@ -262,13 +273,13 @@ fn for_each_use(i: &Instr, g: &mut impl FnMut(Reg)) {
             g(*arr);
             g(*idx);
         }
-        ArraySet { arr, idx, val } => {
+        ArraySet { arr, idx, val } | ArraySetRef { arr, idx, val } => {
             g(*arr);
             g(*idx);
             g(*val);
         }
         FieldGet { obj, .. } => g(*obj),
-        FieldSet { obj, val, .. } => {
+        FieldSet { obj, val, .. } | FieldSetRef { obj, val, .. } => {
             g(*obj);
             g(*val);
         }
@@ -331,13 +342,13 @@ fn map_uses(i: &mut Instr, g: &mut impl FnMut(Reg) -> Reg) {
             *arr = g(*arr);
             *idx = g(*idx);
         }
-        ArraySet { arr, idx, val } => {
+        ArraySet { arr, idx, val } | ArraySetRef { arr, idx, val } => {
             *arr = g(*arr);
             *idx = g(*idx);
             *val = g(*val);
         }
         FieldGet { obj, .. } => *obj = g(*obj),
-        FieldSet { obj, val, .. } => {
+        FieldSet { obj, val, .. } | FieldSetRef { obj, val, .. } => {
             *obj = g(*obj);
             *val = g(*val);
         }
@@ -379,10 +390,11 @@ fn for_each_def(i: &Instr, g: &mut impl FnMut(Reg)) {
         | ClassQuery { dst, .. } | ClosQuery { dst, .. } | IntToByte { dst, .. } => g(*dst),
         BinI { dst, .. } | GlobalBin { dst, .. } => g(*dst),
         IncLocal { r, .. } => g(*r),
-        Jump(..) | BrFalse(..) | BrTrue(..) | ArraySet { .. } | FieldSet { .. }
-        | GlobalSet { .. } | ClassCast { .. } | ClosCast { .. } | CheckNull(..) | Ret(..)
-        | Trap(..) | CmpBr { .. } | CmpBrI { .. } | EqBr { .. } | NullBr { .. }
-        | FieldGetRet { .. } | GlobalAccum { .. } => {}
+        Jump(..) | BrFalse(..) | BrTrue(..) | ArraySet { .. } | ArraySetRef { .. }
+        | FieldSet { .. } | FieldSetRef { .. } | GlobalSet { .. } | ClassCast { .. }
+        | ClosCast { .. } | CheckNull(..) | Ret(..) | Trap(..) | CmpBr { .. }
+        | CmpBrI { .. } | EqBr { .. } | NullBr { .. } | FieldGetRet { .. }
+        | GlobalAccum { .. } => {}
     }
 }
 
@@ -980,6 +992,8 @@ pub struct TieredBody {
 /// [`TieredBody::orig_of`]`[pc]` with the frame as-is.
 pub fn tier_fuse_func(p: &VmProgram, func: FuncId, fb: &TierFeedback<'_>) -> TieredBody {
     let mut f = p.funcs[func as usize].clone();
+    let allocs_before = count_allocs(&f.code);
+    let ref_stores_before = count_ref_stores(&f.code);
     let mut orig_of: Vec<u32> = (0..f.code.len() as u32).collect();
     let mut stats = FuseStats::default();
     // Superinstructions only exist here because a previous gated round
@@ -1009,6 +1023,18 @@ pub fn tier_fuse_func(p: &VmProgram, func: FuncId, fb: &TierFeedback<'_>) -> Tie
             }
         };
     }
+    debug_assert_eq!(
+        allocs_before,
+        count_allocs(&f.code),
+        "tiered re-fusion changed the allocating-instruction count in {}",
+        f.name
+    );
+    debug_assert_eq!(
+        ref_stores_before,
+        count_ref_stores(&f.code),
+        "tiered re-fusion changed the barrier-carrying store count in {}",
+        f.name
+    );
     TieredBody { code: f.code, orig_of, guards, inlines, fused: stats.fused_total() }
 }
 
@@ -1163,6 +1189,14 @@ pub fn check_fused(p: &VmProgram) -> Vec<Violation> {
                     message: "superinstruction allocates (§4.2 invariant broken)".into(),
                 });
             }
+            if i.is_super() && i.is_ref_store() {
+                out.push(Violation {
+                    location: loc(pc),
+                    message: "superinstruction carries a write barrier \
+                              (barrier stores are not fusable)"
+                        .into(),
+                });
+            }
             if let Instr::CallVirt { site, .. }
             | Instr::CallGuard { site, .. }
             | Instr::CallInline { site, .. } = i
@@ -1185,6 +1219,52 @@ pub fn check_fused(p: &VmProgram) -> Vec<Violation> {
             out.push(Violation {
                 location: "program".into(),
                 message: format!("IC site {site} allocated but never referenced"),
+            });
+        }
+    }
+    out
+}
+
+/// Cross-checks a fused program against its unfused baseline: for every
+/// function, the multiset of allocating instructions and of barrier-carrying
+/// ref stores must be unchanged — fusion may reorder registers and collapse
+/// pairs, but dropping (or inventing) an allocation breaks the §4.2
+/// structural claim, and dropping a write barrier silently loses objects at
+/// the next minor collection. This is the release-build counterpart of the
+/// `debug_assert`s inside [`fuse`] and [`tier_fuse_func`]; the fuzz oracle
+/// runs it on every case.
+pub fn check_fused_against(baseline: &VmProgram, fused: &VmProgram) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if baseline.funcs.len() != fused.funcs.len() {
+        out.push(Violation {
+            location: "program".into(),
+            message: format!(
+                "fusion changed the function count ({} -> {})",
+                baseline.funcs.len(),
+                fused.funcs.len()
+            ),
+        });
+        return out;
+    }
+    for (fi, (b, f)) in baseline.funcs.iter().zip(&fused.funcs).enumerate() {
+        if count_allocs(&b.code) != count_allocs(&f.code) {
+            out.push(Violation {
+                location: format!("func {} (f{fi})", f.name),
+                message: format!(
+                    "fusion changed the allocating-instruction count ({} -> {})",
+                    count_allocs(&b.code),
+                    count_allocs(&f.code)
+                ),
+            });
+        }
+        if count_ref_stores(&b.code) != count_ref_stores(&f.code) {
+            out.push(Violation {
+                location: format!("func {} (f{fi})", f.name),
+                message: format!(
+                    "fusion changed the barrier-carrying store count ({} -> {})",
+                    count_ref_stores(&b.code),
+                    count_ref_stores(&f.code)
+                ),
             });
         }
     }

@@ -39,7 +39,8 @@ pub use bytecode::{
 pub use disasm::{disasm, disasm_instr, side_by_side, tiered_view};
 pub use flight::{CallKind, FlightEvent, FlightKind, FlightRecorder};
 pub use fuse::{
-    check_fused, fuse, fuse_cfg, fuse_jobs, tier_fuse_func, FuseStats, TierFeedback, TieredBody,
+    check_fused, check_fused_against, fuse, fuse_cfg, fuse_jobs, tier_fuse_func, FuseStats,
+    TierFeedback, TieredBody,
 };
 pub use lower::{lower, lower_fuse};
 pub use profile::{
@@ -48,4 +49,5 @@ pub use profile::{
 pub use tier::{
     site_speculation, Speculation, TierState, DEFAULT_TIER_THRESHOLD, SPEC_MISS_CAP,
 };
-pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats, RET_INLINE};
+pub use vm::{ret_as_int, ret_is_ref, Vm, VmError, VmStats, DEFAULT_NURSERY_SLOTS, RET_INLINE};
+pub use vgl_runtime::heap::GcKind;

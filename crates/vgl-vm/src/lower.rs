@@ -46,7 +46,7 @@ pub fn lower_fuse(
     module: &Module,
     cfg: &vgl_passes::BackendConfig,
 ) -> (VmProgram, crate::fuse::FuseStats, Vec<vgl_obs::WorkerSample>) {
-    use crate::fuse::{count_allocs, fuse_func, FuseStats};
+    use crate::fuse::{count_allocs, count_ref_stores, fuse_func, FuseStats};
     use std::collections::hash_map::DefaultHasher;
     use std::hash::{Hash, Hasher};
     use std::sync::mpsc::SyncSender;
@@ -139,11 +139,18 @@ pub fn lower_fuse(
                             let mut st = FuseStats::default();
                             st.instrs_before += f.code.len();
                             let allocs_before = count_allocs(&f.code);
+                            let ref_stores_before = count_ref_stores(&f.code);
                             fuse_func(&mut f, &mut st);
                             debug_assert_eq!(
                                 allocs_before,
                                 count_allocs(&f.code),
                                 "fusion changed the allocating-instruction count in {}",
+                                f.name
+                            );
+                            debug_assert_eq!(
+                                ref_stores_before,
+                                count_ref_stores(&f.code),
+                                "fusion changed the barrier-carrying store count in {}",
                                 f.name
                             );
                             st.instrs_after += f.code.len();
@@ -941,7 +948,13 @@ impl<'m> Lower<'m> {
                 let ar = self.expr(a, fx);
                 let ir = self.expr(i, fx);
                 let vr = self.expr(v, fx);
-                fx.code.push(Instr::ArraySet { arr: ar, idx: ir, val: vr });
+                // Reference-typed stores carry the generational write
+                // barrier; scalar stores stay barrier-free.
+                if self.store.is_nullable(v.ty) {
+                    fx.code.push(Instr::ArraySetRef { arr: ar, idx: ir, val: vr });
+                } else {
+                    fx.code.push(Instr::ArraySet { arr: ar, idx: ir, val: vr });
+                }
                 vr
             }
             ExprKind::FieldGet(o, fref) => {
@@ -953,7 +966,13 @@ impl<'m> Lower<'m> {
             ExprKind::FieldSet(o, fref, v) => {
                 let or = self.expr(o, fx);
                 let vr = self.expr(v, fx);
-                fx.code.push(Instr::FieldSet { obj: or, slot: fref.slot as u32, val: vr });
+                // Reference-typed stores carry the generational write
+                // barrier; scalar stores stay barrier-free.
+                if self.store.is_nullable(v.ty) {
+                    fx.code.push(Instr::FieldSetRef { obj: or, slot: fref.slot as u32, val: vr });
+                } else {
+                    fx.code.push(Instr::FieldSet { obj: or, slot: fref.slot as u32, val: vr });
+                }
                 vr
             }
             ExprKind::New { class, args, .. } => {

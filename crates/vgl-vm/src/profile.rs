@@ -10,17 +10,20 @@ use crate::bytecode::{FuncId, VmProgram, FIRST_SUPER_OPCODE, OPCODE_COUNT, OPCOD
 use std::time::{Duration, Instant};
 use vgl_obs::json::Json;
 use vgl_obs::{FieldValue, Tracer};
+use vgl_runtime::heap::GcKind;
 
 /// One garbage collection observed during a profiled run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GcEvent {
+    /// Minor (nursery) or major (full-heap) collection.
+    pub kind: GcKind,
     /// Wall-clock pause.
     pub pause: Duration,
     /// Slots live after the collection.
     pub live_slots: usize,
-    /// Slots copied by the collection.
+    /// Slots copied by the collection (promoted, for a minor).
     pub copied_slots: usize,
-    /// Semispace capacity at collection time.
+    /// Heap capacity at collection time.
     pub capacity_slots: usize,
     /// Instructions retired when the collection happened.
     pub at_instr: u64,
@@ -105,9 +108,12 @@ impl VmProfile {
             self.super_retired(),
             self.super_share() * 100.0
         ));
+        let minors = self.gc_events.iter().filter(|e| e.kind == GcKind::Minor).count();
         out.push_str(&format!(
-            "gc: {} collections, {} slots copied, {:.1}us total pause\n",
+            "gc: {} collections ({} minor, {} major), {} slots copied, {:.1}us total pause\n",
             self.gc_events.len(),
+            minors,
+            self.gc_events.len() - minors,
             self.gc_events.iter().map(|e| e.copied_slots).sum::<usize>(),
             self.gc_pause_total().as_secs_f64() * 1e6
         ));
@@ -126,6 +132,7 @@ impl VmProfile {
                 .iter()
                 .map(|e| {
                     let mut o = Json::object();
+                    o.set("kind", Json::Str(e.kind.label().into()));
                     o.set("pause_us", Json::Num(e.pause.as_secs_f64() * 1e6));
                     o.set("live_slots", Json::from(e.live_slots));
                     o.set("copied_slots", Json::from(e.copied_slots));
@@ -149,6 +156,7 @@ impl VmProfile {
             tracer.event(
                 "gc",
                 &[
+                    ("kind", FieldValue::Str(e.kind.label().into())),
                     ("pause_us", FieldValue::Float(e.pause.as_secs_f64() * 1e6)),
                     ("live_slots", FieldValue::UInt(e.live_slots as u64)),
                     ("copied_slots", FieldValue::UInt(e.copied_slots as u64)),
@@ -312,13 +320,15 @@ pub struct FuncSpan {
 /// One collection as a wall-clock instant, for Chrome-trace export.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GcInstant {
+    /// Minor or major collection.
+    pub kind: GcKind,
     /// Offset from the log's origin.
     pub at: Duration,
     /// Collection pause.
     pub pause: Duration,
     /// Slots surviving.
     pub live_slots: usize,
-    /// Semispace capacity.
+    /// Heap capacity.
     pub capacity_slots: usize,
 }
 
@@ -399,8 +409,15 @@ impl TraceLog {
     }
 
     /// Records a collection.
-    pub fn record_gc(&mut self, pause: Duration, live_slots: usize, capacity_slots: usize) {
+    pub fn record_gc(
+        &mut self,
+        kind: GcKind,
+        pause: Duration,
+        live_slots: usize,
+        capacity_slots: usize,
+    ) {
         self.gc.push(GcInstant {
+            kind,
             at: self.origin.elapsed(),
             pause,
             live_slots,

@@ -31,6 +31,11 @@ use vgl_runtime::heap::{
     self, as_i32, from_i32, is_ref, CellKind, Heap, HeapStats, NeedsGc, Word, NULL,
 };
 
+/// Default nursery size in slots (128 KiB of tagged words): small enough
+/// that minor pauses stay far below a full-heap copy, large enough that
+/// short-lived request/response churn dies in place without promotion.
+pub const DEFAULT_NURSERY_SLOTS: usize = 1 << 14;
+
 /// Why execution stopped abnormally.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum VmError {
@@ -216,16 +221,28 @@ pub struct Vm<'p> {
 }
 
 impl<'p> Vm<'p> {
-    /// Creates a VM over a compiled program with the given heap size (slots).
+    /// Creates a VM over a compiled program with the given heap size (slots)
+    /// and the default nursery ([`DEFAULT_NURSERY_SLOTS`]).
     pub fn new(program: &'p VmProgram) -> Vm<'p> {
-        Vm::with_heap(program, 1 << 20)
+        Vm::with_heap_config(program, 1 << 20, DEFAULT_NURSERY_SLOTS)
     }
 
-    /// Creates a VM with a specific semispace capacity in slots.
+    /// Creates a VM with a specific heap capacity in slots and **no
+    /// nursery** — the pure semispace collector (every collection major).
     pub fn with_heap(program: &'p VmProgram, heap_slots: usize) -> Vm<'p> {
+        Vm::with_heap_config(program, heap_slots, 0)
+    }
+
+    /// Creates a VM with a specific heap capacity and nursery size in
+    /// slots; `nursery_slots == 0` disables the generational split.
+    pub fn with_heap_config(
+        program: &'p VmProgram,
+        heap_slots: usize,
+        nursery_slots: usize,
+    ) -> Vm<'p> {
         Vm {
             program,
-            heap: Heap::new(heap_slots),
+            heap: Heap::with_nursery(heap_slots, nursery_slots),
             globals: (0..program.global_count)
                 .map(|i| {
                     if program.global_nullable.get(i).copied().unwrap_or(false) {
@@ -766,7 +783,8 @@ impl<'p> Vm<'p> {
                         .map(|r| self.stack[base + r as usize])
                         .unwrap_or(NULL);
                     self.heap.set(c, 0, heap::scalar(f2 as i64));
-                    self.heap.set(c, 1, rv);
+                    // The fresh cell may be pre-tenured: barrier the receiver.
+                    self.heap.set_ref(c, 1, rv);
                     self.stack[base + dst as usize] = c;
                 }
                 Instr::MakeClosVirt { dst, slot, recv } => {
@@ -781,7 +799,8 @@ impl<'p> Vm<'p> {
                     // Re-read the receiver: it may have moved.
                     let rv = self.stack[base + recv as usize];
                     self.heap.set(c, 0, heap::scalar(callee as i64));
-                    self.heap.set(c, 1, rv);
+                    // The fresh cell may be pre-tenured: barrier the receiver.
+                    self.heap.set_ref(c, 1, rv);
                     self.stack[base + dst as usize] = c;
                 }
                 Instr::NewObject { dst, class } => {
@@ -821,7 +840,9 @@ impl<'p> Vm<'p> {
                     let r = self.alloc(CellKind::Array, 0, elems.len())?;
                     for (i, e) in elems.iter().enumerate() {
                         let v = self.stack[base + *e as usize];
-                        self.heap.set(r, i, v);
+                        // Elements may be references and the fresh array may
+                        // be pre-tenured: store through the barrier.
+                        self.heap.set_ref(r, i, v);
                     }
                     self.stack[base + dst as usize] = r;
                 }
@@ -856,6 +877,18 @@ impl<'p> Vm<'p> {
                     let v = reg!(*val);
                     self.heap.set(a, i as usize, v);
                 }
+                Instr::ArraySetRef { arr, idx, val } => {
+                    let a = reg!(*arr);
+                    if a == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let i = as_i32(reg!(*idx));
+                    if i < 0 || i as usize >= self.heap.len(a) {
+                        return Err(VmError::Exception(Exception::BoundsCheck));
+                    }
+                    let v = reg!(*val);
+                    self.heap.set_ref(a, i as usize, v);
+                }
                 Instr::FieldGet { dst, obj, slot } => {
                     let o = reg!(*obj);
                     if o == NULL {
@@ -870,6 +903,14 @@ impl<'p> Vm<'p> {
                     }
                     let v = reg!(*val);
                     self.heap.set(o, *slot as usize, v);
+                }
+                Instr::FieldSetRef { obj, slot, val } => {
+                    let o = reg!(*obj);
+                    if o == NULL {
+                        return Err(VmError::Exception(Exception::NullCheck));
+                    }
+                    let v = reg!(*val);
+                    self.heap.set_ref(o, *slot as usize, v);
                 }
                 Instr::GlobalGet { dst, g } => reg!(*dst) = self.globals[*g as usize],
                 Instr::GlobalSet { g, src } => self.globals[*g as usize] = reg!(*src),
@@ -1198,49 +1239,75 @@ impl<'p> Vm<'p> {
                 Ok(r)
             }
             Err(NeedsGc) => {
-                let sp = self.stack.len();
-                let mut stack = std::mem::take(&mut self.stack);
-                let mut globals = std::mem::take(&mut self.globals);
-                let pause_start = (self.profile.is_some() || self.tracelog.is_some())
-                    .then(Instant::now);
-                let info = self.heap.collect(&mut [&mut stack[..sp], &mut globals[..]]);
-                let pause = pause_start.map(|t| t.elapsed()).unwrap_or_default();
-                if let Some(p) = self.profile.as_deref_mut() {
-                    p.gc_events.push(GcEvent {
-                        pause,
-                        live_slots: info.live_slots,
-                        copied_slots: info.copied_slots,
-                        capacity_slots: info.capacity_slots,
-                        at_instr: self.stats.instrs,
-                    });
-                }
-                if let Some(t) = self.tracelog.as_deref_mut() {
-                    t.record_gc(pause, info.live_slots, info.capacity_slots);
-                }
-                if let Some(fr) = self.flight.as_deref_mut() {
-                    fr.record(
-                        self.stats.instrs,
-                        FlightKind::Gc {
-                            live_slots: info.live_slots,
-                            capacity_slots: info.capacity_slots,
-                        },
-                    );
-                }
-                self.stack = stack;
-                self.globals = globals;
+                // The retry ladder: collect (minor when the heap is
+                // generational and the mature space has headroom, else
+                // major) → retry → force a major → retry → grow → retry.
+                self.collect_now(false);
                 let r = match self.heap.try_alloc(kind, meta, len) {
                     Ok(r) => r,
                     Err(NeedsGc) => {
-                        self.heap.grow(len + 64);
-                        self.heap
-                            .try_alloc(kind, meta, len)
-                            .expect("allocation after grow")
+                        // A minor may not have freed enough (survivors
+                        // promote rather than vanish, and pre-tenured cells
+                        // need mature space): escalate to a full copy.
+                        self.collect_now(true);
+                        match self.heap.try_alloc(kind, meta, len) {
+                            Ok(r) => r,
+                            Err(NeedsGc) => {
+                                self.heap.grow(len + 64);
+                                self.heap
+                                    .try_alloc(kind, meta, len)
+                                    .expect("allocation after grow")
+                            }
+                        }
                     }
                 };
                 self.stats.heap = self.heap.stats;
                 Ok(r)
             }
         }
+    }
+
+    /// Runs one collection with the stack and globals as roots and records
+    /// it in every enabled telemetry surface (profile, trace log, flight
+    /// recorder). `force_major` bypasses the minor/major heuristic.
+    fn collect_now(&mut self, force_major: bool) {
+        let sp = self.stack.len();
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut globals = std::mem::take(&mut self.globals);
+        let pause_start =
+            (self.profile.is_some() || self.tracelog.is_some()).then(Instant::now);
+        let roots = &mut [&mut stack[..sp], &mut globals[..]];
+        let info = if force_major {
+            self.heap.collect_major(roots)
+        } else {
+            self.heap.collect(roots)
+        };
+        let pause = pause_start.map(|t| t.elapsed()).unwrap_or_default();
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.gc_events.push(GcEvent {
+                kind: info.kind,
+                pause,
+                live_slots: info.live_slots,
+                copied_slots: info.copied_slots,
+                capacity_slots: info.capacity_slots,
+                at_instr: self.stats.instrs,
+            });
+        }
+        if let Some(t) = self.tracelog.as_deref_mut() {
+            t.record_gc(info.kind, pause, info.live_slots, info.capacity_slots);
+        }
+        if let Some(fr) = self.flight.as_deref_mut() {
+            fr.record(
+                self.stats.instrs,
+                FlightKind::Gc {
+                    kind: info.kind,
+                    live_slots: info.live_slots,
+                    capacity_slots: info.capacity_slots,
+                },
+            );
+        }
+        self.stack = stack;
+        self.globals = globals;
     }
 
     fn builtin(&mut self, b: Builtin, args: &[Word]) -> Result<Option<Word>, VmError> {
