@@ -196,22 +196,14 @@ pub fn measure_fusion(name: &str, source: &str, samples: usize) -> FusionMeasure
     assert_eq!(a.output, b.output, "{name}: fusion changed the output");
     let stats = b.vm_stats.as_ref().expect("vm stats");
     assert_eq!(stats.heap.tuple_boxes, 0, "{name}: fused run boxed a tuple");
-    // Interleave samples so clock drift and cache warmth hit both equally;
-    // sample 0 is the untimed warmup.
-    let (mut tu, mut tf): (Option<Duration>, Option<Duration>) = (None, None);
-    for sample in 0..=samples {
-        let u = measure_vm(&unfused).time;
-        let f = measure_vm(&fused).time;
-        if sample > 0 {
-            tu = Some(tu.map_or(u, |b| b.min(u)));
-            tf = Some(tf.map_or(f, |b| b.min(f)));
-        }
-    }
+    let [tu, tf] = harness::measure_min_of_n(samples, |_| {
+        [measure_vm(&unfused).time, measure_vm(&fused).time]
+    });
     let (_, profile) = fused.execute_profiled();
     FusionMeasurement {
         name: name.to_string(),
-        unfused: tu.expect("at least one timed sample"),
-        fused: tf.expect("at least one timed sample"),
+        unfused: tu,
+        fused: tf,
         instrs_before: fused.fuse.instrs_before,
         instrs_after: fused.fuse.instrs_after,
         ic_hit_rate: stats.ic_hit_rate(),
@@ -269,19 +261,13 @@ pub fn measure_tiered(name: &str, source: &str, samples: usize) -> TieredMeasure
     let stats = b.vm_stats.as_ref().expect("vm stats");
     assert_eq!(stats.heap.tuple_boxes, 0, "{name}: tiered run boxed a tuple");
     assert!(stats.tier_ups > 0, "{name}: workload never tiered up");
-    let (mut tf, mut tt): (Option<Duration>, Option<Duration>) = (None, None);
-    for sample in 0..=samples {
-        let f = measure_vm(&fused).time;
-        let t = measure_vm(&tiered).time;
-        if sample > 0 {
-            tf = Some(tf.map_or(f, |b| b.min(f)));
-            tt = Some(tt.map_or(t, |b| b.min(t)));
-        }
-    }
+    let [tf, tt] = harness::measure_min_of_n(samples, |_| {
+        [measure_vm(&fused).time, measure_vm(&tiered).time]
+    });
     TieredMeasurement {
         name: name.to_string(),
-        fused: tf.expect("at least one timed sample"),
-        tiered: tt.expect("at least one timed sample"),
+        fused: tf,
+        tiered: tt,
         tier_ups: stats.tier_ups,
         deopts: stats.deopts,
         guarded_calls: stats.guarded_calls,
@@ -376,9 +362,8 @@ pub fn measure_gc(
 
     let mut semi_pauses: Vec<Duration> = Vec::new();
     let mut gen_pauses: Vec<Duration> = Vec::new();
-    let (mut ts, mut tg): (Option<Duration>, Option<Duration>) = (None, None);
     let (mut semi_collections, mut gen_minors, mut gen_majors) = (0u64, 0u64, 0u64);
-    for sample in 0..=samples {
+    let [ts, tg] = harness::measure_min_of_n(samples, |sample| {
         let start = Instant::now();
         let (_, sp) = semi.execute_profiled();
         let s = start.elapsed();
@@ -386,8 +371,6 @@ pub fn measure_gc(
         let (_, gp) = generational.execute_profiled();
         let g = start.elapsed();
         if sample > 0 {
-            ts = Some(ts.map_or(s, |b| b.min(s)));
-            tg = Some(tg.map_or(g, |b| b.min(g)));
             semi_pauses.extend(sp.gc_events.iter().map(|e| e.pause));
             gen_pauses.extend(gp.gc_events.iter().map(|e| e.pause));
             semi_collections = sp.gc_events.len() as u64;
@@ -398,13 +381,14 @@ pub fn measure_gc(
                 .count() as u64;
             gen_majors = gp.gc_events.len() as u64 - gen_minors;
         }
-    }
+        [s, g]
+    });
     GcMeasurement {
         name: name.to_string(),
         semi_p99: pause_p99(&mut semi_pauses),
         gen_p99: pause_p99(&mut gen_pauses),
-        semi_time: ts.expect("at least one timed sample"),
-        gen_time: tg.expect("at least one timed sample"),
+        semi_time: ts,
+        gen_time: tg,
         semi_collections,
         gen_minors,
         gen_majors,
@@ -455,25 +439,21 @@ pub fn measure_backend(
     let module = vgl_sema::analyze(&ast, &mut diags)
         .unwrap_or_else(|| panic!("{name}: workload failed to analyze"));
     let cfg = vgl_passes::BackendConfig { jobs, cache, chunking: true };
-    let mut best: Option<Duration> = None;
     let mut report = vgl::BackendReport::default();
-    for sample in 0..=samples {
+    let [time] = harness::measure_min_of_n(samples, |_| {
         report = vgl::BackendReport { jobs, ..Default::default() };
         let start = Instant::now();
         let (mut m, _) = vgl_passes::monomorphize_cfg(&module, &cfg, &mut report);
         vgl_passes::normalize_cfg(&mut m, &cfg, &mut report);
         vgl_passes::optimize_cfg(&mut m, &cfg, &mut report);
         let (_prog, _, _) = vgl_vm::lower_fuse(&m, &cfg);
-        let elapsed = start.elapsed();
-        if sample > 0 {
-            best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
-        }
-    }
+        [start.elapsed()]
+    });
     BackendMeasurement {
         name: name.to_string(),
         jobs,
         cache,
-        time: best.expect("at least one timed sample"),
+        time,
         norm_cache: report.norm_cache,
         opt_cache: report.opt_cache,
     }

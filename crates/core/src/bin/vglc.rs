@@ -73,9 +73,146 @@ fn usage() -> ExitCode {
          disasm [--tiered]|trace [-o out.json]] \
          [--fuse|--no-fuse] [--tier|--no-tier] [--tier-threshold N] [--jobs N] \
          [--heap-slots N] [--nursery-slots N] [--no-cache] [--flight-record[=N]] <file.v>\n\
-         \x20      vglc fuzz [--chaos] [--seed N] [--cases N] [--dump]"
+         \x20      vglc fuzz [--chaos|--protocol] [--seed N] [--cases N] [--dump]\n\
+         \x20      vglc serve [--socket PATH] [--fuse|--no-fuse] [--jobs N] [--no-cache]\n\
+         \x20      vglc client [--socket PATH] [--session NAME] \
+         <compile|check|run|stats|shutdown> [file.v]"
     );
     ExitCode::from(2)
+}
+
+/// The daemon socket: `--socket`, else `VGLD_SOCKET`, else a fixed name in
+/// the system temp dir (one default daemon per machine/user temp).
+fn default_socket() -> std::path::PathBuf {
+    std::env::var_os("VGLD_SOCKET")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("vgld.sock"))
+}
+
+/// `vglc serve`: run the compile daemon in the foreground until a client
+/// sends `shutdown`.
+fn serve(args: &[String]) -> ExitCode {
+    let mut config = vgl::serve::ServeConfig::default();
+    let mut socket = default_socket();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = std::path::PathBuf::from(p),
+                None => return usage(),
+            },
+            "--fuse" => config.options.fuse = true,
+            "--no-fuse" => config.options.fuse = false,
+            "--no-cache" => config.options.pass_cache = false,
+            "--no-opt" => config.options.optimize = false,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.options.jobs = n,
+                None => return usage(),
+            },
+            "--artifact-cap" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.artifact_capacity = n,
+                None => return usage(),
+            },
+            "--func-cap" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.func_capacity = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let daemon = match vgl::serve::Daemon::start(&socket, config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("vgld: cannot bind {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("vgld: serving on {}", socket.display());
+    daemon.wait();
+    println!("vgld: shut down");
+    ExitCode::SUCCESS
+}
+
+/// `vglc client`: one request against a running daemon, response printed
+/// as JSON (except `run`, which prints program output then the result).
+fn client(args: &[String]) -> ExitCode {
+    use vgl::serve::Client;
+    let mut socket = default_socket();
+    let mut session = "default".to_string();
+    let mut rest: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = std::path::PathBuf::from(p),
+                None => return usage(),
+            },
+            "--session" => match it.next() {
+                Some(s) => session = s.clone(),
+                None => return usage(),
+            },
+            _ => rest.push(flag),
+        }
+    }
+    let with_source = |cmd: &str, path: &String| {
+        let source = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("vglc: cannot read {path}: {e}");
+        })?;
+        Ok::<_, ()>(match cmd {
+            "compile" => vgl::serve::Request::Compile { session: session.clone(), source },
+            "check" => vgl::serve::Request::Check { session: session.clone(), source },
+            _ => vgl::serve::Request::Run { session: session.clone(), source },
+        })
+    };
+    let req = match rest.as_slice() {
+        [cmd, path] if matches!(cmd.as_str(), "compile" | "check" | "run") => {
+            match with_source(cmd, path) {
+                Ok(r) => r,
+                Err(()) => return ExitCode::FAILURE,
+            }
+        }
+        [cmd] if cmd.as_str() == "stats" => vgl::serve::Request::Stats,
+        [cmd] if cmd.as_str() == "shutdown" => vgl::serve::Request::Shutdown,
+        _ => return usage(),
+    };
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "vglc: cannot connect to {} ({e}); is `vglc serve` running?",
+                socket.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let resp = match client.request(&req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vglc: daemon request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ok = resp.get("ok").and_then(vgl::serve::Json::as_bool).unwrap_or(false);
+    if let vgl::serve::Request::Run { .. } = req {
+        if let Some(out) = resp.get("output").and_then(vgl::serve::Json::as_str) {
+            print!("{out}");
+        }
+        match (
+            resp.get("result").and_then(vgl::serve::Json::as_str),
+            resp.get("trap").and_then(vgl::serve::Json::as_str),
+        ) {
+            (Some(v), _) => println!("result: {v}"),
+            (None, Some(t)) => println!("trap: {t}"),
+            (None, None) => println!("{resp}"),
+        }
+    } else {
+        println!("{resp}");
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn chaos(seed: Option<u64>, cases: Option<u64>) -> ExitCode {
@@ -109,10 +246,34 @@ fn chaos(seed: Option<u64>, cases: Option<u64>) -> ExitCode {
     }
 }
 
+fn protocol_chaos(seed: Option<u64>, cases: Option<u64>) -> ExitCode {
+    let seed = seed.unwrap_or(0xC0FFEE);
+    let cases = cases.unwrap_or(2000);
+    println!(
+        "protocol chaos: seed {seed}, {cases} hostile client scripts against a live \
+         daemon (no panic, no hang, or bust)"
+    );
+    let report = vgl::serve::run_protocol_chaos(seed, cases, |i| {
+        if i % 500 == 0 {
+            println!("  ... case {i}");
+        }
+    });
+    println!("{}", report.summary());
+    match report.failure {
+        None => ExitCode::SUCCESS,
+        Some(f) => {
+            eprintln!("\nFAILURE: {f}");
+            eprintln!("reproduce with: vglc fuzz --protocol --seed <seed> --cases 1");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn fuzz(args: &[String]) -> ExitCode {
     let mut cfg = vgl::fuzz::FuzzConfig::default();
     let mut dump = false;
     let mut chaos_mode = false;
+    let mut protocol_mode = false;
     let mut seed = None;
     let mut cases = None;
     let mut it = args.iter();
@@ -125,12 +286,19 @@ fn fuzz(args: &[String]) -> ExitCode {
             chaos_mode = true;
             continue;
         }
+        if flag == "--protocol" {
+            protocol_mode = true;
+            continue;
+        }
         let value = it.next().and_then(|v| v.parse::<u64>().ok());
         match (flag.as_str(), value) {
             ("--seed", Some(v)) => seed = Some(v),
             ("--cases", Some(v)) => cases = Some(v),
             _ => return usage(),
         }
+    }
+    if protocol_mode {
+        return protocol_chaos(seed, cases);
     }
     if chaos_mode {
         return chaos(seed, cases);
@@ -171,6 +339,16 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         return fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--serve") {
+        args.remove(pos);
+        return serve(&args);
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        return client(&args[1..]);
     }
     let mut options = vgl::Options::default();
     let mut out_path: Option<String> = None;

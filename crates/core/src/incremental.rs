@@ -1,0 +1,476 @@
+//! Cross-request incremental compilation — the daemon's warm path.
+//!
+//! [`IncrementalCompiler`] wraps a [`Compiler`] with two persistent,
+//! content-addressed, bounded-LRU stores (`vgl_passes::ShardedLru`):
+//!
+//! * **Level 1 — whole artifacts.** Keyed by a 128-bit source fingerprint
+//!   plus the codegen-relevant option bits. A byte-identical resubmission
+//!   (the same file saved twice, or two clients compiling the same source)
+//!   returns the shared [`Compilation`] `Arc` without running anything.
+//!
+//! * **Level 2 — per-function artifacts.** Keyed by
+//!   ([`vgl_passes::context_digest`], `method_fingerprint`, option bits),
+//!   both computed **post-normalize**. On an edit, the front end, mono,
+//!   and normalize always run — normalize is cheap and serial, and its
+//!   wrapper synthesis and type interning are order-sensitive global
+//!   state, so skipping it would change id spaces. Every method whose
+//!   fingerprint matches under the same context digest then skips
+//!   optimize (its cached *post-optimize* body is spliced into the module
+//!   and masked out of rewriting, so the devirtualization and inlining
+//!   tables other methods fold against match the cold fixpoint) and skips
+//!   lower + fuse (its cached fused bytecode is relocated into the
+//!   reserved function slot by [`vgl_vm::lower_fuse_incremental`]).
+//!
+//! The contract, pinned by the serving determinism suite: warm output is
+//! **byte-identical** to a cold one-shot [`Compiler::compile`] of the same
+//! source under the same options. A digest or fingerprint miss falls back
+//! to exactly the cold path for that method, so the stores can be evicted
+//! (or raced) freely without affecting output — only latency.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use vgl_obs::PhaseTrace;
+use vgl_passes::{
+    cache, context_digest, BackendConfig, BackendReport, OptStats, ShardedLru, StoreStats,
+};
+use vgl_syntax::Diagnostics;
+use vgl_vm::{ReusePlan, SpliceFunc};
+
+use crate::{
+    render, render_violations, Compilation, CompileError, Compiler, Options, PassTimes,
+    PipelineStats,
+};
+
+/// Default level-1 capacity: whole compilations are big (module + bytecode),
+/// and a serving session rarely juggles more than a few dozen live sources.
+pub const DEFAULT_ARTIFACT_CAPACITY: usize = 64;
+
+/// Default level-2 capacity: per-function artifacts are small and the whole
+/// point is surviving edits, so keep room for many generations of a
+/// program's method set.
+pub const DEFAULT_FUNC_CAPACITY: usize = 4096;
+
+/// Level-2 store key: an artifact is reusable exactly when the module
+/// context, the method content, and the codegen options all match.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct FuncKey {
+    ctx: (u64, u64),
+    fp: (u64, u64),
+    opts: u64,
+}
+
+/// One cached function: the post-optimize IR body (spliced into warm
+/// modules so unchanged methods skip the optimizer while still feeding its
+/// interprocedural tables) and the relocatable fused bytecode capture.
+struct CachedFunc {
+    opt_body: Option<vgl_ir::Body>,
+    opt_locals: Vec<vgl_ir::Local>,
+    splice: Arc<SpliceFunc>,
+}
+
+/// Snapshot of the incremental stores' effectiveness, for `vgld stats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalStats {
+    /// Level-1 (whole-artifact) store counters.
+    pub artifacts: StoreStats,
+    /// Level-2 (per-function) store counters.
+    pub funcs: StoreStats,
+    /// Methods whose optimize+lower+fuse work was skipped via splicing.
+    pub methods_spliced: usize,
+    /// Methods compiled from scratch (and published to the store).
+    pub methods_compiled: usize,
+}
+
+impl IncrementalStats {
+    /// Fraction of per-method back-end work skipped across all compiles.
+    pub fn splice_rate(&self) -> f64 {
+        let total = self.methods_spliced + self.methods_compiled;
+        if total == 0 {
+            0.0
+        } else {
+            self.methods_spliced as f64 / total as f64
+        }
+    }
+}
+
+/// Option bits that change compiled bytes and therefore partition the
+/// stores. `jobs`, `pass_cache`, and `chunking` are excluded by the
+/// determinism contract (they never change output); heap/fuel/tiering
+/// thresholds only affect execution, except `tier` itself, which gates the
+/// static fuse pass.
+fn options_key(o: &Options) -> u64 {
+    u64::from(o.optimize) | u64::from(o.fuse) << 1 | u64::from(o.tier) << 2
+}
+
+/// 128-bit source fingerprint (FNV-1a + 31-multiplier streams, the same
+/// construction as `vgl_passes::cache`), joined with the option bits.
+fn source_key(source: &str, opts: u64) -> (u64, u64, u64) {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut a = FNV_OFFSET;
+    let mut b = 0x9e37_79b9_7f4a_7c15_u64;
+    for &byte in source.as_bytes() {
+        a = (a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        b = b.wrapping_mul(31).wrapping_add(u64::from(byte));
+    }
+    (a, b, opts)
+}
+
+/// A [`Compiler`] with persistent cross-request caching. Shareable across
+/// threads (`&self` everywhere; the stores are lock-striped internally) —
+/// the daemon holds one in an `Arc` and every session thread compiles
+/// through it.
+pub struct IncrementalCompiler {
+    compiler: Compiler,
+    opts_key: u64,
+    artifacts: ShardedLru<(u64, u64, u64), Compilation>,
+    funcs: ShardedLru<FuncKey, CachedFunc>,
+    methods_spliced: AtomicUsize,
+    methods_compiled: AtomicUsize,
+}
+
+impl IncrementalCompiler {
+    /// Wraps `compiler` with default store capacities.
+    pub fn new(compiler: Compiler) -> IncrementalCompiler {
+        IncrementalCompiler::with_capacity(
+            compiler,
+            DEFAULT_ARTIFACT_CAPACITY,
+            DEFAULT_FUNC_CAPACITY,
+        )
+    }
+
+    /// Wraps `compiler` with explicit level-1 / level-2 capacities.
+    pub fn with_capacity(
+        compiler: Compiler,
+        artifact_capacity: usize,
+        func_capacity: usize,
+    ) -> IncrementalCompiler {
+        let opts_key = options_key(&compiler.options);
+        IncrementalCompiler {
+            compiler,
+            opts_key,
+            artifacts: ShardedLru::new(artifact_capacity),
+            funcs: ShardedLru::new(func_capacity),
+            methods_spliced: AtomicUsize::new(0),
+            methods_compiled: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped compiler's options.
+    pub fn options(&self) -> &Options {
+        &self.compiler.options
+    }
+
+    /// Store effectiveness counters since construction.
+    pub fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            artifacts: self.artifacts.stats(),
+            funcs: self.funcs.stats(),
+            methods_spliced: self.methods_spliced.load(Ordering::Relaxed),
+            methods_compiled: self.methods_compiled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compiles `source`, reusing whole artifacts (level 1) and per-function
+    /// artifacts (level 2) from previous calls where sound. Output is
+    /// byte-identical to [`Compiler::compile`] with the same options.
+    ///
+    /// # Errors
+    /// Returns every parse and type error with rendered positions, exactly
+    /// as the one-shot path does (diagnostics are never cached).
+    pub fn compile(&self, source: &str) -> Result<Arc<Compilation>, CompileError> {
+        let skey = source_key(source, self.opts_key);
+        if let Some(art) = self.artifacts.get(&skey) {
+            return Ok(art);
+        }
+        let compilation = self.compile_warm(source)?;
+        // First-writer-wins: concurrent compiles of the same source share
+        // whichever artifact published first (they are byte-identical).
+        Ok(self.artifacts.insert(skey, compilation))
+    }
+
+    /// The level-1-miss path: full front end + mono + normalize, then
+    /// per-function reuse through optimize/lower/fuse.
+    fn compile_warm(&self, source: &str) -> Result<Compilation, CompileError> {
+        let o = self.compiler.options;
+        let mut trace = PhaseTrace::new();
+        let token_count = {
+            let mut scratch = Diagnostics::new();
+            trace
+                .time(
+                    "lex",
+                    source.len(),
+                    || vgl_syntax::lexer::lex(source, &mut scratch),
+                    Vec::len,
+                )
+                .len()
+        };
+        let mut diags = Diagnostics::new();
+        let ast = trace.time(
+            "parse",
+            token_count,
+            || vgl_syntax::parse_program(source, &mut diags),
+            |p| p.decls.len(),
+        );
+        if diags.has_errors() {
+            return Err(render(source, diags));
+        }
+        let analyzed =
+            trace.time("sema", ast.decls.len(), || vgl_sema::analyze(&ast, &mut diags), |_| 0);
+        let Some(module) = analyzed else {
+            return Err(render(source, diags));
+        };
+
+        let backend_cfg = BackendConfig {
+            jobs: vgl_passes::sched::resolve_jobs(o.jobs),
+            cache: o.pass_cache,
+            chunking: true,
+        };
+        let mut backend = BackendReport { jobs: backend_cfg.jobs, ..BackendReport::default() };
+        // Each `vgl_ir::measure` is a full IR walk (~0.5 ms on a serving
+        // workload), so every size below is computed exactly once and
+        // threaded into both the trace and the pipeline stats.
+        let size_before = vgl_ir::measure(&module);
+        trace.set_items_out("sema", size_before.expr_nodes);
+        let (mut compiled, mono) = trace.time(
+            "mono",
+            size_before.expr_nodes,
+            || vgl_passes::monomorphize_cfg(&module, &backend_cfg, &mut backend),
+            |_| 0,
+        );
+        if o.validate_ir {
+            let violations = vgl_ir::check_monomorphic(&compiled);
+            assert!(
+                violations.is_empty(),
+                "internal compiler error: monomorphization left polymorphism behind:\n{}",
+                render_violations(&violations)
+            );
+        }
+        let size_after_mono = vgl_ir::measure(&compiled);
+        trace.set_items_out("mono", size_after_mono.expr_nodes);
+        let norm = trace.time(
+            "normalize",
+            size_after_mono.expr_nodes,
+            || vgl_passes::normalize_cfg(&mut compiled, &backend_cfg, &mut backend),
+            |_| 0,
+        );
+        let size_after_norm = vgl_ir::measure(&compiled);
+        trace.set_items_out("normalize", size_after_norm.expr_nodes);
+
+        // Post-normalize is the reuse horizon: id spaces are final, bodies
+        // are in tuple normal form, and both keys are well-defined.
+        let ctx = context_digest(&compiled);
+        let n = compiled.methods.len();
+        let mut memo: HashMap<(u64, u64), Option<Arc<CachedFunc>>> = HashMap::new();
+        let mut fps = Vec::with_capacity(n);
+        let mut hits = Vec::with_capacity(n);
+        for m in &compiled.methods {
+            let fp = cache::method_fingerprint(m);
+            // Memoized per fingerprint so duplicate instances (equal
+            // fingerprint, different name) always agree — the optimizer's
+            // skip mask must be duplicate-consistent even if the store
+            // evicts between two lookups.
+            let hit = memo
+                .entry(fp)
+                .or_insert_with(|| self.funcs.get(&FuncKey { ctx, fp, opts: self.opts_key }))
+                .clone();
+            fps.push(fp);
+            hits.push(hit);
+        }
+        let mut mask = vec![false; n];
+        for (i, h) in hits.iter().enumerate() {
+            if let Some(c) = h {
+                mask[i] = true;
+                compiled.methods[i].body.clone_from(&c.opt_body);
+                compiled.methods[i].locals.clone_from(&c.opt_locals);
+            }
+        }
+        let spliced = mask.iter().filter(|&&b| b).count();
+        self.methods_spliced.fetch_add(spliced, Ordering::Relaxed);
+        self.methods_compiled.fetch_add(n - spliced, Ordering::Relaxed);
+
+        let opt = trace.time(
+            "optimize",
+            size_after_norm.expr_nodes,
+            || {
+                if o.optimize {
+                    vgl_passes::optimize_cfg_masked(
+                        &mut compiled,
+                        &backend_cfg,
+                        &mut backend,
+                        Some(&mask),
+                    )
+                } else {
+                    OptStats::default()
+                }
+            },
+            |_| 0,
+        );
+        if o.validate_ir {
+            let violations = vgl_ir::check_normalized(&compiled);
+            assert!(
+                violations.is_empty(),
+                "internal compiler error: pipeline broke tuple normal form:\n{}",
+                render_violations(&violations)
+            );
+        }
+        let size_after = vgl_ir::measure(&compiled);
+        trace.set_items_out("optimize", size_after.expr_nodes);
+
+        let do_fuse = o.fuse && !o.tier;
+        let plan = ReusePlan {
+            funcs: hits.iter().map(|h| h.as_ref().map(|c| c.splice.clone())).collect(),
+        };
+        let (program, fuse, captures) = trace.time(
+            "lower",
+            size_after.expr_nodes,
+            || vgl_vm::lower_fuse_incremental(&compiled, Some(&plan), do_fuse),
+            |(p, _, _)| p.code_size(),
+        );
+        if o.validate_ir {
+            let violations = vgl_vm::check_fused(&program);
+            assert!(
+                violations.is_empty(),
+                "internal compiler error: bytecode back end broke a VM invariant:\n{}",
+                render_violations(&violations)
+            );
+        }
+
+        // Publish what this compile produced. Insert is content-addressed
+        // first-writer-wins, so racing compiles of equal methods share one
+        // entry; duplicate instances collapse onto their representative's
+        // key by fingerprint equality.
+        for (i, cap) in captures.into_iter().enumerate() {
+            let Some(cap) = cap else { continue };
+            self.funcs.insert(
+                FuncKey { ctx, fp: fps[i], opts: self.opts_key },
+                CachedFunc {
+                    opt_body: compiled.methods[i].body.clone(),
+                    opt_locals: compiled.methods[i].locals.clone(),
+                    splice: Arc::new(cap),
+                },
+            );
+        }
+
+        let dur = |name: &str| {
+            trace
+                .phases
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.duration)
+                .unwrap_or_default()
+        };
+        let times =
+            PassTimes { mono: dur("mono"), norm: dur("normalize"), opt: dur("optimize") };
+        trace.workers = backend.workers.clone();
+        Ok(Compilation {
+            options: o,
+            module,
+            compiled,
+            program,
+            fuse,
+            backend,
+            stats: PipelineStats {
+                mono,
+                norm,
+                opt,
+                size_before,
+                size_after_mono,
+                size_after,
+                times,
+            },
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "
+        class Shape {
+            def area() -> int { return 0; }
+        }
+        class Square(s: int) extends Shape {
+            def area() -> int { return s * s; }
+        }
+        def id<T>(x: T) -> T { return x; }
+        def twice(x: int) -> int { return id(x) + id(x); }
+        def main() -> int {
+            var sh: Shape = Square.new(5);
+            return sh.area() + twice(8);
+        }
+    ";
+
+    // The same edit a serving client would make: only `twice` changes.
+    const EDITED: &str = "
+        class Shape {
+            def area() -> int { return 0; }
+        }
+        class Square(s: int) extends Shape {
+            def area() -> int { return s * s; }
+        }
+        def id<T>(x: T) -> T { return x; }
+        def twice(x: int) -> int { return id(x) * 2; }
+        def main() -> int {
+            var sh: Shape = Square.new(5);
+            return sh.area() + twice(8);
+        }
+    ";
+
+    fn program_bytes(c: &Compilation) -> String {
+        format!("{:?}|{:?}", c.program, vgl_passes::module_fingerprint(&c.compiled))
+    }
+
+    #[test]
+    fn identical_source_shares_the_artifact() {
+        let inc = IncrementalCompiler::new(Compiler::new());
+        let a = inc.compile(BASE).expect("compiles");
+        let b = inc.compile(BASE).expect("compiles");
+        assert!(Arc::ptr_eq(&a, &b), "level-1 hit must return the shared artifact");
+        let st = inc.stats();
+        assert_eq!(st.artifacts.hits, 1);
+        assert_eq!(a.execute().result.unwrap(), "41");
+    }
+
+    #[test]
+    fn edited_source_reuses_functions_with_identical_output() {
+        let inc = IncrementalCompiler::new(Compiler::new());
+        inc.compile(BASE).expect("compiles");
+        let warm = inc.compile(EDITED).expect("compiles");
+        let cold = Compiler::new().compile(EDITED).expect("compiles");
+        assert_eq!(program_bytes(&warm), program_bytes(&cold));
+        assert_eq!(warm.execute().result.unwrap(), cold.execute().result.unwrap());
+        let st = inc.stats();
+        assert!(st.funcs.hits > 0, "unchanged methods must hit the store: {st:?}");
+        assert!(st.methods_spliced > 0);
+    }
+
+    #[test]
+    fn fused_artifacts_splice_byte_identically() {
+        let mk = || Compiler::new().with_fuse().with_jobs(2);
+        let inc = IncrementalCompiler::new(mk());
+        inc.compile(BASE).expect("compiles");
+        let warm = inc.compile(EDITED).expect("compiles");
+        let cold = mk().compile(EDITED).expect("compiles");
+        assert_eq!(program_bytes(&warm), program_bytes(&cold));
+        assert!(inc.stats().methods_spliced > 0);
+    }
+
+    #[test]
+    fn different_options_do_not_share_artifacts() {
+        let inc_opt = IncrementalCompiler::new(Compiler::new());
+        let inc_noopt = IncrementalCompiler::new(Compiler::new().without_optimizer());
+        let a = inc_opt.compile(BASE).expect("compiles");
+        let b = inc_noopt.compile(BASE).expect("compiles");
+        // Same source, different option bits: separate keys, same result.
+        assert_eq!(a.execute().result.unwrap(), b.execute().result.unwrap());
+        assert_ne!(
+            source_key(BASE, options_key(inc_opt.options())),
+            source_key(BASE, options_key(inc_noopt.options()))
+        );
+    }
+}

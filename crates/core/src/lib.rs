@@ -35,7 +35,10 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod incremental;
+pub mod proto;
 pub mod report;
+pub mod serve;
 
 use std::fmt;
 
@@ -56,6 +59,8 @@ pub use vgl_vm::{
 };
 
 pub use vgl_fuzz as fuzz;
+
+pub use incremental::{IncrementalCompiler, IncrementalStats};
 
 /// A compilation failure: rendered diagnostics.
 #[derive(Clone, Debug)]
@@ -154,7 +159,7 @@ impl Default for Options {
 /// The compiler driver.
 #[derive(Clone, Debug, Default)]
 pub struct Compiler {
-    options: Options,
+    pub(crate) options: Options,
 }
 
 impl Compiler {
@@ -260,12 +265,8 @@ impl Compiler {
         if diags.has_errors() {
             return Err(render(source, diags));
         }
-        let analyzed = trace.time(
-            "sema",
-            ast.decls.len(),
-            || vgl_sema::analyze(&ast, &mut diags),
-            |m| m.as_ref().map_or(0, |m| vgl_ir::measure(m).expr_nodes),
-        );
+        let analyzed =
+            trace.time("sema", ast.decls.len(), || vgl_sema::analyze(&ast, &mut diags), |_| 0);
         let Some(module) = analyzed else {
             return Err(render(source, diags));
         };
@@ -282,12 +283,16 @@ impl Compiler {
         // Pipeline: mono → norm → (opt). With the cache on, mono streams
         // finished instances to hash workers so the duplicate map is ready
         // for normalize the moment it returns.
+        // Each `vgl_ir::measure` is a full IR walk, so every size below is
+        // computed exactly once and threaded into both the trace and the
+        // pipeline stats.
         let size_before = vgl_ir::measure(&module);
+        trace.set_items_out("sema", size_before.expr_nodes);
         let (mut compiled, mono) = trace.time(
             "mono",
             size_before.expr_nodes,
             || vgl_passes::monomorphize_cfg(&module, &backend_cfg, &mut backend),
-            |(m, _)| vgl_ir::measure(m).expr_nodes,
+            |_| 0,
         );
         if self.options.validate_ir {
             let violations = vgl_ir::check_monomorphic(&compiled);
@@ -298,6 +303,7 @@ impl Compiler {
             );
         }
         let size_after_mono = vgl_ir::measure(&compiled);
+        trace.set_items_out("mono", size_after_mono.expr_nodes);
         let norm = trace.time(
             "normalize",
             size_after_mono.expr_nodes,
@@ -396,7 +402,7 @@ impl Compiler {
     }
 }
 
-fn render_violations(violations: &[vgl_ir::Violation]) -> String {
+pub(crate) fn render_violations(violations: &[vgl_ir::Violation]) -> String {
     violations
         .iter()
         .map(|v| format!("  {}: {}", v.location, v.message))
@@ -509,7 +515,7 @@ impl Compiler {
     }
 }
 
-fn render(source: &str, diags: Diagnostics) -> CompileError {
+pub(crate) fn render(source: &str, diags: Diagnostics) -> CompileError {
     let lines = LineMap::new(source);
     let diagnostics = diags.into_vec();
     let rendered = diagnostics
@@ -536,7 +542,7 @@ pub struct RunOutcome {
 /// the bytecode, and the pipeline statistics (code-expansion data for E4).
 #[derive(Debug)]
 pub struct Compilation {
-    options: Options,
+    pub(crate) options: Options,
     /// The typed source-level module (polymorphic; what the interpreter runs).
     pub module: Module,
     /// The monomorphized + normalized (+ optimized) module.

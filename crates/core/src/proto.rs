@@ -1,0 +1,339 @@
+//! The `vgld` wire protocol: length-prefixed JSON frames.
+//!
+//! A frame is a 4-byte **big-endian** payload length followed by exactly
+//! that many bytes of UTF-8 JSON. The prefix makes framing independent of
+//! payload content (sources may contain anything, including newlines and
+//! braces), and the strict [`MAX_FRAME`] bound means a malicious or
+//! corrupted length can never make the daemon allocate unbounded memory —
+//! the protocol-chaos fuzz lane (`vglc fuzz --protocol`) throws random,
+//! truncated, oversized, and interleaved bytes at this module and the
+//! daemon must neither panic nor hang.
+//!
+//! Requests are JSON objects with a `cmd` field (`compile`, `check`,
+//! `run`, `stats`, `shutdown`); `compile`/`check`/`run` carry `source` and
+//! an optional `session` name (sessions keep per-client latency series
+//! apart in `stats`). Responses always carry `ok: bool`; errors carry
+//! `error: string`. A malformed frame gets an error *response* and closes
+//! only the offending connection — the daemon stays up.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use vgl_obs::json::{self, Json};
+
+/// Hard upper bound on a frame payload (16 MiB). Larger lengths are
+/// rejected before any allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u64),
+    /// The peer disconnected in the middle of a frame.
+    Truncated,
+    /// The payload is not UTF-8.
+    BadUtf8,
+    /// The payload is not a single JSON document.
+    BadJson(json::JsonError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::BadUtf8 => write!(f, "frame payload is not utf-8"),
+            FrameError::BadJson(e) => write!(f, "frame payload is not json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the rendered JSON.
+///
+/// # Errors
+/// Propagates transport errors; refuses (without writing anything) to send
+/// a payload over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+    let payload = msg.render();
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME}-byte limit", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean disconnect — EOF *between*
+/// frames; EOF anywhere inside a frame is [`FrameError::Truncated`].
+/// Handles payloads split across arbitrarily many short reads.
+///
+/// # Errors
+/// Any transport, bound, or decode failure; the caller should answer with
+/// [`error_response`] where possible and drop the connection.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => return Err(FrameError::Truncated),
+    }
+    let len = u32::from_be_bytes(len_buf) as u64;
+    if len > MAX_FRAME as u64 {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if read_full(r, &mut payload)? != payload.len() {
+        return Err(FrameError::Truncated);
+    }
+    let text = std::str::from_utf8(&payload).map_err(|_| FrameError::BadUtf8)?;
+    json::parse(text).map(Some).map_err(FrameError::BadJson)
+}
+
+/// Reads until `buf` is full or EOF; returns how many bytes landed.
+/// Interrupted reads are retried, so a slow peer that dribbles one byte at
+/// a time still assembles a complete frame.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// A decoded daemon request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Compile `source`, report pipeline statistics and cache effectiveness.
+    Compile {
+        /// Session name (defaults to `"default"`).
+        session: String,
+        /// The program text.
+        source: String,
+    },
+    /// Front-end diagnostics only (never cached, never runs the program).
+    Check {
+        /// Session name.
+        session: String,
+        /// The program text.
+        source: String,
+    },
+    /// Compile (through the same caches) and execute on the VM.
+    Run {
+        /// Session name.
+        session: String,
+        /// The program text.
+        source: String,
+    },
+    /// Serving statistics: cache hit rates, sessions, latency percentiles.
+    Stats,
+    /// Orderly daemon shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes a request object. Errors are protocol-level (unknown `cmd`,
+    /// missing field, wrong type) and name the offending field.
+    ///
+    /// # Errors
+    /// A human-readable message suitable for an `error` response.
+    pub fn from_json(j: &Json) -> Result<Request, String> {
+        let cmd = j
+            .get("cmd")
+            .ok_or("missing field 'cmd'")?
+            .as_str()
+            .ok_or("field 'cmd' must be a string")?;
+        let session = || -> Result<String, String> {
+            match j.get("session") {
+                None => Ok("default".to_string()),
+                Some(s) => Ok(s
+                    .as_str()
+                    .ok_or("field 'session' must be a string")?
+                    .to_string()),
+            }
+        };
+        let source = || -> Result<String, String> {
+            Ok(j.get("source")
+                .ok_or("missing field 'source'")?
+                .as_str()
+                .ok_or("field 'source' must be a string")?
+                .to_string())
+        };
+        match cmd {
+            "compile" => Ok(Request::Compile { session: session()?, source: source()? }),
+            "check" => Ok(Request::Check { session: session()?, source: source()? }),
+            "run" => Ok(Request::Run { session: session()?, source: source()? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd '{other}'")),
+        }
+    }
+
+    /// Encodes the request as a wire object (the client side of
+    /// [`Request::from_json`]).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        match self {
+            Request::Compile { session, source } => {
+                o.set("cmd", Json::from("compile"));
+                o.set("session", Json::from(session.as_str()));
+                o.set("source", Json::from(source.as_str()));
+            }
+            Request::Check { session, source } => {
+                o.set("cmd", Json::from("check"));
+                o.set("session", Json::from(session.as_str()));
+                o.set("source", Json::from(source.as_str()));
+            }
+            Request::Run { session, source } => {
+                o.set("cmd", Json::from("run"));
+                o.set("session", Json::from(session.as_str()));
+                o.set("source", Json::from(source.as_str()));
+            }
+            Request::Stats => o.set("cmd", Json::from("stats")),
+            Request::Shutdown => o.set("cmd", Json::from("shutdown")),
+        }
+        o
+    }
+}
+
+/// The standard failure response: `{"ok": false, "error": message}`.
+pub fn error_response(message: &str) -> Json {
+    let mut o = Json::object();
+    o.set("ok", Json::Bool(false));
+    o.set("error", Json::from(message));
+    o
+}
+
+/// An empty success response to extend: `{"ok": true}`.
+pub fn ok_response() -> Json {
+    let mut o = Json::object();
+    o.set("ok", Json::Bool(true));
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let req = Request::Compile {
+            session: "s1".into(),
+            source: "def main() -> int { return 1; }\n\"brace {\"".into(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json()).expect("writes");
+        let back = read_frame(&mut buf.as_slice()).expect("reads").expect("one frame");
+        assert_eq!(Request::from_json(&back), Ok(req));
+        // Nothing left: a second read is a clean EOF.
+        let mut rest = &buf[buf.len()..];
+        assert!(matches!(read_frame(&mut rest), Ok(None)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::TooLarge(n)) if n == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_both_positions() {
+        // Mid-prefix.
+        let mut b: &[u8] = &[0, 0];
+        assert!(matches!(read_frame(&mut b), Err(FrameError::Truncated)));
+        // Mid-payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"{\"a\"");
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        /// Yields one byte per read call — the worst legal transport.
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() || buf.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats.to_json()).expect("writes");
+        let v = read_frame(&mut OneByte(&buf)).expect("reads").expect("frame");
+        assert_eq!(Request::from_json(&v), Ok(Request::Stats));
+    }
+
+    #[test]
+    fn garbage_payloads_are_errors_not_panics() {
+        let frame = |bytes: &[u8]| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            buf.extend_from_slice(bytes);
+            buf
+        };
+        assert!(matches!(
+            read_frame(&mut frame(&[0xff, 0xfe, 0x80]).as_slice()),
+            Err(FrameError::BadUtf8)
+        ));
+        assert!(matches!(
+            read_frame(&mut frame(b"{not json").as_slice()),
+            Err(FrameError::BadJson(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut frame(b"").as_slice()),
+            Err(FrameError::BadJson(_))
+        ));
+    }
+
+    #[test]
+    fn requests_decode_and_reject_precisely() {
+        let ok = json::parse(r#"{"cmd":"run","source":"x"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&ok),
+            Ok(Request::Run { session: "default".into(), source: "x".into() })
+        );
+        let cases = [
+            (r#"{}"#, "missing field 'cmd'"),
+            (r#"{"cmd":7}"#, "field 'cmd' must be a string"),
+            (r#"{"cmd":"warp"}"#, "unknown cmd 'warp'"),
+            (r#"{"cmd":"compile"}"#, "missing field 'source'"),
+            (r#"{"cmd":"compile","source":3}"#, "field 'source' must be a string"),
+            (r#"{"cmd":"check","session":1,"source":"x"}"#, "field 'session' must be a string"),
+        ];
+        for (text, want) in cases {
+            let j = json::parse(text).unwrap();
+            assert_eq!(Request::from_json(&j), Err(want.to_string()), "{text}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The served-compilation column of the determinism matrix: a daemon that
+//! reuses cached per-function artifacts must produce **byte-identical**
+//! bytecode to a cold one-shot `vglc` compile of the same source — across
+//! edit histories, backend job counts, and concurrent sessions.
+//!
+//! "Byte-identical" is literal: the full disassembly of the fused program
+//! is compared as a string. Everything the VM executes is in that text, so
+//! equality here is equality of compiled output, not just of run results.
+
+use std::sync::Arc;
+
+use vgl::incremental::IncrementalCompiler;
+use vgl::serve::{with_daemon, Client, Request, ServeConfig};
+use vgl::{Compiler, Options};
+use vgl_obs::json::Json;
+use vgl_vm::disasm;
+
+/// A small edit-model program: a battery of classes and workers that never
+/// change, plus one `hot` function the edit stamp rewrites — the same
+/// shape the serving bench uses, sized for debug-build test time.
+fn edited_program(edit: u64) -> String {
+    let mut src = String::from(
+        "class Gauge { def get(x: int) -> int { return x; } }\n\
+         class Wide extends Gauge { def get(x: int) -> int { return x + 1; } }\n",
+    );
+    for f in 0..3 {
+        src.push_str(&format!("def work{f}(n: int) -> int {{\n    var acc = n;\n"));
+        src.push_str("    var b: Gauge = Wide.new();\n");
+        for s in 0..24 {
+            let k = (f * 31 + s * 7) % 97 + 2;
+            match s % 4 {
+                0 => src.push_str(&format!(
+                    "    var t{s} = (acc + {k}, acc * 2); acc = t{s}.0 + t{s}.1;\n"
+                )),
+                1 => src.push_str(&format!("    acc = acc + b.get(acc % 64) + {k};\n")),
+                2 => src.push_str(&format!(
+                    "    if (acc % {k} == 0) acc = acc + {k}; else acc = acc - 1;\n"
+                )),
+                _ => src.push_str(&format!("    acc = acc ^ (acc / {k} + {k});\n")),
+            }
+        }
+        src.push_str("    return acc;\n}\n");
+    }
+    let (a, b) = (edit % 97 + 1, edit % 8191);
+    src.push_str(&format!("def hot(x: int) -> int {{ return (x * {a} + {b}) % 8191; }}\n"));
+    src.push_str(
+        "def main() -> int {\n    var acc = 0;\n    acc = work0(3) + work1(5) + work2(7);\n",
+    );
+    src.push_str(&format!("    return hot(acc % 1000) + {};\n}}\n", edit % 13));
+    src
+}
+
+fn serving_options() -> Options {
+    Options { fuse: true, jobs: 1, ..Options::default() }
+}
+
+/// Disassembles a cold one-shot compile — the reference output.
+fn cold_disasm(options: &Options, src: &str) -> String {
+    let c = Compiler::with_options(*options).compile(src).expect("cold compile");
+    disasm(&c.program)
+}
+
+#[test]
+fn warm_output_is_byte_identical_to_cold_across_edits() {
+    let options = serving_options();
+    let inc = IncrementalCompiler::new(Compiler::with_options(options));
+    // Seed the store, then replay an edit history: every warm compile
+    // (which splices cached post-optimize bodies and reuses lowered code
+    // for every unchanged function) must equal a cold compile byte for
+    // byte. Edit 3 repeats an earlier fingerprint on purpose.
+    inc.compile(&edited_program(0)).expect("seed");
+    for edit in [1u64, 2, 99, 1] {
+        let src = edited_program(edit);
+        let warm = inc.compile(&src).expect("warm compile");
+        assert_eq!(
+            disasm(&warm.program),
+            cold_disasm(&options, &src),
+            "edit {edit}: warm disassembly diverged from cold"
+        );
+    }
+    let stats = inc.stats();
+    assert!(stats.funcs.hits > 0, "the warm path must actually engage: {stats:?}");
+}
+
+#[test]
+fn jobs_do_not_change_warm_output() {
+    // The backend job count must never leak into compiled output — not in
+    // a one-shot compile, and not through the cached warm path either.
+    let reference = {
+        let options = serving_options();
+        cold_disasm(&options, &edited_program(5))
+    };
+    for jobs in [1usize, 8] {
+        let options = Options { jobs, ..serving_options() };
+        let inc = IncrementalCompiler::new(Compiler::with_options(options));
+        inc.compile(&edited_program(4)).expect("seed");
+        let warm = inc.compile(&edited_program(5)).expect("warm compile");
+        assert_eq!(
+            disasm(&warm.program),
+            reference,
+            "jobs={jobs}: warm disassembly diverged from the jobs=1 cold reference"
+        );
+        assert_eq!(cold_disasm(&options, &edited_program(5)), reference, "jobs={jobs} cold");
+    }
+}
+
+#[test]
+fn concurrent_warm_compiles_are_deterministic() {
+    // Eight sessions compile overlapping edit histories against one shared
+    // store (the daemon's exact concurrency shape, minus the socket).
+    // Racing compiles publish into the store first-writer-wins; whichever
+    // artifact a session observes, output must equal the cold reference.
+    let options = serving_options();
+    let inc = Arc::new(IncrementalCompiler::new(Compiler::with_options(options)));
+    inc.compile(&edited_program(0)).expect("seed");
+    let edits: Vec<u64> = vec![1, 2, 3, 4];
+    let references: Vec<String> =
+        edits.iter().map(|&e| cold_disasm(&options, &edited_program(e))).collect();
+    std::thread::scope(|s| {
+        for session in 0..8 {
+            let inc = Arc::clone(&inc);
+            let edits = &edits;
+            let references = &references;
+            s.spawn(move || {
+                // Sessions walk the history in different orders so cache
+                // publication races actually interleave.
+                for i in 0..edits.len() {
+                    let at = (i + session) % edits.len();
+                    let warm =
+                        inc.compile(&edited_program(edits[at])).expect("warm compile");
+                    assert_eq!(
+                        disasm(&warm.program),
+                        references[at],
+                        "session {session}, edit {}: diverged",
+                        edits[at]
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn fuzz_programs_warm_equal_cold() {
+    // A sweep of generated programs through one shared store: every warm
+    // recompile (second submission of the same source arrives via the
+    // artifact cache; a fresh store compile of a *mutated* neighbor goes
+    // through the function store) matches its cold compile.
+    use vgl_fuzz::gen::{emit, gen_program, GenConfig};
+    let options = serving_options();
+    let inc = IncrementalCompiler::new(Compiler::with_options(options));
+    let cfg = GenConfig::default();
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let src = emit(&gen_program(seed, &cfg));
+        let Ok(cold) = Compiler::with_options(options).compile(&src) else {
+            continue; // generator emitted a diagnostic-bearing program
+        };
+        let warm = inc.compile(&src).expect("warm compiles what cold compiles");
+        assert_eq!(
+            disasm(&warm.program),
+            disasm(&cold.program),
+            "seed {seed}: warm disassembly diverged"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20, "enough fuzz programs compiled: {checked}");
+}
+
+#[test]
+fn served_run_equals_one_shot_over_the_wire() {
+    // End to end through the socket: the daemon's `run` of an edit history
+    // reports the same result, output, and code size as one-shot compiles,
+    // at jobs 1 and 8.
+    for jobs in [1usize, 8] {
+        let options = Options { jobs, ..serving_options() };
+        let config = ServeConfig { options, ..ServeConfig::default() };
+        with_daemon(config, |path| {
+            let mut client = Client::connect(path).expect("connects");
+            for edit in [0u64, 6, 7, 6] {
+                let src = edited_program(edit);
+                let cold = Compiler::with_options(options)
+                    .compile(&src)
+                    .expect("cold compile");
+                let want = match cold.execute().result {
+                    Ok(v) => v,
+                    Err(t) => panic!("reference run trapped: {t}"),
+                };
+                let resp = client
+                    .request(&Request::Run { session: "det".into(), source: src })
+                    .expect("daemon responds");
+                assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "edit {edit}: {resp}");
+                assert_eq!(
+                    resp.get("result").and_then(Json::as_str),
+                    Some(want.as_str()),
+                    "jobs={jobs}, edit {edit}: served result diverged"
+                );
+                assert_eq!(
+                    resp.get("code_size").and_then(Json::as_u64),
+                    Some(cold.code_size() as u64),
+                    "jobs={jobs}, edit {edit}: served code size diverged"
+                );
+            }
+        });
+    }
+}

@@ -30,6 +30,7 @@
 pub mod chaos;
 pub mod gen;
 pub mod oracle;
+pub mod protocol;
 pub mod rng;
 pub mod shrink;
 

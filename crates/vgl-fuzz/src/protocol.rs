@@ -1,0 +1,265 @@
+//! Adversarial byte streams for the `vgld` wire protocol.
+//!
+//! This module is **pure generation** — it produces hostile client
+//! scripts (byte chunks + disconnect points) without touching sockets or
+//! the daemon, so it lives here with the other generators and stays free
+//! of a dependency on the compiler facade. The driver that throws these
+//! at a live daemon (`vgl::serve::run_protocol_chaos`, wired to
+//! `vglc fuzz --protocol`) asserts the serving contract: **no panic, no
+//! hang, the daemon keeps serving healthy clients afterwards** — a
+//! malformed stream may only ever cost its own connection.
+//!
+//! The wire format under attack: 4-byte big-endian length prefix, then
+//! that many bytes of UTF-8 JSON (see `vgl::proto`). Streams cover every
+//! way that can go wrong: garbage bytes, oversized and lying length
+//! prefixes, non-UTF-8 and non-JSON payloads, well-formed JSON that is
+//! not a valid request, frames split across many tiny writes, several
+//! frames coalesced into one write, and disconnects at every stage —
+//! including between a length prefix and its payload.
+
+use crate::rng::Rng;
+
+/// One step of a hostile client script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Chunk {
+    /// Write these bytes to the socket (one `write` call — chunk
+    /// boundaries are exactly where the server sees short reads).
+    Send(Vec<u8>),
+    /// Drop the connection now, mid-whatever.
+    Close,
+}
+
+/// A generated case: the script plus how many *well-formed* request
+/// frames it contains (the driver may expect at most that many non-error
+/// responses; it must not expect the count exactly, since the server is
+/// free to close after the first malformed frame).
+#[derive(Clone, Debug)]
+pub struct ProtocolCase {
+    /// The script, executed in order.
+    pub chunks: Vec<Chunk>,
+    /// Complete, valid request frames embedded in the stream.
+    pub valid_frames: usize,
+    /// Human-readable tags of the attack kinds used (for failure repro).
+    pub kinds: Vec<&'static str>,
+}
+
+/// The [`MAX_FRAME`](https://docs.rs) bound the server enforces, mirrored
+/// here so oversized-length attacks aim just past it.
+pub const SERVER_MAX_FRAME: u32 = 16 << 20;
+
+/// Tiny pool of sources a valid `compile`/`run` frame may carry; kept
+/// small and fast so a 2000-case lane finishes in CI time.
+const SOURCES: &[&str] = &[
+    "def main() -> int { return 40 + 2; }",
+    "def f(x: int) -> int { return x * 3; }\ndef main() -> int { return f(14); }",
+    "def main() -> int { return x; }", // type error: diagnostics path
+    "def main( {",                     // parse error: diagnostics path
+    "",
+];
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A well-formed request payload (JSON bytes, no prefix).
+fn valid_payload(rng: &mut Rng) -> Vec<u8> {
+    let src = SOURCES[rng.below(SOURCES.len() as u64) as usize];
+    let escaped: String = src
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect();
+    let cmd = *rng.pick(&["compile", "check", "run", "stats"]);
+    let text = if cmd == "stats" {
+        r#"{"cmd":"stats"}"#.to_string()
+    } else {
+        format!(r#"{{"cmd":"{cmd}","session":"chaos-{}","source":"{escaped}"}}"#, rng.below(4))
+    };
+    text.into_bytes()
+}
+
+/// One hostile fragment: bytes plus whether it embeds a valid frame.
+fn fragment(rng: &mut Rng) -> (Vec<u8>, usize, &'static str) {
+    match rng.below(9) {
+        // A completely valid frame.
+        0 => (frame(&valid_payload(rng)), 1, "valid"),
+        // Valid JSON, invalid request (unknown cmd / missing fields /
+        // wrong types).
+        1 => {
+            let bad = *rng.pick(&[
+                r#"{"cmd":"warp"}"#,
+                r#"{"cmd":"compile"}"#,
+                r#"{"cmd":7}"#,
+                r#"{"source":"x"}"#,
+                r#"{"cmd":"run","source":42}"#,
+                r#"[1,2,3]"#,
+                r#""just a string""#,
+                "null",
+            ]);
+            (frame(bad.as_bytes()), 0, "bad-request")
+        }
+        // Not JSON at all.
+        2 => {
+            let junk = *rng.pick(&["{oops", "}{", "tru", "", "\"unterminated", "{\"a\":}"]);
+            (frame(junk.as_bytes()), 0, "bad-json")
+        }
+        // Not UTF-8.
+        3 => {
+            let n = 1 + rng.below(16) as usize;
+            let mut bytes = vec![0xff; n];
+            for b in bytes.iter_mut() {
+                *b = 0x80 + (rng.below(0x7f) as u8);
+            }
+            (frame(&bytes), 0, "bad-utf8")
+        }
+        // Oversized length prefix: from just past the bound to u32::MAX.
+        4 => {
+            let len = SERVER_MAX_FRAME as u64 + 1 + rng.below(u64::from(u32::MAX) - u64::from(SERVER_MAX_FRAME) - 1);
+            let mut bytes = (len as u32).to_be_bytes().to_vec();
+            // A few bytes of "payload" the server must not wait for.
+            bytes.extend(std::iter::repeat_n(0x41, rng.below(8) as usize));
+            (bytes, 0, "oversized-length")
+        }
+        // Lying length prefix: claims more than it delivers (the stream
+        // ends or closes mid-payload).
+        5 => {
+            let payload = valid_payload(rng);
+            let mut bytes = ((payload.len() as u32) + 1 + rng.below(64) as u32)
+                .to_be_bytes()
+                .to_vec();
+            bytes.extend_from_slice(&payload);
+            (bytes, 0, "truncated-payload")
+        }
+        // Raw garbage, no framing discipline at all.
+        6 => {
+            let n = 1 + rng.below(64) as usize;
+            let bytes: Vec<u8> = (0..n).map(|_| rng.below(256) as u8).collect();
+            (bytes, 0, "garbage")
+        }
+        // A truncated length prefix (1–3 bytes of it).
+        7 => {
+            let full = frame(&valid_payload(rng));
+            let keep = 1 + rng.below(3) as usize;
+            (full[..keep].to_vec(), 0, "truncated-prefix")
+        }
+        // Several valid frames coalesced into one write.
+        _ => {
+            let n = 2 + rng.below(3) as usize;
+            let mut bytes = Vec::new();
+            for _ in 0..n {
+                bytes.extend_from_slice(&frame(&valid_payload(rng)));
+            }
+            (bytes, n, "coalesced")
+        }
+    }
+}
+
+/// Generates one hostile client script from `seed`. Deterministic: equal
+/// seeds yield equal scripts, so any failure reproduces from its printed
+/// seed alone.
+pub fn gen_case(seed: u64) -> ProtocolCase {
+    let mut rng = Rng::new(seed);
+    let mut chunks = Vec::new();
+    let mut valid_frames = 0;
+    let mut kinds = Vec::new();
+    let fragments = 1 + rng.below(4);
+    let mut poisoned = false;
+    for _ in 0..fragments {
+        let (bytes, valid, kind) = fragment(&mut rng);
+        kinds.push(kind);
+        // Frames after a malformed fragment may never be answered (the
+        // server is allowed to close); they still get written.
+        if !poisoned {
+            valid_frames += valid;
+        }
+        poisoned = poisoned || valid == 0 && !bytes.is_empty();
+        // Sometimes split the fragment across many tiny writes — the
+        // server's reassembly path.
+        if rng.chance(35) && bytes.len() > 1 {
+            kinds.push("split");
+            let mut at = 0;
+            while at < bytes.len() {
+                let step = 1 + rng.below(7.min(bytes.len() as u64 - at as u64)) as usize;
+                chunks.push(Chunk::Send(bytes[at..at + step].to_vec()));
+                at += step;
+            }
+        } else {
+            chunks.push(Chunk::Send(bytes));
+        }
+        // Sometimes disconnect mid-script (possibly mid-frame, because the
+        // previous fragment may have been split or truncated).
+        if rng.chance(20) {
+            kinds.push("early-close");
+            chunks.push(Chunk::Close);
+            break;
+        }
+    }
+    ProtocolCase { chunks, valid_frames, kinds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        for seed in 0..32 {
+            let a = gen_case(seed);
+            let b = gen_case(seed);
+            assert_eq!(a.chunks, b.chunks);
+            assert_eq!(a.valid_frames, b.valid_frames);
+        }
+    }
+
+    #[test]
+    fn corpus_covers_every_attack_kind() {
+        let mut seen: std::collections::HashSet<&'static str> = Default::default();
+        for seed in 0..2000 {
+            seen.extend(gen_case(seed).kinds);
+        }
+        for kind in [
+            "valid",
+            "bad-request",
+            "bad-json",
+            "bad-utf8",
+            "oversized-length",
+            "truncated-payload",
+            "garbage",
+            "truncated-prefix",
+            "coalesced",
+            "split",
+            "early-close",
+        ] {
+            assert!(seen.contains(kind), "2000 seeds never produced {kind}");
+        }
+    }
+
+    #[test]
+    fn valid_frames_really_are_valid() {
+        // Every fragment tagged "valid" must carry a parseable length
+        // prefix and UTF-8 JSON payload — otherwise the driver's response
+        // expectations are meaningless.
+        let mut checked = 0;
+        for seed in 0..500 {
+            let mut rng = Rng::new(seed);
+            let (bytes, valid, kind) = fragment(&mut rng);
+            if kind != "valid" {
+                continue;
+            }
+            assert_eq!(valid, 1);
+            let len = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, bytes.len() - 4, "prefix matches payload");
+            let text = std::str::from_utf8(&bytes[4..]).expect("utf-8");
+            assert!(text.starts_with('{'), "json object: {text}");
+            checked += 1;
+        }
+        assert!(checked > 10, "enough valid fragments sampled");
+    }
+}

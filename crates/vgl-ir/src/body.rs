@@ -10,14 +10,14 @@ use vgl_types::{ClassId, Type};
 
 /// A method body: a statement block. Local slots live in the owning
 /// [`crate::module::Method`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Hash)]
 pub struct Body {
     /// The statements.
     pub stmts: Vec<Stmt>,
 }
 
 /// A typed statement.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum Stmt {
     /// Evaluate for effect.
     Expr(Expr),
@@ -38,7 +38,7 @@ pub enum Stmt {
 }
 
 /// A typed expression.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Expr {
     /// The shape.
     pub kind: ExprKind,
@@ -149,7 +149,7 @@ pub enum Builtin {
 }
 
 /// The shape of an [`Expr`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum ExprKind {
     /// 32-bit integer literal.
     Int(i32),

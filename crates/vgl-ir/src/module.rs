@@ -143,7 +143,7 @@ impl Module {
 }
 
 /// A class definition.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Class {
     /// Class name.
     pub name: String,
@@ -168,7 +168,7 @@ pub struct Class {
 }
 
 /// A field of a class.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Field {
     /// Field name.
     pub name: String,
@@ -183,7 +183,7 @@ pub struct Field {
 }
 
 /// How a method may be invoked.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum MethodKind {
     /// An ordinary method (virtual when owned by a class and not private).
     Normal,
@@ -194,7 +194,7 @@ pub enum MethodKind {
 }
 
 /// A method definition.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Method {
     /// Method name (`new` for constructors).
     pub name: String,
@@ -239,7 +239,7 @@ impl Method {
 }
 
 /// A local variable or parameter slot.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Local {
     /// Name (for diagnostics and disassembly).
     pub name: String,
@@ -250,7 +250,7 @@ pub struct Local {
 }
 
 /// A component (top-level) variable.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Global {
     /// Name.
     pub name: String,

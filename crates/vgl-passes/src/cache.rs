@@ -53,25 +53,53 @@ impl Write for FingerprintWriter {
     }
 }
 
+/// The same two independent streams as [`FingerprintWriter`], fed
+/// structurally through `std::hash::Hasher` instead of through `Debug`
+/// rendering. Fingerprinting is on the hot path of every warm daemon
+/// compile (every method of every request is fingerprinted before the
+/// function store can answer), and formatting machinery was the dominant
+/// cost — hashing the IR tree directly is several times faster and keyed
+/// on exactly the same structure (derived `Hash` visits every field the
+/// `Debug` rendering printed, types still as interned ids).
+struct FingerprintHasher {
+    a: u64,
+    b: u64,
+}
+
+impl FingerprintHasher {
+    fn new() -> FingerprintHasher {
+        FingerprintHasher { a: FNV_OFFSET, b: 0x9e37_79b9_7f4a_7c15 }
+    }
+}
+
+impl std::hash::Hasher for FingerprintHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = self.b.wrapping_mul(31).wrapping_add(u64::from(byte));
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.a
+    }
+}
+
 /// 128-bit content fingerprint of a post-mono method, **excluding its
 /// name**: two methods with equal fingerprints are interchangeable inputs
 /// to normalize and optimize.
 pub fn method_fingerprint(m: &Method) -> (u64, u64) {
-    let mut h = FingerprintWriter::new();
-    write!(
-        h,
-        "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}",
-        m.owner,
-        m.is_private,
-        m.kind,
-        m.type_params,
-        m.param_count,
-        m.locals,
-        m.ret,
-        m.body,
-        m.vtable_index
-    )
-    .expect("hash writer never fails");
+    use std::hash::Hash;
+    let mut h = FingerprintHasher::new();
+    m.owner.hash(&mut h);
+    m.is_private.hash(&mut h);
+    m.kind.hash(&mut h);
+    m.type_params.hash(&mut h);
+    m.param_count.hash(&mut h);
+    m.locals.hash(&mut h);
+    m.ret.hash(&mut h);
+    m.body.hash(&mut h);
+    m.vtable_index.hash(&mut h);
     (h.a, h.b)
 }
 
@@ -82,10 +110,44 @@ pub fn method_fingerprint(m: &Method) -> (u64, u64) {
 /// unordered); every type the program can observe is reachable through the
 /// hashed items as interned ids.
 pub fn module_fingerprint(m: &Module) -> u64 {
-    let mut h = FingerprintWriter::new();
-    write!(h, "{:?}|{:?}|{:?}|{:?}", m.classes, m.methods, m.globals, m.main)
-        .expect("hash writer never fails");
+    use std::hash::Hash;
+    let mut h = FingerprintHasher::new();
+    m.classes.hash(&mut h);
+    m.methods.hash(&mut h);
+    m.globals.hash(&mut h);
+    m.main.hash(&mut h);
     h.a ^ h.b.rotate_left(32)
+}
+
+/// 128-bit digest of everything compiled bytecode can reference **by
+/// index** across compiles: the full type-interner dump (id order), the
+/// class hierarchy and layouts, the globals, the entry point, and every
+/// method's *signature* (owner, kind, privacy, parameter types, return
+/// type, vtable slot) — but **not** method names or bodies.
+///
+/// Two post-normalize modules with equal digests agree on every id space a
+/// [`method_fingerprint`]-keyed artifact embeds — type ids, `MethodId` /
+/// `FuncId`, `ClassId`, `GlobalId`, field slots, vtable slots — so a
+/// function artifact cached under one module can be soundly reused in the
+/// other wherever the fingerprints also match. Bodies are excluded (they
+/// are what the fingerprints compare); names are excluded so renames stay
+/// warm, the same policy as `method_fingerprint`.
+pub fn context_digest(module: &Module) -> (u64, u64) {
+    let mut h = FingerprintWriter::new();
+    for k in module.store.kinds() {
+        write!(h, "{k:?};").expect("hash writer never fails");
+    }
+    write!(h, "|{:?}|{:?}|{:?}|{:?}|{}", module.hier, module.classes, module.globals, module.main, module.methods.len())
+        .expect("hash writer never fails");
+    for m in &module.methods {
+        write!(h, "|{:?}|{:?}|{:?}|{:?}|{}", m.owner, m.is_private, m.kind, m.type_params, m.param_count)
+            .expect("hash writer never fails");
+        for l in &m.locals[..m.param_count] {
+            write!(h, ",{:?}", l.ty).expect("hash writer never fails");
+        }
+        write!(h, "|{:?}|{:?}", m.ret, m.vtable_index).expect("hash writer never fails");
+    }
+    (h.a, h.b)
 }
 
 /// Cache effectiveness counters for one pass over one module.

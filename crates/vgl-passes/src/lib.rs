@@ -22,11 +22,13 @@ mod mono;
 mod normalize;
 mod optimize;
 pub mod sched;
+pub mod store;
 
-pub use cache::{module_fingerprint, CacheStats};
+pub use cache::{context_digest, module_fingerprint, CacheStats};
 pub use mono::{monomorphize, monomorphize_streamed, MonoStats};
 pub use normalize::{normalize, normalize_cfg, NormStats};
-pub use optimize::{optimize, optimize_cfg, OptStats};
+pub use optimize::{optimize, optimize_cfg, optimize_cfg_masked, OptStats};
+pub use store::{ShardedLru, StoreStats};
 
 use std::time::Duration;
 use vgl_ir::Module;

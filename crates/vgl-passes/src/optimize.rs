@@ -62,6 +62,25 @@ pub fn optimize_cfg(
     cfg: &BackendConfig,
     report: &mut BackendReport,
 ) -> OptStats {
+    optimize_cfg_masked(module, cfg, report, None)
+}
+
+/// [`optimize_cfg`] with an external skip mask: methods with `skip[i]`
+/// true are neither rewritten nor copied into. The daemon's warm path uses
+/// this for methods whose **post-optimize** bodies were already spliced in
+/// from the persistent store (same context digest + fingerprint), so
+/// re-optimizing them would be wasted work; their spliced bodies still
+/// participate in the devirtualization/inline tables other methods fold
+/// against, which is what keeps warm output byte-identical to cold.
+///
+/// The mask must be duplicate-consistent: a method and its representative
+/// share a fingerprint, so they must share a mask bit (debug-asserted).
+pub fn optimize_cfg_masked(
+    module: &mut Module,
+    cfg: &BackendConfig,
+    report: &mut BackendReport,
+    skip: Option<&[bool]>,
+) -> OptStats {
     let dup = if cfg.cache {
         match report.dup_map.take() {
             // Normalize already grouped this module; extend the map over
@@ -87,10 +106,17 @@ pub fn optimize_cfg(
         DupMap::identity(module.methods.len())
     };
     report.opt_cache.merge(&dup.stats);
+    if let Some(mask) = skip {
+        debug_assert_eq!(mask.len(), module.methods.len(), "mask covers every method");
+        debug_assert!(
+            (0..module.methods.len()).all(|i| mask[dup.rep[i]] == mask[i]),
+            "skip mask must be duplicate-consistent"
+        );
+    }
     let mut stats = OptStats::default();
     for _ in 0..8 {
         let before = stats;
-        one_round(module, cfg, &dup, &mut stats, &mut report.workers);
+        one_round(module, cfg, &dup, skip, &mut stats, &mut report.workers);
         if stats == before {
             break;
         }
@@ -122,9 +148,11 @@ fn one_round(
     module: &mut Module,
     cfg: &BackendConfig,
     dup: &DupMap,
+    skip: Option<&[bool]>,
     stats: &mut OptStats,
     worker_log: &mut Vec<WorkerSample>,
 ) {
+    let skipped = |i: usize| skip.is_some_and(|m| m[i]);
     // Devirtualization table: (declared method slot) → unique target if any.
     let devirt = build_devirt_table(module);
     // Inline candidates: single-`Return(expr)` leaf bodies referencing only
@@ -133,7 +161,7 @@ fn one_round(
     let inline = build_inline_table(module);
     // Rewrite representative bodies only; duplicates are copied afterwards.
     let items: Vec<usize> = (0..module.methods.len())
-        .filter(|&i| module.methods[i].body.is_some() && !dup.is_dup(i))
+        .filter(|&i| module.methods[i].body.is_some() && !dup.is_dup(i) && !skipped(i))
         .collect();
     let m_ref: &Module = module;
     let run_item = |store: &mut TypeStore, _: usize, &i: &usize| {
@@ -171,8 +199,12 @@ fn one_round(
         add_stats(stats, &st);
     }
     // Duplicates take their representative's result (reps always precede
-    // their dups, so the source is already this round's output).
+    // their dups, so the source is already this round's output). Skipped
+    // methods keep their spliced bodies (their reps are skipped too).
     for i in 0..module.methods.len() {
+        if skipped(i) {
+            continue;
+        }
         let r = dup.rep[i];
         if r != i {
             let (body, locals) =

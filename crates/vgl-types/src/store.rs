@@ -155,6 +155,14 @@ impl TypeStore {
         &self.kinds[t.index()]
     }
 
+    /// All interned kinds in id order (`ty#0`, `ty#1`, …). Two stores with
+    /// equal iteration sequences assign every interned id identically, so
+    /// IR that prints types as ids means the same thing under both — the
+    /// cross-compile context check the persistent pass store relies on.
+    pub fn kinds(&self) -> impl Iterator<Item = &TypeKind> {
+        self.kinds.iter()
+    }
+
     /// Number of distinct types interned so far.
     pub fn len(&self) -> usize {
         self.kinds.len()

@@ -42,7 +42,7 @@ pub use fuse::{
     check_fused, check_fused_against, fuse, fuse_cfg, fuse_jobs, tier_fuse_func, FuseStats,
     TierFeedback, TieredBody,
 };
-pub use lower::{lower, lower_fuse};
+pub use lower::{lower, lower_fuse, lower_fuse_incremental, Demand, ReusePlan, SpliceFunc};
 pub use profile::{
     FuncSpan, GcEvent, GcInstant, HotFunc, RuntimeProfile, TierInstant, TraceLog, VmProfile,
 };

@@ -275,6 +275,251 @@ pub fn lower_fuse(
     (program, stats, samples)
 }
 
+/// One shared-allocator side effect of lowering a method body, in the
+/// order it happened. A spliced method replays its recorded demands
+/// through the same memoized allocators instead of re-lowering its body,
+/// which reproduces the cold compile's function-append and
+/// closure-test-id history exactly: a demand that *allocated* at capture
+/// time allocates again (at the same position in the program, because
+/// every earlier demand was also replayed), and a demand that was a memo
+/// hit is a memo hit again.
+#[derive(Clone, Debug)]
+pub enum Demand {
+    /// Constructor wrapper for a first-class `C.new`.
+    Ctor(ClassId),
+    /// Operator wrapper for a first-class operator.
+    Op(Oper),
+    /// Builtin wrapper for a first-class `System.*`.
+    Builtin(Builtin),
+    /// Array-constructor wrapper for `Array<elem>.new`.
+    ArrayNew(Type),
+    /// Closure admissibility test against the function type; the second
+    /// field is the test id the allocator returned at capture time, so a
+    /// splice can map the cached code's `test` operands to their current
+    /// ids.
+    ClosTest(Type, u32),
+}
+
+/// One method's compiled artifact in relocatable form, as captured by
+/// [`lower_fuse_incremental`]. The code is final (post-fuse when fusion
+/// was on) but its program-indexed operands are positional: `CallVirt`
+/// site ids and `ConstPool` ids are dense, assigned in lowering order, so
+/// they relocate by the delta between the capture-time base and the
+/// splice-time base; `ClosQuery`/`ClosCast` test ids are memoized by type
+/// and map through the demand replay. Function, class, global, field-slot
+/// and vtable-slot operands are embedded verbatim — that is only sound
+/// between modules with equal `vgl_passes::context_digest`s, which is the
+/// caller's contract.
+#[derive(Clone, Debug)]
+pub struct SpliceFunc {
+    /// Parameter registers.
+    pub param_count: usize,
+    /// Frame size in registers.
+    pub reg_count: usize,
+    /// Return value count.
+    pub ret_count: usize,
+    /// Final (fused) code with capture-time operand bases.
+    pub code: Vec<Instr>,
+    /// `next_virt_site` when this method's body started lowering.
+    pub site_base: u32,
+    /// `CallVirt` sites the body allocated.
+    pub site_count: u32,
+    /// `program.pool.len()` when this method's body started lowering.
+    pub pool_base: u32,
+    /// The pool entries the body allocated, in order.
+    pub pool: Vec<Vec<u8>>,
+    /// Shared-allocator demands, in order (see [`Demand`]).
+    pub demands: Vec<Demand>,
+}
+
+/// Per-method reuse decisions for [`lower_fuse_incremental`]: `funcs[i]`
+/// is `Some` when method `i`'s artifact from a context-compatible earlier
+/// compile should be spliced instead of lowered and fused.
+#[derive(Clone, Default)]
+pub struct ReusePlan {
+    /// One slot per module method.
+    pub funcs: Vec<Option<std::sync::Arc<SpliceFunc>>>,
+}
+
+/// Rewrites positional operands in relocatable cached code: dense
+/// `CallVirt`/`CallGuard`/`CallInline` site ids and `ConstPool` ids shift
+/// by their base deltas; memoized `ClosQuery`/`ClosCast` test ids map
+/// through the demand replay's old → new table. Every other operand kind
+/// (functions, classes, globals, field and vtable slots, registers) is
+/// context-stable and passes through untouched.
+fn relocate_code(
+    code: &mut [Instr],
+    site_delta: i64,
+    pool_delta: i64,
+    tests: &HashMap<u32, u32>,
+) {
+    let shift = |v: &mut u32, d: i64| {
+        *v = u32::try_from(i64::from(*v) + d).expect("relocated index in range");
+    };
+    for ins in code {
+        match ins {
+            Instr::ConstPool(_, ix) => shift(ix, pool_delta),
+            Instr::CallVirt { site, .. }
+            | Instr::CallGuard { site, .. }
+            | Instr::CallInline { site, .. } => shift(site, site_delta),
+            Instr::ClosQuery { test, .. } | Instr::ClosCast { test, .. } => {
+                *test = *tests.get(test).expect("clos test recorded in demands");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Lowering + fusion with cross-compile artifact reuse, the daemon's warm
+/// path. Methods with a [`ReusePlan`] entry are **spliced** — their cached
+/// fused code is relocated into the program without re-lowering or
+/// re-fusing the body — and every other method is lowered and (when
+/// `do_fuse`) fused exactly as the cold pipeline would. Returns the
+/// program, fuse statistics for the work actually performed, and a
+/// relocatable [`SpliceFunc`] capture for every *freshly compiled* method
+/// (`None` for spliced ones, whose cached entries are still current).
+///
+/// Output is bit-identical to `lower` + [`crate::fuse::fuse_cfg`] on the
+/// same module, provided every plan entry was captured from a compile
+/// whose module had the same `vgl_passes::context_digest` and whose
+/// method had the same `vgl_passes::cache::method_fingerprint` — the
+/// serving determinism suite pins this equivalence across cold, warm, and
+/// concurrent compiles.
+pub fn lower_fuse_incremental(
+    module: &Module,
+    plan: Option<&ReusePlan>,
+    do_fuse: bool,
+) -> (VmProgram, crate::fuse::FuseStats, Vec<Option<SpliceFunc>>) {
+    use crate::fuse::{count_allocs, count_ref_stores, fuse_func, FuseStats};
+
+    struct Raw {
+        site_base: u32,
+        site_count: u32,
+        pool_base: u32,
+        pool_count: u32,
+        demands: Vec<Demand>,
+        spliced: bool,
+    }
+
+    let n = module.methods.len();
+    let mut lw = Lower::new(module);
+    lw.prepare();
+    let mut raws: Vec<Raw> = Vec::with_capacity(n);
+    for i in 0..n {
+        let entry = plan.and_then(|p| p.funcs.get(i)).and_then(|e| e.clone());
+        let site_base = lw.next_virt_site;
+        let pool_base = lw.program.pool.len() as u32;
+        let spliced = entry.is_some();
+        if let Some(e) = entry {
+            lw.splice_method(i, &e);
+        } else {
+            lw.recording = true;
+            lw.compile_method(i);
+            lw.recording = false;
+        }
+        raws.push(Raw {
+            site_base,
+            site_count: lw.next_virt_site - site_base,
+            pool_base,
+            pool_count: lw.program.pool.len() as u32 - pool_base,
+            demands: std::mem::take(&mut lw.demand_log),
+            spliced,
+        });
+    }
+    lw.finalize();
+
+    let mut program = lw.program;
+    let mut stats = FuseStats::default();
+    if do_fuse {
+        // Fuse everything that was not spliced (spliced code is already
+        // fused), including synthesized wrappers and global initializers.
+        // Identical inputs fuse once; copies are bit-equal to re-fusing.
+        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut fused_of: Vec<usize> = (0..program.funcs.len()).collect();
+        #[allow(clippy::needless_range_loop)] // fuses funcs[i] in place while reading raws and writing fused_of
+        for i in 0..program.funcs.len() {
+            if raws.get(i).is_some_and(|r| r.spliced) {
+                continue;
+            }
+            use std::hash::{Hash, Hasher};
+            let f = &program.funcs[i];
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            (f.param_count, f.reg_count, f.ret_count).hash(&mut h);
+            f.code.hash(&mut h);
+            let candidates = groups.entry(h.finish()).or_default();
+            let same = |a: &VmFunc, b: &VmFunc| {
+                a.param_count == b.param_count
+                    && a.reg_count == b.reg_count
+                    && a.ret_count == b.ret_count
+                    && a.code == b.code
+            };
+            if let Some(&j) = candidates.iter().find(|&&j| same(&program.funcs[j], &program.funcs[i])) {
+                fused_of[i] = j;
+                continue;
+            }
+            candidates.push(i);
+            let mut st = FuseStats::default();
+            st.instrs_before += program.funcs[i].code.len();
+            let allocs_before = count_allocs(&program.funcs[i].code);
+            let ref_stores_before = count_ref_stores(&program.funcs[i].code);
+            fuse_func(&mut program.funcs[i], &mut st);
+            debug_assert_eq!(
+                allocs_before,
+                count_allocs(&program.funcs[i].code),
+                "fusion changed the allocating-instruction count in {}",
+                program.funcs[i].name
+            );
+            debug_assert_eq!(
+                ref_stores_before,
+                count_ref_stores(&program.funcs[i].code),
+                "fusion changed the barrier-carrying store count in {}",
+                program.funcs[i].name
+            );
+            st.instrs_after += program.funcs[i].code.len();
+            stats.absorb(&st);
+        }
+        // The dedup above compared *pre-fuse* code of not-yet-fused funcs
+        // against *post-fuse* code of processed ones only when the group
+        // hash collided and `same` matched — which, because fusion is
+        // deterministic and identity-stable on already-processed inputs,
+        // can only copy a representative whose pre-fuse code was equal.
+        for (i, &j) in fused_of.iter().enumerate() {
+            if j != i {
+                let (name, copy) = (program.funcs[i].name.clone(), program.funcs[j].clone());
+                stats.instrs_before += program.funcs[i].code.len();
+                stats.instrs_after += copy.code.len();
+                program.funcs[i] = VmFunc { name, ..copy };
+            }
+        }
+    }
+    program.max_frame_regs = program.funcs.iter().map(|f| f.reg_count).max().unwrap_or(0);
+
+    let captures = raws
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if r.spliced {
+                return None;
+            }
+            let f = &program.funcs[i];
+            let pool = program.pool[r.pool_base as usize..(r.pool_base + r.pool_count) as usize]
+                .to_vec();
+            Some(SpliceFunc {
+                param_count: f.param_count,
+                reg_count: f.reg_count,
+                ret_count: f.ret_count,
+                code: f.code.clone(),
+                site_base: r.site_base,
+                site_count: r.site_count,
+                pool_base: r.pool_base,
+                pool,
+                demands: r.demands,
+            })
+        })
+        .collect();
+    (program, stats, captures)
+}
+
 struct Lower<'m> {
     module: &'m Module,
     store: TypeStore,
@@ -289,6 +534,11 @@ struct Lower<'m> {
     clos_test_cache: HashMap<Type, u32>,
     /// Next `CallVirt` inline-cache site index.
     next_virt_site: u32,
+    /// Shared-allocator demand log for the method currently lowering
+    /// (captured by [`lower_fuse_incremental`], empty otherwise).
+    demand_log: Vec<Demand>,
+    /// Whether allocator calls append to `demand_log`.
+    recording: bool,
 }
 
 impl<'m> Lower<'m> {
@@ -304,7 +554,74 @@ impl<'m> Lower<'m> {
             func_sigs: Vec::new(),
             clos_test_cache: HashMap::new(),
             next_virt_site: 0,
+            demand_log: Vec::new(),
+            recording: false,
         }
+    }
+
+    fn note(&mut self, d: Demand) {
+        if self.recording {
+            self.demand_log.push(d);
+        }
+    }
+
+    /// Replays a spliced method's demand log through the shared memoized
+    /// allocators (see [`Demand`]); returns the old → new closure-test id
+    /// map for [`relocate_code`].
+    fn replay_demands(&mut self, demands: &[Demand]) -> HashMap<u32, u32> {
+        let mut tests = HashMap::new();
+        for d in demands {
+            match *d {
+                Demand::Ctor(c) => {
+                    self.ctor_wrapper(c);
+                }
+                Demand::Op(op) => {
+                    self.op_wrapper(op);
+                }
+                Demand::Builtin(b) => {
+                    self.builtin_wrapper(b);
+                }
+                Demand::ArrayNew(t) => {
+                    self.arraynew_wrapper(t);
+                }
+                Demand::ClosTest(t, old) => {
+                    let new = self.clos_test(t);
+                    tests.insert(old, new);
+                }
+            }
+        }
+        tests
+    }
+
+    /// Installs a cached artifact into method `i`'s reserved slot,
+    /// reproducing everything the cold compile of this body would have
+    /// done to shared program state: advance the site counter, append the
+    /// body's pool entries, and replay its allocator demands. The cached
+    /// code is then relocated to the current bases. (Site/pool/function
+    /// allocation use independent counters, so replaying demands as a
+    /// prefix instead of interleaved with body emission lands every id in
+    /// the same place.)
+    fn splice_method(&mut self, i: usize, e: &SpliceFunc) {
+        let site_delta = i64::from(self.next_virt_site) - i64::from(e.site_base);
+        let pool_delta = self.program.pool.len() as i64 - i64::from(e.pool_base);
+        self.next_virt_site += e.site_count;
+        self.program.pool.extend(e.pool.iter().cloned());
+        let watermark = (self.next_virt_site, self.program.pool.len());
+        let tests = self.replay_demands(&e.demands);
+        debug_assert_eq!(
+            watermark,
+            (self.next_virt_site, self.program.pool.len()),
+            "demand replay must not allocate sites or pool entries"
+        );
+        let mut code = e.code.clone();
+        relocate_code(&mut code, site_delta, pool_delta, &tests);
+        self.program.funcs[i] = VmFunc {
+            name: self.module.methods[i].name.clone(),
+            param_count: e.param_count,
+            reg_count: e.reg_count,
+            ret_count: e.ret_count,
+            code,
+        };
     }
 
     fn run(&mut self) {
@@ -436,6 +753,7 @@ impl<'m> Lower<'m> {
     }
 
     fn ctor_wrapper(&mut self, class: ClassId) -> FuncId {
+        self.note(Demand::Ctor(class));
         if let Some(&f) = self.ctor_wrappers.get(&class) {
             return f;
         }
@@ -464,6 +782,7 @@ impl<'m> Lower<'m> {
     }
 
     fn op_wrapper(&mut self, op: Oper) -> FuncId {
+        self.note(Demand::Op(op));
         if let Some(&f) = self.op_wrappers.get(&op) {
             return f;
         }
@@ -565,6 +884,7 @@ impl<'m> Lower<'m> {
     }
 
     fn builtin_wrapper(&mut self, b: Builtin) -> FuncId {
+        self.note(Demand::Builtin(b));
         if let Some(&f) = self.builtin_wrappers.get(&b) {
             return f;
         }
@@ -600,6 +920,7 @@ impl<'m> Lower<'m> {
     }
 
     fn arraynew_wrapper(&mut self, elem: Type) -> FuncId {
+        self.note(Demand::ArrayNew(elem));
         if let Some(&f) = self.arraynew_wrappers.get(&elem) {
             return f;
         }
@@ -625,6 +946,7 @@ impl<'m> Lower<'m> {
     /// `to`.
     fn clos_test(&mut self, to: Type) -> u32 {
         if let Some(&t) = self.clos_test_cache.get(&to) {
+            self.note(Demand::ClosTest(to, t));
             return t;
         }
         let n = self.program.funcs.len().max(self.func_sigs.len());
@@ -650,6 +972,7 @@ impl<'m> Lower<'m> {
         let id = self.program.clos_tests.len() as u32;
         self.program.clos_tests.push(test);
         self.clos_test_cache.insert(to, id);
+        self.note(Demand::ClosTest(to, id));
         id
     }
 
